@@ -1,0 +1,113 @@
+// Ablation: connection-id rotation (defense for the paper's §5 attack (3)).
+//
+// A malicious forwarder links all connections of a recurring set that pass
+// through it via the cid in its history. Rotating to a fresh pseudonymous
+// cid every E connections caps the linkable profile at E, but also resets
+// history selectivity, so the forwarder set grows — a measurable
+// privacy/efficiency trade-off.
+#include "common.hpp"
+
+#include "attack/traffic_analysis.hpp"
+#include "core/edge_quality.hpp"
+#include "core/incentive.hpp"
+#include "net/probing.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace p2panon;
+
+struct Outcome {
+  double largest_profile = 0.0;
+  double set_size = 0.0;
+  double quality = 0.0;
+};
+
+Outcome run_rotation(std::uint32_t rotation, std::uint64_t seed) {
+  sim::rng::Stream root(seed);
+  sim::Simulator simulator;
+  net::OverlayConfig cfg;
+  cfg.node_count = 40;
+  cfg.degree = 5;
+  cfg.malicious_fraction = 0.2;
+  net::Overlay overlay(cfg, simulator, root.child("overlay"));
+  net::ProbingEstimator probing(overlay, net::ProbingConfig{}, root.child("probing"));
+  core::HistoryStore history(overlay.size());
+  core::EdgeQualityEvaluator quality(probing, history, core::QualityWeights{});
+  core::PathBuilder builder(overlay, quality);
+  core::PayoffLedger ledger(overlay.size());
+  core::UtilityModelIRouting strategy;
+  core::StrategyAssignment assign(overlay, strategy);
+
+  std::vector<bool> compromised(overlay.size(), false);
+  for (net::NodeId id : overlay.malicious_nodes()) compromised[id] = true;
+  attack::TrafficAnalysis analysis(compromised);
+
+  overlay.start();
+  simulator.run_until(sim::minutes(60.0));
+
+  Outcome out;
+  auto pair_stream = root.child("pairs");
+  auto run_stream = root.child("run");
+  const std::size_t pairs = 20;
+  for (net::PairId pid = 0; pid < pairs; ++pid) {
+    const auto initiator = static_cast<net::NodeId>(pair_stream.below(overlay.size()));
+    net::NodeId responder = initiator;
+    while (responder == initiator) {
+      responder = static_cast<net::NodeId>(pair_stream.below(overlay.size()));
+    }
+    core::Contract contract;
+    contract.cid_rotation = rotation;
+    core::ConnectionSetSession session(pid, initiator, responder, contract);
+    auto stream = run_stream.child("pair", pid);
+    for (std::uint32_t k = 1; k <= 20; ++k) {
+      simulator.run_until(simulator.now() + sim::minutes(1.0));
+      overlay.force_online(initiator);
+      overlay.force_online(responder);
+      const core::BuiltPath& p =
+          session.run_connection(builder, history, assign, ledger, overlay, stream);
+      // The attacker links by the *wire-visible* cid.
+      analysis.observe_path(session.effective_pair(k), p.nodes);
+    }
+    out.set_size += static_cast<double>(session.forwarder_set().size()) / pairs;
+    out.quality += session.path_quality() / pairs;
+  }
+  out.largest_profile = static_cast<double>(analysis.largest_linked_profile());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace p2panon;
+  using namespace p2panon::bench;
+
+  const std::size_t replicates = replicate_count();
+  harness::print_banner(std::cout, "Ablation: cid rotation",
+                        "Largest cid-linked profile vs forwarder-set size as the initiator "
+                        "rotates its connection-set id every E connections (f = 0.2, "
+                        "Utility Model I, 20 pairs x 20 connections, " +
+                            std::to_string(replicates) + " replicates)");
+
+  harness::TextTable table({"rotation E", "largest linked profile (of 20)", "avg ||pi||",
+                            "avg Q(pi)"});
+  for (std::uint32_t rotation : {0u, 10u, 5u, 2u, 1u}) {
+    metrics::Accumulator profile, set, q;
+    for (std::size_t r = 0; r < replicates; ++r) {
+      const Outcome out = run_rotation(rotation, base_seed() + r);
+      profile.add(out.largest_profile);
+      set.add(out.set_size);
+      q.add(out.quality);
+    }
+    table.add_row({rotation == 0 ? "never" : std::to_string(rotation),
+                   harness::fmt(profile.mean(), 1), harness::fmt(set.mean()),
+                   harness::fmt(q.mean(), 3)});
+  }
+  emit(table, "abl_cid_rotation");
+  std::cout << "\nReading: the linkable profile collapses to the epoch length E, while "
+               "||pi|| grows as selectivity resets each epoch (availability still "
+               "provides continuity). E ~ 5 keeps most of the anonymity benefit at a "
+               "modest linkage budget — the kind of defense the paper's §5 defers to "
+               "its system implementation.\n";
+  return 0;
+}

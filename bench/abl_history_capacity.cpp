@@ -1,0 +1,42 @@
+// Ablation: bounded history storage.
+//
+// Paper §2.3: "The amount of history information stored at a node also
+// influences the quality of the edge." This sweep bounds each node's
+// history profile (FIFO eviction) and measures the effect on forwarder-set
+// size and edge reuse under Utility Model I.
+#include "common.hpp"
+
+int main() {
+  using namespace p2panon;
+  using namespace p2panon::bench;
+
+  harness::print_banner(std::cout, "Ablation: history capacity",
+                        "Per-node history bound (entries, FIFO eviction), Utility Model I, "
+                        "f = 0.2 (" + std::to_string(replicate_count()) + " replicates)");
+
+  harness::TextTable table({"capacity", "avg ||pi||", "path quality Q(pi)",
+                            "new-edge frac (late)", "avg member payoff"});
+  for (std::size_t capacity : {std::size_t{0}, std::size_t{200}, std::size_t{50},
+                               std::size_t{10}, std::size_t{2}}) {
+    harness::ScenarioConfig cfg = paper_config(0.2, core::StrategyKind::kUtilityModelI);
+    cfg.history_capacity = capacity;
+    const auto r = run(cfg);
+    double late = 0.0;
+    std::size_t n = 0;
+    for (std::size_t j = r.new_edge_fraction_by_conn.size() - 5;
+         j < r.new_edge_fraction_by_conn.size(); ++j) {
+      late += r.new_edge_fraction_by_conn[j].mean();
+      ++n;
+    }
+    table.add_row({capacity == 0 ? "unbounded" : std::to_string(capacity),
+                   harness::fmt(r.forwarder_set_size.mean()),
+                   harness::fmt(r.path_quality.mean(), 3),
+                   harness::fmt(late / static_cast<double>(n), 3),
+                   harness::fmt(r.member_payoff.mean())});
+  }
+  emit(table, "abl_history_capacity");
+  std::cout << "\nReading: selectivity needs enough retained entries per (pair, "
+               "predecessor) to stabilise choices; tiny bounds erase the history "
+               "signal and only the availability term remains.\n";
+  return 0;
+}

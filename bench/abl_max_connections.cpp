@@ -1,0 +1,39 @@
+// Ablation: number of recurring connections per (I, R) pair
+// (the simulator's max-connections parameter, paper §3).
+//
+// More connections give history more to work with: the forwarder set
+// saturates while L stays constant, so path quality Q(pi) = L/||pi||
+// *improves* with k under utility routing but *decays* under random
+// routing (Q -> L/N as the set approaches everyone).
+#include "common.hpp"
+
+int main() {
+  using namespace p2panon;
+  using namespace p2panon::bench;
+
+  harness::print_banner(std::cout, "Ablation: max-connections",
+                        "Connections per pair (k) sweep, f = 0.2 (" +
+                            std::to_string(replicate_count()) + " replicates)");
+
+  harness::TextTable table(
+      {"k", "strategy", "avg ||pi||", "Q(pi)", "avg member payoff"});
+  for (std::uint32_t k : {5u, 10u, 20u, 40u}) {
+    for (auto kind : {core::StrategyKind::kRandom, core::StrategyKind::kUtilityModelI}) {
+      harness::ScenarioConfig cfg = paper_config(0.2, kind);
+      cfg.connections_per_pair = k;
+      // Keep total transmissions comparable to the paper's 2000.
+      cfg.pair_count = 2000 / k;
+      const auto r = run(cfg);
+      table.add_row({std::to_string(k), std::string(core::strategy_name(kind)),
+                     harness::fmt(r.forwarder_set_size.mean()),
+                     harness::fmt(r.path_quality.mean(), 3),
+                     harness::fmt(r.member_payoff.mean())});
+    }
+  }
+  emit(table, "abl_max_connections");
+  std::cout << "\nReading: under utility routing ||pi|| saturates with k (stable set), "
+               "so Q(pi) holds or improves as connections accumulate; under random "
+               "routing the set keeps growing toward N and quality decays — the "
+               "recurring-connection regime is exactly where the incentive wins.\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Ablation: path length via the Crowds forwarding probability.
+//
+// Paper footnote 2: the system objective is a minimum forwarder set *for
+// path lengths appropriate to anonymity* — in Crowds, tweaking p_forward
+// tunes the length. This sweep shows the trade-off: longer expected paths
+// (higher p_forward) raise L, grow ||pi||, and raise the initiator's spend,
+// for more per-hop mixing.
+#include "common.hpp"
+
+int main() {
+  using namespace p2panon;
+  using namespace p2panon::bench;
+
+  harness::print_banner(std::cout, "Ablation: path length (Crowds p_forward)",
+                        "Expected path length sweep, Utility Model I, f = 0.2 (" +
+                            std::to_string(replicate_count()) + " replicates)");
+
+  harness::TextTable table({"p_forward", "E[L] (analytic)", "measured L", "avg ||pi||",
+                            "Q(pi)", "initiator spend"});
+  for (double p : {0.5, 0.66, 0.75, 0.8, 0.9}) {
+    harness::ScenarioConfig cfg = paper_config(0.2, core::StrategyKind::kUtilityModelI);
+    cfg.p_forward = p;
+    const auto r = run(cfg);
+    table.add_row({harness::fmt(p, 2), harness::fmt(1.0 / (1.0 - p), 1),
+                   harness::fmt(r.avg_path_length.mean()),
+                   harness::fmt(r.forwarder_set_size.mean()),
+                   harness::fmt(r.path_quality.mean(), 3),
+                   harness::fmt(r.initiator_spend.mean())});
+  }
+  emit(table, "abl_path_length");
+  std::cout << "\nReading: L tracks the geometric mean 1/(1-p) (candidate exhaustion "
+               "trims the tail); ||pi|| grows sublinearly in L under utility routing "
+               "because longer paths still reuse the same favoured forwarders.\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation: termination policy — Crowds-style probabilistic forwarding vs
+// hop-distance (fixed-length) forwarding at matched expected path length.
+//
+// The paper notes both schemes fit its model (§2.2, footnote 2); the
+// fixed-length scheme is also the setting of Figueiredo et al. [13], the
+// closest prior incentive work. Fixed-length paths have zero length
+// variance (no plausible-deniability from random termination) but make the
+// initiator's spend predictable; Crowds trades spend variance for
+// uncertainty about who originated a message.
+#include "common.hpp"
+
+int main() {
+  using namespace p2panon;
+  using namespace p2panon::bench;
+
+  harness::print_banner(std::cout, "Ablation: termination policy",
+                        "Crowds (p_forward) vs fixed hop count at matched E[L], Utility "
+                        "Model I, f = 0.2 (" +
+                            std::to_string(replicate_count()) + " replicates)");
+
+  harness::TextTable table({"policy", "E[L] target", "measured L", "avg ||pi||", "Q(pi)",
+                            "initiator spend"});
+  for (double target_len : {2.0, 4.0, 8.0}) {
+    {
+      harness::ScenarioConfig cfg = paper_config(0.2, core::StrategyKind::kUtilityModelI);
+      cfg.termination = core::TerminationPolicy::kCrowds;
+      cfg.p_forward = 1.0 - 1.0 / target_len;  // E[L] = 1/(1-p)
+      const auto r = run(cfg);
+      table.add_row({"crowds p=" + harness::fmt(cfg.p_forward, 2), harness::fmt(target_len, 0),
+                     harness::fmt(r.avg_path_length.mean()),
+                     harness::fmt(r.forwarder_set_size.mean()),
+                     harness::fmt(r.path_quality.mean(), 3),
+                     harness::fmt(r.initiator_spend.mean())});
+    }
+    {
+      harness::ScenarioConfig cfg = paper_config(0.2, core::StrategyKind::kUtilityModelI);
+      cfg.termination = core::TerminationPolicy::kHopCount;
+      cfg.ttl_hops = static_cast<std::uint32_t>(target_len);
+      const auto r = run(cfg);
+      table.add_row({"fixed ttl=" + std::to_string(cfg.ttl_hops), harness::fmt(target_len, 0),
+                     harness::fmt(r.avg_path_length.mean()),
+                     harness::fmt(r.forwarder_set_size.mean()),
+                     harness::fmt(r.path_quality.mean(), 3),
+                     harness::fmt(r.initiator_spend.mean())});
+    }
+  }
+  emit(table, "abl_termination");
+  std::cout << "\nReading: at matched E[L], fixed-length paths give a slightly smaller "
+               "||pi|| (no geometric tail recruiting extra forwarders) and a tighter "
+               "spend, while Crowds termination keeps path length unpredictable — the "
+               "anonymity/cost dial footnote 2 alludes to.\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Attack bench: anonymity over time.
+//
+// Tracks, over one recurring connection set's lifetime, the attacker-facing
+// anonymity (candidate-set entropy of the intersection attacker) and the
+// forwarder-set size as time series — the temporal view behind the paper's
+// intersection-attack motivation: each reformation is a step DOWN in
+// anonymity, and utility routing simply takes far fewer steps.
+#include "common.hpp"
+
+#include "attack/intersection.hpp"
+#include "core/edge_quality.hpp"
+#include "core/incentive.hpp"
+#include "metrics/timeseries.hpp"
+#include "net/probing.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace p2panon;
+
+struct Series {
+  metrics::TimeSeries anonymity_bits;
+  metrics::TimeSeries forwarder_set;
+  sim::Time end = 0.0;
+};
+
+Series run_series(core::StrategyKind kind, std::uint64_t seed) {
+  sim::rng::Stream root(seed);
+  sim::Simulator simulator;
+  net::OverlayConfig cfg;
+  cfg.node_count = 40;
+  cfg.degree = 5;
+  cfg.malicious_fraction = 0.2;
+  net::Overlay overlay(cfg, simulator, root.child("overlay"));
+  net::ProbingEstimator probing(overlay, net::ProbingConfig{}, root.child("probing"));
+  core::HistoryStore history(overlay.size());
+  core::EdgeQualityEvaluator quality(probing, history, core::QualityWeights{});
+  core::PathBuilder builder(overlay, quality);
+  core::PayoffLedger ledger(overlay.size());
+  const auto strategy = core::make_strategy(kind);
+  core::StrategyAssignment assign(overlay, *strategy);
+
+  overlay.start();
+  simulator.run_until(sim::minutes(60.0));
+
+  core::ConnectionSetSession session(0, 0, 39, core::Contract{});
+  attack::OnlineSetIntersection observer(overlay.size());
+  Series series;
+  auto run_stream = root.child("run");
+  std::size_t known = 0;
+  for (std::uint32_t k = 1; k <= 40; ++k) {
+    simulator.run_until(simulator.now() + sim::minutes(5.0));
+    overlay.force_online(0);
+    overlay.force_online(39);
+    session.run_connection(builder, history, assign, ledger, overlay, run_stream);
+    if (session.forwarder_set().size() > known) {
+      known = session.forwarder_set().size();
+      observer.observe(overlay.online_nodes());
+    }
+    series.anonymity_bits.record(simulator.now(), observer.entropy_bits());
+    series.forwarder_set.record(simulator.now(),
+                                static_cast<double>(session.forwarder_set().size()));
+  }
+  series.end = simulator.now();
+  return series;
+}
+
+}  // namespace
+
+int main() {
+  using namespace p2panon;
+  using namespace p2panon::bench;
+
+  harness::print_banner(std::cout, "Attack: anonymity over time",
+                        "Intersection-attacker anonymity (bits) and ||pi|| over the life "
+                        "of one 40-connection recurring set, f = 0.2 (single replicate "
+                        "series; seed " + std::to_string(base_seed()) + ")");
+
+  harness::TextTable table({"t (min)", "strategy", "anonymity (bits)", "||pi||"});
+  for (auto kind : {core::StrategyKind::kRandom, core::StrategyKind::kUtilityModelI}) {
+    const Series s = run_series(kind, base_seed());
+    const auto bits = s.anonymity_bits.resample(sim::minutes(60.0), s.end, 9);
+    const auto sets = s.forwarder_set.resample(sim::minutes(60.0), s.end, 9);
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      table.add_row({harness::fmt(sim::to_minutes(bits[i].t), 0),
+                     std::string(core::strategy_name(kind)),
+                     harness::fmt(bits[i].value, 2), harness::fmt(sets[i].value, 1)});
+    }
+  }
+  emit(table, "attack_anonymity_over_time");
+
+  // Time-weighted summary: average anonymity enjoyed across the whole set.
+  harness::TextTable summary({"strategy", "time-weighted anonymity (bits)",
+                              "final ||pi||"});
+  for (auto kind : {core::StrategyKind::kRandom, core::StrategyKind::kUtilityModelI}) {
+    metrics::Accumulator bits, set;
+    for (std::size_t r = 0; r < replicate_count(); ++r) {
+      const Series s = run_series(kind, base_seed() + r);
+      bits.add(s.anonymity_bits.time_weighted_mean(sim::minutes(60.0), s.end));
+      set.add(s.forwarder_set.points().back().value);
+    }
+    summary.add_row({std::string(core::strategy_name(kind)), harness::fmt(bits.mean(), 2),
+                     harness::fmt(set.mean(), 1)});
+  }
+  std::cout << '\n';
+  emit(summary, "attack_anonymity_over_time_summary");
+  std::cout << "\nReading: anonymity decays stepwise with each fresh-forwarder "
+               "recruitment; utility routing stops recruiting early, so its curve "
+               "plateaus while random routing keeps stepping down — the time-domain "
+               "picture of the paper's intersection-attack argument.\n";
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Attack bench: passive-logging intersection attack (the paper's motivating
+// threat, §1/§2.1, after Wright et al.).
+//
+// Model: an observer watches one recurring (I, R) connection set. Whenever a
+// path reformation routes through a *fresh* forwarder (the forwarder set Q
+// grows — a new observation position for a passive logger, per Wright et
+// al.), the observer snapshots the set of online nodes and intersects: the
+// initiator must be online at every observation. Utility routing keeps
+// reusing the same forwarders, so Q stops growing and the attacker starves;
+// random routing recruits fresh forwarders almost every connection.
+//
+// Reported: observations usable by the attacker, remaining candidate-set
+// size (anonymity bits) after all 20 connections, and how often the
+// initiator is fully identified.
+#include "common.hpp"
+
+#include "attack/intersection.hpp"
+#include "core/edge_quality.hpp"
+#include "core/incentive.hpp"
+#include "net/probing.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace p2panon;
+
+struct AttackOutcome {
+  double observations = 0.0;
+  double remaining_candidates = 0.0;
+  double entropy_bits = 0.0;
+  bool identified = false;
+};
+
+AttackOutcome run_attack(core::StrategyKind kind, std::uint64_t seed) {
+  sim::rng::Stream root(seed);
+  sim::Simulator simulator;
+
+  net::OverlayConfig ocfg;
+  ocfg.node_count = 40;
+  ocfg.degree = 5;
+  ocfg.malicious_fraction = 0.2;
+  // Moderate churn so that online-set snapshots are informative.
+  ocfg.churn.session_median = sim::minutes(60.0);
+  net::Overlay overlay(ocfg, simulator, root.child("overlay"));
+  net::ProbingEstimator probing(overlay, net::ProbingConfig{}, root.child("probing"));
+  core::HistoryStore history(overlay.size());
+  core::EdgeQualityEvaluator quality(probing, history, core::QualityWeights{});
+  core::PathBuilder builder(overlay, quality);
+  core::PayoffLedger ledger(overlay.size());
+
+  const auto strategy = core::make_strategy(kind);
+  core::StrategyAssignment strategies(overlay, *strategy);
+
+  const net::NodeId initiator = 0;
+  const net::NodeId responder = 39;
+  core::Contract contract;
+  core::ConnectionSetSession session(0, initiator, responder, contract);
+
+  overlay.start();
+  simulator.run_until(sim::minutes(60.0));  // warmup
+
+  attack::OnlineSetIntersection observer(overlay.size());
+  auto run_stream = root.child("run");
+  auto gap_stream = root.child("gaps");
+
+  std::size_t known_forwarders = 0;
+  for (std::uint32_t k = 0; k < 20; ++k) {
+    simulator.run_until(simulator.now() + gap_stream.exponential(1.0 / sim::minutes(5.0)));
+    overlay.force_online(initiator);
+    overlay.force_online(responder);
+    session.run_connection(builder, history, strategies, ledger, overlay, run_stream);
+    if (session.forwarder_set().size() > known_forwarders) {
+      // A fresh forwarder position appeared: the passive logger gets one
+      // observation of who is online right now.
+      known_forwarders = session.forwarder_set().size();
+      observer.observe(overlay.online_nodes());
+    }
+  }
+
+  AttackOutcome out;
+  out.observations = static_cast<double>(observer.observations());
+  out.remaining_candidates = static_cast<double>(observer.candidate_count());
+  out.entropy_bits = observer.entropy_bits();
+  out.identified = observer.identified(initiator);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace p2panon;
+  using namespace p2panon::bench;
+
+  const std::size_t replicates = std::max<std::size_t>(replicate_count() * 4, 16);
+  harness::print_banner(std::cout, "Attack: intersection",
+                        "Passive-logging intersection attack on one recurring connection "
+                        "(observations only at visible path reformations; " +
+                            std::to_string(replicates) + " replicates)");
+
+  harness::TextTable table({"strategy", "avg observations", "avg candidates left",
+                            "avg anonymity (bits)", "identified (%)"});
+  for (auto kind : {core::StrategyKind::kRandom, core::StrategyKind::kUtilityModelI,
+                    core::StrategyKind::kUtilityModelII}) {
+    metrics::Accumulator obs, cand, bits;
+    std::size_t identified = 0;
+    for (std::size_t r = 0; r < replicates; ++r) {
+      const AttackOutcome out = run_attack(kind, base_seed() + r);
+      obs.add(out.observations);
+      cand.add(out.remaining_candidates);
+      bits.add(out.entropy_bits);
+      identified += out.identified ? 1 : 0;
+    }
+    table.add_row({std::string(core::strategy_name(kind)), harness::fmt(obs.mean()),
+                   harness::fmt(cand.mean()), harness::fmt(bits.mean()),
+                   harness::fmt(100.0 * static_cast<double>(identified) /
+                                    static_cast<double>(replicates),
+                                1)});
+  }
+  emit(table, "attack_intersection");
+  std::cout << "\nReading: utility routing re-forms paths far less often, so the "
+               "intersection attacker gets fewer snapshots and the initiator retains "
+               "more anonymity bits — the paper's motivation for minimising ||pi|| "
+               "and reformations.\n";
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Attack bench: end-to-end traffic analysis (paper §5 threat (2)) and the
+// connection-id linkage threat (§5 threat (3)).
+//
+// End-to-end compromise requires adversaries at both the first and last hop
+// of a path. Under uniform selection the rate is ~(f)^2; utility routing
+// changes it by skewing selection toward high-quality (mostly stable,
+// mostly honest-behaving) forwarders. The linkage statistic counts how many
+// of a pair's connections a malicious coalition can tie together via the
+// cid in its history.
+#include "common.hpp"
+
+#include "attack/traffic_analysis.hpp"
+#include "core/edge_quality.hpp"
+#include "core/incentive.hpp"
+#include "net/probing.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace p2panon;
+
+struct Outcome {
+  double e2e_rate = 0.0;
+  double baseline = 0.0;
+  double largest_profile = 0.0;
+};
+
+Outcome run_attack(core::StrategyKind kind, double f, std::uint64_t seed) {
+  sim::rng::Stream root(seed);
+  sim::Simulator simulator;
+  net::OverlayConfig cfg;
+  cfg.node_count = 40;
+  cfg.degree = 5;
+  cfg.malicious_fraction = f;
+  net::Overlay overlay(cfg, simulator, root.child("overlay"));
+  net::ProbingEstimator probing(overlay, net::ProbingConfig{}, root.child("probing"));
+  core::HistoryStore history(overlay.size());
+  core::EdgeQualityEvaluator quality(probing, history, core::QualityWeights{});
+  core::PathBuilder builder(overlay, quality);
+  core::PayoffLedger ledger(overlay.size());
+  const auto strategy = core::make_strategy(kind);
+  core::StrategyAssignment assign(overlay, *strategy);
+
+  std::vector<bool> compromised(overlay.size(), false);
+  for (net::NodeId id : overlay.malicious_nodes()) compromised[id] = true;
+  attack::TrafficAnalysis analysis(compromised);
+
+  overlay.start();
+  simulator.run_until(sim::minutes(60.0));
+
+  auto pair_stream = root.child("pairs");
+  auto run_stream = root.child("run");
+  for (net::PairId pid = 0; pid < 30; ++pid) {
+    const auto initiator = static_cast<net::NodeId>(pair_stream.below(overlay.size()));
+    net::NodeId responder = initiator;
+    while (responder == initiator) {
+      responder = static_cast<net::NodeId>(pair_stream.below(overlay.size()));
+    }
+    core::ConnectionSetSession session(pid, initiator, responder, core::Contract{});
+    auto stream = run_stream.child("pair", pid);
+    for (std::uint32_t k = 0; k < 20; ++k) {
+      simulator.run_until(simulator.now() + sim::minutes(1.0));
+      overlay.force_online(initiator);
+      overlay.force_online(responder);
+      const core::BuiltPath& p =
+          session.run_connection(builder, history, assign, ledger, overlay, stream);
+      analysis.observe_path(pid, p.nodes);
+    }
+  }
+  return Outcome{analysis.end_to_end_rate(), analysis.uniform_baseline(),
+                 static_cast<double>(analysis.largest_linked_profile())};
+}
+
+}  // namespace
+
+int main() {
+  using namespace p2panon;
+  using namespace p2panon::bench;
+
+  const std::size_t replicates = replicate_count();
+  harness::print_banner(std::cout, "Attack: traffic analysis",
+                        "End-to-end correlation rate (both path ends compromised) and the "
+                        "largest cid-linked per-pair profile; 30 pairs x 20 connections (" +
+                            std::to_string(replicates) + " replicates)");
+
+  harness::TextTable table({"f", "strategy", "e2e rate", "uniform (f^2)",
+                            "largest linked profile (of 20)"});
+  for (double f : {0.1, 0.2, 0.3}) {
+    for (auto kind : {core::StrategyKind::kRandom, core::StrategyKind::kUtilityModelI}) {
+      metrics::Accumulator rate, profile;
+      double baseline = 0.0;
+      for (std::size_t r = 0; r < replicates; ++r) {
+        const Outcome out = run_attack(kind, f, base_seed() + r);
+        rate.add(out.e2e_rate);
+        profile.add(out.largest_profile);
+        baseline = out.baseline;
+      }
+      table.add_row({harness::fmt(f, 1), std::string(core::strategy_name(kind)),
+                     harness::fmt(rate.mean(), 3), harness::fmt(baseline, 3),
+                     harness::fmt(profile.mean(), 1)});
+    }
+  }
+  emit(table, "attack_traffic_analysis");
+  std::cout << "\nReading: both strategies exceed the f^2 baseline because "
+               "single-forwarder paths (probability 1-p_forward) make one node both "
+               "ends at once (rate ~ (1-p)f + p*f^2). Utility routing is *worse* here: "
+               "selection concentrates on a few favourites, and a malicious favourite "
+               "keeps entire connection sets end-to-end correlated and cid-linkable "
+               "(largest profile -> 20/20). This is the honest cost of stability that "
+               "the paper's §5 concedes and defers to implementation-level defenses "
+               "(cover traffic, cid rotation) in its technical report; the incentive "
+               "mechanism's win is against *intersection* attacks, not end-to-end "
+               "correlation by entrenched insiders.\n";
+  return 0;
+}

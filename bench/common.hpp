@@ -1,0 +1,70 @@
+// Shared setup for the experiment-reproduction benches.
+//
+// Every bench binary reproduces one table or figure of the paper (or an
+// ablation DESIGN.md calls out), using the paper's §3 parameters: N = 40,
+// d = 5, 100 (I, R) pairs, 20 connections per pair, P_f ~ U[50, 100],
+// w_s = w_a = 0.5, Pareto session times with median 60 min.
+//
+// Environment knobs:
+//   P2PANON_REPLICATES  number of Monte-Carlo replicates (default 8)
+//   P2PANON_SEED        base seed (default 1)
+//   P2PANON_THREADS     thread-pool size (default: hardware concurrency)
+//   P2PANON_CSV_DIR     if set, every printed table is also written there
+//                       as <name>.csv for external plotting
+#pragma once
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "harness/replicate.hpp"
+#include "harness/scenario.hpp"
+#include "harness/table.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace p2panon::bench {
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  const long parsed = std::strtol(v, nullptr, 10);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+inline std::size_t replicate_count() { return env_size("P2PANON_REPLICATES", 8); }
+inline std::uint64_t base_seed() { return env_size("P2PANON_SEED", 1); }
+
+inline parallel::ThreadPool& shared_pool() {
+  static parallel::ThreadPool pool(env_size("P2PANON_THREADS", 0));
+  return pool;
+}
+
+/// Paper-§3 configuration with the given malicious fraction, strategy, tau.
+inline harness::ScenarioConfig paper_config(double f, core::StrategyKind strategy,
+                                            double tau = 2.0) {
+  harness::ScenarioConfig cfg = harness::paper_default_config(base_seed());
+  cfg.overlay.malicious_fraction = f;
+  cfg.good_strategy = strategy;
+  cfg.tau = tau;
+  return cfg;
+}
+
+inline harness::ReplicatedResult run(const harness::ScenarioConfig& cfg) {
+  return harness::run_replicated(cfg, replicate_count(), &shared_pool());
+}
+
+/// Print the table to stdout and, when P2PANON_CSV_DIR is set, also write
+/// it to <dir>/<name>.csv.
+inline void emit(const harness::TextTable& table, const std::string& name) {
+  table.print(std::cout);
+  if (const char* dir = std::getenv("P2PANON_CSV_DIR")) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    std::ofstream out(std::filesystem::path(dir) / (name + ".csv"));
+    if (out) table.print_csv(out);
+  }
+}
+
+}  // namespace p2panon::bench

@@ -1,0 +1,4 @@
+// Figure 6: CDF of payoffs for good nodes when f = 0.1, by routing strategy.
+#include "payoff_cdf.hpp"
+
+int main() { return p2panon::bench::run_payoff_cdf("Figure 6", "fig6_payoff_cdf_f01", 0.1); }

@@ -1,0 +1,4 @@
+// Figure 7: CDF of payoffs for good nodes when f = 0.5, by routing strategy.
+#include "payoff_cdf.hpp"
+
+int main() { return p2panon::bench::run_payoff_cdf("Figure 7", "fig7_payoff_cdf_f05", 0.5); }

@@ -1,0 +1,127 @@
+// Scenario example: recurring anonymous web browsing under churn and attack.
+//
+// The paper's §2.1 motivation: HTTP-style applications make repeated
+// connections to the same responder, so the sequence of forwarding paths —
+// not one path — determines vulnerability to intersection attacks. This
+// example models a user browsing three "web sites" (responders) over a
+// simulated day while 30% of the overlay is adversarial, compares utility
+// routing against random routing, and runs the passive-logging intersection
+// attack against both.
+//
+//   ./anonymous_web_session [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "attack/intersection.hpp"
+#include "core/edge_quality.hpp"
+#include "core/incentive.hpp"
+#include "net/probing.hpp"
+#include "payment/settlement.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace p2panon;
+
+struct BrowseOutcome {
+  double forwarder_set = 0.0;   ///< mean ||pi|| over sites
+  double attacker_bits = 0.0;   ///< anonymity bits left vs the attacker
+  double payments = 0.0;        ///< total credits the user spent
+  std::uint64_t reformed = 0;   ///< drop-forced path reformations
+};
+
+BrowseOutcome browse(core::StrategyKind kind, std::uint64_t seed) {
+  sim::rng::Stream root(seed);
+  sim::Simulator simulator;
+
+  net::OverlayConfig ocfg;
+  ocfg.node_count = 40;
+  ocfg.degree = 5;
+  ocfg.malicious_fraction = 0.3;
+  net::Overlay overlay(ocfg, simulator, root.child("overlay"));
+  net::ProbingEstimator probing(overlay, net::ProbingConfig{}, root.child("probing"));
+  core::HistoryStore history(overlay.size());
+  core::EdgeQualityEvaluator quality(probing, history, core::QualityWeights{});
+  core::PathBuilder builder(overlay, quality);
+  core::PayoffLedger ledger(overlay.size());
+
+  payment::Bank bank(root.child("bank"));
+  payment::SettlementEngine engine(bank);
+  auto keys = root.child("keys");
+  for (net::NodeId id = 0; id < overlay.size(); ++id) {
+    bank.open_account(id, payment::from_credits(1.0e6), keys.next_u64());
+  }
+
+  const auto strategy = core::make_strategy(kind);
+  core::StrategyAssignment strategies(overlay, *strategy);
+
+  overlay.start();
+  simulator.run_until(sim::hours(1.0));
+
+  const net::NodeId user = 7;
+  const net::NodeId sites[] = {20, 31, 38};  // three responders
+
+  // Adversaries occasionally drop payloads, forcing path reformations —
+  // exactly the event an intersection attacker exploits.
+  core::AdversaryModel adversary;
+  adversary.drop_probability = 0.1;
+
+  attack::OnlineSetIntersection observer(overlay.size());
+  BrowseOutcome out;
+  auto run_stream = root.child("browse");
+  auto settle_stream = root.child("settle");
+
+  for (std::size_t s = 0; s < 3; ++s) {
+    core::Contract contract;
+    contract.forwarding_benefit = root.child("pf", s).uniform(50.0, 100.0);
+    contract.tau = 2.0;
+    core::ConnectionSetSession session(static_cast<net::PairId>(s), user, sites[s], contract);
+
+    std::size_t known = 0;
+    for (std::uint32_t k = 0; k < 20; ++k) {
+      simulator.run_until(simulator.now() + sim::minutes(3.0));
+      overlay.force_online(user);
+      overlay.force_online(sites[s]);
+      session.run_connection(builder, history, strategies, ledger, overlay,
+                             run_stream, adversary);
+      if (session.forwarder_set().size() > known) {
+        known = session.forwarder_set().size();
+        observer.observe(overlay.online_nodes());
+      }
+    }
+    const core::SettleOutcome settled =
+        session.settle(bank, engine, ledger, overlay, settle_stream);
+    out.forwarder_set += static_cast<double>(settled.forwarder_set_size) / 3.0;
+    out.payments += settled.initiator_spend;
+    out.reformed += session.reformations();
+  }
+  out.attacker_bits = observer.entropy_bits();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+
+  std::cout << "Recurring anonymous web sessions: one user, three sites, 20 requests\n"
+               "each, 30% adversarial overlay, 10% payload-drop attack.\n\n";
+
+  const BrowseOutcome random_out = browse(p2panon::core::StrategyKind::kRandom, seed);
+  const BrowseOutcome utility_out = browse(p2panon::core::StrategyKind::kUtilityModelI, seed);
+
+  auto report = [](const char* name, const BrowseOutcome& o) {
+    std::cout << name << ":\n"
+              << "  mean forwarder set ||pi||  : " << o.forwarder_set << '\n'
+              << "  drop-forced reformations   : " << o.reformed << '\n'
+              << "  anonymity vs intersection  : " << o.attacker_bits << " bits\n"
+              << "  total credits spent        : " << o.payments << "\n\n";
+  };
+  report("random routing (baseline)", random_out);
+  report("utility model I (incentive-aligned)", utility_out);
+
+  std::cout << "Takeaway: the incentive mechanism shrinks the forwarder set and the\n"
+               "attacker's observation count while the user pays proportionally less\n"
+               "(fewer forwarders to pay P_r shares to, fewer wasted instances).\n";
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Game-theory example: the paper's §2.4 analysis, executable.
+//
+// 1. Checks Propositions 2 and 3 on the paper's own parameters.
+// 2. Solves the L-stage path-formation game of Utility Model II by backward
+//    induction on a small overlay and verifies subgame perfection.
+// 3. Builds the forwarding meta-game ({Abstain, Random, NonRandom} per peer)
+//    and shows best-response dynamics converging to the all-NonRandom Nash
+//    equilibrium the incentive mechanism is designed to induce.
+//
+//   ./game_analysis
+#include <iostream>
+
+#include "core/game.hpp"
+
+int main() {
+  using namespace p2panon;
+  using namespace p2panon::core::game;
+
+  // ------------------------------------------------------------------ 1.
+  std::cout << "== Propositions 2 and 3 (paper parameters) ==\n";
+  const double c_p = 10.0, c_t = 1.0, L = 4.0;
+  const std::size_t N = 40, k = 20;
+  const double threshold = prop2_participation_threshold(c_p, c_t, N, L, k);
+  std::cout << "Prop 2: participation threshold P_f > C_p*N/(L*k) + C_t = " << threshold
+            << "\n        paper draws P_f from U[50, 100]  ->  participation induced: "
+            << (prop2_induces_participation(50.0, c_p, c_t, N, L, k) ? "yes" : "no") << '\n';
+  std::cout << "Prop 3: forwarding dominant iff P_f > C_p + C_t = " << (c_p + c_t)
+            << "\n        P_f = 50 dominant: " << (prop3_forwarding_dominant(50.0, c_p, c_t) ? "yes" : "no")
+            << "; P_f = 9 dominant: " << (prop3_forwarding_dominant(9.0, c_p, c_t) ? "yes" : "no")
+            << "\n\n";
+
+  // ------------------------------------------------------------------ 2.
+  std::cout << "== SPNE of the L-stage path game (Utility Model II) ==\n";
+  // A 6-node world: responder 5; a "good spine" 0-1-2-5 with high-quality
+  // forward edges and some noisy side edges.
+  PathGameSpec spec;
+  spec.node_count = 6;
+  spec.responder = 5;
+  spec.candidates = [](net::NodeId v) -> std::vector<net::NodeId> {
+    switch (v) {
+      case 0: return {1, 3};
+      case 1: return {2, 4};
+      case 2: return {1, 3};
+      case 3: return {4};
+      case 4: return {3};
+      default: return {};
+    }
+  };
+  spec.edge_quality = [](net::NodeId i, net::NodeId j) {
+    // Spine edges 0->1->2 are strong; side edges weak; back edges worthless.
+    if (j <= i) return 0.0;
+    if ((i == 0 && j == 1) || (i == 1 && j == 2)) return 0.9;
+    return 0.2;
+  };
+  spec.forwarding_benefit = 75.0;
+  spec.routing_benefit = 150.0;
+  spec.cost = [](net::NodeId, net::NodeId) { return 11.0; };
+
+  BackwardInductionSolver solver(spec, /*stages=*/3);
+  std::cout << "subgame perfection verified: "
+            << (solver.verify_subgame_perfection() ? "yes" : "NO") << '\n';
+  const auto path = solver.equilibrium_path(0);
+  std::cout << "equilibrium path from node 0:";
+  for (net::NodeId v : path) std::cout << ' ' << v;
+  std::cout << "\nper-stage decisions for node 0:\n";
+  for (std::uint32_t s = 0; s <= 3; ++s) {
+    const StageDecision& d = solver.decision(0, s);
+    std::cout << "  stages left " << s << ": forward to " << d.next
+              << " (onward path quality " << d.onward_quality << ", utility " << d.utility
+              << ")\n";
+  }
+  std::cout << '\n';
+
+  // ------------------------------------------------------------------ 3.
+  std::cout << "== Forwarding meta-game: {Abstain, Random, NonRandom} per peer ==\n";
+  MetaGameParams params;  // paper-flavoured defaults: N=40, L=4, k=20, P_f=75
+  const NormalFormGame game = make_forwarding_metagame(params);
+
+  const NormalFormGame::Profile all_abstain(params.players,
+                                            static_cast<std::size_t>(MetaAction::kAbstain));
+  auto fixed = game.best_response_dynamics(all_abstain);
+  std::cout << "best-response dynamics from all-Abstain converged: "
+            << (fixed.has_value() ? "yes" : "no") << '\n';
+  if (fixed) {
+    std::cout << "fixed point:";
+    static const char* names[] = {"Abstain", "Random", "NonRandom"};
+    for (std::size_t a : *fixed) std::cout << ' ' << names[a];
+    std::cout << "\nis Nash equilibrium: " << (game.is_nash(*fixed) ? "yes" : "NO") << '\n';
+  }
+
+  const auto equilibria = game.pure_nash_equilibria();
+  std::cout << "pure Nash equilibria found by enumeration: " << equilibria.size() << '\n';
+
+  NormalFormGame::Profile deviation(params.players,
+                                    static_cast<std::size_t>(MetaAction::kNonRandom));
+  const double aligned = game.payoff(0, deviation);
+  deviation[0] = static_cast<std::size_t>(MetaAction::kRandom);
+  const double random_dev = game.payoff(0, deviation);
+  deviation[0] = static_cast<std::size_t>(MetaAction::kAbstain);
+  const double abstain_dev = game.payoff(0, deviation);
+  std::cout << "payoff of peer 0 when all play NonRandom: " << aligned
+            << "\n  ... after unilateral switch to Random: " << random_dev
+            << "\n  ... after unilateral switch to Abstain: " << abstain_dev
+            << "\nconclusion: aligned non-random forwarding is self-enforcing.\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "attack/intersection.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p2panon::attack {
+
+OnlineSetIntersection::OnlineSetIntersection(std::size_t candidate_count)
+    : candidate_(candidate_count, true), remaining_(candidate_count) {}
+
+std::size_t OnlineSetIntersection::observe(std::span<const net::NodeId> online_nodes) {
+  ++observations_;
+  std::vector<bool> online(candidate_.size(), false);
+  for (net::NodeId id : online_nodes) {
+    if (id < online.size()) online[id] = true;
+  }
+  std::size_t eliminated = 0;
+  for (std::size_t id = 0; id < candidate_.size(); ++id) {
+    if (candidate_[id] && !online[id]) {
+      candidate_[id] = false;
+      --remaining_;
+      ++eliminated;
+    }
+  }
+  return eliminated;
+}
+
+bool OnlineSetIntersection::identified(net::NodeId target) const {
+  return remaining_ == 1 && candidate_.at(target);
+}
+
+double OnlineSetIntersection::entropy_bits() const noexcept {
+  return remaining_ > 0 ? std::log2(static_cast<double>(remaining_)) : 0.0;
+}
+
+net::NodeId PredecessorAttack::top_candidate() const noexcept {
+  if (observations_ == 0) return net::kInvalidNode;
+  net::NodeId best = net::kInvalidNode;
+  std::uint64_t best_count = 0;
+  for (net::NodeId id = 0; id < counts_.size(); ++id) {
+    if (counts_[id] > best_count) {
+      best_count = counts_[id];
+      best = id;
+    }
+  }
+  return best;
+}
+
+double PredecessorAttack::top_candidate_share() const noexcept {
+  if (observations_ == 0) return 0.0;
+  std::uint64_t best = 0;
+  for (std::uint64_t c : counts_) best = std::max(best, c);
+  return static_cast<double>(best) / static_cast<double>(observations_);
+}
+
+double PredecessorAttack::degree_of_anonymity() const {
+  std::vector<double> probs;
+  probs.reserve(counts_.size());
+  for (std::uint64_t c : counts_) probs.push_back(static_cast<double>(c));
+  return metrics::degree_of_anonymity(probs);
+}
+
+}  // namespace p2panon::attack

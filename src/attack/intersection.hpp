@@ -1,0 +1,88 @@
+// Passive-logging attacks on initiator anonymity (paper §1, §2.1; Wright et
+// al.). These are the attacks the incentive mechanism is designed to blunt:
+// fewer path reformations and a smaller, stabler forwarder set give the
+// attacker fewer useful observations.
+//
+// Two attacker models:
+//
+//  * OnlineSetIntersection — a passive observer who, at every path
+//    (re)formation for a target recurring connection, snapshots the set of
+//    online nodes. The initiator must be online whenever a connection runs,
+//    so intersecting the snapshots monotonically shrinks the candidate set.
+//
+//  * PredecessorAttack — compromised forwarders log their predecessor every
+//    time they occupy the first-hop position of the target connection. Over
+//    many reformations the true initiator is logged most often (it precedes
+//    the first hop on *every* path), while other nodes only appear when they
+//    happen to be forwarders.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "metrics/anonymity.hpp"
+#include "net/ids.hpp"
+
+namespace p2panon::attack {
+
+class OnlineSetIntersection {
+ public:
+  /// All `candidate_count` node ids start as initiator candidates.
+  explicit OnlineSetIntersection(std::size_t candidate_count);
+
+  /// Observe the online-node set at a (re)formation instant. Candidates not
+  /// present are eliminated. Returns the number eliminated by this
+  /// observation.
+  std::size_t observe(std::span<const net::NodeId> online_nodes);
+
+  [[nodiscard]] std::size_t candidate_count() const noexcept { return remaining_; }
+  [[nodiscard]] bool is_candidate(net::NodeId id) const { return candidate_.at(id); }
+
+  /// The attack succeeded iff the candidate set collapsed to exactly the
+  /// target.
+  [[nodiscard]] bool identified(net::NodeId target) const;
+
+  /// Anonymity remaining: log2(candidate set size) bits (uniform attacker
+  /// belief over the candidates).
+  [[nodiscard]] double entropy_bits() const noexcept;
+
+  [[nodiscard]] std::size_t observations() const noexcept { return observations_; }
+
+ private:
+  std::vector<bool> candidate_;
+  std::size_t remaining_;
+  std::size_t observations_ = 0;
+};
+
+class PredecessorAttack {
+ public:
+  explicit PredecessorAttack(std::size_t node_count) : counts_(node_count, 0) {}
+
+  /// A compromised first-hop forwarder logs its predecessor.
+  void log_predecessor(net::NodeId predecessor) {
+    ++counts_.at(predecessor);
+    ++observations_;
+  }
+
+  [[nodiscard]] std::size_t observations() const noexcept { return observations_; }
+  [[nodiscard]] std::uint64_t count(net::NodeId id) const { return counts_.at(id); }
+
+  /// Current best guess: the most-logged predecessor (lowest id wins ties);
+  /// kInvalidNode before any observation.
+  [[nodiscard]] net::NodeId top_candidate() const noexcept;
+
+  /// Attacker confidence: empirical probability mass of the top candidate.
+  [[nodiscard]] double top_candidate_share() const noexcept;
+
+  /// Degree of anonymity of the attacker's empirical distribution
+  /// (Diaz et al.: H / H_max); 1 = fully anonymous, 0 = identified.
+  [[nodiscard]] double degree_of_anonymity() const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::size_t observations_ = 0;
+};
+
+}  // namespace p2panon::attack

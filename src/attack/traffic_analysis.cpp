@@ -1,0 +1,42 @@
+#include "attack/traffic_analysis.hpp"
+
+#include <algorithm>
+
+namespace p2panon::attack {
+
+void TrafficAnalysis::observe_path(net::PairId pair, std::span<const net::NodeId> path) {
+  ++paths_;
+  if (path.size() < 3) return;  // no forwarders: nothing to compromise
+
+  const bool first_bad = compromised(path[1]);
+  const bool last_bad = compromised(path[path.size() - 2]);
+  if (first_bad) ++first_;
+  if (last_bad) ++last_;
+  if (first_bad && last_bad) ++both_;
+
+  for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+    if (compromised(path[i])) {
+      ++linked_observations_[pair];
+      break;  // one linkage per connection
+    }
+  }
+}
+
+double TrafficAnalysis::uniform_baseline() const noexcept {
+  std::size_t c = 0;
+  for (bool b : compromised_) c += b ? 1 : 0;
+  if (compromised_.empty()) return 0.0;
+  const double frac = static_cast<double>(c) / static_cast<double>(compromised_.size());
+  return frac * frac;
+}
+
+std::size_t TrafficAnalysis::largest_linked_profile() const {
+  std::size_t best = 0;
+  for (const auto& [pair, count] : linked_observations_) {
+    (void)pair;
+    best = std::max(best, count);
+  }
+  return best;
+}
+
+}  // namespace p2panon::attack

@@ -1,0 +1,81 @@
+// End-to-end traffic-analysis attack (paper §5 threat (2)).
+//
+// Classic timing-correlation model: a connection is fully compromised when
+// BOTH its first forwarder (who sees the initiator as predecessor) and its
+// last forwarder (who sees the responder as successor) are adversarial —
+// the two observation points suffice to correlate the flow end to end. For
+// c compromised nodes out of n, the per-path compromise probability under
+// uniform selection is approximately (c/n)^2; incentive routing changes it
+// by skewing who gets selected.
+//
+// The analyzer also keeps the Crowds-style first-hop statistic used by the
+// predecessor attack (attack/intersection.hpp) and per-connection linkage
+// via the connection-set id — the paper's §5 threat (3): a malicious
+// forwarder can use the cid in its history to link the connections of one
+// recurring set it serves.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/ids.hpp"
+
+namespace p2panon::attack {
+
+class TrafficAnalysis {
+ public:
+  /// `is_compromised[id]` marks adversarial nodes.
+  explicit TrafficAnalysis(std::vector<bool> is_compromised)
+      : compromised_(std::move(is_compromised)) {}
+
+  /// Observe one completed path (full node sequence initiator..responder)
+  /// belonging to connection-set `pair`.
+  void observe_path(net::PairId pair, std::span<const net::NodeId> path);
+
+  [[nodiscard]] std::uint64_t paths_observed() const noexcept { return paths_; }
+
+  /// Connections whose first forwarder was compromised (initiator exposure
+  /// opportunities — the predecessor-attack feed).
+  [[nodiscard]] std::uint64_t first_hop_compromised() const noexcept { return first_; }
+
+  /// Connections whose last forwarder was compromised (responder linkage).
+  [[nodiscard]] std::uint64_t last_hop_compromised() const noexcept { return last_; }
+
+  /// Connections with both ends compromised: fully correlated end-to-end.
+  [[nodiscard]] std::uint64_t end_to_end_compromised() const noexcept { return both_; }
+
+  [[nodiscard]] double end_to_end_rate() const noexcept {
+    return paths_ > 0 ? static_cast<double>(both_) / static_cast<double>(paths_) : 0.0;
+  }
+
+  /// Analytic uniform-selection baseline (c/n)^2 for comparison.
+  [[nodiscard]] double uniform_baseline() const noexcept;
+
+  /// §5 threat (3): number of (pair, connection) observations a malicious
+  /// coalition can LINK into per-pair profiles via the cid its members saw.
+  /// Returns the size of the largest linked profile.
+  [[nodiscard]] std::size_t largest_linked_profile() const;
+
+  /// Pairs for which at least one connection passed a compromised node.
+  [[nodiscard]] std::size_t pairs_touched() const noexcept {
+    return linked_observations_.size();
+  }
+
+ private:
+  [[nodiscard]] bool compromised(net::NodeId id) const {
+    return id < compromised_.size() && compromised_[id];
+  }
+
+  std::vector<bool> compromised_;
+  std::uint64_t paths_ = 0;
+  std::uint64_t first_ = 0;
+  std::uint64_t last_ = 0;
+  std::uint64_t both_ = 0;
+  /// pair -> count of connections observed by >= 1 compromised forwarder.
+  std::unordered_map<net::PairId, std::size_t> linked_observations_;
+};
+
+}  // namespace p2panon::attack

@@ -1,0 +1,147 @@
+#include "core/async_path.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace p2panon::core {
+
+struct AsyncConnectionRunner::Pending {
+  net::PairId pair;
+  std::uint32_t conn_index;
+  net::NodeId initiator;
+  net::NodeId responder;
+  Contract contract;
+  const StrategyAssignment* strategies = nullptr;
+  sim::rng::Stream stream{0};
+  Callback on_done;
+
+  sim::Time started = 0.0;
+  std::uint32_t attempts = 0;
+  bool finished = false;
+
+  // Per-attempt state.
+  BuiltPath partial;
+  sim::rng::Stream coin_stream{0};
+  sim::rng::Stream pick_stream{0};
+};
+
+void AsyncConnectionRunner::establish(net::PairId pair, std::uint32_t conn_index,
+                                      net::NodeId initiator, net::NodeId responder,
+                                      const Contract& contract,
+                                      const StrategyAssignment& strategies,
+                                      const sim::rng::Stream& stream, Callback on_done) {
+  assert(initiator != responder);
+  assert(on_done);
+  auto p = std::make_shared<Pending>();
+  p->pair = pair;
+  p->conn_index = conn_index;
+  p->initiator = initiator;
+  p->responder = responder;
+  p->contract = contract;
+  p->strategies = &strategies;
+  p->stream = stream;
+  p->on_done = std::move(on_done);
+  p->started = sim_.now();
+  start_attempt(std::move(p));
+}
+
+void AsyncConnectionRunner::start_attempt(std::shared_ptr<Pending> p) {
+  if (p->finished) return;
+  if (p->attempts >= cfg_.max_attempts) {
+    p->finished = true;
+    AsyncResult result;
+    result.established = false;
+    result.attempts = p->attempts;
+    result.setup_time = sim_.now() - p->started;
+    p->on_done(result);
+    return;
+  }
+  ++p->attempts;
+  p->partial = BuiltPath{};
+  p->partial.nodes.push_back(p->initiator);
+  p->coin_stream = p->stream.child("termination", (static_cast<std::uint64_t>(p->conn_index)
+                                                   << 16) |
+                                                      p->attempts);
+  p->pick_stream = p->stream.child("picks", (static_cast<std::uint64_t>(p->conn_index) << 16) |
+                                                p->attempts);
+  hop_arrived(std::move(p), /*holder=*/net::kInvalidNode, net::kInvalidNode, 0);
+}
+
+void AsyncConnectionRunner::hop_arrived(std::shared_ptr<Pending> p, net::NodeId holder,
+                                        net::NodeId pred, std::uint32_t forwarders) {
+  if (p->finished) return;
+  const bool first_hop = holder == net::kInvalidNode;
+  if (first_hop) {
+    holder = p->initiator;
+  } else {
+    // The payload just reached `holder`; if it left while the message was in
+    // flight, the attempt is dead.
+    if (!overlay_.is_online(holder)) {
+      fail_attempt(std::move(p));
+      return;
+    }
+  }
+
+  RoutingContext ctx{overlay_, builder_.quality_evaluator(), p->contract, p->pair,
+                     p->conn_index, p->responder};
+  const PathBuilder::HopOutcome hop = builder_.next_hop(
+      ctx, holder, pred, first_hop, forwarders, *p->strategies, p->coin_stream,
+      p->pick_stream);
+  p->partial.declined += hop.declined;
+  p->partial.edge_qualities.push_back(hop.edge_quality);
+  p->partial.nodes.push_back(hop.next);
+
+  const sim::Time flight = overlay_.links().transfer_time(holder, hop.next);
+  if (hop.delivered) {
+    // Payload reaches the responder after `flight`; the confirmation then
+    // retraces the path in reverse.
+    const std::size_t responder_index = p->partial.nodes.size() - 1;
+    sim_.schedule_in(flight, [this, p = std::move(p), responder_index]() mutable {
+      confirm_step(std::move(p), responder_index);
+    });
+    return;
+  }
+  const auto next_forwarders = forwarders + 1;
+  sim_.schedule_in(flight, [this, p = std::move(p), holder, next = hop.next,
+                            next_forwarders]() mutable {
+    hop_arrived(std::move(p), next, holder, next_forwarders);
+  });
+}
+
+void AsyncConnectionRunner::confirm_step(std::shared_ptr<Pending> p,
+                                         std::size_t reverse_index) {
+  if (!p || p->finished) return;
+  // The confirmation currently sits at nodes[reverse_index]; index 0 is the
+  // initiator — arrival there completes the connection.
+  if (reverse_index == 0) {
+    p->finished = true;
+    AsyncResult result;
+    result.established = true;
+    result.path = p->partial;
+    result.attempts = p->attempts;
+    result.setup_time = sim_.now() - p->started;
+    p->on_done(result);
+    return;
+  }
+  const net::NodeId at = p->partial.nodes[reverse_index];
+  // Endpoints are active by assumption; intermediate forwarders must still
+  // be online to relay the confirmation.
+  const bool intermediate = reverse_index + 1 < p->partial.nodes.size();
+  if (intermediate && !overlay_.is_online(at)) {
+    fail_attempt(std::move(p));
+    return;
+  }
+  const net::NodeId towards = p->partial.nodes[reverse_index - 1];
+  const sim::Time flight = overlay_.links().transfer_time(at, towards);
+  sim_.schedule_in(flight, [this, p = std::move(p), reverse_index]() mutable {
+    confirm_step(std::move(p), reverse_index - 1);
+  });
+}
+
+void AsyncConnectionRunner::fail_attempt(std::shared_ptr<Pending> p) {
+  if (p->finished) return;
+  sim_.schedule_in(cfg_.retry_backoff,
+                   [this, p = std::move(p)]() mutable { start_attempt(std::move(p)); });
+}
+
+}  // namespace p2panon::core

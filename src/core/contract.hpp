@@ -1,0 +1,66 @@
+// Forwarding contracts (paper §2.2).
+//
+// When an initiator opens a recurring connection set pi to a responder it
+// commits to pay every forwarder P_f per forwarding instance (the
+// *forwarding benefit*, inducing availability) plus a total P_r shared by
+// the forwarder set (the *routing benefit*, inducing routing decisions that
+// minimise ||pi||). The contract — just (P_f, P_r) — propagates hop by hop,
+// so forwarders can evaluate their utility without learning the initiator.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace p2panon::core {
+
+/// How a path decides to stop growing and deliver to the responder. The
+/// paper notes both Crowds-like probabilistic forwarding and hop-distance
+/// based forwarding apply to the model (§2.2).
+enum class TerminationPolicy {
+  kCrowds,    ///< at each hop, forward with probability p_forward else deliver
+  kHopCount,  ///< forward until ttl_hops forwarders are on the path
+};
+
+struct Contract {
+  double forwarding_benefit = 75.0;  ///< P_f, paper: U[50, 100]
+  double tau = 2.0;                  ///< P_r = tau * P_f, paper: {0.5, 1, 2, 4}
+
+  TerminationPolicy termination = TerminationPolicy::kCrowds;
+  double p_forward = 0.75;  ///< Crowds forwarding probability
+  std::uint32_t ttl_hops = 4;  ///< hop-distance bound when kHopCount
+
+  /// Connection-id rotation (defense against the paper's §5 attack (3):
+  /// a malicious forwarder linking a set's connections via the cid in its
+  /// history). Every `cid_rotation` connections the initiator switches to a
+  /// fresh pseudonymous cid: forwarders — and attackers — can only link
+  /// connections within one epoch, but history selectivity resets with the
+  /// cid, trading forwarder-set stability for linkage privacy
+  /// (bench/abl_cid_rotation quantifies the trade-off). 0 = never rotate.
+  std::uint32_t cid_rotation = 0;
+
+  [[nodiscard]] double routing_benefit() const noexcept { return tau * forwarding_benefit; }
+
+  /// Expected number of forwarders on one path. Crowds: the first hop is
+  /// unconditional and each subsequent forward happens with p_forward, so
+  /// the forwarder count is geometric with mean 1/(1-p).
+  [[nodiscard]] double expected_path_length() const noexcept {
+    return termination == TerminationPolicy::kCrowds ? 1.0 / (1.0 - p_forward)
+                                                     : static_cast<double>(ttl_hops);
+  }
+};
+
+/// Edge-quality weights (paper §2.3): q(s,v) = w_s * sigma(s,v) + w_a *
+/// alpha_s(v), with w_s + w_a = 1. Higher w_a favours stable (available)
+/// forwarders for future connections; higher w_s favours past history.
+struct QualityWeights {
+  double w_selectivity = 0.5;  ///< w_s (paper default 0.5)
+  double w_availability = 0.5; ///< w_a (paper default 0.5)
+
+  [[nodiscard]] bool valid() const noexcept {
+    return w_selectivity >= 0.0 && w_availability >= 0.0 &&
+           w_selectivity + w_availability > 0.999 && w_selectivity + w_availability < 1.001;
+  }
+};
+
+}  // namespace p2panon::core

@@ -1,0 +1,77 @@
+// Static-path Crowds sessions — the classic baseline system.
+//
+// In Crowds (Reiter & Rubin), the initiator forms ONE path per session and
+// reuses it for every subsequent request to the responder; the path only
+// re-forms when a member leaves ("reformation"). This is the system class
+// the paper's §1-2 is about: under churn, reformations are frequent, and
+// each reformation both enlarges the forwarder set Q and hands passive
+// attackers a fresh observation.
+//
+// This module implements that baseline faithfully so the incentive
+// mechanism can be compared against the *system* it improves, not just
+// against per-connection random routing:
+//
+//  * CrowdsSession holds the current static path for one (I, R) pair;
+//  * each connection reuses the path if every member is still online,
+//    otherwise the path re-forms from scratch (counted as a reformation);
+//  * path formation itself uses any RoutingStrategy (uniform-random for
+//    classic Crowds; a utility model to study "incentive + static paths").
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/incentive.hpp"
+#include "core/path.hpp"
+
+namespace p2panon::core {
+
+class CrowdsSession {
+ public:
+  CrowdsSession(net::PairId pair, net::NodeId initiator, net::NodeId responder,
+                Contract contract) noexcept
+      : pair_(pair), initiator_(initiator), responder_(responder), contract_(contract) {}
+
+  [[nodiscard]] net::PairId pair() const noexcept { return pair_; }
+  [[nodiscard]] net::NodeId initiator() const noexcept { return initiator_; }
+  [[nodiscard]] net::NodeId responder() const noexcept { return responder_; }
+
+  /// Run the next connection: reuse the current static path when all of its
+  /// forwarders are online, otherwise re-form it (a reformation). Records
+  /// history, charges costs, and updates the forwarder set exactly like
+  /// ConnectionSetSession does for per-connection routing.
+  const BuiltPath& run_connection(const PathBuilder& builder, HistoryStore& history,
+                                  const StrategyAssignment& strategies, PayoffLedger& ledger,
+                                  const net::Overlay& overlay, sim::rng::Stream& stream);
+
+  [[nodiscard]] std::uint32_t connections_run() const noexcept { return connections_; }
+  /// Reformations = path (re)formations beyond the first.
+  [[nodiscard]] std::uint32_t reformations() const noexcept {
+    return formations_ > 0 ? formations_ - 1 : 0;
+  }
+  [[nodiscard]] const std::unordered_set<net::NodeId>& forwarder_set() const noexcept {
+    return forwarder_set_;
+  }
+  [[nodiscard]] double average_path_length() const noexcept;
+  /// Q(pi) = L / ||pi||.
+  [[nodiscard]] double path_quality() const noexcept;
+  [[nodiscard]] const BuiltPath& current_path() const noexcept { return current_; }
+
+ private:
+  [[nodiscard]] bool path_alive(const net::Overlay& overlay) const;
+
+  net::PairId pair_;
+  net::NodeId initiator_;
+  net::NodeId responder_;
+  Contract contract_;
+
+  BuiltPath current_;
+  bool have_path_ = false;
+  std::uint32_t connections_ = 0;
+  std::uint32_t formations_ = 0;
+  std::size_t total_path_length_ = 0;
+  std::unordered_set<net::NodeId> forwarder_set_;
+};
+
+}  // namespace p2panon::core

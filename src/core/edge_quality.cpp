@@ -1,0 +1,22 @@
+#include "core/edge_quality.hpp"
+
+#include <cassert>
+
+namespace p2panon::core {
+
+double EdgeQualityEvaluator::path_quality(std::span<const net::NodeId> path, net::PairId pair,
+                                          std::uint32_t k) const {
+  assert(path.size() >= 2);
+  const net::NodeId responder = path.back();
+  double total = 0.0;
+  // Edges (path[i] -> path[i+1]) for i = 1..n-2 are forwarder decisions; the
+  // initiator's own first hop (i = 0) is included too — it is an edge of the
+  // path, with "no predecessor" encoded as kInvalidNode.
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const net::NodeId pred = i == 0 ? net::kInvalidNode : path[i - 1];
+    total += edge_quality(path[i], path[i + 1], responder, pair, pred, k);
+  }
+  return total;
+}
+
+}  // namespace p2panon::core

@@ -1,0 +1,51 @@
+// Edge-quality evaluation (paper §2.3).
+//
+//   q(s, v) = w_s * sigma(s, v) + w_a * alpha_s(v)
+//
+// where sigma is the history selectivity of the edge for the current
+// connection set and predecessor position, and alpha_s(v) is s's locally
+// probed availability estimate of v. The final edge into the responder
+// always has quality 1. Path quality is the sum of its edge qualities.
+#pragma once
+
+#include <span>
+
+#include "core/contract.hpp"
+#include "core/history.hpp"
+#include "net/ids.hpp"
+#include "net/probing.hpp"
+
+namespace p2panon::core {
+
+class EdgeQualityEvaluator {
+ public:
+  EdgeQualityEvaluator(const net::ProbingEstimator& probing, const HistoryStore& history,
+                       QualityWeights weights) noexcept
+      : probing_(probing), history_(history), weights_(weights) {}
+
+  [[nodiscard]] const QualityWeights& weights() const noexcept { return weights_; }
+
+  /// q(s, v) when s (whose current predecessor on the path is `predecessor`)
+  /// considers forwarding connection k of `pair` to v, with responder R.
+  [[nodiscard]] double edge_quality(net::NodeId s, net::NodeId v, net::NodeId responder,
+                                    net::PairId pair, net::NodeId predecessor,
+                                    std::uint32_t k) const {
+    if (v == responder) return 1.0;  // last edge always has quality 1
+    const double sigma = history_.at(s).selectivity(pair, predecessor, v, k);
+    const double alpha = probing_.availability(s, v);
+    return weights_.w_selectivity * sigma + weights_.w_availability * alpha;
+  }
+
+  /// Quality of a full path (node sequence initiator..responder): the sum of
+  /// the qualities of its edges, evaluated with each hop's actual
+  /// predecessor.
+  [[nodiscard]] double path_quality(std::span<const net::NodeId> path, net::PairId pair,
+                                    std::uint32_t k) const;
+
+ private:
+  const net::ProbingEstimator& probing_;
+  const HistoryStore& history_;
+  QualityWeights weights_;
+};
+
+}  // namespace p2panon::core

@@ -1,0 +1,293 @@
+#include "core/game.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace p2panon::core::game {
+
+double prop2_participation_threshold(double c_p, double c_t, std::size_t n,
+                                     double avg_path_length, std::size_t connections) noexcept {
+  assert(avg_path_length > 0.0 && connections > 0);
+  return c_p * static_cast<double>(n) /
+             (avg_path_length * static_cast<double>(connections)) +
+         c_t;
+}
+
+bool prop2_induces_participation(double p_f, double c_p, double c_t, std::size_t n,
+                                 double avg_path_length, std::size_t connections) noexcept {
+  return p_f > prop2_participation_threshold(c_p, c_t, n, avg_path_length, connections);
+}
+
+bool prop3_forwarding_dominant(double p_f, double c_p, double c_t) noexcept {
+  return p_f > c_p + c_t;
+}
+
+// ---------------------------------------------------------------------------
+// Backward induction.
+// ---------------------------------------------------------------------------
+
+BackwardInductionSolver::BackwardInductionSolver(const PathGameSpec& spec, std::uint32_t stages)
+    : spec_(spec), stages_(stages) {
+  assert(spec.node_count > 0 && spec.responder < spec.node_count);
+  assert(spec.candidates && spec.edge_quality && spec.cost);
+  table_.resize(stages_ + 1);
+  for (std::uint32_t s = 0; s <= stages_; ++s) {
+    table_[s].resize(spec_.node_count);
+    for (net::NodeId v = 0; v < spec_.node_count; ++v) {
+      table_[s][v] = compute_decision(v, s);
+    }
+  }
+}
+
+StageDecision BackwardInductionSolver::compute_decision(net::NodeId holder,
+                                                        std::uint32_t stages_left) const {
+  StageDecision best;
+  if (holder == spec_.responder) {
+    // The game is over; nothing onward.
+    best.next = spec_.responder;
+    return best;
+  }
+
+  auto utility_of = [&](double onward_q, net::NodeId succ) {
+    return spec_.forwarding_benefit + onward_q * spec_.routing_benefit -
+           spec_.cost(holder, succ);
+  };
+
+  // Delivering to the responder is always available: edge quality 1.
+  best.next = spec_.responder;
+  best.onward_quality = 1.0;
+  best.utility = utility_of(1.0, spec_.responder);
+
+  if (stages_left == 0) return best;  // forced delivery
+
+  for (net::NodeId j : spec_.candidates(holder)) {
+    assert(j < spec_.node_count);
+    if (j == holder || j == spec_.responder) continue;
+    const double q_ij = spec_.edge_quality(holder, j);
+    // Equilibrium continuation: j plays its own subgame decision with one
+    // fewer stage.
+    const double onward = q_ij + table_[stages_left - 1][j].onward_quality;
+    const double u = utility_of(onward, j);
+    // Strictly-better-wins: exact utility ties resolve to the earlier
+    // option (delivery first, then candidate order), which keeps paths
+    // short — consistent with the system objective of minimising ||pi||.
+    if (u > best.utility) {
+      best = StageDecision{j, onward, u};
+    }
+  }
+  return best;
+}
+
+const StageDecision& BackwardInductionSolver::decision(net::NodeId holder,
+                                                       std::uint32_t stages_left) const {
+  assert(stages_left <= stages_);
+  return table_.at(stages_left).at(holder);
+}
+
+bool BackwardInductionSolver::verify_subgame_perfection() const {
+  for (std::uint32_t s = 0; s <= stages_; ++s) {
+    for (net::NodeId v = 0; v < spec_.node_count; ++v) {
+      if (v == spec_.responder) continue;
+      const StageDecision& prescribed = table_[s][v];
+      // Re-derive the best utility over every available action using the
+      // prescribed continuation values; prescribed.utility must match it.
+      double best_u = spec_.forwarding_benefit + 1.0 * spec_.routing_benefit -
+                      spec_.cost(v, spec_.responder);
+      if (s > 0) {
+        for (net::NodeId j : spec_.candidates(v)) {
+          if (j == v || j == spec_.responder) continue;
+          const double onward = spec_.edge_quality(v, j) + table_[s - 1][j].onward_quality;
+          best_u = std::max(best_u, spec_.forwarding_benefit + onward * spec_.routing_benefit -
+                                        spec_.cost(v, j));
+        }
+      }
+      if (prescribed.utility + 1e-12 < best_u) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<net::NodeId> BackwardInductionSolver::equilibrium_path(net::NodeId start) const {
+  std::vector<net::NodeId> path{start};
+  net::NodeId holder = start;
+  std::uint32_t s = stages_;
+  while (holder != spec_.responder) {
+    const StageDecision& d = decision(holder, s);
+    path.push_back(d.next);
+    holder = d.next;
+    if (s > 0) --s;
+  }
+  return path;
+}
+
+// ---------------------------------------------------------------------------
+// Normal-form game.
+// ---------------------------------------------------------------------------
+
+NormalFormGame::NormalFormGame(std::vector<std::size_t> action_counts, PayoffFn payoff)
+    : action_counts_(std::move(action_counts)), payoff_(std::move(payoff)) {
+  assert(!action_counts_.empty());
+  for (std::size_t c : action_counts_) {
+    assert(c >= 1);
+    (void)c;
+  }
+  assert(payoff_);
+}
+
+double NormalFormGame::payoff(std::size_t player, const Profile& profile) const {
+  assert(player < player_count() && profile.size() == player_count());
+  return payoff_(player, profile);
+}
+
+bool NormalFormGame::is_best_response(std::size_t player, const Profile& profile) const {
+  const double current = payoff(player, profile);
+  Profile alt = profile;
+  for (std::size_t a = 0; a < action_counts_[player]; ++a) {
+    if (a == profile[player]) continue;
+    alt[player] = a;
+    if (payoff(player, alt) > current + 1e-12) return false;
+  }
+  return true;
+}
+
+bool NormalFormGame::is_nash(const Profile& profile) const {
+  for (std::size_t p = 0; p < player_count(); ++p) {
+    if (!is_best_response(p, profile)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Advance a mixed-radix counter; returns false on wraparound.
+bool next_profile(NormalFormGame::Profile& profile, const std::vector<std::size_t>& radices) {
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    if (++profile[i] < radices[i]) return true;
+    profile[i] = 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<NormalFormGame::Profile> NormalFormGame::pure_nash_equilibria(
+    std::size_t max_profiles) const {
+  std::size_t space = 1;
+  for (std::size_t c : action_counts_) {
+    if (space > max_profiles / c) {
+      throw std::length_error("NormalFormGame: profile space too large to enumerate");
+    }
+    space *= c;
+  }
+  std::vector<Profile> equilibria;
+  Profile profile(player_count(), 0);
+  do {
+    if (is_nash(profile)) equilibria.push_back(profile);
+  } while (next_profile(profile, action_counts_));
+  return equilibria;
+}
+
+std::optional<NormalFormGame::Profile> NormalFormGame::best_response_dynamics(
+    Profile start, std::size_t max_rounds) const {
+  assert(start.size() == player_count());
+  Profile profile = std::move(start);
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    bool changed = false;
+    for (std::size_t p = 0; p < player_count(); ++p) {
+      double best = payoff(p, profile);
+      std::size_t best_a = profile[p];
+      Profile alt = profile;
+      for (std::size_t a = 0; a < action_counts_[p]; ++a) {
+        alt[p] = a;
+        const double u = payoff(p, alt);
+        if (u > best + 1e-12) {
+          best = u;
+          best_a = a;
+        }
+      }
+      if (best_a != profile[p]) {
+        profile[p] = best_a;
+        changed = true;
+      }
+    }
+    if (!changed) return profile;
+  }
+  return std::nullopt;
+}
+
+bool NormalFormGame::is_dominant_action(std::size_t player, std::size_t action,
+                                        std::size_t max_profiles) const {
+  std::size_t space = 1;
+  for (std::size_t p = 0; p < player_count(); ++p) {
+    if (p == player) continue;
+    if (space > max_profiles / action_counts_[p]) {
+      throw std::length_error("NormalFormGame: profile space too large to enumerate");
+    }
+    space *= action_counts_[p];
+  }
+
+  Profile profile(player_count(), 0);
+  // Enumerate the other players' actions with a mixed-radix counter that
+  // skips `player` (whose entry is overwritten below anyway).
+  std::vector<std::size_t> radices = action_counts_;
+  radices[player] = 1;  // pin
+  do {
+    Profile candidate = profile;
+    candidate[player] = action;
+    if (!is_best_response(player, candidate)) return false;
+  } while (next_profile(profile, radices));
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Forwarding meta-game.
+// ---------------------------------------------------------------------------
+
+NormalFormGame make_forwarding_metagame(const MetaGameParams& params) {
+  assert(params.players >= 2);
+  auto payoff = [params](std::size_t player, const NormalFormGame::Profile& profile) -> double {
+    const auto action = static_cast<MetaAction>(profile[player]);
+    if (action == MetaAction::kAbstain) return 0.0;
+
+    double participants = 0.0;
+    double randoms = 0.0;
+    for (std::size_t a : profile) {
+      if (static_cast<MetaAction>(a) == MetaAction::kAbstain) continue;
+      participants += 1.0;
+      if (static_cast<MetaAction>(a) == MetaAction::kRandom) randoms += 1.0;
+    }
+    assert(participants >= 1.0);
+
+    // Forwarding work L*k splits evenly over participants.
+    const double m = params.avg_path_length * params.connections / participants;
+    const double forwarding_net = m * (params.p_f - params.c_t) - params.c_p;
+
+    // Forwarder-set inflation: all-non-random play keeps the set at the
+    // minimal stable size L; every random router drags it toward the whole
+    // participant pool.
+    const double frac_random = randoms / participants;
+    const double set_size =
+        std::min(participants,
+                 params.avg_path_length +
+                     frac_random * (std::min(params.total_nodes, participants) -
+                                    params.avg_path_length));
+
+    // Membership in the paid set is proportional to a selection weight that
+    // favours non-random routers (history selectivity keeps re-picking
+    // them). Normalised so expected membership sums to set_size.
+    const double own_weight =
+        action == MetaAction::kNonRandom ? 1.0 + params.selectivity_bonus : 1.0;
+    const double total_weight =
+        participants + params.selectivity_bonus * (participants - randoms);
+    const double membership = std::min(1.0, set_size * own_weight / total_weight);
+    const double routing_share = membership * params.p_r / std::max(1.0, set_size);
+
+    return forwarding_net + routing_share;
+  };
+
+  return NormalFormGame(std::vector<std::size_t>(params.players, 3), std::move(payoff));
+}
+
+}  // namespace p2panon::core::game

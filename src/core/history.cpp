@@ -1,0 +1,60 @@
+#include "core/history.hpp"
+
+#include <cassert>
+
+namespace p2panon::core {
+
+void HistoryProfile::record(const HistoryEntry& entry) {
+  if (capacity_ != 0 && entries_.size() == capacity_) {
+    const HistoryEntry& old = entries_.front();
+    auto it = counts_.find({old.pair, old.predecessor, old.successor});
+    assert(it != counts_.end() && it->second > 0);
+    if (--it->second == 0) counts_.erase(it);
+    entries_.erase(entries_.begin());
+  }
+  entries_.push_back(entry);
+  ++counts_[{entry.pair, entry.predecessor, entry.successor}];
+}
+
+std::size_t HistoryProfile::count(net::PairId pair, net::NodeId predecessor,
+                                  net::NodeId successor) const {
+  auto it = counts_.find({pair, predecessor, successor});
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double HistoryProfile::selectivity(net::PairId pair, net::NodeId predecessor,
+                                   net::NodeId successor, std::uint32_t k) const {
+  if (k <= 1) return 0.0;
+  const auto c = count(pair, predecessor, successor);
+  return static_cast<double>(c) / static_cast<double>(k - 1);
+}
+
+void HistoryProfile::clear() {
+  entries_.clear();
+  counts_.clear();
+}
+
+HistoryStore::HistoryStore(std::size_t node_count, std::size_t per_node_capacity) {
+  profiles_.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    profiles_.emplace_back(per_node_capacity);
+  }
+}
+
+void HistoryStore::record_path(net::PairId pair, std::uint32_t conn_index,
+                               const std::vector<net::NodeId>& path) {
+  assert(path.size() >= 2 && "path must contain at least initiator and responder");
+  // Positions 1..n-2 are forwarders; each stores its predecessor/successor.
+  for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+    profiles_.at(path[i]).record(
+        HistoryEntry{pair, conn_index, path[i - 1], path[i + 1]});
+  }
+}
+
+std::size_t HistoryStore::total_entries() const {
+  std::size_t n = 0;
+  for (const auto& p : profiles_) n += p.size();
+  return n;
+}
+
+}  // namespace p2panon::core

@@ -1,0 +1,83 @@
+// Connection-history profiles (paper §2.3, Table 1).
+//
+// Every node s stores, per connection that passed through it, the tuple
+// (cid, predecessor, successor). The history for the k-th connection of a
+// set, H^{k-1}(s), comprises the outgoing edges of s on pi^1..pi^{k-1}.
+// Because entries are keyed by predecessor too, a node distinguishes its
+// outgoing edges for different positions it occupied on the same path.
+//
+// Selectivity of edge (s, v) at connection k (conditioned on the current
+// predecessor) is
+//   sigma(s, v) = #entries{(s -> v) | same pair, same predecessor} / (k - 1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/ids.hpp"
+
+namespace p2panon::core {
+
+struct HistoryEntry {
+  net::PairId pair = net::kInvalidPair;
+  std::uint32_t conn_index = 0;
+  net::NodeId predecessor = net::kInvalidNode;
+  net::NodeId successor = net::kInvalidNode;
+};
+
+/// History profile for one node. Storage is bounded by `capacity` entries
+/// (0 = unbounded); eviction is FIFO, which models a node that only keeps
+/// recent history (an ablation knob — the paper notes the amount of stored
+/// history influences edge quality).
+class HistoryProfile {
+ public:
+  explicit HistoryProfile(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  void record(const HistoryEntry& entry);
+
+  /// Number of stored entries matching (pair, predecessor, successor).
+  [[nodiscard]] std::size_t count(net::PairId pair, net::NodeId predecessor,
+                                  net::NodeId successor) const;
+
+  /// sigma(s, v) for the k-th connection (k is 1-based; k == 1 has no
+  /// history and yields 0).
+  [[nodiscard]] double selectivity(net::PairId pair, net::NodeId predecessor,
+                                   net::NodeId successor, std::uint32_t k) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  void clear();
+
+  [[nodiscard]] const std::vector<HistoryEntry>& entries() const noexcept { return entries_; }
+
+ private:
+  using Key = std::tuple<net::PairId, net::NodeId, net::NodeId>;
+
+  std::size_t capacity_;
+  std::vector<HistoryEntry> entries_;  // FIFO order
+  std::map<Key, std::size_t> counts_;
+};
+
+/// History profiles for all nodes of an overlay, indexed by node id.
+class HistoryStore {
+ public:
+  explicit HistoryStore(std::size_t node_count, std::size_t per_node_capacity = 0);
+
+  [[nodiscard]] HistoryProfile& at(net::NodeId id) { return profiles_.at(id); }
+  [[nodiscard]] const HistoryProfile& at(net::NodeId id) const { return profiles_.at(id); }
+  [[nodiscard]] std::size_t node_count() const noexcept { return profiles_.size(); }
+
+  /// Record the completed path pi^k of `pair`: for every forwarder position,
+  /// store (pair, k, predecessor, successor) at that forwarder.
+  /// `path` is the full node sequence initiator..responder.
+  void record_path(net::PairId pair, std::uint32_t conn_index,
+                   const std::vector<net::NodeId>& path);
+
+  [[nodiscard]] std::size_t total_entries() const;
+
+ private:
+  std::vector<HistoryProfile> profiles_;
+};
+
+}  // namespace p2panon::core

@@ -1,0 +1,218 @@
+#include "core/incentive.hpp"
+
+#include <cassert>
+
+#include "sim/rng.hpp"
+
+namespace p2panon::core {
+
+void PayoffLedger::charge_participation(const net::Overlay& overlay, net::NodeId id) {
+  NodeLedger& l = ledgers_.at(id);
+  if (!l.participated) {
+    l.participated = true;
+    l.cost += overlay.node(id).participation_cost;
+  }
+}
+
+void PayoffLedger::charge_transmission(const net::Overlay& overlay, net::NodeId from,
+                                       net::NodeId to) {
+  NodeLedger& l = ledgers_.at(from);
+  l.cost += overlay.links().transmission_cost(from, to);
+  ++l.forwarding_instances;
+}
+
+metrics::Accumulator PayoffLedger::good_node_payoffs(const net::Overlay& overlay) const {
+  metrics::Accumulator acc;
+  for (net::NodeId id = 0; id < ledgers_.size(); ++id) {
+    if (overlay.node(id).is_good()) acc.add(ledgers_[id].payoff());
+  }
+  return acc;
+}
+
+std::vector<double> PayoffLedger::good_node_payoff_samples(const net::Overlay& overlay) const {
+  std::vector<double> out;
+  out.reserve(ledgers_.size());
+  for (net::NodeId id = 0; id < ledgers_.size(); ++id) {
+    if (overlay.node(id).is_good()) out.push_back(ledgers_[id].payoff());
+  }
+  return out;
+}
+
+net::PairId ConnectionSetSession::effective_pair(std::uint32_t conn_index) const noexcept {
+  assert(conn_index >= 1);
+  if (contract_.cid_rotation == 0) return pair_;
+  const std::uint32_t epoch = (conn_index - 1) / contract_.cid_rotation;
+  if (epoch == 0) return pair_;  // first epoch keeps the real id
+  // Pseudonymous epoch cid: avalanche-mix (pair, epoch); collisions with
+  // other pairs' ids are astronomically unlikely at simulation scales and
+  // harmless (they would only blend history, never payments).
+  const std::uint64_t mixed =
+      sim::rng::mix64((static_cast<std::uint64_t>(pair_) << 32) | epoch);
+  return static_cast<net::PairId>(mixed >> 16);
+}
+
+std::uint32_t ConnectionSetSession::effective_conn_index(
+    std::uint32_t conn_index) const noexcept {
+  assert(conn_index >= 1);
+  if (contract_.cid_rotation == 0) return conn_index;
+  return (conn_index - 1) % contract_.cid_rotation + 1;
+}
+
+const BuiltPath& ConnectionSetSession::run_connection(const PathBuilder& builder,
+                                                      HistoryStore& history,
+                                                      const StrategyAssignment& strategies,
+                                                      PayoffLedger& ledger,
+                                                      const net::Overlay& overlay,
+                                                      sim::rng::Stream& stream,
+                                                      const AdversaryModel& adversary) {
+  assert(!settled_ && "connection after settlement");
+  const auto conn_index = static_cast<std::uint32_t>(paths_.size() + 1);
+  auto conn_stream = stream.child("conn", conn_index);
+
+  // Forwarders see the epoch's pseudonymous cid and epoch-local index (the
+  // real (pair, index) is only known to the initiator and the bank).
+  const net::PairId wire_pair = effective_pair(conn_index);
+  const std::uint32_t wire_index = effective_conn_index(conn_index);
+
+  BuiltPath path;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    auto attempt_stream = conn_stream.child("attempt", attempt);
+    path = builder.build(wire_pair, wire_index, initiator_, responder_, contract_, strategies,
+                         attempt_stream);
+    if (adversary.drop_probability <= 0.0 || attempt >= adversary.max_retries) break;
+
+    // A malicious forwarder may drop the payload; forwarders upstream of the
+    // dropper already spent transmission effort, and the path must reform.
+    auto drop_stream = attempt_stream.child("drop");
+    bool dropped = false;
+    for (std::size_t i = 1; i + 1 < path.nodes.size(); ++i) {
+      const net::NodeId fwd = path.nodes[i];
+      if (!overlay.node(fwd).is_malicious()) continue;
+      if (!drop_stream.bernoulli(adversary.drop_probability)) continue;
+      for (std::size_t u = 1; u < i; ++u) {  // upstream forwarders paid the cost
+        ledger.charge_participation(overlay, path.nodes[u]);
+        ledger.charge_transmission(overlay, path.nodes[u], path.nodes[u + 1]);
+      }
+      ++reformations_;
+      dropped = true;
+      break;
+    }
+    if (!dropped) break;
+  }
+
+  // Reverse-path confirmation: the initiator recreates the path and every
+  // forwarder records its history entry under the wire-visible cid.
+  history.record_path(wire_pair, wire_index, path.nodes);
+
+  // Costs: every forwarder pays C_p once and C_t per instance; the
+  // initiator's transmission of the first hop is part of its own spend, not
+  // a forwarder cost.
+  std::size_t new_edges = 0;
+  std::size_t edges = 0;
+  for (std::size_t i = 0; i + 1 < path.nodes.size(); ++i) {
+    const net::NodeId from = path.nodes[i];
+    const net::NodeId to = path.nodes[i + 1];
+    if (i > 0) {  // `from` is a forwarder
+      ledger.charge_participation(overlay, from);
+      ledger.charge_transmission(overlay, from, to);
+      forwarder_set_.insert(from);
+    }
+    ++edges;
+    if (seen_edges_.insert({from, to}).second) ++new_edges;
+  }
+  new_edge_fraction_.push_back(edges > 0 ? static_cast<double>(new_edges) /
+                                               static_cast<double>(edges)
+                                         : 0.0);
+
+  paths_.push_back(std::move(path));
+  return paths_.back();
+}
+
+double ConnectionSetSession::average_path_length() const noexcept {
+  if (paths_.empty()) return 0.0;
+  std::size_t total = 0;
+  for (const BuiltPath& p : paths_) total += p.forwarder_count();
+  return static_cast<double>(total) / static_cast<double>(paths_.size());
+}
+
+double ConnectionSetSession::path_quality() const noexcept {
+  if (forwarder_set_.empty()) return 0.0;
+  return average_path_length() / static_cast<double>(forwarder_set_.size());
+}
+
+SettleOutcome ConnectionSetSession::settle(payment::Bank& bank,
+                                           payment::SettlementEngine& engine,
+                                           PayoffLedger& ledger, const net::Overlay& overlay,
+                                           sim::rng::Stream& stream) {
+  assert(!settled_ && "double settle");
+  settled_ = true;
+
+  // --- Initiator side: compute the committed total and fund the escrow with
+  // blind coins, so the bank cannot link the escrow to the initiator.
+  std::size_t total_instances = 0;
+  std::vector<payment::PathRecord> records;
+  records.reserve(paths_.size());
+  for (std::uint32_t j = 0; j < paths_.size(); ++j) {
+    const BuiltPath& p = paths_[j];
+    payment::PathRecord rec;
+    rec.conn_index = j + 1;
+    rec.entry = p.initiator();
+    rec.exit = p.responder();
+    rec.forwarders.assign(p.nodes.begin() + 1, p.nodes.end() - 1);
+    total_instances += rec.forwarders.size();
+    records.push_back(std::move(rec));
+  }
+
+  const payment::Amount p_f = payment::from_credits(contract_.forwarding_benefit);
+  const payment::Amount p_r = payment::from_credits(contract_.routing_benefit());
+  const payment::Amount committed =
+      static_cast<payment::Amount>(total_instances) * p_f + p_r;
+
+  const payment::AccountId init_acct = bank.account_of(initiator_);
+  assert(init_acct != payment::kInvalidAccount && "initiator has no bank account");
+  auto wallet_stream = stream.child("wallet", pair_);
+  payment::Wallet wallet(bank, init_acct, wallet_stream);
+  auto coins = wallet.withdraw(committed);
+  assert(coins.has_value() && "initiator cannot fund its commitment");
+
+  auto escrow = bank.open_escrow(*coins);
+  assert(escrow.has_value());
+
+  const payment::AccountId refund_acct = bank.open_pseudonymous_account();
+  payment::SettlementTerms terms{p_f, p_r};
+  const payment::SettlementId sid =
+      engine.open(pair_, *escrow, terms, records, refund_acct);
+
+  // --- Forwarder side: every forwarder claims each of its instances with a
+  // MAC'd receipt (assembled from the reverse-path confirmation).
+  for (std::uint32_t j = 0; j < paths_.size(); ++j) {
+    const BuiltPath& p = paths_[j];
+    for (std::size_t i = 1; i + 1 < p.nodes.size(); ++i) {
+      const net::NodeId fwd = p.nodes[i];
+      const payment::AccountId acct = bank.account_of(fwd);
+      assert(acct != payment::kInvalidAccount);
+      const payment::ForwardReceipt receipt =
+          payment::make_receipt(bank.account_mac_key(acct), pair_, j + 1, fwd, p.nodes[i - 1],
+                                p.nodes[i + 1]);
+      [[maybe_unused]] const auto res = engine.submit_claim(sid, acct, receipt);
+      assert(res == payment::ClaimResult::kAccepted);
+    }
+  }
+
+  const payment::SettlementReport& report = engine.close(sid);
+
+  // --- Credit ledgers from the authoritative bank payouts.
+  for (const auto& [acct, amount] : report.payouts) {
+    const net::NodeId owner = bank.account_owner(acct);
+    if (owner != net::kInvalidNode) ledger.credit(owner, payment::to_credits(amount));
+  }
+
+  SettleOutcome out;
+  out.report = report;
+  out.forwarder_set_size = forwarder_set_.size();
+  out.initiator_spend = payment::to_credits(report.escrow_in - report.refunded);
+  (void)overlay;
+  return out;
+}
+
+}  // namespace p2panon::core

@@ -1,0 +1,150 @@
+// The incentive mechanism tying contracts, routing, history and payments
+// together for one recurring connection set pi (paper §2.2).
+//
+// A ConnectionSetSession runs the k connections of one (I, R) pair, records
+// history at forwarders, tracks the growing forwarder set Q = U_i F_i and
+// per-edge reuse (the Prop. 1 statistic), and finally settles: the initiator
+// funds an escrow with blind coins, opens a settlement with its validated
+// path records, forwarders claim with their MAC'd receipts, and each
+// forwarder is paid m * P_f + P_r / ||pi||.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/path.hpp"
+#include "metrics/stats.hpp"
+#include "payment/bank.hpp"
+#include "payment/receipt.hpp"
+#include "payment/settlement.hpp"
+
+namespace p2panon::core {
+
+/// Per-node running account of benefits and costs, in credit units (doubles;
+/// the payment subsystem underneath accounts in exact milli-credits).
+struct NodeLedger {
+  double benefit = 0.0;
+  double cost = 0.0;
+  std::size_t forwarding_instances = 0;
+  bool participated = false;
+
+  [[nodiscard]] double payoff() const noexcept { return benefit - cost; }
+};
+
+class PayoffLedger {
+ public:
+  explicit PayoffLedger(std::size_t node_count) : ledgers_(node_count) {}
+
+  [[nodiscard]] const NodeLedger& at(net::NodeId id) const { return ledgers_.at(id); }
+  [[nodiscard]] std::size_t node_count() const noexcept { return ledgers_.size(); }
+
+  /// Charge the one-time participation cost C_p if not yet charged.
+  void charge_participation(const net::Overlay& overlay, net::NodeId id);
+
+  /// Charge the transmission cost C_t(from, to) for one forwarding instance.
+  void charge_transmission(const net::Overlay& overlay, net::NodeId from, net::NodeId to);
+
+  void credit(net::NodeId id, double amount) { ledgers_.at(id).benefit += amount; }
+
+  /// Payoff statistics over the good (non-malicious) nodes.
+  [[nodiscard]] metrics::Accumulator good_node_payoffs(const net::Overlay& overlay) const;
+
+  /// Raw payoffs of all good nodes (for CDF figures).
+  [[nodiscard]] std::vector<double> good_node_payoff_samples(const net::Overlay& overlay) const;
+
+ private:
+  std::vector<NodeLedger> ledgers_;
+};
+
+/// Active-adversary behaviour during a connection (paper §5 attack (2)
+/// family): a malicious forwarder may drop the payload, forcing a path
+/// reformation — exactly the event that helps intersection attacks.
+struct AdversaryModel {
+  double drop_probability = 0.0;  ///< per-connection drop chance at a malicious hop
+  std::uint32_t max_retries = 8;  ///< reformation attempts before giving up
+};
+
+struct SettleOutcome {
+  payment::SettlementReport report;
+  std::size_t forwarder_set_size = 0;  ///< ||pi||
+  double initiator_spend = 0.0;        ///< credits actually paid out of pocket
+};
+
+class ConnectionSetSession {
+ public:
+  ConnectionSetSession(net::PairId pair, net::NodeId initiator, net::NodeId responder,
+                       Contract contract) noexcept
+      : pair_(pair), initiator_(initiator), responder_(responder), contract_(contract) {}
+
+  [[nodiscard]] net::PairId pair() const noexcept { return pair_; }
+  [[nodiscard]] net::NodeId initiator() const noexcept { return initiator_; }
+  [[nodiscard]] net::NodeId responder() const noexcept { return responder_; }
+  [[nodiscard]] const Contract& contract() const noexcept { return contract_; }
+
+  /// Run the next connection of the set: build the path, record history at
+  /// every forwarder, charge transmission/participation costs, and update
+  /// the forwarder-set and edge-reuse statistics. Returns the built path.
+  const BuiltPath& run_connection(const PathBuilder& builder, HistoryStore& history,
+                                  const StrategyAssignment& strategies, PayoffLedger& ledger,
+                                  const net::Overlay& overlay, sim::rng::Stream& stream,
+                                  const AdversaryModel& adversary = {});
+
+  /// Settle all completed connections through the payment system and credit
+  /// forwarder ledgers. Call once, after the last run_connection.
+  SettleOutcome settle(payment::Bank& bank, payment::SettlementEngine& engine,
+                       PayoffLedger& ledger, const net::Overlay& overlay,
+                       sim::rng::Stream& stream);
+
+  [[nodiscard]] std::uint32_t connections_run() const noexcept {
+    return static_cast<std::uint32_t>(paths_.size());
+  }
+  [[nodiscard]] const std::vector<BuiltPath>& paths() const noexcept { return paths_; }
+
+  /// Distinct forwarders across all connections so far: Q = U_i F_i.
+  [[nodiscard]] const std::unordered_set<net::NodeId>& forwarder_set() const noexcept {
+    return forwarder_set_;
+  }
+
+  /// Average forwarding-path length L across connections so far.
+  [[nodiscard]] double average_path_length() const noexcept;
+
+  /// Path quality Q(pi) = L / ||pi|| (paper §2.1). 0 before any connection.
+  [[nodiscard]] double path_quality() const noexcept;
+
+  /// Fraction of edges of connection k that were new (not on pi^1..pi^{k-1});
+  /// index 0 is connection 1 (always all-new). The Prop. 1 statistic E[X].
+  [[nodiscard]] const std::vector<double>& new_edge_fractions() const noexcept {
+    return new_edge_fraction_;
+  }
+
+  /// Path reformations forced by payload drops (adversary model).
+  [[nodiscard]] std::uint64_t reformations() const noexcept { return reformations_; }
+
+  /// The pseudonymous connection-set id forwarders see for connection
+  /// `conn_index` (1-based) under the contract's cid-rotation policy; the
+  /// real pair id when rotation is off.
+  [[nodiscard]] net::PairId effective_pair(std::uint32_t conn_index) const noexcept;
+
+  /// Connection index *within the current cid epoch* (what selectivity's
+  /// k-1 denominator sees).
+  [[nodiscard]] std::uint32_t effective_conn_index(std::uint32_t conn_index) const noexcept;
+
+ private:
+  net::PairId pair_;
+  net::NodeId initiator_;
+  net::NodeId responder_;
+  Contract contract_;
+
+  std::vector<BuiltPath> paths_;
+  std::unordered_set<net::NodeId> forwarder_set_;
+  /// Directed edges seen on any completed path of this set.
+  std::set<std::pair<net::NodeId, net::NodeId>> seen_edges_;
+  std::vector<double> new_edge_fraction_;
+  std::uint64_t reformations_ = 0;
+  bool settled_ = false;
+};
+
+}  // namespace p2panon::core

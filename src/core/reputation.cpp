@@ -1,0 +1,82 @@
+#include "core/reputation.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace p2panon::core {
+
+ReputationSystem::ReputationSystem(std::size_t node_count, const ReputationConfig& cfg)
+    : cfg_(cfg), node_count_(node_count) {
+  assert(node_count > 0);
+  assert(cfg.initial >= 0.0 && cfg.initial <= 1.0);
+  const std::size_t rows = cfg.global_scope ? 1 : node_count;
+  scores_.assign(rows * node_count, cfg.initial);
+}
+
+double& ReputationSystem::cell(net::NodeId observer, net::NodeId subject) {
+  const std::size_t row = cfg_.global_scope ? 0 : observer;
+  return scores_.at(row * node_count_ + subject);
+}
+
+const double& ReputationSystem::cell(net::NodeId observer, net::NodeId subject) const {
+  const std::size_t row = cfg_.global_scope ? 0 : observer;
+  return scores_.at(row * node_count_ + subject);
+}
+
+double ReputationSystem::score(net::NodeId observer, net::NodeId subject) const {
+  return cell(observer, subject);
+}
+
+void ReputationSystem::report_success(net::NodeId observer, net::NodeId subject) {
+  double& s = cell(observer, subject);
+  s = std::min(1.0, s + cfg_.gain);
+}
+
+void ReputationSystem::report_failure(net::NodeId observer, net::NodeId subject) {
+  double& s = cell(observer, subject);
+  s = std::max(0.0, s - cfg_.loss);
+}
+
+void ReputationSystem::apply_collusion(std::span<const net::NodeId> coalition,
+                                       std::size_t reports) {
+  for (net::NodeId a : coalition) {
+    for (net::NodeId b : coalition) {
+      if (a == b) continue;
+      for (std::size_t r = 0; r < reports; ++r) report_success(a, b);
+    }
+  }
+}
+
+void ReputationSystem::observe_path(std::span<const net::NodeId> path,
+                                    std::ptrdiff_t dropped_at) {
+  // Forwarders are positions 1..n-2; position i's behaviour is observed by
+  // its predecessor at i-1.
+  for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+    if (dropped_at >= 0 && static_cast<std::size_t>(dropped_at) == i) {
+      report_failure(path[i - 1], path[i]);
+      return;  // nothing downstream of the drop was observed
+    }
+    report_success(path[i - 1], path[i]);
+  }
+}
+
+HopChoice ReputationRouting::choose(const RoutingContext& ctx, net::NodeId self,
+                                    net::NodeId pred, std::span<const net::NodeId> candidates,
+                                    sim::rng::Stream& /*stream*/) const {
+  assert(!candidates.empty());
+  HopChoice best;
+  bool have = false;
+  for (net::NodeId j : candidates) {
+    const double s = reputation_.score(self, j);
+    if (!have || s > best.utility || (s == best.utility && j < best.next)) {
+      best.next = j;
+      best.utility = s;  // reputation score stands in for utility here
+      have = true;
+    }
+  }
+  best.edge_quality =
+      ctx.quality.edge_quality(self, best.next, ctx.responder, ctx.pair, pred, ctx.conn_index);
+  return best;
+}
+
+}  // namespace p2panon::core

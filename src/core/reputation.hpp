@@ -1,0 +1,88 @@
+// Reputation-based routing — the related-work baseline (paper §4).
+//
+// Prior work addressed forwarding compliance with reputation systems
+// (Dingledine et al. for MIX cascades and remailers). The paper argues such
+// schemes fit anonymity systems poorly because (a) they need system-wide
+// monitoring and (b) nodes can collude to inflate each other's scores and
+// attract forwarding paths. This module implements a representative
+// reputation scheme so that claim can be *measured* against the incentive
+// mechanism (bench/abl_reputation_vs_incentive):
+//
+//  * scores live in [0, 1], start at `initial`;
+//  * observed forwarding successes/failures move the subject's score by
+//    `gain`/`loss` (multiplicative-free additive update, clamped);
+//  * scope is either global (one shared score table — the system-wide
+//    monitoring variant) or local (each observer keeps its own scores);
+//  * collusion: a coalition files fake success reports about each other,
+//    which only helps in the global-scope variant — exactly the weakness
+//    the paper points out.
+//
+// ReputationRouting picks the highest-scoring candidate (ties toward lower
+// id), ignoring edge quality and contracts entirely.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/routing.hpp"
+
+namespace p2panon::core {
+
+struct ReputationConfig {
+  double initial = 0.5;
+  double gain = 0.02;   ///< score increase per observed success
+  double loss = 0.10;   ///< score decrease per observed failure
+  bool global_scope = true;  ///< one shared table vs per-observer tables
+};
+
+class ReputationSystem {
+ public:
+  ReputationSystem(std::size_t node_count, const ReputationConfig& cfg);
+
+  [[nodiscard]] const ReputationConfig& config() const noexcept { return cfg_; }
+
+  /// Score of `subject` as seen by `observer` (observer ignored in global
+  /// scope).
+  [[nodiscard]] double score(net::NodeId observer, net::NodeId subject) const;
+
+  void report_success(net::NodeId observer, net::NodeId subject);
+  void report_failure(net::NodeId observer, net::NodeId subject);
+
+  /// Collusion round: every coalition member files `reports` fake success
+  /// reports about every other member. In local scope this only pollutes
+  /// the colluders' own tables (harmless); in global scope it inflates the
+  /// shared scores — the attack the paper warns about.
+  void apply_collusion(std::span<const net::NodeId> coalition, std::size_t reports = 1);
+
+  /// Observe a completed path: every adjacent (observer, subject) forwarder
+  /// pair files a success; `dropped_at` (position index into `path`, or -1)
+  /// marks a forwarder whose predecessor files a failure instead.
+  void observe_path(std::span<const net::NodeId> path, std::ptrdiff_t dropped_at = -1);
+
+ private:
+  [[nodiscard]] double& cell(net::NodeId observer, net::NodeId subject);
+  [[nodiscard]] const double& cell(net::NodeId observer, net::NodeId subject) const;
+
+  ReputationConfig cfg_;
+  std::size_t node_count_;
+  /// Global scope: one row. Local scope: node_count rows.
+  std::vector<double> scores_;
+};
+
+/// Routing by reputation: argmax score among candidates.
+class ReputationRouting final : public RoutingStrategy {
+ public:
+  explicit ReputationRouting(const ReputationSystem& reputation) noexcept
+      : reputation_(reputation) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "reputation"; }
+  [[nodiscard]] HopChoice choose(const RoutingContext& ctx, net::NodeId self, net::NodeId pred,
+                                 std::span<const net::NodeId> candidates,
+                                 sim::rng::Stream& stream) const override;
+
+ private:
+  const ReputationSystem& reputation_;
+};
+
+}  // namespace p2panon::core

@@ -1,0 +1,95 @@
+#include "core/routing.hpp"
+#include "core/spne_routing.hpp"
+
+#include <cassert>
+
+namespace p2panon::core {
+
+HopChoice RandomRouting::choose(const RoutingContext& ctx, net::NodeId self, net::NodeId pred,
+                                std::span<const net::NodeId> candidates,
+                                sim::rng::Stream& stream) const {
+  assert(!candidates.empty());
+  const net::NodeId pick = candidates[stream.below(candidates.size())];
+  HopChoice c;
+  c.next = pick;
+  c.edge_quality =
+      ctx.quality.edge_quality(self, pick, ctx.responder, ctx.pair, pred, ctx.conn_index);
+  c.utility = model1_utility(ctx, self, pred, pick);
+  return c;
+}
+
+namespace {
+
+/// Shared argmax loop: pick the candidate with the highest utility, breaking
+/// utility ties toward the higher-quality edge (paper §2.2), then toward the
+/// lower node id for determinism.
+template <typename UtilityFn>
+HopChoice argmax_choice(const RoutingContext& ctx, net::NodeId self, net::NodeId pred,
+                        std::span<const net::NodeId> candidates, UtilityFn&& utility_of) {
+  assert(!candidates.empty());
+  HopChoice best;
+  bool have = false;
+  for (net::NodeId j : candidates) {
+    const double u = utility_of(j);
+    const double q =
+        ctx.quality.edge_quality(self, j, ctx.responder, ctx.pair, pred, ctx.conn_index);
+    const bool better =
+        !have || u > best.utility ||
+        (u == best.utility && (q > best.edge_quality ||
+                               (q == best.edge_quality && j < best.next)));
+    if (better) {
+      best = HopChoice{j, u, q};
+      have = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+HopChoice UtilityModelIRouting::choose(const RoutingContext& ctx, net::NodeId self,
+                                       net::NodeId pred,
+                                       std::span<const net::NodeId> candidates,
+                                       sim::rng::Stream& /*stream*/) const {
+  return argmax_choice(ctx, self, pred, candidates,
+                       [&](net::NodeId j) { return model1_utility(ctx, self, pred, j); });
+}
+
+HopChoice UtilityModelIIRouting::choose(const RoutingContext& ctx, net::NodeId self,
+                                        net::NodeId pred,
+                                        std::span<const net::NodeId> candidates,
+                                        sim::rng::Stream& /*stream*/) const {
+  return argmax_choice(ctx, self, pred, candidates, [&](net::NodeId j) {
+    return model2_utility(ctx, self, pred, j, depth_);
+  });
+}
+
+std::unique_ptr<RoutingStrategy> make_strategy(StrategyKind kind, std::uint32_t lookahead_depth) {
+  switch (kind) {
+    case StrategyKind::kRandom:
+      return std::make_unique<RandomRouting>();
+    case StrategyKind::kUtilityModelI:
+      return std::make_unique<UtilityModelIRouting>();
+    case StrategyKind::kUtilityModelII:
+      return std::make_unique<UtilityModelIIRouting>(lookahead_depth);
+    case StrategyKind::kSpne:
+      return std::make_unique<SpneRouting>(lookahead_depth);
+  }
+  return nullptr;  // unreachable
+}
+
+std::string_view strategy_name(StrategyKind kind) noexcept {
+  switch (kind) {
+    case StrategyKind::kRandom:
+      return "random";
+    case StrategyKind::kUtilityModelI:
+      return "utility-model-1";
+    case StrategyKind::kUtilityModelII:
+      return "utility-model-2";
+    case StrategyKind::kSpne:
+      return "spne";
+  }
+  return "?";
+}
+
+}  // namespace p2panon::core

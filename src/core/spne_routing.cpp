@@ -1,0 +1,69 @@
+#include "core/spne_routing.hpp"
+
+#include <cassert>
+
+namespace p2panon::core {
+
+game::PathGameSpec SpneRouting::make_spec(const RoutingContext& ctx) {
+  game::PathGameSpec spec;
+  spec.node_count = ctx.overlay.size();
+  spec.responder = ctx.responder;
+  spec.candidates = [&ctx](net::NodeId v) {
+    std::vector<net::NodeId> out;
+    for (net::NodeId c : ctx.overlay.neighbors(v)) {
+      if (c != v && ctx.overlay.is_online(c)) out.push_back(c);
+    }
+    return out;
+  };
+  spec.edge_quality = [&ctx](net::NodeId i, net::NodeId j) {
+    return ctx.quality.edge_quality(i, j, ctx.responder, ctx.pair, net::kInvalidNode,
+                                    ctx.conn_index);
+  };
+  spec.forwarding_benefit = ctx.contract.forwarding_benefit;
+  spec.routing_benefit = ctx.contract.routing_benefit();
+  spec.cost = [&ctx](net::NodeId i, net::NodeId j) {
+    return participation_cost(ctx, i) + transmission_cost(ctx, i, j);
+  };
+  return spec;
+}
+
+HopChoice SpneRouting::choose(const RoutingContext& ctx, net::NodeId self, net::NodeId pred,
+                              std::span<const net::NodeId> candidates,
+                              sim::rng::Stream& /*stream*/) const {
+  assert(!candidates.empty());
+  const game::PathGameSpec spec = make_spec(ctx);
+  const game::BackwardInductionSolver solver(spec, stages_);
+
+  // The solver's prescribed action considers the full neighbour set; the
+  // builder may offer a narrower candidate list (declines, no-backtrack),
+  // so re-derive the best response restricted to `candidates`, using the
+  // solver's equilibrium continuation values.
+  HopChoice best;
+  bool have = false;
+  for (net::NodeId j : candidates) {
+    double onward;
+    if (j == ctx.responder) {
+      onward = 1.0;
+    } else if (stages_ == 0) {
+      // At the forced-delivery stage a forwarding move earns no equilibrium
+      // continuation: only the immediate edge counts, so the responder's
+      // quality-1 edge dominates whenever it is available.
+      onward = spec.edge_quality(self, j);
+    } else {
+      onward = spec.edge_quality(self, j) + solver.decision(j, stages_ - 1).onward_quality;
+    }
+    const double u = spec.forwarding_benefit + onward * spec.routing_benefit -
+                     spec.cost(self, j);
+    const double q =
+        ctx.quality.edge_quality(self, j, ctx.responder, ctx.pair, pred, ctx.conn_index);
+    if (!have || u > best.utility ||
+        (u == best.utility && (q > best.edge_quality ||
+                               (q == best.edge_quality && j < best.next)))) {
+      best = HopChoice{j, u, q};
+      have = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace p2panon::core

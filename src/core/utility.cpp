@@ -1,0 +1,58 @@
+#include "core/utility.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace p2panon::core {
+
+double model1_utility(const RoutingContext& ctx, net::NodeId i, net::NodeId pred, net::NodeId j) {
+  const double q = ctx.quality.edge_quality(i, j, ctx.responder, ctx.pair, pred, ctx.conn_index);
+  return ctx.contract.forwarding_benefit + q * ctx.contract.routing_benefit() -
+         (participation_cost(ctx, i) + transmission_cost(ctx, i, j));
+}
+
+double best_onward_quality(const RoutingContext& ctx, net::NodeId from, net::NodeId pred,
+                           std::uint32_t depth) {
+  if (depth == 0 || from == ctx.responder) return 0.0;
+  double best = 0.0;
+  bool any = false;
+  for (net::NodeId c : ctx.overlay.neighbors(from)) {
+    if (!ctx.overlay.is_online(c) || c == from) continue;
+    const double q =
+        ctx.quality.edge_quality(from, c, ctx.responder, ctx.pair, pred, ctx.conn_index);
+    const double total =
+        c == ctx.responder ? q : q + best_onward_quality(ctx, c, from, depth - 1);
+    if (!any || total > best) {
+      best = total;
+      any = true;
+    }
+  }
+  // Direct delivery to the responder is always available (quality-1 edge).
+  const double direct = 1.0;
+  if (!any || direct > best) best = direct;
+  return best;
+}
+
+double model2_utility(const RoutingContext& ctx, net::NodeId i, net::NodeId pred, net::NodeId j,
+                      std::uint32_t lookahead_depth) {
+  assert(lookahead_depth >= 1);
+  const double q_ij =
+      ctx.quality.edge_quality(i, j, ctx.responder, ctx.pair, pred, ctx.conn_index);
+  const double onward =
+      j == ctx.responder ? 0.0 : best_onward_quality(ctx, j, i, lookahead_depth - 1);
+  const double path_q = q_ij + onward;
+  return ctx.contract.forwarding_benefit + path_q * ctx.contract.routing_benefit() -
+         (participation_cost(ctx, i) + transmission_cost(ctx, i, j));
+}
+
+bool would_participate(const RoutingContext& ctx, net::NodeId j) {
+  // Cheapest usable outgoing link: any online neighbour or direct delivery.
+  double min_ct = transmission_cost(ctx, j, ctx.responder);
+  for (net::NodeId c : ctx.overlay.neighbors(j)) {
+    if (!ctx.overlay.is_online(c) || c == j) continue;
+    min_ct = std::min(min_ct, transmission_cost(ctx, j, c));
+  }
+  return ctx.contract.forwarding_benefit > participation_cost(ctx, j) + min_ct;
+}
+
+}  // namespace p2panon::core

@@ -1,0 +1,70 @@
+// Forwarder utility models (paper §2.4.2, §2.4.3) and the initiator utility
+// (Eq. 2).
+//
+// Utility Model I (greedy edge quality):
+//   U_i(j) = P_f + q(i, j) * P_r - (C_p_i + C_t(i, j))
+//
+// Utility Model II (path quality toward R):
+//   U_i(j) = P_f + q(pi(i, j, R)) * P_r - (C_p_i + C_t(i, j))
+// where q(pi(i, j, R)) is the quality (sum of edge qualities) of the best
+// onward path from i through j to R. The paper models this as an L-stage
+// game solved by backward induction; operationally we realise the
+// equilibrium strategy as a bounded-depth lookahead: every candidate j is
+// scored over the same horizon of `lookahead_depth` further edges (paths
+// reaching R stop early), so comparing quality sums is equivalent to
+// comparing per-edge averages and the bounded horizon does not bias toward
+// longer paths.
+#pragma once
+
+#include <cstdint>
+
+#include "core/contract.hpp"
+#include "core/edge_quality.hpp"
+#include "net/overlay.hpp"
+
+namespace p2panon::core {
+
+/// Everything a routing decision at one hop needs to see.
+struct RoutingContext {
+  const net::Overlay& overlay;
+  const EdgeQualityEvaluator& quality;
+  Contract contract;
+  net::PairId pair = net::kInvalidPair;
+  std::uint32_t conn_index = 1;  ///< k, 1-based
+  net::NodeId responder = net::kInvalidNode;
+};
+
+/// Participation cost C_p of node i (paper §2.4.1).
+[[nodiscard]] inline double participation_cost(const RoutingContext& ctx, net::NodeId i) {
+  return ctx.overlay.node(i).participation_cost;
+}
+
+/// Transmission cost C_t(i, j) of one forwarding instance (paper §2.4.1).
+[[nodiscard]] inline double transmission_cost(const RoutingContext& ctx, net::NodeId i,
+                                              net::NodeId j) {
+  return ctx.overlay.links().transmission_cost(i, j);
+}
+
+/// Utility Model I for node i (predecessor `pred`) forwarding to j.
+[[nodiscard]] double model1_utility(const RoutingContext& ctx, net::NodeId i, net::NodeId pred,
+                                    net::NodeId j);
+
+/// Quality (sum of edge qualities) of the best onward path of at most
+/// `depth` edges starting at node `from` (predecessor `pred`), stopping
+/// early when the responder is reached. Exhaustive search over online
+/// neighbours; cost O(d^depth), fine for d ~ 5 and depth <= 4.
+[[nodiscard]] double best_onward_quality(const RoutingContext& ctx, net::NodeId from,
+                                         net::NodeId pred, std::uint32_t depth);
+
+/// Utility Model II for node i (predecessor `pred`) forwarding to j, with
+/// the given lookahead horizon (>= 1; 1 degenerates to Model I).
+[[nodiscard]] double model2_utility(const RoutingContext& ctx, net::NodeId i, net::NodeId pred,
+                                    net::NodeId j, std::uint32_t lookahead_depth);
+
+/// Whether node j would agree to participate as a forwarder under the
+/// contract: the sufficient condition of Proposition 3, P_f > C_p + C_t,
+/// evaluated against j's cheapest usable outgoing link (including direct
+/// delivery to the responder).
+[[nodiscard]] bool would_participate(const RoutingContext& ctx, net::NodeId j);
+
+}  // namespace p2panon::core

@@ -1,0 +1,57 @@
+#include "harness/replicate.hpp"
+
+#include "parallel/parallel_for.hpp"
+
+namespace p2panon::harness {
+
+ReplicatedResult run_replicated(const ScenarioConfig& base, std::size_t replicates,
+                                parallel::ThreadPool* pool) {
+  std::vector<ScenarioResult> results(replicates);
+
+  auto run_one = [&base](std::size_t r) {
+    ScenarioConfig cfg = base;
+    cfg.seed = base.seed + r;
+    return ScenarioRunner(cfg).run();
+  };
+
+  if (pool != nullptr) {
+    parallel::parallel_for(*pool, 0, replicates,
+                           [&](std::size_t r) { results[r] = run_one(r); });
+  } else {
+    for (std::size_t r = 0; r < replicates; ++r) results[r] = run_one(r);
+  }
+
+  // Deterministic aggregation order: replicate index ascending.
+  ReplicatedResult agg;
+  agg.replicates = replicates;
+  agg.new_edge_fraction_by_conn.resize(base.connections_per_pair);
+  for (const ScenarioResult& r : results) {
+    agg.good_payoff.add(r.good_payoff.mean());
+    agg.member_payoff.add(r.member_payoff.mean());
+    agg.pooled_member_payoffs.insert(agg.pooled_member_payoffs.end(),
+                                     r.member_payoff_samples.begin(),
+                                     r.member_payoff_samples.end());
+    agg.forwarder_set_size.add(r.forwarder_set_size.mean());
+    agg.avg_path_length.add(r.avg_path_length.mean());
+    agg.path_quality.add(r.path_quality.mean());
+    agg.initiator_utility.add(r.initiator_utility.mean());
+    agg.initiator_spend.add(r.initiator_spend.mean());
+    agg.connection_latency.add(r.connection_latency.mean());
+    agg.routing_efficiency.add(r.routing_efficiency);
+    agg.pooled_good_payoffs.insert(agg.pooled_good_payoffs.end(),
+                                   r.good_payoff_samples.begin(), r.good_payoff_samples.end());
+    for (std::size_t j = 0;
+         j < r.new_edge_fraction_by_conn.size() && j < agg.new_edge_fraction_by_conn.size();
+         ++j) {
+      if (r.new_edge_fraction_by_conn[j].count() > 0) {
+        agg.new_edge_fraction_by_conn[j].add(r.new_edge_fraction_by_conn[j].mean());
+      }
+    }
+    agg.total_reformations += r.reformations;
+    agg.total_churn_events += r.churn_events;
+    agg.all_payments_conserved = agg.all_payments_conserved && r.payment_conserved;
+  }
+  return agg;
+}
+
+}  // namespace p2panon::harness

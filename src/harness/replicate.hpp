@@ -1,0 +1,61 @@
+// Replicated experiments: run a scenario across independent seeds in
+// parallel and aggregate means, confidence intervals and pooled samples.
+//
+// Replicates are the parallelism unit (see src/parallel): each replicate is
+// a fully independent single-threaded simulation with seed = base_seed +
+// replicate index, so results are bitwise-identical regardless of thread
+// count.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "harness/scenario.hpp"
+#include "metrics/stats.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace p2panon::harness {
+
+struct ReplicatedResult {
+  std::size_t replicates = 0;
+
+  /// Across-replicate accumulators of per-replicate means.
+  metrics::Accumulator good_payoff;    ///< whole-experiment total per good node
+  metrics::Accumulator member_payoff;  ///< per-(pair, good member) — the paper's payoff
+  metrics::Accumulator forwarder_set_size;
+  metrics::Accumulator avg_path_length;
+  metrics::Accumulator path_quality;
+  metrics::Accumulator initiator_utility;
+  metrics::Accumulator initiator_spend;
+  metrics::Accumulator routing_efficiency;
+  metrics::Accumulator connection_latency;
+
+  /// Pooled per-node payoff samples across replicates.
+  std::vector<double> pooled_good_payoffs;
+  /// Pooled per-(pair, good member) payoff samples (CDF Figs. 6-7).
+  std::vector<double> pooled_member_payoffs;
+
+  /// Prop. 1 curve: mean new-edge fraction by connection index.
+  std::vector<metrics::Accumulator> new_edge_fraction_by_conn;
+
+  std::uint64_t total_reformations = 0;
+  std::uint64_t total_churn_events = 0;
+  bool all_payments_conserved = true;
+
+  [[nodiscard]] metrics::ConfidenceInterval good_payoff_ci(double confidence = 0.95) const {
+    return metrics::confidence_interval(good_payoff, confidence);
+  }
+  [[nodiscard]] metrics::ConfidenceInterval member_payoff_ci(double confidence = 0.95) const {
+    return metrics::confidence_interval(member_payoff, confidence);
+  }
+  [[nodiscard]] metrics::ConfidenceInterval forwarder_set_ci(double confidence = 0.95) const {
+    return metrics::confidence_interval(forwarder_set_size, confidence);
+  }
+};
+
+/// Run `replicates` independent replicates of `base` (seed = base.seed + r).
+/// `pool` may be nullptr for serial execution.
+[[nodiscard]] ReplicatedResult run_replicated(const ScenarioConfig& base, std::size_t replicates,
+                                              parallel::ThreadPool* pool = nullptr);
+
+}  // namespace p2panon::harness

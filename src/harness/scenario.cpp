@@ -1,0 +1,190 @@
+#include "harness/scenario.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <unordered_map>
+
+#include "core/edge_quality.hpp"
+#include "core/path.hpp"
+#include "payment/settlement.hpp"
+#include "sim/simulator.hpp"
+
+namespace p2panon::harness {
+
+ScenarioConfig paper_default_config(std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.overlay.node_count = 40;
+  cfg.overlay.degree = 5;
+  cfg.overlay.malicious_fraction = 0.0;
+  cfg.overlay.churn.session_median = sim::minutes(60.0);
+  cfg.pair_count = 100;
+  cfg.connections_per_pair = 20;
+  cfg.p_f_lo = 50.0;
+  cfg.p_f_hi = 100.0;
+  cfg.tau = 2.0;
+  return cfg;
+}
+
+ScenarioResult ScenarioRunner::run() const {
+  const ScenarioConfig& cfg = cfg_;
+  sim::rng::Stream root(cfg.seed);
+
+  sim::Simulator simulator;
+  net::Overlay overlay(cfg.overlay, simulator, root.child("overlay"));
+  net::ProbingEstimator probing(overlay, cfg.probing, root.child("probing"));
+  core::HistoryStore history(overlay.size(), cfg.history_capacity);
+  core::EdgeQualityEvaluator quality(probing, history, cfg.weights);
+  core::PathBuilder builder(overlay, quality, cfg.path_builder);
+  core::PayoffLedger ledger(overlay.size());
+
+  // --- Bank: every node opens an account with a registered MAC key.
+  payment::Bank bank(root.child("bank"));
+  payment::SettlementEngine engine(bank);
+  auto key_stream = root.child("mac-keys");
+  const payment::Amount initial = payment::from_credits(cfg.initial_balance_credits);
+  for (net::NodeId id = 0; id < overlay.size(); ++id) {
+    bank.open_account(id, initial, key_stream.child("key", id).next_u64());
+  }
+  const payment::Amount money_before = bank.total_money() + bank.outstanding_coin_value();
+
+  // --- Strategy assignment.
+  const auto strategy = core::make_strategy(cfg.good_strategy, cfg.lookahead_depth);
+  core::StrategyAssignment strategies(overlay, *strategy);
+
+  // --- Select the (I, R) pairs and their contracts.
+  auto pair_stream = root.child("pairs");
+  struct PairPlan {
+    std::unique_ptr<core::ConnectionSetSession> session;
+    sim::rng::Stream stream;
+  };
+  std::vector<PairPlan> plans;
+  plans.reserve(cfg.pair_count);
+  for (net::PairId pid = 0; pid < cfg.pair_count; ++pid) {
+    const auto initiator = static_cast<net::NodeId>(pair_stream.below(overlay.size()));
+    net::NodeId responder = initiator;
+    while (responder == initiator) {
+      responder = cfg.responder_zipf > 0.0
+                      ? static_cast<net::NodeId>(
+                            pair_stream.zipf(overlay.size(), cfg.responder_zipf))
+                      : static_cast<net::NodeId>(pair_stream.below(overlay.size()));
+    }
+    core::Contract contract;
+    contract.forwarding_benefit = pair_stream.uniform(cfg.p_f_lo, cfg.p_f_hi);
+    contract.tau = cfg.tau;
+    contract.termination = cfg.termination;
+    contract.p_forward = cfg.p_forward;
+    contract.ttl_hops = cfg.ttl_hops;
+    contract.cid_rotation = cfg.cid_rotation;
+    plans.push_back(PairPlan{
+        std::make_unique<core::ConnectionSetSession>(pid, initiator, responder, contract),
+        root.child("pair-run", pid)});
+  }
+
+  // --- Schedule: overlay churn, then the recurring connections.
+  overlay.start();
+
+  std::uint64_t connections_completed = 0;
+  metrics::Accumulator latency;
+  auto schedule_stream = root.child("schedule");
+  sim::Time last_connection_at = cfg.warmup;
+  for (net::PairId pid = 0; pid < cfg.pair_count; ++pid) {
+    sim::Time at = cfg.warmup + schedule_stream.uniform(0.0, cfg.pair_start_window);
+    for (std::uint32_t j = 0; j < cfg.connections_per_pair; ++j) {
+      simulator.schedule_at(at, [&, pid] {
+        PairPlan& p = plans[pid];
+        // The endpoints must be online for the connection to run; the paper's
+        // recurring applications (HTTP, FTP, ...) imply an active initiator.
+        overlay.force_online(p.session->initiator());
+        overlay.force_online(p.session->responder());
+        const core::BuiltPath& path = p.session->run_connection(
+            builder, history, strategies, ledger, overlay, p.stream, cfg.adversary);
+        latency.add(overlay.links().path_latency(path.nodes));
+        ++connections_completed;
+      });
+      last_connection_at = std::max(last_connection_at, at);
+      at += schedule_stream.exponential(1.0 / cfg.connection_interval_mean);
+    }
+  }
+
+  // Run just past the last connection; churn and probing are open-ended
+  // (availability attackers never leave), so a horizon — not queue drain —
+  // ends the run.
+  simulator.run_until(last_connection_at + sim::minutes(1.0));
+
+  // --- Settle every pair through the payment system.
+  ScenarioResult result;
+  result.new_edge_fraction_by_conn.resize(cfg.connections_per_pair);
+  auto settle_stream = root.child("settle");
+  for (PairPlan& plan : plans) {
+    core::ConnectionSetSession& session = *plan.session;
+    const core::SettleOutcome outcome =
+        session.settle(bank, engine, ledger, overlay, settle_stream);
+
+    const auto set_size = static_cast<double>(outcome.forwarder_set_size);
+    result.forwarder_set_size.add(set_size);
+    result.avg_path_length.add(session.average_path_length());
+    result.path_quality.add(session.path_quality());
+    result.initiator_spend.add(outcome.initiator_spend);
+    result.initiator_utility.add(cfg.anonymity(set_size) - outcome.initiator_spend);
+    result.total_paid_credits += payment::to_credits(outcome.report.paid_out);
+    result.reformations += session.reformations();
+
+    const auto& fractions = session.new_edge_fractions();
+    for (std::size_t j = 0; j < fractions.size() && j < result.new_edge_fraction_by_conn.size();
+         ++j) {
+      result.new_edge_fraction_by_conn[j].add(fractions[j]);
+    }
+
+    // Membership payoff: for every good member of this pair's forwarder set,
+    // its settlement payout (m*P_f + routing share) minus the transmission
+    // costs of its instances within the set and its participation cost.
+    std::unordered_map<net::NodeId, double> member_cost;
+    for (const core::BuiltPath& p : session.paths()) {
+      for (std::size_t i = 1; i + 1 < p.nodes.size(); ++i) {
+        member_cost[p.nodes[i]] +=
+            overlay.links().transmission_cost(p.nodes[i], p.nodes[i + 1]);
+      }
+    }
+    // Ascending account order keeps floating-point accumulation (and hence
+    // replicate results) independent of hash-map iteration order.
+    std::vector<payment::AccountId> paid_accounts;
+    paid_accounts.reserve(outcome.report.payouts.size());
+    for (const auto& [acct, amount] : outcome.report.payouts) {
+      (void)amount;
+      paid_accounts.push_back(acct);
+    }
+    std::sort(paid_accounts.begin(), paid_accounts.end());
+    for (payment::AccountId acct : paid_accounts) {
+      const net::NodeId owner = bank.account_owner(acct);
+      if (owner == net::kInvalidNode || !overlay.node(owner).is_good()) continue;
+      const double payoff = payment::to_credits(outcome.report.payouts.at(acct)) -
+                            member_cost[owner] - overlay.node(owner).participation_cost;
+      result.member_payoff.add(payoff);
+      result.member_payoff_samples.push_back(payoff);
+    }
+  }
+
+  // --- Node-level payoffs (good nodes).
+  result.good_payoff = ledger.good_node_payoffs(overlay);
+  result.good_payoff_samples = ledger.good_node_payoff_samples(overlay);
+
+  result.routing_efficiency =
+      result.forwarder_set_size.mean() > 0.0
+          ? result.member_payoff.mean() / result.forwarder_set_size.mean()
+          : 0.0;
+
+  result.connection_latency = latency;
+  result.churn_events = overlay.churn_events();
+  result.probes = probing.probes_performed();
+  result.connections_completed = connections_completed;
+  result.sim_end_time = simulator.now();
+
+  const payment::Amount money_after = bank.total_money() + bank.outstanding_coin_value();
+  result.payment_conserved = money_before == money_after;
+
+  return result;
+}
+
+}  // namespace p2panon::harness

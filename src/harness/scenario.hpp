@@ -1,0 +1,126 @@
+// One end-to-end experiment scenario (paper §3 setup).
+//
+// A scenario builds the overlay (N nodes, degree d, malicious fraction f,
+// churn), the probing estimators, bank accounts for every node, selects
+// `pair_count` (I, R) pairs, runs `connections_per_pair` recurring
+// connections per pair spread over simulated time, settles every pair
+// through the payment system, and collects the metrics behind every table
+// and figure of the paper's evaluation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/incentive.hpp"
+#include "core/routing.hpp"
+#include "metrics/anonymity.hpp"
+#include "metrics/stats.hpp"
+#include "net/overlay.hpp"
+#include "net/probing.hpp"
+
+namespace p2panon::harness {
+
+struct ScenarioConfig {
+  std::uint64_t seed = 1;
+
+  net::OverlayConfig overlay;     ///< N = 40, d = 5, f, churn (paper defaults)
+  net::ProbingConfig probing;
+
+  core::QualityWeights weights;   ///< w_s = w_a = 0.5 (paper default)
+  core::StrategyKind good_strategy = core::StrategyKind::kUtilityModelI;
+  std::uint32_t lookahead_depth = 3;   ///< Utility Model II horizon
+
+  std::size_t pair_count = 100;        ///< (I, R) pairs (paper: 100)
+  std::uint32_t connections_per_pair = 20;  ///< max-connections (paper: 20)
+
+  /// Popularity skew of responder selection: 0 = uniform (the paper's
+  /// setup); > 0 picks responders Zipf(s) by node id (web-like workloads
+  /// where a few responders receive most recurring connections).
+  double responder_zipf = 0.0;
+
+  /// Connection-id rotation epoch applied to every pair's contract
+  /// (see core::Contract::cid_rotation). 0 = off.
+  std::uint32_t cid_rotation = 0;
+
+  double p_f_lo = 50.0;  ///< forwarding benefit drawn U[p_f_lo, p_f_hi]
+  double p_f_hi = 100.0;
+  double tau = 2.0;      ///< P_r = tau * P_f (paper: {0.5, 1, 2, 4})
+
+  core::TerminationPolicy termination = core::TerminationPolicy::kCrowds;
+  double p_forward = 0.75;
+  std::uint32_t ttl_hops = 4;
+
+  /// Overlay warm-up before the first connection (lets joins and probing
+  /// populate availability estimates).
+  sim::Time warmup = sim::minutes(60.0);
+  /// Pairs start uniformly over this window after warm-up.
+  sim::Time pair_start_window = sim::hours(2.0);
+  /// Mean gap between successive connections of one pair (exponential).
+  sim::Time connection_interval_mean = sim::minutes(5.0);
+
+  core::AdversaryModel adversary;  ///< payload-drop attack knobs
+  std::size_t history_capacity = 0;  ///< per-node entries; 0 = unbounded
+
+  double initial_balance_credits = 1.0e9;  ///< per-node bank balance
+
+  metrics::AnonymityValuation anonymity;  ///< A(.) for the initiator utility
+
+  core::PathBuilderConfig path_builder;
+};
+
+/// Everything the benches and EXPERIMENTS.md need from one replicate.
+struct ScenarioResult {
+  // --- Node-level (good nodes only): whole-experiment totals per node.
+  metrics::Accumulator good_payoff;             ///< total payoff per good node
+  std::vector<double> good_payoff_samples;      ///< one sample per good node
+
+  // --- Membership-level: the payoff a good node derives from ONE recurring
+  // connection set it serves: m*P_f + P_r/||pi|| minus its transmission
+  // costs within the set and its participation cost. This is the paper's
+  // Figs. 3-4/6-7 payoff: it falls as adversaries inflate ||pi|| (both the
+  // per-member workload m = L*k/||pi|| and the routing share shrink), while
+  // whole-experiment per-node totals do not.
+  metrics::Accumulator member_payoff;
+  std::vector<double> member_payoff_samples;  ///< one sample per (pair, good member)
+
+  // --- Pair-level (one sample per (I, R) pair).
+  metrics::Accumulator forwarder_set_size;      ///< ||pi|| (Fig. 5)
+  metrics::Accumulator avg_path_length;         ///< L
+  metrics::Accumulator path_quality;            ///< Q(pi) = L / ||pi||
+  metrics::Accumulator connection_latency;      ///< end-to-end seconds per connection
+  metrics::Accumulator initiator_utility;       ///< Eq. 2 with actual spend
+  metrics::Accumulator initiator_spend;
+
+  /// Prop. 1: per-connection new-edge fraction E[X], indexed by connection
+  /// number (averaged over pairs).
+  std::vector<metrics::Accumulator> new_edge_fraction_by_conn;
+
+  // --- System-level.
+  double routing_efficiency = 0.0;  ///< avg member payoff / avg ||pi|| (Table 2)
+  std::uint64_t churn_events = 0;
+  std::uint64_t reformations = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t connections_completed = 0;
+  bool payment_conserved = false;  ///< bank money + coins unchanged
+  double total_paid_credits = 0.0;
+  sim::Time sim_end_time = 0.0;
+};
+
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(ScenarioConfig cfg) : cfg_(std::move(cfg)) {}
+
+  /// Run one full replicate. Deterministic in cfg.seed.
+  [[nodiscard]] ScenarioResult run() const;
+
+  [[nodiscard]] const ScenarioConfig& config() const noexcept { return cfg_; }
+
+ private:
+  ScenarioConfig cfg_;
+};
+
+/// Paper-§3 defaults: N = 40, d = 5, 100 pairs, 20 connections each,
+/// P_f ~ U[50, 100], w_s = w_a = 0.5, Pareto sessions with median 60 min.
+[[nodiscard]] ScenarioConfig paper_default_config(std::uint64_t seed = 1);
+
+}  // namespace p2panon::harness

@@ -1,0 +1,42 @@
+// ASCII table / series printers used by the bench binaries to emit rows in
+// the same shape as the paper's tables and figures, plus CSV emission for
+// external plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace p2panon::harness {
+
+/// A rectangular table with a header row; cells are preformatted strings.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment and a rule under the header.
+  void print(std::ostream& os) const;
+
+  /// Comma-separated form (no alignment padding).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision.
+[[nodiscard]] std::string fmt(double value, int precision = 2);
+
+/// Format "mean +/- hw" (confidence-interval cell).
+[[nodiscard]] std::string fmt_ci(double mean, double half_width, int precision = 2);
+
+/// Banner for a bench section: experiment id + description.
+void print_banner(std::ostream& os, const std::string& experiment,
+                  const std::string& description);
+
+}  // namespace p2panon::harness

@@ -1,0 +1,257 @@
+#include "metrics/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace p2panon::metrics {
+
+void Accumulator::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void Accumulator::merge(const Accumulator& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double Accumulator::variance() const noexcept {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Accumulator::stderr_mean() const noexcept {
+  return n_ >= 2 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+}
+
+namespace {
+
+/// Inverse standard normal CDF (Acklam's rational approximation,
+/// |error| < 1.15e-9 on (0,1)).
+double normal_quantile(double p) noexcept {
+  assert(p > 0.0 && p < 1.0);
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double plow = 0.02425;
+  if (p < plow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - plow) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+}  // namespace
+
+double t_critical(double confidence, std::size_t df) noexcept {
+  assert(confidence > 0.0 && confidence < 1.0);
+  if (df == 0) return 0.0;
+  const double p = 0.5 + confidence / 2.0;  // two-sided
+  const double z = normal_quantile(p);
+  // Cornish-Fisher / Peiser expansion of the t quantile around the normal.
+  const double n = static_cast<double>(df);
+  const double z3 = z * z * z;
+  const double z5 = z3 * z * z;
+  const double z7 = z5 * z * z;
+  double t = z + (z3 + z) / (4.0 * n) + (5.0 * z5 + 16.0 * z3 + 3.0 * z) / (96.0 * n * n) +
+             (3.0 * z7 + 19.0 * z5 + 17.0 * z3 - 15.0 * z) / (384.0 * n * n * n);
+  return t;
+}
+
+ConfidenceInterval confidence_interval(const Accumulator& acc, double confidence) noexcept {
+  ConfidenceInterval ci;
+  ci.mean = acc.mean();
+  if (acc.count() >= 2) {
+    ci.half_width = t_critical(confidence, acc.count() - 1) * acc.stderr_mean();
+  }
+  return ci;
+}
+
+EmpiricalDistribution::EmpiricalDistribution(std::vector<double> samples)
+    : samples_(std::move(samples)), sorted_(false) {}
+
+void EmpiricalDistribution::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void EmpiricalDistribution::finalize() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalDistribution::cdf(double x) const {
+  if (samples_.empty()) return 0.0;
+  finalize();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
+}
+
+double EmpiricalDistribution::quantile(double p) const {
+  assert(p >= 0.0 && p <= 1.0);
+  assert(!samples_.empty());
+  finalize();
+  if (samples_.size() == 1) return samples_.front();
+  const double pos = p * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double EmpiricalDistribution::min() const {
+  assert(!samples_.empty());
+  finalize();
+  return samples_.front();
+}
+
+double EmpiricalDistribution::max() const {
+  assert(!samples_.empty());
+  finalize();
+  return samples_.back();
+}
+
+double EmpiricalDistribution::mean() const {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+double EmpiricalDistribution::variance() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (double x : samples_) s += (x - m) * (x - m);
+  return s / static_cast<double>(samples_.size() - 1);
+}
+
+std::vector<EmpiricalDistribution::CdfPoint> EmpiricalDistribution::cdf_series(
+    std::size_t points) const {
+  assert(points >= 2);
+  std::vector<CdfPoint> out;
+  if (samples_.empty()) return out;
+  finalize();
+  const double lo = samples_.front();
+  const double hi = samples_.back();
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.push_back({x, cdf(x)});
+  }
+  return out;
+}
+
+std::span<const double> EmpiricalDistribution::sorted_samples() const {
+  finalize();
+  return samples_;
+}
+
+WelchResult welch_t_test(const Accumulator& a, const Accumulator& b) noexcept {
+  WelchResult r;
+  if (a.count() < 2 || b.count() < 2) return r;
+  const double va = a.variance() / static_cast<double>(a.count());
+  const double vb = b.variance() / static_cast<double>(b.count());
+  const double denom = va + vb;
+  if (denom <= 0.0) {
+    // Zero variance in both samples: any mean difference is "infinitely"
+    // significant; equal means are not.
+    r.significant_95 = a.mean() != b.mean();
+    r.t = r.significant_95 ? std::numeric_limits<double>::infinity() : 0.0;
+    return r;
+  }
+  r.t = (a.mean() - b.mean()) / std::sqrt(denom);
+  const double na = static_cast<double>(a.count()), nb = static_cast<double>(b.count());
+  r.df = denom * denom / (va * va / (na - 1.0) + vb * vb / (nb - 1.0));
+  r.critical_95 = t_critical(0.95, static_cast<std::size_t>(std::max(1.0, r.df)));
+  r.significant_95 = std::abs(r.t) > r.critical_95;
+  return r;
+}
+
+double gini(std::span<const double> samples) {
+  const std::size_t n = samples.size();
+  if (n < 2) return 0.0;
+  std::vector<double> xs(samples.begin(), samples.end());
+  std::sort(xs.begin(), xs.end());
+  if (xs.front() < 0.0) {
+    const double shift = -xs.front();
+    for (double& x : xs) x += shift;
+  }
+  double cum_weighted = 0.0, total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cum_weighted += static_cast<double>(i + 1) * xs[i];
+    total += xs[i];
+  }
+  if (total <= 0.0) return 0.0;
+  const double nn = static_cast<double>(n);
+  return (2.0 * cum_weighted) / (nn * total) - (nn + 1.0) / nn;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::add(double x) noexcept {
+  auto bin = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+  bin = std::clamp<std::ptrdiff_t>(bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t bin) const noexcept {
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const noexcept {
+  return lo_ + width_ * static_cast<double>(bin + 1);
+}
+
+double Histogram::density(std::size_t bin) const {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(counts_.at(bin)) / static_cast<double>(total_);
+}
+
+}  // namespace p2panon::metrics

@@ -1,0 +1,71 @@
+#include "metrics/timeseries.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace p2panon::metrics {
+
+void TimeSeries::record(double t, double value) {
+  assert((points_.empty() || t >= points_.back().t) && "timestamps must be non-decreasing");
+  points_.push_back(Point{t, value});
+}
+
+double TimeSeries::min_value() const {
+  assert(!points_.empty());
+  double m = points_.front().value;
+  for (const Point& p : points_) m = std::min(m, p.value);
+  return m;
+}
+
+double TimeSeries::max_value() const {
+  assert(!points_.empty());
+  double m = points_.front().value;
+  for (const Point& p : points_) m = std::max(m, p.value);
+  return m;
+}
+
+double TimeSeries::mean_value() const {
+  assert(!points_.empty());
+  double s = 0.0;
+  for (const Point& p : points_) s += p.value;
+  return s / static_cast<double>(points_.size());
+}
+
+double TimeSeries::at(double t) const {
+  assert(!points_.empty());
+  // Last point with .t <= t; first value if t precedes all data.
+  auto it = std::upper_bound(points_.begin(), points_.end(), t,
+                             [](double x, const Point& p) { return x < p.t; });
+  if (it == points_.begin()) return points_.front().value;
+  return std::prev(it)->value;
+}
+
+std::vector<TimeSeries::Point> TimeSeries::resample(double t0, double t1,
+                                                    std::size_t count) const {
+  assert(count >= 2 && t1 > t0);
+  std::vector<Point> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double t = t0 + (t1 - t0) * static_cast<double>(i) / static_cast<double>(count - 1);
+    out.push_back(Point{t, at(t)});
+  }
+  return out;
+}
+
+double TimeSeries::time_weighted_mean(double t0, double t1) const {
+  assert(t1 > t0 && !points_.empty());
+  double area = 0.0;
+  double prev_t = t0;
+  double prev_v = at(t0);
+  for (const Point& p : points_) {
+    if (p.t <= t0) continue;
+    if (p.t >= t1) break;
+    area += (p.t - prev_t) * prev_v;
+    prev_t = p.t;
+    prev_v = p.value;
+  }
+  area += (t1 - prev_t) * prev_v;
+  return area / (t1 - t0);
+}
+
+}  // namespace p2panon::metrics

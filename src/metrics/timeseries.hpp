@@ -1,0 +1,43 @@
+// Time-stamped series collection for "X over simulated time" analyses
+// (online-node counts, anonymity-set size, forwarder availability, ...).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace p2panon::metrics {
+
+class TimeSeries {
+ public:
+  struct Point {
+    double t = 0.0;
+    double value = 0.0;
+  };
+
+  /// Record an observation. Timestamps must be non-decreasing.
+  void record(double t, double value);
+
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+  [[nodiscard]] const std::vector<Point>& points() const noexcept { return points_; }
+
+  [[nodiscard]] double min_value() const;
+  [[nodiscard]] double max_value() const;
+  [[nodiscard]] double mean_value() const;
+
+  /// Value at time t: last observation at or before t (step function);
+  /// the first observation's value before any data point.
+  [[nodiscard]] double at(double t) const;
+
+  /// Resample onto `count` evenly spaced instants across [t0, t1]
+  /// (last-observation-carried-forward). count >= 2.
+  [[nodiscard]] std::vector<Point> resample(double t0, double t1, std::size_t count) const;
+
+  /// Time-weighted average over [t0, t1] of the step function.
+  [[nodiscard]] double time_weighted_mean(double t0, double t1) const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace p2panon::metrics

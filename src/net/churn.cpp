@@ -1,0 +1,62 @@
+#include "net/churn.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace p2panon::net {
+
+ChurnProcess::ChurnProcess(const ChurnConfig& cfg, sim::rng::Stream stream) noexcept
+    : cfg_(cfg),
+      stream_(stream),
+      shape_(sim::rng::bounded_pareto_shape_for_median(cfg.session_min, cfg.session_max,
+                                                       cfg.session_median)) {
+  assert(cfg.session_min > 0.0 && cfg.session_median > cfg.session_min);
+  assert(cfg.session_max > cfg.session_median);
+  assert(cfg.departure_probability >= 0.0 && cfg.departure_probability <= 1.0);
+}
+
+sim::Time ChurnProcess::next_join_gap() noexcept {
+  return stream_.exponential(1.0 / cfg_.join_interarrival_mean);
+}
+
+sim::Time ChurnProcess::session_length() noexcept {
+  return stream_.bounded_pareto(shape_, cfg_.session_min, cfg_.session_max);
+}
+
+sim::Time ChurnProcess::offline_gap() noexcept {
+  return stream_.exponential(1.0 / cfg_.offline_gap_mean);
+}
+
+bool ChurnProcess::is_final_departure() noexcept {
+  return stream_.bernoulli(cfg_.departure_probability);
+}
+
+void AvailabilityTracker::on_join(sim::Time now) noexcept {
+  assert(!online() && "join while online");
+  if (first_join_ < 0.0) first_join_ = now;
+  session_start_ = now;
+}
+
+void AvailabilityTracker::on_leave(sim::Time now) noexcept {
+  assert(online() && "leave while offline");
+  assert(now >= session_start_);
+  accumulated_ += now - session_start_;
+  session_start_ = -1.0;
+  last_leave_ = now;
+}
+
+sim::Time AvailabilityTracker::total_session_time(sim::Time now) const noexcept {
+  sim::Time t = accumulated_;
+  if (online()) t += std::max(0.0, now - session_start_);
+  return t;
+}
+
+double AvailabilityTracker::availability(sim::Time now) const noexcept {
+  if (!ever_joined()) return 0.0;
+  const sim::Time horizon = online() ? now : (last_leave_ >= 0.0 ? last_leave_ : now);
+  const sim::Time lifetime = horizon - first_join_;
+  if (lifetime <= 0.0) return online() ? 1.0 : 0.0;
+  return std::clamp(total_session_time(now) / lifetime, 0.0, 1.0);
+}
+
+}  // namespace p2panon::net

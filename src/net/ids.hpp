@@ -1,0 +1,22 @@
+// Identifier types for the P2P overlay and the anonymity layer.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace p2panon::net {
+
+/// Dense node identifier: nodes are numbered 0..N-1 within an Overlay.
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Identifier of one anonymous connection (one message transmission).
+using ConnectionId = std::uint64_t;
+
+/// Identifier of a recurring connection *set* pi = {pi^1..pi^k} between one
+/// (I, R) pair. Forwarders see this id (it ties history entries together,
+/// paper §2.3) but never the initiator's identity.
+using PairId = std::uint32_t;
+inline constexpr PairId kInvalidPair = std::numeric_limits<PairId>::max();
+
+}  // namespace p2panon::net

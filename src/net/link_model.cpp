@@ -1,0 +1,21 @@
+#include "net/link_model.hpp"
+
+#include <algorithm>
+
+#include "sim/rng.hpp"
+
+namespace p2panon::net {
+
+double LinkModel::bandwidth(NodeId a, NodeId b) const noexcept {
+  // Canonicalise the unordered pair, mix with the seed, and map one
+  // SplitMix64 output into [lo, hi). Self-links get maximal bandwidth.
+  if (a == b) return cfg_.bandwidth_hi;
+  const NodeId lo_id = std::min(a, b);
+  const NodeId hi_id = std::max(a, b);
+  std::uint64_t state = seed_ ^ (static_cast<std::uint64_t>(lo_id) << 32 | hi_id);
+  const std::uint64_t bits = sim::rng::splitmix64(state);
+  const double u = static_cast<double>(bits >> 11) * 0x1.0p-53;
+  return cfg_.bandwidth_lo + (cfg_.bandwidth_hi - cfg_.bandwidth_lo) * u;
+}
+
+}  // namespace p2panon::net

@@ -1,0 +1,66 @@
+// Pairwise link bandwidth and transmission cost.
+//
+// The paper models the transmission cost between two peers as proportional
+// to (per-unit cost on) the communication bandwidth between them: C_t = b*l
+// where b is payload size and l the per-unit transmission cost of the link
+// (§2.4.1). We give every unordered node pair a deterministic bandwidth drawn
+// from a configurable range — deterministic in (seed, pair), so cost queries
+// need no stored N^2 matrix and replicate runs are reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "net/ids.hpp"
+
+namespace p2panon::net {
+
+struct LinkModelConfig {
+  double bandwidth_lo = 1.0;    ///< minimum link bandwidth (arbitrary units)
+  double bandwidth_hi = 10.0;   ///< maximum link bandwidth
+  double cost_scale = 1.0;      ///< per-unit cost l = cost_scale / bandwidth
+  double payload_size = 1.0;    ///< payload units b per forwarding instance
+  double propagation_delay = 0.05;  ///< fixed per-hop latency (seconds)
+};
+
+class LinkModel {
+ public:
+  LinkModel(const LinkModelConfig& cfg, std::uint64_t seed) noexcept
+      : cfg_(cfg), seed_(seed) {}
+
+  /// Symmetric deterministic bandwidth of the (a, b) link.
+  [[nodiscard]] double bandwidth(NodeId a, NodeId b) const noexcept;
+
+  /// Per-unit transmission cost l of the (a, b) link.
+  [[nodiscard]] double unit_cost(NodeId a, NodeId b) const noexcept {
+    return cfg_.cost_scale / bandwidth(a, b);
+  }
+
+  /// Full transmission cost C_t = b * l for one forwarding instance.
+  [[nodiscard]] double transmission_cost(NodeId a, NodeId b) const noexcept {
+    return cfg_.payload_size * unit_cost(a, b);
+  }
+
+  /// Time to push one payload over the (a, b) link: propagation base plus
+  /// payload / bandwidth. Used by the end-to-end latency analyses.
+  [[nodiscard]] double transfer_time(NodeId a, NodeId b) const noexcept {
+    return cfg_.propagation_delay + cfg_.payload_size / bandwidth(a, b);
+  }
+
+  /// End-to-end latency of a path (sum over its edges).
+  template <typename NodeRange>
+  [[nodiscard]] double path_latency(const NodeRange& nodes) const noexcept {
+    double total = 0.0;
+    for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+      total += transfer_time(nodes[i], nodes[i + 1]);
+    }
+    return total;
+  }
+
+  [[nodiscard]] const LinkModelConfig& config() const noexcept { return cfg_; }
+
+ private:
+  LinkModelConfig cfg_;
+  std::uint64_t seed_;
+};
+
+}  // namespace p2panon::net

@@ -1,0 +1,37 @@
+// Per-node overlay state.
+#pragma once
+
+#include <vector>
+
+#include "net/churn.hpp"
+#include "net/ids.hpp"
+
+namespace p2panon::net {
+
+/// Behavioural class of a peer. Malicious peers follow the paper's adversary
+/// model: they participate but route *randomly*, since their objective is
+/// breaking anonymity, not income (§2.4).
+enum class NodeKind { kGood, kMalicious };
+
+struct Node {
+  NodeId id = kInvalidNode;
+  NodeKind kind = NodeKind::kGood;
+  bool online = false;
+  bool departed = false;  ///< final departure happened; never returns
+
+  /// Fixed-size neighbour set D(s); entries are replaced (not removed) when
+  /// a neighbour departs for good.
+  std::vector<NodeId> neighbors;
+
+  /// Ground-truth availability bookkeeping (Rhea et al. definition).
+  AvailabilityTracker tracker;
+
+  /// Participation cost C_p for this node (paper §2.4.1) — one-time cost of
+  /// running the forwarding software for a peer session.
+  double participation_cost = 0.0;
+
+  [[nodiscard]] bool is_good() const noexcept { return kind == NodeKind::kGood; }
+  [[nodiscard]] bool is_malicious() const noexcept { return kind == NodeKind::kMalicious; }
+};
+
+}  // namespace p2panon::net

@@ -1,0 +1,178 @@
+#include "net/overlay.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace p2panon::net {
+
+Overlay::Overlay(const OverlayConfig& cfg, sim::Simulator& simulator, sim::rng::Stream stream)
+    : cfg_(cfg),
+      sim_(simulator),
+      stream_(stream),
+      churn_(cfg.churn, stream.child("churn")),
+      links_(cfg.link, stream.child("links").next_u64()) {
+  assert(cfg.node_count >= 2);
+  assert(cfg.degree >= 1 && cfg.degree < cfg.node_count);
+  assert(cfg.malicious_fraction >= 0.0 && cfg.malicious_fraction <= 1.0);
+
+  nodes_.resize(cfg.node_count);
+  for (NodeId id = 0; id < cfg.node_count; ++id) {
+    nodes_[id].id = id;
+    nodes_[id].participation_cost = cfg.participation_cost;
+  }
+
+  // Assign the malicious fraction uniformly at random.
+  auto mal_stream = stream.child("malicious");
+  const auto mal_count =
+      static_cast<std::size_t>(cfg.malicious_fraction * static_cast<double>(cfg.node_count) + 0.5);
+  for (std::size_t idx : mal_stream.sample_indices(cfg.node_count, mal_count)) {
+    nodes_[idx].kind = NodeKind::kMalicious;
+  }
+
+  // Each node randomly selects d distinct neighbours (paper §3).
+  auto nb_stream = stream.child("neighbors");
+  for (NodeId id = 0; id < cfg.node_count; ++id) {
+    auto picks = nb_stream.sample_indices(cfg.node_count - 1, cfg.degree);
+    nodes_[id].neighbors.reserve(cfg.degree);
+    for (std::size_t p : picks) {
+      // Map [0, N-1) onto V \ {id}.
+      const auto neighbor = static_cast<NodeId>(p >= id ? p + 1 : p);
+      nodes_[id].neighbors.push_back(neighbor);
+    }
+  }
+}
+
+void Overlay::start() {
+  // Poisson join process: nodes enter the system one by one in a random
+  // order, with exponential inter-arrival gaps.
+  std::vector<NodeId> order(nodes_.size());
+  for (NodeId id = 0; id < nodes_.size(); ++id) order[id] = id;
+  auto order_stream = stream_.child("join-order");
+  order_stream.shuffle(order);
+
+  sim::Time at = 0.0;
+  for (NodeId id : order) {
+    if (cfg_.malicious_always_online && nodes_[id].is_malicious()) {
+      // Availability attackers are present from the very start and stay.
+      sim_.schedule_at(0.0, [this, id] { do_join(id); });
+      continue;
+    }
+    sim_.schedule_at(at, [this, id] { do_join(id); });
+    at += churn_.next_join_gap();
+  }
+}
+
+void Overlay::do_join(NodeId id) {
+  Node& n = nodes_.at(id);
+  if (n.departed || n.online) return;
+  n.online = true;
+  n.tracker.on_join(sim_.now());
+  ++churn_event_count_;
+  notify_churn(id, true);
+  if (!(cfg_.malicious_always_online && n.is_malicious())) {
+    schedule_leave(id);
+  }
+}
+
+void Overlay::schedule_leave(NodeId id) {
+  const sim::Time session = churn_.session_length();
+  sim_.schedule_in(session, [this, id] { do_leave(id); });
+}
+
+void Overlay::do_leave(NodeId id) {
+  Node& n = nodes_.at(id);
+  if (!n.online) return;
+  n.online = false;
+  n.tracker.on_leave(sim_.now());
+  ++churn_event_count_;
+  notify_churn(id, false);
+
+  if (churn_.is_final_departure()) {
+    n.departed = true;
+    replace_departed_neighbor(id);
+    return;
+  }
+  const sim::Time gap = churn_.offline_gap();
+  sim_.schedule_in(gap, [this, id] { do_join(id); });
+}
+
+void Overlay::force_online(NodeId id) {
+  Node& n = nodes_.at(id);
+  if (n.online) return;
+  n.departed = false;
+  n.online = true;
+  n.tracker.on_join(sim_.now());
+  ++churn_event_count_;
+  notify_churn(id, true);
+  schedule_leave(id);
+}
+
+void Overlay::replace_departed_neighbor(NodeId departed) {
+  for (Node& s : nodes_) {
+    if (s.id == departed) continue;
+    for (NodeId& nb : s.neighbors) {
+      if (nb == departed) {
+        const NodeId fresh = pick_replacement(s.id, departed);
+        if (fresh == kInvalidNode) continue;  // nobody suitable; keep stale entry
+        nb = fresh;
+        for (const auto& obs : neighbor_observers_) obs(s.id, departed, fresh, sim_.now());
+      }
+    }
+  }
+}
+
+NodeId Overlay::pick_replacement(NodeId owner, NodeId departed) {
+  // Candidates: any non-departed node that is not the owner, not the departed
+  // neighbour, and not already in D(owner).
+  const Node& s = nodes_.at(owner);
+  std::vector<NodeId> candidates;
+  candidates.reserve(nodes_.size());
+  for (const Node& c : nodes_) {
+    if (c.id == owner || c.id == departed || c.departed) continue;
+    if (std::find(s.neighbors.begin(), s.neighbors.end(), c.id) != s.neighbors.end()) continue;
+    candidates.push_back(c.id);
+  }
+  if (candidates.empty()) return kInvalidNode;
+  auto pick_stream = stream_.child("replacement", (static_cast<std::uint64_t>(owner) << 32) ^
+                                                      churn_event_count_);
+  return candidates[pick_stream.below(candidates.size())];
+}
+
+void Overlay::notify_churn(NodeId id, bool online) {
+  for (const auto& obs : churn_observers_) obs(id, online, sim_.now());
+}
+
+std::vector<NodeId> Overlay::online_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(nodes_.size());
+  for (const Node& n : nodes_) {
+    if (n.online) out.push_back(n.id);
+  }
+  return out;
+}
+
+std::vector<NodeId> Overlay::online_neighbors(NodeId id) const {
+  std::vector<NodeId> out;
+  for (NodeId nb : nodes_.at(id).neighbors) {
+    if (nodes_.at(nb).online) out.push_back(nb);
+  }
+  return out;
+}
+
+std::vector<NodeId> Overlay::good_nodes() const {
+  std::vector<NodeId> out;
+  for (const Node& n : nodes_) {
+    if (n.is_good()) out.push_back(n.id);
+  }
+  return out;
+}
+
+std::vector<NodeId> Overlay::malicious_nodes() const {
+  std::vector<NodeId> out;
+  for (const Node& n : nodes_) {
+    if (n.is_malicious()) out.push_back(n.id);
+  }
+  return out;
+}
+
+}  // namespace p2panon::net

@@ -1,0 +1,87 @@
+#include "net/probing.hpp"
+
+#include <cassert>
+
+namespace p2panon::net {
+
+ProbingEstimator::ProbingEstimator(Overlay& overlay, const ProbingConfig& cfg,
+                                   sim::rng::Stream stream)
+    : overlay_(overlay),
+      cfg_(cfg),
+      stream_(stream),
+      session_time_(overlay.size()),
+      loop_active_(overlay.size(), false) {
+  assert(cfg_.period > 0.0);
+  overlay_.add_churn_observer(
+      [this](NodeId node, bool online, sim::Time) { on_churn(node, online); });
+  overlay_.add_neighbor_observer([this](NodeId s, NodeId old_nb, NodeId fresh, sim::Time) {
+    on_neighbor_replaced(s, old_nb, fresh);
+  });
+}
+
+void ProbingEstimator::on_churn(NodeId node, bool online) {
+  if (!online) return;  // probe loop self-suspends while offline
+  // "When a peer first joins the system, it initializes the session time of
+  // each of its neighbors to 0" — the map default (absent => 0) realises
+  // this; we only need to (re)start the probe loop.
+  if (!loop_active_[node]) {
+    loop_active_[node] = true;
+    start_probe_loop(node);
+  }
+}
+
+void ProbingEstimator::on_neighbor_replaced(NodeId s, NodeId old_neighbor, NodeId /*fresh*/) {
+  // Forget the departed neighbour; the fresh one is initialised on first
+  // sighting by probe().
+  session_time_[s].erase(old_neighbor);
+}
+
+void ProbingEstimator::start_probe_loop(NodeId s) {
+  overlay_.simulator().schedule_in(cfg_.period, [this, s] { probe(s); });
+}
+
+void ProbingEstimator::probe(NodeId s) {
+  if (!overlay_.is_online(s)) {
+    // Peer went offline; suspend its loop. It restarts on the next join.
+    loop_active_[s] = false;
+    return;
+  }
+  ++probes_;
+  auto& times = session_time_[s];
+  for (NodeId u : overlay_.neighbors(s)) {
+    if (!overlay_.is_online(u)) continue;
+    auto it = times.find(u);
+    if (it == times.end()) {
+      // New neighbour first observed alive: t_s(u) = rand(0, T).
+      auto init_stream = stream_.child("init", (static_cast<std::uint64_t>(s) << 32) | u);
+      times.emplace(u, init_stream.uniform(0.0, cfg_.period));
+    } else {
+      it->second += cfg_.period;
+    }
+  }
+  start_probe_loop(s);
+}
+
+double ProbingEstimator::availability(NodeId s, NodeId u) const {
+  const auto& times = session_time_.at(s);
+  double total = 0.0;
+  for (NodeId v : overlay_.neighbors(s)) {
+    auto it = times.find(v);
+    if (it != times.end()) total += it->second;
+  }
+  if (total <= 0.0) {
+    // No observations yet: uniform prior over the neighbour set.
+    const auto d = overlay_.neighbors(s).size();
+    return d > 0 ? 1.0 / static_cast<double>(d) : 0.0;
+  }
+  auto it = times.find(u);
+  return it == times.end() ? 0.0 : it->second / total;
+}
+
+sim::Time ProbingEstimator::observed_session_time(NodeId s, NodeId u) const {
+  const auto& times = session_time_.at(s);
+  auto it = times.find(u);
+  return it == times.end() ? 0.0 : it->second;
+}
+
+}  // namespace p2panon::net

@@ -1,0 +1,65 @@
+// Active-probing availability estimation (paper §2.3, after Bustamante &
+// Qiao).
+//
+// There is no centralised availability service: each peer s estimates the
+// availability of its neighbours from its own probes. At the start of every
+// probing period of length T, s checks the liveness of each u in D(s):
+//   * if u is alive, its observed session time grows: t_s(u) += T;
+//   * if u is a *new* neighbour first seen alive this period, its session
+//     time is initialised to rand(0, T) (uniform), since it may have come
+//     online anywhere within the period.
+// The availability estimate is the normalised observed session time
+//   alpha_s(u) = t_s(u) / sum_{v in D(s)} t_s(v),
+// so a neighbour with a longer observed session time has higher availability.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/overlay.hpp"
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+
+namespace p2panon::net {
+
+struct ProbingConfig {
+  sim::Time period = sim::minutes(5.0);  ///< T
+};
+
+class ProbingEstimator {
+ public:
+  /// Registers churn/neighbour observers on the overlay and schedules the
+  /// per-node probe loops. Construct before Overlay::start().
+  ProbingEstimator(Overlay& overlay, const ProbingConfig& cfg, sim::rng::Stream stream);
+
+  ProbingEstimator(const ProbingEstimator&) = delete;
+  ProbingEstimator& operator=(const ProbingEstimator&) = delete;
+
+  /// alpha_s(u): s's availability estimate for neighbour u, in [0, 1].
+  /// Falls back to uniform 1/|D(s)| before any session time accumulates.
+  [[nodiscard]] double availability(NodeId s, NodeId u) const;
+
+  /// Raw observed session time t_s(u) in seconds.
+  [[nodiscard]] sim::Time observed_session_time(NodeId s, NodeId u) const;
+
+  [[nodiscard]] std::uint64_t probes_performed() const noexcept { return probes_; }
+  [[nodiscard]] const ProbingConfig& config() const noexcept { return cfg_; }
+
+ private:
+  void on_churn(NodeId node, bool online);
+  void on_neighbor_replaced(NodeId s, NodeId old_neighbor, NodeId fresh);
+  void start_probe_loop(NodeId s);
+  void probe(NodeId s);
+
+  Overlay& overlay_;
+  ProbingConfig cfg_;
+  sim::rng::Stream stream_;
+  /// session_time_[s][u] = t_s(u). Entries exist only for current/past
+  /// neighbours of s.
+  std::vector<std::unordered_map<NodeId, sim::Time>> session_time_;
+  std::vector<bool> loop_active_;
+  std::uint64_t probes_ = 0;
+};
+
+}  // namespace p2panon::net

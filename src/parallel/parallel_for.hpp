@@ -1,0 +1,58 @@
+// Parallel iteration and deterministic Monte-Carlo replication helpers.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace p2panon::parallel {
+
+/// Invoke body(i) for i in [begin, end) across the pool, blocking until all
+/// iterations finish. Exceptions thrown by any iteration are rethrown (first
+/// one wins) after all iterations complete.
+///
+/// Iterations must be independent; there is no ordering guarantee.
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end, Body&& body) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  // Static block partitioning: replicate workloads are near-uniform, and
+  // static blocks keep per-task overhead negligible.
+  const std::size_t blocks = std::min(n, pool.thread_count() * 4);
+  const std::size_t chunk = (n + blocks - 1) / blocks;
+
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t lo = begin + b * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    pool.submit([lo, hi, &body, &err_mu, &first_error] {
+      try {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      } catch (...) {
+        std::lock_guard lk(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  pool.wait_idle();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Run `count` independent replicates, each producing a Result, in parallel.
+/// Results are returned indexed by replicate id, so aggregation order is
+/// deterministic regardless of thread count or scheduling.
+template <typename Result, typename Fn>
+std::vector<Result> run_replicates(ThreadPool& pool, std::size_t count, Fn&& fn) {
+  std::vector<Result> results(count);
+  parallel_for(pool, 0, count, [&](std::size_t r) { results[r] = fn(r); });
+  return results;
+}
+
+}  // namespace p2panon::parallel

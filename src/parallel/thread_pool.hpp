@@ -1,0 +1,52 @@
+// Fixed-size thread pool.
+//
+// The simulator itself is single-threaded; parallelism in this project is
+// across *independent Monte-Carlo replicates* (one Simulator instance per
+// seed). The pool therefore favours simplicity and predictability over
+// work-stealing sophistication: a single mutex-protected FIFO queue is
+// entirely adequate when each task is a multi-millisecond simulation run.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace p2panon::parallel {
+
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (minimum 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Joins all workers; pending tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task. Never blocks (unbounded queue).
+  void submit(std::function<void()> task);
+
+  /// Block until every task submitted so far has finished executing.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_task_;   // workers wait for tasks
+  std::condition_variable cv_idle_;   // wait_idle waits for drain
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace p2panon::parallel

@@ -1,0 +1,66 @@
+#include "payment/audit.hpp"
+
+#include <ostream>
+
+namespace p2panon::payment {
+
+Amount ReplayState::total() const noexcept {
+  Amount t = outstanding;
+  for (Amount a : accounts) t += a;
+  for (Amount e : escrows) t += e;
+  return t;
+}
+
+void AuditLog::record(TxKind kind, AccountId account, EscrowId escrow, Amount amount) {
+  log_.push_back(Transaction{log_.size(), kind, account, escrow, amount});
+}
+
+bool AuditLog::replay(ReplayState& out) const {
+  out = ReplayState{};
+  auto account_ok = [&out](AccountId id) { return id < out.accounts.size(); };
+  auto escrow_ok = [&out](EscrowId id) { return id < out.escrows.size(); };
+
+  for (const Transaction& tx : log_) {
+    if (tx.amount < 0) return false;
+    switch (tx.kind) {
+      case TxKind::kOpenAccount:
+        if (tx.account != out.accounts.size()) return false;  // ids are dense
+        out.accounts.push_back(tx.amount);
+        break;
+      case TxKind::kWithdraw:
+        if (!account_ok(tx.account) || out.accounts[tx.account] < tx.amount) return false;
+        out.accounts[tx.account] -= tx.amount;
+        out.outstanding += tx.amount;
+        break;
+      case TxKind::kDeposit:
+        if (!account_ok(tx.account) || out.outstanding < tx.amount) return false;
+        out.outstanding -= tx.amount;
+        out.accounts[tx.account] += tx.amount;
+        break;
+      case TxKind::kEscrowFund:
+        if (tx.escrow != out.escrows.size()) return false;  // ids are dense
+        if (out.outstanding < tx.amount) return false;      // funded by coins
+        out.outstanding -= tx.amount;
+        out.escrows.push_back(tx.amount);
+        break;
+      case TxKind::kEscrowPay:
+        if (!account_ok(tx.account) || !escrow_ok(tx.escrow)) return false;
+        if (out.escrows[tx.escrow] < tx.amount) return false;
+        out.escrows[tx.escrow] -= tx.amount;
+        out.accounts[tx.account] += tx.amount;
+        break;
+    }
+  }
+  return true;
+}
+
+void AuditLog::print(std::ostream& os) const {
+  static const char* names[] = {"open", "withdraw", "deposit", "escrow-fund", "escrow-pay"};
+  for (const Transaction& tx : log_) {
+    os << tx.seq << "  " << names[static_cast<std::size_t>(tx.kind)] << "  acct="
+       << tx.account << " escrow=" << tx.escrow << " amount=" << to_credits(tx.amount)
+       << '\n';
+  }
+}
+
+}  // namespace p2panon::payment

@@ -1,0 +1,107 @@
+#include "payment/crypto.hpp"
+
+#include <cassert>
+
+namespace p2panon::payment::crypto {
+
+std::optional<u64> modinv(u64 a, u64 m) noexcept {
+  // Extended Euclid on signed 128-bit intermediates.
+  __int128 t = 0, new_t = 1;
+  __int128 r = m, new_r = a % m;
+  while (new_r != 0) {
+    const __int128 q = r / new_r;
+    const __int128 tmp_t = t - q * new_t;
+    t = new_t;
+    new_t = tmp_t;
+    const __int128 tmp_r = r - q * new_r;
+    r = new_r;
+    new_r = tmp_r;
+  }
+  if (r != 1) return std::nullopt;
+  if (t < 0) t += m;
+  return static_cast<u64>(t);
+}
+
+bool is_prime(u64 n) noexcept {
+  if (n < 2) return false;
+  for (u64 p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (n % p == 0) return n == p;
+  }
+  u64 d = n - 1;
+  int s = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++s;
+  }
+  // These witnesses make Miller-Rabin deterministic for all n < 3.3e24.
+  for (u64 a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+    u64 x = powmod(a % n, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool composite = true;
+    for (int i = 0; i < s - 1; ++i) {
+      x = mulmod(x, x, n);
+      if (x == n - 1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+u64 next_prime(u64 n) noexcept {
+  if (n <= 2) return 2;
+  if ((n & 1) == 0) ++n;
+  while (!is_prime(n)) n += 2;
+  return n;
+}
+
+RsaKeyPair generate_keypair(sim::rng::Stream& stream) noexcept {
+  constexpr u64 e = 65537;
+  for (;;) {
+    // Two distinct ~31-bit primes; n fits comfortably in 62 bits.
+    const u64 p = next_prime((stream.next_u64() & 0x3FFFFFFFULL) | 0x40000000ULL);
+    u64 q = next_prime((stream.next_u64() & 0x3FFFFFFFULL) | 0x40000000ULL);
+    if (p == q) continue;
+    const u64 phi = (p - 1) * (q - 1);
+    if (gcd_u64(e, phi) != 1) continue;
+    const auto d = modinv(e, phi);
+    if (!d) continue;
+    RsaKeyPair kp;
+    kp.pub.n = p * q;
+    kp.pub.e = e;
+    kp.d = *d;
+    return kp;
+  }
+}
+
+u64 rsa_sign(const RsaKeyPair& key, u64 message) noexcept {
+  assert(message < key.pub.n);
+  return powmod(message, key.d, key.pub.n);
+}
+
+bool rsa_verify(const RsaPublicKey& key, u64 message, u64 signature) noexcept {
+  if (!key.valid() || message >= key.n || signature >= key.n) return false;
+  return powmod(signature, key.e, key.n) == message;
+}
+
+Blinding blind(const RsaPublicKey& key, u64 message, sim::rng::Stream& stream) noexcept {
+  assert(key.valid() && message < key.n);
+  for (;;) {
+    const u64 r = stream.next_u64() % key.n;
+    if (r < 2) continue;
+    const auto inv = modinv(r, key.n);
+    if (!inv) continue;  // r shares a factor with n (astronomically unlikely)
+    Blinding b;
+    b.blinded_message = mulmod(message, powmod(r, key.e, key.n), key.n);
+    b.unblinder = *inv;
+    return b;
+  }
+}
+
+u64 unblind(const RsaPublicKey& key, u64 blind_signature, const Blinding& blinding) noexcept {
+  return mulmod(blind_signature, blinding.unblinder, key.n);
+}
+
+}  // namespace p2panon::payment::crypto

@@ -1,0 +1,41 @@
+// Monetary amounts for the payment substrate.
+//
+// The payment system does exact integer accounting in milli-credits so that
+// settlement conservation (escrow in == payouts + refund) holds to the last
+// unit. The simulation's utility arithmetic stays in doubles; conversion
+// happens at the payment boundary.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace p2panon::payment {
+
+/// Milli-credits. 1 credit == 1000 Amount units.
+using Amount = std::int64_t;
+
+[[nodiscard]] inline Amount from_credits(double credits) noexcept {
+  return static_cast<Amount>(std::llround(credits * 1000.0));
+}
+
+[[nodiscard]] inline double to_credits(Amount a) noexcept {
+  return static_cast<double>(a) / 1000.0;
+}
+
+/// Split `total` into `parts` near-equal integer shares that sum exactly to
+/// `total` (largest-remainder method: the first total%parts shares get one
+/// extra unit). Used for the routing-benefit split P_r / ||pi||.
+[[nodiscard]] inline std::vector<Amount> split_evenly(Amount total, std::size_t parts) {
+  std::vector<Amount> shares;
+  if (parts == 0) return shares;
+  const Amount base = total / static_cast<Amount>(parts);
+  Amount remainder = total - base * static_cast<Amount>(parts);
+  shares.assign(parts, base);
+  for (std::size_t i = 0; i < parts && remainder > 0; ++i, --remainder) {
+    ++shares[i];
+  }
+  return shares;
+}
+
+}  // namespace p2panon::payment

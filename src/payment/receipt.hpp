@@ -1,0 +1,49 @@
+// Forwarding receipts.
+//
+// When the responder's confirmation travels the reverse path (paper §2.2),
+// every forwarder appends path information. We realise that information as a
+// MAC'd receipt per (connection, hop): the forwarder states its predecessor
+// and successor for connection `conn_index` of connection-set `pair`, and
+// authenticates the statement with the MAC key it registered at the bank.
+// The initiator uses the receipt chain to recreate and validate the path;
+// the bank uses the MACs at settlement to verify forwarder claims. Receipts
+// never mention the initiator.
+#pragma once
+
+#include <cstdint>
+
+#include "net/ids.hpp"
+#include "payment/crypto.hpp"
+
+namespace p2panon::payment {
+
+struct ForwardReceipt {
+  net::PairId pair = net::kInvalidPair;  ///< connection-set id (cid family)
+  std::uint32_t conn_index = 0;          ///< which pi^j in the set
+  net::NodeId forwarder = net::kInvalidNode;
+  net::NodeId predecessor = net::kInvalidNode;
+  net::NodeId successor = net::kInvalidNode;
+  crypto::u64 mac = 0;
+
+  friend bool operator==(const ForwardReceipt&, const ForwardReceipt&) = default;
+};
+
+/// MAC over all receipt fields under the forwarder's registered key.
+[[nodiscard]] inline crypto::u64 receipt_mac(crypto::u64 key, const ForwardReceipt& r) noexcept {
+  return crypto::mac(key, {static_cast<crypto::u64>(r.pair),
+                           static_cast<crypto::u64>(r.conn_index),
+                           static_cast<crypto::u64>(r.forwarder),
+                           static_cast<crypto::u64>(r.predecessor),
+                           static_cast<crypto::u64>(r.successor)});
+}
+
+[[nodiscard]] inline ForwardReceipt make_receipt(crypto::u64 key, net::PairId pair,
+                                                 std::uint32_t conn_index, net::NodeId forwarder,
+                                                 net::NodeId predecessor,
+                                                 net::NodeId successor) noexcept {
+  ForwardReceipt r{pair, conn_index, forwarder, predecessor, successor, 0};
+  r.mac = receipt_mac(key, r);
+  return r;
+}
+
+}  // namespace p2panon::payment

@@ -1,0 +1,36 @@
+#include "payment/route_verification.hpp"
+
+#include <cassert>
+
+namespace p2panon::payment {
+
+void RouteVerificationChain::seed(crypto::u64 responder_key, net::NodeId responder) {
+  assert(!seeded_ && "chain already seeded");
+  seeded_ = true;
+  head_ = crypto::mac(responder_key,
+                      {static_cast<crypto::u64>(pair_), static_cast<crypto::u64>(conn_index_),
+                       static_cast<crypto::u64>(responder), 0x726573ULL /*"res"*/});
+}
+
+void RouteVerificationChain::extend(crypto::u64 forwarder_key, net::NodeId forwarder,
+                                    net::NodeId predecessor, net::NodeId successor) {
+  assert(seeded_ && "extend before seed");
+  head_ = crypto::mac(forwarder_key,
+                      {head_, static_cast<crypto::u64>(pair_),
+                       static_cast<crypto::u64>(conn_index_),
+                       static_cast<crypto::u64>(predecessor),
+                       static_cast<crypto::u64>(successor)});
+  links_.push_back(ChainLink{forwarder, predecessor, successor, head_});
+}
+
+std::vector<net::NodeId> RouteVerificationChain::claimed_forwarders() const {
+  // links_ is reverse-path order; the initiator reads them outermost-first.
+  std::vector<net::NodeId> out;
+  out.reserve(links_.size());
+  for (auto it = links_.rbegin(); it != links_.rend(); ++it) {
+    out.push_back(it->forwarder);
+  }
+  return out;
+}
+
+}  // namespace p2panon::payment

@@ -1,0 +1,132 @@
+// Route verification chain (the technical report's "cryptographic
+// operations involved in route formation and verification", paper §2.2/§5).
+//
+// When the responder's confirmation travels the reverse path, each
+// forwarder folds its own MAC'd statement into an accumulating digest:
+//
+//   V_R            = MAC(k_R, cid || conn || "responder")
+//   V_i            = MAC(k_i, V_{i+1} || cid || conn || pred_i || succ_i)
+//
+// so the initiator receives V_1 together with the claimed hop list. The
+// initiator cannot check individual MACs (it holds no forwarder keys), but
+// the *bank* can: at settlement it recomputes the chain from the registered
+// keys and the submitted path record. Any tampering — a dropped hop, an
+// inserted hop, a reordered pair, a forged key — changes V_1.
+//
+// This hardens path recreation beyond the per-hop receipts of
+// payment/receipt.hpp: receipts authenticate each hop in isolation; the
+// chain additionally authenticates the hops' ORDER and completeness, which
+// is what the initiator's "recreate the path and validate it" step needs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/ids.hpp"
+#include "payment/crypto.hpp"
+
+namespace p2panon::payment {
+
+/// One hop's contribution, carried alongside the confirmation.
+struct ChainLink {
+  net::NodeId forwarder = net::kInvalidNode;
+  net::NodeId predecessor = net::kInvalidNode;
+  net::NodeId successor = net::kInvalidNode;
+  crypto::u64 accumulated = 0;  ///< V_i after this forwarder folded in
+};
+
+/// A verification chain for one connection, built responder-first.
+class RouteVerificationChain {
+ public:
+  RouteVerificationChain(net::PairId pair, std::uint32_t conn_index) noexcept
+      : pair_(pair), conn_index_(conn_index) {}
+
+  [[nodiscard]] net::PairId pair() const noexcept { return pair_; }
+  [[nodiscard]] std::uint32_t conn_index() const noexcept { return conn_index_; }
+
+  /// Seed the chain at the responder with its key.
+  void seed(crypto::u64 responder_key, net::NodeId responder);
+
+  /// Fold in one forwarder (called in reverse-path order: the hop nearest
+  /// the responder first).
+  void extend(crypto::u64 forwarder_key, net::NodeId forwarder, net::NodeId predecessor,
+              net::NodeId successor);
+
+  [[nodiscard]] bool seeded() const noexcept { return seeded_; }
+  [[nodiscard]] crypto::u64 head() const noexcept { return head_; }
+  [[nodiscard]] const std::vector<ChainLink>& links() const noexcept { return links_; }
+
+  /// The hop list the initiator extracts (path order: first hop first).
+  [[nodiscard]] std::vector<net::NodeId> claimed_forwarders() const;
+
+ private:
+  net::PairId pair_;
+  std::uint32_t conn_index_;
+  bool seeded_ = false;
+  crypto::u64 head_ = 0;
+  /// Reverse-path order: links_[0] is the forwarder nearest the responder.
+  std::vector<ChainLink> links_;
+};
+
+/// Build the chain for a completed path (full node sequence
+/// initiator..responder), fetching each participant's MAC key via
+/// `key_of(node)`.
+template <typename KeyFn>
+[[nodiscard]] RouteVerificationChain build_chain(net::PairId pair, std::uint32_t conn_index,
+                                                 std::span<const net::NodeId> path,
+                                                 KeyFn&& key_of) {
+  RouteVerificationChain chain(pair, conn_index);
+  const net::NodeId responder = path.back();
+  chain.seed(key_of(responder), responder);
+  for (std::size_t i = path.size() - 2; i >= 1; --i) {
+    chain.extend(key_of(path[i]), path[i], path[i - 1], path[i + 1]);
+  }
+  return chain;
+}
+
+enum class ChainVerdict {
+  kValid,
+  kNotSeeded,
+  kEmptyPath,          ///< no links for a path that claims forwarders
+  kHeadMismatch,       ///< recomputed V_1 differs: tampered order/content
+  kEndpointMismatch,   ///< chain does not terminate at the expected endpoints
+};
+
+/// Bank-side verification: recompute the chain from registered keys and the
+/// claimed hop sequence, compare against the received head. `key_of` maps
+/// node -> registered MAC key.
+template <typename KeyFn>
+[[nodiscard]] ChainVerdict verify_chain(const RouteVerificationChain& chain,
+                                        net::NodeId initiator, net::NodeId responder,
+                                        KeyFn&& key_of) {
+  if (!chain.seeded()) return ChainVerdict::kNotSeeded;
+  const auto& links = chain.links();
+  if (links.empty()) {
+    // Direct path: the head must be the responder seed alone.
+    RouteVerificationChain fresh(chain.pair(), chain.conn_index());
+    fresh.seed(key_of(responder), responder);
+    return fresh.head() == chain.head() ? ChainVerdict::kValid : ChainVerdict::kHeadMismatch;
+  }
+  // Endpoints: the outermost link's predecessor is the initiator, the
+  // innermost link's successor is the responder.
+  if (links.back().predecessor != initiator || links.front().successor != responder) {
+    return ChainVerdict::kEndpointMismatch;
+  }
+  // Adjacent links must interlock: link[j]'s forwarder is link[j+1]'s
+  // successor (reverse-path order).
+  for (std::size_t j = 0; j + 1 < links.size(); ++j) {
+    if (links[j + 1].successor != links[j].forwarder) {
+      return ChainVerdict::kEndpointMismatch;
+    }
+  }
+  // Recompute the accumulated MACs with the registered keys.
+  RouteVerificationChain fresh(chain.pair(), chain.conn_index());
+  fresh.seed(key_of(responder), responder);
+  for (const ChainLink& link : links) {
+    fresh.extend(key_of(link.forwarder), link.forwarder, link.predecessor, link.successor);
+  }
+  return fresh.head() == chain.head() ? ChainVerdict::kValid : ChainVerdict::kHeadMismatch;
+}
+
+}  // namespace p2panon::payment

@@ -1,0 +1,141 @@
+#include "payment/settlement.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace p2panon::payment {
+
+SettlementId SettlementEngine::open(net::PairId pair, EscrowId escrow, SettlementTerms terms,
+                                    std::vector<PathRecord> records, AccountId refund_account) {
+  assert(terms.forwarding_benefit >= 0 && terms.routing_benefit >= 0);
+  Settlement s;
+  s.pair = pair;
+  s.escrow = escrow;
+  s.terms = terms;
+  s.refund_account = refund_account;
+
+  std::unordered_set<net::NodeId> distinct;
+  for (const PathRecord& rec : records) {
+    net::NodeId pred = rec.entry;
+    for (std::size_t i = 0; i < rec.forwarders.size(); ++i) {
+      const net::NodeId fwd = rec.forwarders[i];
+      const net::NodeId succ = i + 1 < rec.forwarders.size() ? rec.forwarders[i + 1] : rec.exit;
+      ++s.valid_hops[{rec.conn_index, fwd, pred, succ}];
+      distinct.insert(fwd);
+      pred = fwd;
+    }
+  }
+  s.set_size = distinct.size();
+
+  const auto id = static_cast<SettlementId>(settlements_.size());
+  settlements_.push_back(std::move(s));
+  return id;
+}
+
+ClaimResult SettlementEngine::submit_claim(SettlementId id, AccountId claimant,
+                                           const ForwardReceipt& receipt) {
+  if (id >= settlements_.size()) return ClaimResult::kUnknownSettlement;
+  Settlement& s = settlements_[id];
+  if (s.report.has_value() || receipt.pair != s.pair) {
+    ++s.rejected;
+    return ClaimResult::kUnknownSettlement;
+  }
+  // The claimant must be the account bound to the forwarder named in the
+  // receipt — you cannot redeem someone else's receipt.
+  if (bank_.account_owner(claimant) != receipt.forwarder) {
+    ++s.rejected;
+    return ClaimResult::kWrongClaimant;
+  }
+  // MAC must verify under the claimant's registered key.
+  const crypto::u64 key = bank_.account_mac_key(claimant);
+  ForwardReceipt check = receipt;
+  check.mac = 0;
+  if (receipt_mac(key, check) != receipt.mac) {
+    ++s.rejected;
+    return ClaimResult::kBadMac;
+  }
+  const auto hop = std::make_tuple(receipt.conn_index, receipt.forwarder, receipt.predecessor,
+                                   receipt.successor);
+  auto valid_it = s.valid_hops.find(hop);
+  if (valid_it == s.valid_hops.end()) {
+    ++s.rejected;
+    return ClaimResult::kNotOnPath;  // over-claim
+  }
+  std::size_t& used = s.seen_claims[hop];
+  if (used >= valid_it->second) {
+    ++s.rejected;
+    return ClaimResult::kDuplicate;  // replay beyond the hop's multiplicity
+  }
+  ++used;
+  ++s.accepted_instances[claimant];
+  return ClaimResult::kAccepted;
+}
+
+const SettlementReport& SettlementEngine::close(SettlementId id) {
+  Settlement& s = settlements_.at(id);
+  if (s.report.has_value()) return *s.report;
+
+  SettlementReport report;
+  report.escrow_in = bank_.escrow_balance(s.escrow);
+  report.forwarder_set_size = s.set_size;
+  report.rejected_claims = s.rejected;
+
+  // Deterministic payout order: ascending account id.
+  std::vector<AccountId> claimants;
+  claimants.reserve(s.accepted_instances.size());
+  for (const auto& [acct, m] : s.accepted_instances) {
+    (void)m;
+    claimants.push_back(acct);
+  }
+  std::sort(claimants.begin(), claimants.end());
+
+  // Routing benefit splits over the *recorded* forwarder-set size ||pi||;
+  // shares of forwarders that never claimed are refunded to the initiator,
+  // never redistributed (otherwise claimants would profit from suppressing
+  // other nodes' claims).
+  const std::vector<Amount> shares =
+      s.set_size > 0 ? split_evenly(s.terms.routing_benefit, s.set_size) : std::vector<Amount>{};
+
+  std::size_t share_idx = 0;
+  for (AccountId acct : claimants) {
+    const auto m = static_cast<Amount>(s.accepted_instances.at(acct));
+    Amount due = m * s.terms.forwarding_benefit;
+    if (share_idx < shares.size()) due += shares[share_idx++];
+    const bool ok = bank_.escrow_pay(s.escrow, acct, due);
+    assert(ok && "escrow underfunded for verified claims");
+    if (ok) {
+      report.paid_out += due;
+      report.payouts[acct] += due;
+      report.accepted_claims += static_cast<std::size_t>(m);
+    }
+  }
+
+  const Amount leftover = bank_.escrow_balance(s.escrow);
+  if (leftover > 0) {
+    const bool ok = bank_.escrow_pay(s.escrow, s.refund_account, leftover);
+    assert(ok);
+    if (ok) report.refunded = leftover;
+  }
+
+  s.report = std::move(report);
+  return *s.report;
+}
+
+bool SettlementEngine::is_closed(SettlementId id) const {
+  return settlements_.at(id).report.has_value();
+}
+
+std::size_t SettlementEngine::open_settlements() const noexcept {
+  std::size_t n = 0;
+  for (const Settlement& s : settlements_) {
+    if (!s.report.has_value()) ++n;
+  }
+  return n;
+}
+
+std::size_t SettlementEngine::forwarder_set_size(SettlementId id) const {
+  return settlements_.at(id).set_size;
+}
+
+}  // namespace p2panon::payment

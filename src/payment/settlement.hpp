@@ -1,0 +1,129 @@
+// Connection-set settlement (paper §2.2).
+//
+// After all k connections of a recurring set pi complete, the initiator's
+// escrow pays every forwarder  m * P_f + P_r / ||pi||  where m is its number
+// of forwarding instances across the set and ||pi|| the size of the distinct
+// forwarder set. The engine is bank-side logic:
+//
+//   1. The initiator opens a settlement against a funded escrow, submitting
+//      the validated per-connection path records (recreated from the
+//      reverse-path receipt chains).
+//   2. Forwarders submit claims: their account plus their receipts.
+//   3. The engine verifies each receipt's MAC under the claimant's
+//      registered key, rejects receipts that do not match the initiator's
+//      path records (over-claims), and dedupes replays.
+//   4. close() pays verified claims out of escrow and refunds the remainder
+//      to the initiator-designated (pseudonymous) refund account.
+//
+// Cheating handled: forged MACs, over-claims (receipts for hops not on any
+// validated path), replayed receipts, claims against the wrong account, and
+// initiator payment refusal (impossible by construction — the escrow was
+// funded before any forwarding happened).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "payment/bank.hpp"
+#include "payment/receipt.hpp"
+
+namespace p2panon::payment {
+
+using SettlementId = std::uint32_t;
+
+/// The initiator's validated record of one connection's path: the ordered
+/// forwarder list for pi^j (excluding initiator and responder), plus the
+/// on-the-wire entry node (the first forwarder's predecessor — the initiator
+/// itself, though nothing marks it as such: a forwarder of a longer path
+/// would look identical, which is exactly the Crowds-style deniability the
+/// paper relies on) and the exit node (the responder).
+struct PathRecord {
+  std::uint32_t conn_index = 0;
+  net::NodeId entry = net::kInvalidNode;
+  net::NodeId exit = net::kInvalidNode;
+  std::vector<net::NodeId> forwarders;
+};
+
+struct SettlementTerms {
+  Amount forwarding_benefit = 0;  ///< P_f per forwarding instance
+  Amount routing_benefit = 0;     ///< P_r shared across the forwarder set
+};
+
+enum class ClaimResult {
+  kAccepted,
+  kBadMac,          ///< MAC does not verify under the claimant's key
+  kWrongClaimant,   ///< receipt names a different forwarder than the account
+  kNotOnPath,       ///< over-claim: hop absent from the validated records
+  kDuplicate,       ///< replayed receipt
+  kUnknownSettlement,
+};
+
+struct SettlementReport {
+  Amount escrow_in = 0;
+  Amount paid_out = 0;
+  Amount refunded = 0;
+  std::size_t accepted_claims = 0;
+  std::size_t rejected_claims = 0;
+  std::size_t forwarder_set_size = 0;  ///< ||pi||
+  /// Per-account payout, for auditing.
+  std::unordered_map<AccountId, Amount> payouts;
+};
+
+class SettlementEngine {
+ public:
+  explicit SettlementEngine(Bank& bank) noexcept : bank_(bank) {}
+
+  SettlementEngine(const SettlementEngine&) = delete;
+  SettlementEngine& operator=(const SettlementEngine&) = delete;
+
+  /// Open a settlement for connection-set `pair` against `escrow`. The path
+  /// records are the initiator's validated paths; `refund_account` receives
+  /// whatever the escrow does not pay out.
+  SettlementId open(net::PairId pair, EscrowId escrow, SettlementTerms terms,
+                    std::vector<PathRecord> records, AccountId refund_account);
+
+  /// Submit one receipt as a claim by `claimant`.
+  ClaimResult submit_claim(SettlementId id, AccountId claimant, const ForwardReceipt& receipt);
+
+  /// Pay all verified claims and refund the remainder. Each forwarder with
+  /// at least one verified instance receives m*P_f plus an equal share of
+  /// P_r across the *claimed* forwarder set (unclaimed shares are refunded).
+  /// Idempotent: second close returns the stored report.
+  const SettlementReport& close(SettlementId id);
+
+  [[nodiscard]] bool is_closed(SettlementId id) const;
+  [[nodiscard]] std::size_t open_settlements() const noexcept;
+
+  /// ||pi|| as recorded by the initiator (distinct forwarders across records).
+  [[nodiscard]] std::size_t forwarder_set_size(SettlementId id) const;
+
+ private:
+  struct Settlement {
+    net::PairId pair = net::kInvalidPair;
+    EscrowId escrow = 0;
+    SettlementTerms terms;
+    AccountId refund_account = kInvalidAccount;
+    /// (conn_index, forwarder, predecessor, successor) -> multiplicity on
+    /// the validated paths (a node may occupy several positions on one path,
+    /// and in degenerate cycles even with identical neighbours).
+    std::map<std::tuple<std::uint32_t, net::NodeId, net::NodeId, net::NodeId>, std::size_t>
+        valid_hops;
+    std::size_t set_size = 0;  ///< distinct forwarders in records
+    /// Accepted (deduped) instances per claimant account.
+    std::unordered_map<AccountId, std::size_t> accepted_instances;
+    /// Claims already accepted per hop tuple (replay guard, bounded by the
+    /// hop's multiplicity).
+    std::map<std::tuple<std::uint32_t, net::NodeId, net::NodeId, net::NodeId>, std::size_t>
+        seen_claims;
+    std::size_t rejected = 0;
+    std::optional<SettlementReport> report;  ///< set on close
+  };
+
+  std::vector<Settlement> settlements_;
+  Bank& bank_;
+};
+
+}  // namespace p2panon::payment

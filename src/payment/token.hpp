@@ -1,0 +1,45 @@
+// Unlinkable e-cash coins.
+//
+// A coin is a (serial, denomination) pair carrying the bank's RSA signature
+// over digest(serial, denomination) under the *per-denomination* key. The
+// bank signs the digest blinded, so it cannot link a deposited coin back to
+// the withdrawal (and hence to the withdrawing account) — this is what keeps
+// the initiator anonymous when it funds an escrow.
+#pragma once
+
+#include "payment/crypto.hpp"
+#include "payment/money.hpp"
+
+namespace p2panon::payment {
+
+struct Coin {
+  crypto::u64 serial = 0;  ///< withdrawer-chosen random serial
+  Amount denomination = 0;
+  crypto::u64 signature = 0;  ///< bank signature over message()
+
+  /// The signed message: digest of serial and denomination, reduced mod n by
+  /// the caller before signing/verifying.
+  [[nodiscard]] crypto::u64 message(const crypto::RsaPublicKey& key) const noexcept {
+    return crypto::digest({serial, static_cast<crypto::u64>(denomination)}) % key.n;
+  }
+
+  [[nodiscard]] bool verify(const crypto::RsaPublicKey& key) const noexcept {
+    return crypto::rsa_verify(key, message(key), signature);
+  }
+};
+
+/// Canonical denomination ladder: powers of two in milli-credits, which lets
+/// any integer amount be decomposed exactly with a bounded number of
+/// per-denomination bank keys.
+[[nodiscard]] inline std::vector<Amount> decompose_amount(Amount value) {
+  std::vector<Amount> denoms;
+  for (Amount bit = 1; value > 0; bit <<= 1) {
+    if (value & bit) {
+      denoms.push_back(bit);
+      value &= ~bit;
+    }
+  }
+  return denoms;
+}
+
+}  // namespace p2panon::payment

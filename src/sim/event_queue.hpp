@@ -1,0 +1,81 @@
+// Pending-event set for the discrete-event simulator.
+//
+// A binary heap keyed by (time, sequence number): ties in time are broken by
+// insertion order, which makes runs independent of heap internals and hence
+// reproducible. Cancellation is lazy: cancelled entries stay in the heap and
+// are skipped on pop, which keeps cancel O(1).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace p2panon::sim {
+
+/// An event is an opaque callback executed at its scheduled time.
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedule `fn` at absolute time `at`. Returns a handle for cancel().
+  EventId schedule(Time at, EventFn fn);
+
+  /// Cancel a previously scheduled event. Returns false if the event has
+  /// already fired, been cancelled, or never existed.
+  bool cancel(EventId id);
+
+  /// True when no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const noexcept { return live_count_ == 0; }
+
+  /// Number of live events.
+  [[nodiscard]] std::size_t size() const noexcept { return live_count_; }
+
+  /// Time of the earliest live event; kTimeInfinity when empty.
+  [[nodiscard]] Time next_time() const noexcept;
+
+  /// Pop and return the earliest live event. Precondition: !empty().
+  struct Popped {
+    Time time;
+    EventId id;
+    EventFn fn;
+  };
+  Popped pop();
+
+  /// Drop everything.
+  void clear();
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;  // tie-break: FIFO among equal times
+    EventId id;
+    EventFn fn;
+  };
+
+  // Min-heap ordering on (time, seq).
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void skip_cancelled() const;
+
+  mutable std::vector<Entry> heap_;
+  std::unordered_set<EventId> cancelled_;
+  std::size_t live_count_ = 0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;  // 0 is kInvalidEventId
+};
+
+}  // namespace p2panon::sim

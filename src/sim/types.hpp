@@ -1,0 +1,24 @@
+// Fundamental simulation types shared by every subsystem.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace p2panon::sim {
+
+/// Simulation time in seconds. All paper-scale scenarios are specified in
+/// minutes; helpers below convert.
+using Time = double;
+
+/// Sentinel for "never" / "not scheduled".
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::infinity();
+
+constexpr Time minutes(double m) noexcept { return m * 60.0; }
+constexpr Time hours(double h) noexcept { return h * 3600.0; }
+constexpr double to_minutes(Time t) noexcept { return t / 60.0; }
+
+/// Monotone handle identifying a scheduled event (for cancellation).
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+}  // namespace p2panon::sim

@@ -1,0 +1,98 @@
+#include "attack/intersection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+using namespace p2panon::attack;
+using p2panon::net::NodeId;
+
+TEST(OnlineSetIntersection, StartsWithAllCandidates) {
+  OnlineSetIntersection attack(10);
+  EXPECT_EQ(attack.candidate_count(), 10u);
+  EXPECT_FALSE(attack.identified(3));
+  EXPECT_NEAR(attack.entropy_bits(), std::log2(10.0), 1e-12);
+}
+
+TEST(OnlineSetIntersection, ObservationEliminatesOffline) {
+  OnlineSetIntersection attack(5);
+  std::vector<NodeId> online{0, 2, 4};
+  EXPECT_EQ(attack.observe(online), 2u);  // 1 and 3 eliminated
+  EXPECT_EQ(attack.candidate_count(), 3u);
+  EXPECT_TRUE(attack.is_candidate(0));
+  EXPECT_FALSE(attack.is_candidate(1));
+}
+
+TEST(OnlineSetIntersection, IntersectionMonotone) {
+  OnlineSetIntersection attack(6);
+  attack.observe(std::vector<NodeId>{0, 1, 2, 3});
+  const auto after_first = attack.candidate_count();
+  attack.observe(std::vector<NodeId>{2, 3, 4, 5});
+  EXPECT_LE(attack.candidate_count(), after_first);
+  // 4 and 5 were already eliminated; candidates are now {2, 3}.
+  EXPECT_EQ(attack.candidate_count(), 2u);
+}
+
+TEST(OnlineSetIntersection, CollapseToTargetIdentifies) {
+  OnlineSetIntersection attack(4);
+  attack.observe(std::vector<NodeId>{1, 2});
+  attack.observe(std::vector<NodeId>{1, 3});
+  EXPECT_TRUE(attack.identified(1));
+  EXPECT_DOUBLE_EQ(attack.entropy_bits(), 0.0);
+}
+
+TEST(OnlineSetIntersection, IdentifiedFalseForWrongTarget) {
+  OnlineSetIntersection attack(4);
+  attack.observe(std::vector<NodeId>{1});
+  EXPECT_TRUE(attack.identified(1));
+  EXPECT_FALSE(attack.identified(2));
+}
+
+TEST(OnlineSetIntersection, RepeatedSameObservationIdempotent) {
+  OnlineSetIntersection attack(5);
+  std::vector<NodeId> online{0, 1, 2};
+  attack.observe(online);
+  EXPECT_EQ(attack.observe(online), 0u);
+  EXPECT_EQ(attack.candidate_count(), 3u);
+  EXPECT_EQ(attack.observations(), 2u);
+}
+
+TEST(OnlineSetIntersection, OutOfRangeIdsIgnored) {
+  OnlineSetIntersection attack(3);
+  attack.observe(std::vector<NodeId>{0, 1, 2, 99});
+  EXPECT_EQ(attack.candidate_count(), 3u);
+}
+
+TEST(PredecessorAttack, NoObservationsNoCandidate) {
+  PredecessorAttack attack(10);
+  EXPECT_EQ(attack.top_candidate(), p2panon::net::kInvalidNode);
+  EXPECT_DOUBLE_EQ(attack.top_candidate_share(), 0.0);
+}
+
+TEST(PredecessorAttack, MostLoggedWins) {
+  PredecessorAttack attack(5);
+  attack.log_predecessor(2);
+  attack.log_predecessor(2);
+  attack.log_predecessor(4);
+  EXPECT_EQ(attack.top_candidate(), 2u);
+  EXPECT_NEAR(attack.top_candidate_share(), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(attack.count(2), 2u);
+  EXPECT_EQ(attack.observations(), 3u);
+}
+
+TEST(PredecessorAttack, DegreeOfAnonymityDropsWithSkew) {
+  PredecessorAttack uniform(4), skewed(4);
+  for (NodeId id = 0; id < 4; ++id) uniform.log_predecessor(id);
+  for (int i = 0; i < 9; ++i) skewed.log_predecessor(0);
+  skewed.log_predecessor(1);
+  EXPECT_NEAR(uniform.degree_of_anonymity(), 1.0, 1e-12);
+  EXPECT_LT(skewed.degree_of_anonymity(), 0.5);
+}
+
+TEST(PredecessorAttack, TieBreaksToLowestId) {
+  PredecessorAttack attack(5);
+  attack.log_predecessor(3);
+  attack.log_predecessor(1);
+  EXPECT_EQ(attack.top_candidate(), 1u);
+}

@@ -1,0 +1,102 @@
+#include "attack/traffic_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace p2panon::attack;
+using p2panon::net::NodeId;
+
+namespace {
+
+std::vector<bool> compromised_set(std::size_t n, std::initializer_list<NodeId> bad) {
+  std::vector<bool> v(n, false);
+  for (NodeId id : bad) v[id] = true;
+  return v;
+}
+
+}  // namespace
+
+TEST(TrafficAnalysis, CleanPathNotCompromised) {
+  TrafficAnalysis ta(compromised_set(10, {9}));
+  ta.observe_path(1, std::vector<NodeId>{0, 1, 2, 3});
+  EXPECT_EQ(ta.paths_observed(), 1u);
+  EXPECT_EQ(ta.first_hop_compromised(), 0u);
+  EXPECT_EQ(ta.last_hop_compromised(), 0u);
+  EXPECT_EQ(ta.end_to_end_compromised(), 0u);
+}
+
+TEST(TrafficAnalysis, FirstHopOnly) {
+  TrafficAnalysis ta(compromised_set(10, {1}));
+  ta.observe_path(1, std::vector<NodeId>{0, 1, 2, 3});
+  EXPECT_EQ(ta.first_hop_compromised(), 1u);
+  EXPECT_EQ(ta.last_hop_compromised(), 0u);
+  EXPECT_EQ(ta.end_to_end_compromised(), 0u);
+}
+
+TEST(TrafficAnalysis, BothEndsCorrelates) {
+  TrafficAnalysis ta(compromised_set(10, {1, 2}));
+  ta.observe_path(1, std::vector<NodeId>{0, 1, 2, 3});
+  EXPECT_EQ(ta.end_to_end_compromised(), 1u);
+  EXPECT_DOUBLE_EQ(ta.end_to_end_rate(), 1.0);
+}
+
+TEST(TrafficAnalysis, SingleForwarderIsBothEnds) {
+  TrafficAnalysis ta(compromised_set(10, {5}));
+  ta.observe_path(1, std::vector<NodeId>{0, 5, 3});
+  EXPECT_EQ(ta.end_to_end_compromised(), 1u);
+}
+
+TEST(TrafficAnalysis, DirectPathHasNoForwarders) {
+  TrafficAnalysis ta(compromised_set(10, {0, 3}));
+  ta.observe_path(1, std::vector<NodeId>{0, 3});
+  EXPECT_EQ(ta.end_to_end_compromised(), 0u);
+  EXPECT_EQ(ta.paths_observed(), 1u);
+}
+
+TEST(TrafficAnalysis, MiddleCompromiseLinksButDoesNotCorrelate) {
+  TrafficAnalysis ta(compromised_set(10, {2}));
+  ta.observe_path(7, std::vector<NodeId>{0, 1, 2, 3, 4});
+  EXPECT_EQ(ta.end_to_end_compromised(), 0u);
+  EXPECT_EQ(ta.largest_linked_profile(), 1u);
+  EXPECT_EQ(ta.pairs_touched(), 1u);
+}
+
+TEST(TrafficAnalysis, LinkedProfileGrowsPerPair) {
+  // §5 threat (3): a malicious member of the recurring set links all the
+  // connections it serves via the cid.
+  TrafficAnalysis ta(compromised_set(10, {2}));
+  for (int k = 0; k < 5; ++k) ta.observe_path(7, std::vector<NodeId>{0, 1, 2, 3});
+  ta.observe_path(8, std::vector<NodeId>{0, 2, 3});
+  EXPECT_EQ(ta.largest_linked_profile(), 5u);
+  EXPECT_EQ(ta.pairs_touched(), 2u);
+}
+
+TEST(TrafficAnalysis, OneLinkagePerConnectionEvenWithTwoBadHops) {
+  TrafficAnalysis ta(compromised_set(10, {1, 2}));
+  ta.observe_path(7, std::vector<NodeId>{0, 1, 2, 3});
+  EXPECT_EQ(ta.largest_linked_profile(), 1u);
+}
+
+TEST(TrafficAnalysis, UniformBaselineFormula) {
+  TrafficAnalysis ta(compromised_set(10, {0, 1}));
+  EXPECT_NEAR(ta.uniform_baseline(), 0.04, 1e-12);  // (2/10)^2
+  TrafficAnalysis none(compromised_set(10, {}));
+  EXPECT_DOUBLE_EQ(none.uniform_baseline(), 0.0);
+}
+
+TEST(TrafficAnalysis, EmptyRateIsZero) {
+  TrafficAnalysis ta(compromised_set(4, {1}));
+  EXPECT_DOUBLE_EQ(ta.end_to_end_rate(), 0.0);
+}
+
+TEST(TrafficAnalysis, EndToEndRateAggregates) {
+  TrafficAnalysis ta(compromised_set(6, {1, 4}));
+  ta.observe_path(1, std::vector<NodeId>{0, 1, 4, 5});  // both ends bad
+  ta.observe_path(1, std::vector<NodeId>{0, 2, 3, 5});  // clean
+  ta.observe_path(1, std::vector<NodeId>{0, 1, 3, 5});  // first only
+  ta.observe_path(1, std::vector<NodeId>{0, 2, 4, 5});  // last only
+  EXPECT_DOUBLE_EQ(ta.end_to_end_rate(), 0.25);
+  EXPECT_EQ(ta.first_hop_compromised(), 2u);
+  EXPECT_EQ(ta.last_hop_compromised(), 2u);
+}

@@ -1,0 +1,59 @@
+// Shared test fixtures assembling overlay + probing + history + quality for
+// core-library tests.
+#pragma once
+
+#include "core/edge_quality.hpp"
+#include "core/history.hpp"
+#include "core/path.hpp"
+#include "core/routing.hpp"
+#include "net/overlay.hpp"
+#include "net/probing.hpp"
+#include "sim/simulator.hpp"
+
+namespace p2ptest {
+
+namespace net = p2panon::net;
+namespace core = p2panon::core;
+namespace sim = p2panon::sim;
+
+/// A stable, fully-warmed small world: 20 nodes, degree 4, negligible churn;
+/// everything online after warmup().
+struct StableWorld {
+  explicit StableWorld(std::uint64_t seed = 1, double malicious_fraction = 0.0,
+                       std::size_t node_count = 20, std::size_t degree = 4)
+      : root(seed),
+        overlay(make_config(malicious_fraction, node_count, degree), simulator,
+                root.child("overlay")),
+        probing(overlay, net::ProbingConfig{}, root.child("probing")),
+        history(overlay.size()),
+        quality(probing, history, core::QualityWeights{}) {}
+
+  static net::OverlayConfig make_config(double malicious, std::size_t n, std::size_t d) {
+    net::OverlayConfig cfg;
+    cfg.node_count = n;
+    cfg.degree = d;
+    cfg.malicious_fraction = malicious;
+    cfg.churn.join_interarrival_mean = sim::minutes(0.2);
+    cfg.churn.session_min = sim::hours(90.0);
+    cfg.churn.session_median = sim::hours(100.0);
+    cfg.churn.session_max = sim::hours(200.0);
+    cfg.churn.departure_probability = 0.0;
+    return cfg;
+  }
+
+  /// Start the overlay and run long enough for everyone to join and probing
+  /// to accumulate observations.
+  void warmup(sim::Time horizon = sim::hours(2.0)) {
+    overlay.start();
+    simulator.run_until(horizon);
+  }
+
+  sim::rng::Stream root;
+  sim::Simulator simulator;
+  net::Overlay overlay;
+  net::ProbingEstimator probing;
+  core::HistoryStore history;
+  core::EdgeQualityEvaluator quality;
+};
+
+}  // namespace p2ptest

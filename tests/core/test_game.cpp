@@ -1,0 +1,247 @@
+#include "core/game.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace p2panon::core::game;
+using p2panon::net::NodeId;
+
+// ---------------------------------------------------------------------------
+// Propositions.
+// ---------------------------------------------------------------------------
+
+TEST(Propositions, Prop2ThresholdFormula) {
+  // P_f > C_p*N/(L*k) + C_t with C_p=10, N=40, L=4, k=20, C_t=1:
+  // threshold = 10*40/80 + 1 = 6.
+  EXPECT_DOUBLE_EQ(prop2_participation_threshold(10.0, 1.0, 40, 4.0, 20), 6.0);
+  EXPECT_TRUE(prop2_induces_participation(6.01, 10.0, 1.0, 40, 4.0, 20));
+  EXPECT_FALSE(prop2_induces_participation(6.0, 10.0, 1.0, 40, 4.0, 20));
+}
+
+TEST(Propositions, Prop2ThresholdDropsWithMoreConnections) {
+  EXPECT_GT(prop2_participation_threshold(10.0, 1.0, 40, 4.0, 5),
+            prop2_participation_threshold(10.0, 1.0, 40, 4.0, 50));
+}
+
+TEST(Propositions, Prop3DominantCondition) {
+  EXPECT_TRUE(prop3_forwarding_dominant(75.0, 10.0, 1.0));
+  EXPECT_FALSE(prop3_forwarding_dominant(11.0, 10.0, 1.0));
+  EXPECT_FALSE(prop3_forwarding_dominant(10.0, 10.0, 0.0));
+}
+
+// ---------------------------------------------------------------------------
+// Backward induction on hand-built path games.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Line graph 0 - 1 - 2 - 3(R) with good interior edges: SPNE should route
+/// along the line rather than deliver early when routing benefit dominates.
+PathGameSpec line_game(double p_r, double interior_quality = 0.9) {
+  PathGameSpec spec;
+  spec.node_count = 4;
+  spec.responder = 3;
+  spec.candidates = [](NodeId v) -> std::vector<NodeId> {
+    switch (v) {
+      case 0: return {1};
+      case 1: return {0, 2};
+      case 2: return {1};
+      default: return {};
+    }
+  };
+  spec.edge_quality = [interior_quality](NodeId, NodeId) { return interior_quality; };
+  spec.forwarding_benefit = 75.0;
+  spec.routing_benefit = p_r;
+  spec.cost = [](NodeId, NodeId) { return 11.0; };
+  return spec;
+}
+
+}  // namespace
+
+TEST(BackwardInduction, SubgamePerfectionHoldsByConstruction) {
+  const PathGameSpec spec = line_game(150.0);
+  BackwardInductionSolver solver(spec, 3);
+  EXPECT_TRUE(solver.verify_subgame_perfection());
+}
+
+TEST(BackwardInduction, ZeroStagesForcesDelivery) {
+  const PathGameSpec spec = line_game(150.0);
+  BackwardInductionSolver solver(spec, 0);
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_EQ(solver.decision(v, 0).next, spec.responder);
+    EXPECT_DOUBLE_EQ(solver.decision(v, 0).onward_quality, 1.0);
+  }
+}
+
+TEST(BackwardInduction, HighRoutingBenefitFollowsQualityPath) {
+  // Forward-progress edges are good (0.9), back edges bad (0.1): the SPNE
+  // path walks the line 0 -> 1 -> 2 -> R rather than oscillating.
+  PathGameSpec spec = line_game(150.0);
+  // Distinct forward qualities and worthless back edges, so no subgame ties.
+  spec.edge_quality = [](NodeId i, NodeId j) {
+    if (j <= i) return 0.0;
+    return i == 0 ? 0.8 : 0.9;
+  };
+  BackwardInductionSolver solver(spec, 3);
+  EXPECT_TRUE(solver.verify_subgame_perfection());
+  const auto path = solver.equilibrium_path(0);
+  EXPECT_EQ(path, (std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+TEST(BackwardInduction, ExpensiveInteriorDeliversDirect) {
+  // Interior forwarding costs far more than the routing benefit it could
+  // earn: delivering straight to the responder is every mover's best
+  // response, so the equilibrium path is direct.
+  PathGameSpec spec = line_game(150.0, 0.9);
+  spec.cost = [&spec](NodeId, NodeId j) {
+    return j == spec.responder ? 11.0 : 1.0e6;
+  };
+  BackwardInductionSolver solver(spec, 3);
+  EXPECT_TRUE(solver.verify_subgame_perfection());
+  const auto path = solver.equilibrium_path(0);
+  EXPECT_EQ(path, (std::vector<NodeId>{0, 3}));
+}
+
+TEST(BackwardInduction, EquilibriumPathTerminates) {
+  // Cycle graph 0 <-> 1; solver must still terminate via stage exhaustion.
+  PathGameSpec spec;
+  spec.node_count = 3;
+  spec.responder = 2;
+  spec.candidates = [](NodeId v) -> std::vector<NodeId> {
+    return v == 0 ? std::vector<NodeId>{1} : std::vector<NodeId>{0};
+  };
+  spec.edge_quality = [](NodeId, NodeId) { return 0.99; };
+  spec.forwarding_benefit = 10.0;
+  spec.routing_benefit = 1000.0;
+  spec.cost = [](NodeId, NodeId) { return 1.0; };
+  BackwardInductionSolver solver(spec, 4);
+  const auto path = solver.equilibrium_path(0);
+  EXPECT_EQ(path.back(), 2u);
+  EXPECT_LE(path.size(), 6u);  // at most `stages` forwards + delivery
+}
+
+TEST(BackwardInduction, OnwardQualityMonotoneInStages) {
+  const PathGameSpec spec = line_game(150.0, 0.9);
+  BackwardInductionSolver solver(spec, 4);
+  double prev = 0.0;
+  for (std::uint32_t s = 0; s <= 4; ++s) {
+    const double q = solver.decision(0, s).onward_quality;
+    EXPECT_GE(q, prev - 1e-12);
+    prev = q;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Normal-form game machinery.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Prisoner's dilemma: action 0 = cooperate, 1 = defect.
+NormalFormGame prisoners_dilemma() {
+  return NormalFormGame({2, 2}, [](std::size_t player, const NormalFormGame::Profile& p) {
+    static constexpr double payoff[2][2][2] = {
+        // [my action][their action] -> my payoff
+        {{3, 0}, {5, 1}},  // player 0 view handled below
+        {{3, 0}, {5, 1}},
+    };
+    const std::size_t me = p[player];
+    const std::size_t other = p[1 - player];
+    return payoff[player][me][other];
+  });
+}
+
+}  // namespace
+
+TEST(NormalFormGame, PrisonersDilemmaNash) {
+  const auto game = prisoners_dilemma();
+  const auto equilibria = game.pure_nash_equilibria();
+  ASSERT_EQ(equilibria.size(), 1u);
+  EXPECT_EQ(equilibria[0], (NormalFormGame::Profile{1, 1}));  // defect-defect
+}
+
+TEST(NormalFormGame, DefectIsDominantInPd) {
+  const auto game = prisoners_dilemma();
+  EXPECT_TRUE(game.is_dominant_action(0, 1));
+  EXPECT_TRUE(game.is_dominant_action(1, 1));
+  EXPECT_FALSE(game.is_dominant_action(0, 0));
+}
+
+TEST(NormalFormGame, BestResponseDynamicsReachesNash) {
+  const auto game = prisoners_dilemma();
+  const auto fixed = game.best_response_dynamics({0, 0});
+  ASSERT_TRUE(fixed.has_value());
+  EXPECT_TRUE(game.is_nash(*fixed));
+  EXPECT_EQ(*fixed, (NormalFormGame::Profile{1, 1}));
+}
+
+TEST(NormalFormGame, CoordinationGameHasTwoEquilibria) {
+  NormalFormGame game({2, 2}, [](std::size_t, const NormalFormGame::Profile& p) {
+    return p[0] == p[1] ? 1.0 : 0.0;
+  });
+  EXPECT_EQ(game.pure_nash_equilibria().size(), 2u);
+}
+
+TEST(NormalFormGame, MatchingPenniesHasNoPureNash) {
+  NormalFormGame game({2, 2}, [](std::size_t player, const NormalFormGame::Profile& p) {
+    const bool match = p[0] == p[1];
+    return (player == 0) == match ? 1.0 : -1.0;
+  });
+  EXPECT_TRUE(game.pure_nash_equilibria().empty());
+  EXPECT_FALSE(game.best_response_dynamics({0, 0}, 50).has_value());
+}
+
+TEST(NormalFormGame, EnumerationGuardThrows) {
+  NormalFormGame game(std::vector<std::size_t>(40, 3),
+                      [](std::size_t, const NormalFormGame::Profile&) { return 0.0; });
+  EXPECT_THROW(game.pure_nash_equilibria(1000), std::length_error);
+}
+
+// ---------------------------------------------------------------------------
+// Forwarding meta-game.
+// ---------------------------------------------------------------------------
+
+TEST(MetaGame, AllNonRandomIsNash) {
+  const auto game = make_forwarding_metagame(MetaGameParams{});
+  NormalFormGame::Profile all_nonrandom(5, static_cast<std::size_t>(MetaAction::kNonRandom));
+  EXPECT_TRUE(game.is_nash(all_nonrandom));
+}
+
+TEST(MetaGame, NonRandomBeatsRandomUnilaterally) {
+  const auto game = make_forwarding_metagame(MetaGameParams{});
+  NormalFormGame::Profile profile(5, static_cast<std::size_t>(MetaAction::kNonRandom));
+  const double good = game.payoff(2, profile);
+  profile[2] = static_cast<std::size_t>(MetaAction::kRandom);
+  EXPECT_LT(game.payoff(2, profile), good);
+}
+
+TEST(MetaGame, ParticipationBeatsAbstainUnderGenerousBenefit) {
+  const auto game = make_forwarding_metagame(MetaGameParams{});
+  NormalFormGame::Profile profile(5, static_cast<std::size_t>(MetaAction::kNonRandom));
+  profile[0] = static_cast<std::size_t>(MetaAction::kAbstain);
+  const double abstain = game.payoff(0, profile);
+  profile[0] = static_cast<std::size_t>(MetaAction::kNonRandom);
+  EXPECT_GT(game.payoff(0, profile), abstain);
+  EXPECT_DOUBLE_EQ(abstain, 0.0);
+}
+
+TEST(MetaGame, BestResponseConvergesToAllNonRandom) {
+  const auto game = make_forwarding_metagame(MetaGameParams{});
+  const auto fixed = game.best_response_dynamics(
+      NormalFormGame::Profile(5, static_cast<std::size_t>(MetaAction::kAbstain)));
+  ASSERT_TRUE(fixed.has_value());
+  for (std::size_t a : *fixed) {
+    EXPECT_EQ(a, static_cast<std::size_t>(MetaAction::kNonRandom));
+  }
+}
+
+TEST(MetaGame, TinyBenefitMakesAbstainNash) {
+  MetaGameParams params;
+  params.p_f = 0.001;
+  params.p_r = 0.0;
+  params.c_p = 1000.0;  // participation cannot pay for itself
+  const auto game = make_forwarding_metagame(params);
+  NormalFormGame::Profile all_abstain(5, static_cast<std::size_t>(MetaAction::kAbstain));
+  EXPECT_TRUE(game.is_nash(all_abstain));
+}

@@ -1,0 +1,112 @@
+// Property sweeps over the full simulation: invariants that must hold for
+// every combination of adversary fraction, routing strategy and termination
+// policy.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "harness/scenario.hpp"
+
+using namespace p2panon;
+using namespace p2panon::harness;
+
+namespace {
+
+ScenarioConfig sweep_config(double f, core::StrategyKind kind, core::TerminationPolicy term,
+                            std::uint64_t seed) {
+  ScenarioConfig cfg = paper_default_config(seed);
+  cfg.overlay.node_count = 20;
+  cfg.overlay.degree = 4;
+  cfg.overlay.malicious_fraction = f;
+  cfg.good_strategy = kind;
+  cfg.termination = term;
+  cfg.pair_count = 8;
+  cfg.connections_per_pair = 5;
+  cfg.warmup = sim::minutes(30.0);
+  cfg.pair_start_window = sim::minutes(30.0);
+  return cfg;
+}
+
+using SweepParam = std::tuple<double, core::StrategyKind, core::TerminationPolicy>;
+
+class ScenarioInvariants : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  ScenarioResult run(std::uint64_t seed = 3) {
+    const auto [f, kind, term] = GetParam();
+    return ScenarioRunner(sweep_config(f, kind, term, seed)).run();
+  }
+};
+
+}  // namespace
+
+TEST_P(ScenarioInvariants, AllConnectionsComplete) {
+  EXPECT_EQ(run().connections_completed, 40u);
+}
+
+TEST_P(ScenarioInvariants, PaymentConservation) {
+  EXPECT_TRUE(run().payment_conserved);
+}
+
+TEST_P(ScenarioInvariants, ForwarderSetBounds) {
+  const ScenarioResult r = run();
+  // ||pi|| is at least 1 (the mandatory first hop) and at most N.
+  EXPECT_GE(r.forwarder_set_size.min(), 1.0);
+  EXPECT_LE(r.forwarder_set_size.max(), 20.0);
+}
+
+TEST_P(ScenarioInvariants, PathQualityBounds) {
+  const ScenarioResult r = run();
+  EXPECT_GT(r.path_quality.min(), 0.0);
+  // Q(pi) = L/||pi||; a path can revisit nodes so L can exceed ||pi||, but
+  // never by more than the per-path length bound.
+  EXPECT_LT(r.path_quality.max(), 64.0);
+}
+
+TEST_P(ScenarioInvariants, SpendEqualsPayoutPlusNothingLost) {
+  const ScenarioResult r = run();
+  // The initiators' out-of-pocket total equals everything forwarders were
+  // paid (refunds returned to initiators are not "spend").
+  EXPECT_NEAR(r.initiator_spend.sum(), r.total_paid_credits, 1.0);
+}
+
+TEST_P(ScenarioInvariants, MemberPayoffSamplesConsistent) {
+  const ScenarioResult r = run();
+  EXPECT_EQ(r.member_payoff_samples.size(), r.member_payoff.count());
+  for (double s : r.member_payoff_samples) {
+    EXPECT_GE(s, r.member_payoff.min() - 1e-9);
+    EXPECT_LE(s, r.member_payoff.max() + 1e-9);
+  }
+}
+
+TEST_P(ScenarioInvariants, DeterministicAcrossRuns) {
+  const ScenarioResult a = run(11);
+  const ScenarioResult b = run(11);
+  EXPECT_EQ(a.good_payoff_samples, b.good_payoff_samples);
+  EXPECT_EQ(a.member_payoff_samples, b.member_payoff_samples);
+  EXPECT_EQ(a.churn_events, b.churn_events);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ScenarioInvariants,
+    ::testing::Combine(::testing::Values(0.0, 0.3, 0.7),
+                       ::testing::Values(core::StrategyKind::kRandom,
+                                         core::StrategyKind::kUtilityModelI,
+                                         core::StrategyKind::kUtilityModelII),
+                       ::testing::Values(core::TerminationPolicy::kCrowds,
+                                         core::TerminationPolicy::kHopCount)),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      // NOTE: no structured bindings here — commas inside [] would split
+      // the INSTANTIATE macro's arguments.
+      const double f = std::get<0>(info.param);
+      const auto kind = std::get<1>(info.param);
+      const auto term = std::get<2>(info.param);
+      std::string name = "f";
+      name += std::to_string(static_cast<int>(f * 10));
+      name += '_';
+      name += std::string(core::strategy_name(kind));
+      name += term == core::TerminationPolicy::kCrowds ? "_crowds" : "_ttl";
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });

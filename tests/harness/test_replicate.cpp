@@ -1,0 +1,100 @@
+#include "harness/replicate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness/table.hpp"
+
+#include <sstream>
+
+using namespace p2panon;
+using namespace p2panon::harness;
+
+namespace {
+
+ScenarioConfig tiny_config(std::uint64_t seed = 1) {
+  ScenarioConfig cfg = paper_default_config(seed);
+  cfg.overlay.node_count = 15;
+  cfg.overlay.degree = 3;
+  cfg.pair_count = 5;
+  cfg.connections_per_pair = 4;
+  cfg.warmup = sim::minutes(20.0);
+  cfg.pair_start_window = sim::minutes(20.0);
+  return cfg;
+}
+
+}  // namespace
+
+TEST(Replicate, AggregatesAcrossSeeds) {
+  const ReplicatedResult r = run_replicated(tiny_config(), 4);
+  EXPECT_EQ(r.replicates, 4u);
+  EXPECT_EQ(r.good_payoff.count(), 4u);
+  EXPECT_EQ(r.pooled_good_payoffs.size(), 4u * 15u);
+  EXPECT_TRUE(r.all_payments_conserved);
+}
+
+TEST(Replicate, ConfidenceIntervalAvailable) {
+  const ReplicatedResult r = run_replicated(tiny_config(), 5);
+  const auto ci = r.good_payoff_ci();
+  EXPECT_GT(ci.half_width, 0.0);
+  EXPECT_TRUE(ci.contains(r.good_payoff.mean()));
+}
+
+TEST(Replicate, ParallelMatchesSerialExactly) {
+  parallel::ThreadPool pool(4);
+  const ReplicatedResult serial = run_replicated(tiny_config(), 6, nullptr);
+  const ReplicatedResult par = run_replicated(tiny_config(), 6, &pool);
+  EXPECT_DOUBLE_EQ(serial.good_payoff.mean(), par.good_payoff.mean());
+  EXPECT_DOUBLE_EQ(serial.forwarder_set_size.mean(), par.forwarder_set_size.mean());
+  EXPECT_EQ(serial.pooled_good_payoffs, par.pooled_good_payoffs);
+  EXPECT_EQ(serial.total_churn_events, par.total_churn_events);
+}
+
+TEST(Replicate, DistinctReplicatesActuallyVary) {
+  const ReplicatedResult r = run_replicated(tiny_config(), 4);
+  EXPECT_GT(r.good_payoff.variance(), 0.0);
+}
+
+TEST(Replicate, NewEdgeCurveAggregated) {
+  const ReplicatedResult r = run_replicated(tiny_config(), 3);
+  ASSERT_EQ(r.new_edge_fraction_by_conn.size(), 4u);
+  EXPECT_GT(r.new_edge_fraction_by_conn.front().mean(), 0.8);
+  EXPECT_LE(r.new_edge_fraction_by_conn.back().mean(),
+            r.new_edge_fraction_by_conn.front().mean());
+}
+
+// ---------------------------------------------------------------------------
+// TextTable.
+// ---------------------------------------------------------------------------
+
+TEST(TextTable, RendersAlignedColumnsWithRule) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, CsvUsesCommas) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Fmt, FormatsFixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmt_ci(1.5, 0.25, 2), "1.50 +/- 0.25");
+}
+
+TEST(Banner, ContainsExperimentId) {
+  std::ostringstream os;
+  print_banner(os, "Figure 5", "forwarder set size");
+  EXPECT_NE(os.str().find("Figure 5"), std::string::npos);
+}

@@ -1,0 +1,197 @@
+#include "harness/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace p2panon;
+using namespace p2panon::harness;
+
+namespace {
+
+/// Scaled-down scenario for fast tests: 20 nodes, 10 pairs, 6 connections.
+ScenarioConfig small_config(std::uint64_t seed = 1) {
+  ScenarioConfig cfg = paper_default_config(seed);
+  cfg.overlay.node_count = 20;
+  cfg.overlay.degree = 4;
+  cfg.pair_count = 10;
+  cfg.connections_per_pair = 6;
+  cfg.warmup = sim::minutes(30.0);
+  cfg.pair_start_window = sim::minutes(30.0);
+  return cfg;
+}
+
+}  // namespace
+
+TEST(Scenario, PaperDefaultsMatchSectionThree) {
+  const ScenarioConfig cfg = paper_default_config();
+  EXPECT_EQ(cfg.overlay.node_count, 40u);
+  EXPECT_EQ(cfg.overlay.degree, 5u);
+  EXPECT_EQ(cfg.pair_count, 100u);
+  EXPECT_EQ(cfg.connections_per_pair, 20u);
+  EXPECT_DOUBLE_EQ(cfg.p_f_lo, 50.0);
+  EXPECT_DOUBLE_EQ(cfg.p_f_hi, 100.0);
+  EXPECT_DOUBLE_EQ(cfg.weights.w_selectivity, 0.5);
+  EXPECT_DOUBLE_EQ(cfg.overlay.churn.session_median, sim::minutes(60.0));
+}
+
+TEST(Scenario, RunsAllConnections) {
+  const ScenarioResult r = ScenarioRunner(small_config()).run();
+  EXPECT_EQ(r.connections_completed, 60u);
+  EXPECT_EQ(r.forwarder_set_size.count(), 10u);  // one sample per pair
+  EXPECT_GT(r.churn_events, 0u);
+  EXPECT_GT(r.probes, 0u);
+}
+
+TEST(Scenario, PaymentConservationHolds) {
+  const ScenarioResult r = ScenarioRunner(small_config()).run();
+  EXPECT_TRUE(r.payment_conserved);
+  EXPECT_GT(r.total_paid_credits, 0.0);
+}
+
+TEST(Scenario, DeterministicInSeed) {
+  const ScenarioResult a = ScenarioRunner(small_config(7)).run();
+  const ScenarioResult b = ScenarioRunner(small_config(7)).run();
+  EXPECT_DOUBLE_EQ(a.good_payoff.mean(), b.good_payoff.mean());
+  EXPECT_DOUBLE_EQ(a.forwarder_set_size.mean(), b.forwarder_set_size.mean());
+  EXPECT_EQ(a.good_payoff_samples, b.good_payoff_samples);
+  EXPECT_EQ(a.churn_events, b.churn_events);
+}
+
+TEST(Scenario, DifferentSeedsDiffer) {
+  const ScenarioResult a = ScenarioRunner(small_config(1)).run();
+  const ScenarioResult b = ScenarioRunner(small_config(2)).run();
+  EXPECT_NE(a.good_payoff.mean(), b.good_payoff.mean());
+}
+
+TEST(Scenario, GoodPayoffSamplesMatchGoodNodeCount) {
+  ScenarioConfig cfg = small_config();
+  cfg.overlay.malicious_fraction = 0.25;
+  const ScenarioResult r = ScenarioRunner(cfg).run();
+  EXPECT_EQ(r.good_payoff_samples.size(), 15u);  // 20 - 5 malicious
+  EXPECT_EQ(r.good_payoff.count(), 15u);
+}
+
+TEST(Scenario, ForwarderSetSmallerUnderUtilityRouting) {
+  ScenarioConfig random_cfg = small_config(3);
+  random_cfg.good_strategy = core::StrategyKind::kRandom;
+  ScenarioConfig utility_cfg = small_config(3);
+  utility_cfg.good_strategy = core::StrategyKind::kUtilityModelI;
+  const double random_set = ScenarioRunner(random_cfg).run().forwarder_set_size.mean();
+  const double utility_set = ScenarioRunner(utility_cfg).run().forwarder_set_size.mean();
+  EXPECT_LT(utility_set, random_set);
+}
+
+TEST(Scenario, MoreMaliciousNodesLowerMemberPayoff) {
+  // The paper's Fig. 3 metric: per-connection-set member payoff falls as
+  // adversaries inflate ||pi|| (workload m and routing share both shrink).
+  ScenarioConfig low = small_config(5);
+  low.overlay.malicious_fraction = 0.1;
+  ScenarioConfig high = small_config(5);
+  high.overlay.malicious_fraction = 0.8;
+  const double payoff_low = ScenarioRunner(low).run().member_payoff.mean();
+  const double payoff_high = ScenarioRunner(high).run().member_payoff.mean();
+  EXPECT_GT(payoff_low, payoff_high);
+}
+
+TEST(Scenario, MemberPayoffSamplesMatchAccumulator) {
+  const ScenarioResult r = ScenarioRunner(small_config(11)).run();
+  EXPECT_EQ(r.member_payoff_samples.size(), r.member_payoff.count());
+  EXPECT_GT(r.member_payoff.count(), 0u);
+}
+
+TEST(Scenario, MemberPayoffPositiveUnderPaperContract) {
+  // P_f in [50, 100] dwarfs C_p = 10 and C_t <= 1: serving a set nets a
+  // strictly positive payoff (the participation incentive of Prop. 2/3).
+  const ScenarioResult r = ScenarioRunner(small_config(12)).run();
+  EXPECT_GT(r.member_payoff.min(), 0.0);
+}
+
+TEST(Scenario, NewEdgeFractionDecaysUnderUtilityRouting) {
+  ScenarioConfig cfg = small_config(4);
+  cfg.connections_per_pair = 12;
+  const ScenarioResult r = ScenarioRunner(cfg).run();
+  ASSERT_EQ(r.new_edge_fraction_by_conn.size(), 12u);
+  // Connection 1 edges are almost all new (an edge can repeat *within* one
+  // path when the walk revisits it, so slightly below 1 is legitimate).
+  EXPECT_GT(r.new_edge_fraction_by_conn.front().mean(), 0.85);
+  EXPECT_LT(r.new_edge_fraction_by_conn.back().mean(), 0.6);
+  EXPECT_LT(r.new_edge_fraction_by_conn.back().mean(),
+            r.new_edge_fraction_by_conn.front().mean());
+}
+
+TEST(Scenario, DropAttackCountsReformations) {
+  ScenarioConfig cfg = small_config(6);
+  cfg.overlay.malicious_fraction = 0.4;
+  cfg.adversary.drop_probability = 0.5;
+  const ScenarioResult r = ScenarioRunner(cfg).run();
+  EXPECT_GT(r.reformations, 0u);
+  EXPECT_EQ(r.connections_completed, 60u);
+  EXPECT_TRUE(r.payment_conserved);
+}
+
+TEST(Scenario, HopCountTerminationBoundsPathLength) {
+  ScenarioConfig cfg = small_config(8);
+  cfg.termination = core::TerminationPolicy::kHopCount;
+  cfg.ttl_hops = 2;
+  const ScenarioResult r = ScenarioRunner(cfg).run();
+  EXPECT_LE(r.avg_path_length.max(), 2.0 + 1e-9);
+}
+
+TEST(Scenario, RoutingEfficiencyDefinition) {
+  const ScenarioResult r = ScenarioRunner(small_config(9)).run();
+  EXPECT_NEAR(r.routing_efficiency, r.member_payoff.mean() / r.forwarder_set_size.mean(), 1e-9);
+}
+
+TEST(Scenario, MinimalOverlayStillRuns) {
+  // Smallest legal world: 3 nodes, degree 1 — paths are forced and short,
+  // but the full pipeline (probing, payments, settlement) must hold up.
+  ScenarioConfig cfg = paper_default_config(13);
+  cfg.overlay.node_count = 3;
+  cfg.overlay.degree = 1;
+  cfg.pair_count = 2;
+  cfg.connections_per_pair = 3;
+  cfg.warmup = sim::minutes(10.0);
+  cfg.pair_start_window = sim::minutes(10.0);
+  const ScenarioResult r = ScenarioRunner(cfg).run();
+  EXPECT_EQ(r.connections_completed, 6u);
+  EXPECT_TRUE(r.payment_conserved);
+}
+
+TEST(Scenario, ZipfResponderSelectionConcentrates) {
+  ScenarioConfig uniform = small_config(14);
+  ScenarioConfig skewed = small_config(14);
+  skewed.responder_zipf = 2.0;
+  // Not directly observable from results; assert the run completes and
+  // conserves, and that the configs genuinely diverge in outcome.
+  const ScenarioResult u = ScenarioRunner(uniform).run();
+  const ScenarioResult z = ScenarioRunner(skewed).run();
+  EXPECT_TRUE(u.payment_conserved);
+  EXPECT_TRUE(z.payment_conserved);
+  EXPECT_NE(u.member_payoff.mean(), z.member_payoff.mean());
+}
+
+TEST(Scenario, CidRotationConfigPropagates) {
+  ScenarioConfig cfg = small_config(15);
+  cfg.cid_rotation = 2;
+  const ScenarioResult r = ScenarioRunner(cfg).run();
+  EXPECT_EQ(r.connections_completed, 60u);
+  EXPECT_TRUE(r.payment_conserved);
+}
+
+TEST(Scenario, LatencyPositiveAndScalesWithPayload) {
+  ScenarioConfig small_payload = small_config(16);
+  ScenarioConfig big_payload = small_config(16);
+  big_payload.overlay.link.payload_size = 10.0;
+  const double small_lat = ScenarioRunner(small_payload).run().connection_latency.mean();
+  const double big_lat = ScenarioRunner(big_payload).run().connection_latency.mean();
+  EXPECT_GT(small_lat, 0.0);
+  EXPECT_GT(big_lat, small_lat);
+}
+
+TEST(Scenario, InitiatorUtilityUsesAnonymityValuation) {
+  ScenarioConfig cfg = small_config(10);
+  cfg.anonymity.scale = 1.0e6;  // huge anonymity value
+  const double rich = ScenarioRunner(cfg).run().initiator_utility.mean();
+  cfg.anonymity.scale = 1.0;
+  const double poor = ScenarioRunner(cfg).run().initiator_utility.mean();
+  EXPECT_GT(rich, poor);
+}

@@ -1,0 +1,104 @@
+#include "metrics/anonymity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace p2panon::metrics;
+
+TEST(ShannonEntropy, UniformDistribution) {
+  std::vector<double> p(8, 0.125);
+  EXPECT_NEAR(shannon_entropy_bits(p), 3.0, 1e-12);
+}
+
+TEST(ShannonEntropy, DegenerateDistributionIsZero) {
+  std::vector<double> p{1.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(shannon_entropy_bits(p), 0.0);
+}
+
+TEST(ShannonEntropy, UnnormalisedInputIsNormalised) {
+  std::vector<double> p{2.0, 2.0, 2.0, 2.0};
+  EXPECT_NEAR(shannon_entropy_bits(p), 2.0, 1e-12);
+}
+
+TEST(ShannonEntropy, EmptyAndZeroAreZero) {
+  EXPECT_DOUBLE_EQ(shannon_entropy_bits({}), 0.0);
+  std::vector<double> z{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(shannon_entropy_bits(z), 0.0);
+}
+
+TEST(ShannonEntropy, SkewLowersEntropy) {
+  std::vector<double> uniform{0.25, 0.25, 0.25, 0.25};
+  std::vector<double> skewed{0.7, 0.1, 0.1, 0.1};
+  EXPECT_LT(shannon_entropy_bits(skewed), shannon_entropy_bits(uniform));
+}
+
+TEST(DegreeOfAnonymity, UniformIsOne) {
+  std::vector<double> p(16, 1.0 / 16.0);
+  EXPECT_NEAR(degree_of_anonymity(p), 1.0, 1e-12);
+}
+
+TEST(DegreeOfAnonymity, IdentifiedIsZero) {
+  std::vector<double> p{0.0, 1.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(degree_of_anonymity(p), 0.0);
+}
+
+TEST(DegreeOfAnonymity, SingleCandidateIsZero) {
+  std::vector<double> p{1.0};
+  EXPECT_DOUBLE_EQ(degree_of_anonymity(p), 0.0);
+}
+
+TEST(EffectiveSetSize, MatchesUniformSupport) {
+  std::vector<double> p(10, 0.1);
+  EXPECT_NEAR(effective_set_size(p), 10.0, 1e-9);
+}
+
+TEST(EffectiveSetSize, ShrinksWithSkew) {
+  std::vector<double> skewed{0.9, 0.05, 0.05};
+  EXPECT_LT(effective_set_size(skewed), 3.0);
+  EXPECT_GE(effective_set_size(skewed), 1.0);
+}
+
+class AnonymityFunctionalForms : public ::testing::TestWithParam<AnonymityFunctional> {};
+
+TEST_P(AnonymityFunctionalForms, StrictlyDecreasingInSetSize) {
+  AnonymityValuation a;
+  a.form = GetParam();
+  a.scale = 10000.0;
+  a.lambda = 20.0;
+  double prev = a(0.0);
+  for (double x = 1.0; x <= 15.0; x += 1.0) {
+    const double v = a(x);
+    EXPECT_LT(v, prev) << "form not decreasing at x=" << x;
+    prev = v;
+  }
+}
+
+TEST_P(AnonymityFunctionalForms, NonNegative) {
+  AnonymityValuation a;
+  a.form = GetParam();
+  for (double x = 0.0; x <= 100.0; x += 5.0) EXPECT_GE(a(x), 0.0);
+}
+
+TEST_P(AnonymityFunctionalForms, PerfectAnonymityEqualsScale) {
+  AnonymityValuation a;
+  a.form = GetParam();
+  a.scale = 1234.0;
+  EXPECT_NEAR(a(0.0), 1234.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllForms, AnonymityFunctionalForms,
+                         ::testing::Values(AnonymityFunctional::kExponentialDecay,
+                                           AnonymityFunctional::kInverse,
+                                           AnonymityFunctional::kLinearClamped));
+
+TEST(InitiatorUtility, MatchesEquationTwo) {
+  AnonymityValuation a;  // exponential decay, scale 10000, lambda 20
+  const double u = initiator_utility(a, 10.0, 50.0, 100.0);
+  EXPECT_NEAR(u, a(10.0) - 10.0 * 50.0 - 100.0, 1e-12);
+}
+
+TEST(InitiatorUtility, SmallerSetHigherUtility) {
+  AnonymityValuation a;
+  EXPECT_GT(initiator_utility(a, 4.0, 50.0, 100.0), initiator_utility(a, 12.0, 50.0, 100.0));
+}

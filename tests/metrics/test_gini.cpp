@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "metrics/stats.hpp"
+
+using p2panon::metrics::gini;
+
+TEST(Gini, EqualSamplesAreZero) {
+  std::vector<double> xs(10, 7.0);
+  EXPECT_NEAR(gini(xs), 0.0, 1e-12);
+}
+
+TEST(Gini, DegenerateSizes) {
+  EXPECT_DOUBLE_EQ(gini({}), 0.0);
+  std::vector<double> one{5.0};
+  EXPECT_DOUBLE_EQ(gini(one), 0.0);
+}
+
+TEST(Gini, MaximallyConcentrated) {
+  // One person has everything: G = (n-1)/n.
+  std::vector<double> xs(10, 0.0);
+  xs[3] = 100.0;
+  EXPECT_NEAR(gini(xs), 0.9, 1e-12);
+}
+
+TEST(Gini, KnownTwoPersonSplit) {
+  // (0, 1): G = 1/2 for n = 2.
+  std::vector<double> xs{0.0, 1.0};
+  EXPECT_NEAR(gini(xs), 0.5, 1e-12);
+  // (1, 3): mean 2, G = |1-3|/(2n^2*mean) * n^2... = 0.25.
+  std::vector<double> ys{1.0, 3.0};
+  EXPECT_NEAR(gini(ys), 0.25, 1e-12);
+}
+
+TEST(Gini, ScaleInvariant) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> scaled{10.0, 20.0, 30.0, 40.0};
+  EXPECT_NEAR(gini(xs), gini(scaled), 1e-12);
+}
+
+TEST(Gini, OrderInvariant) {
+  std::vector<double> a{5.0, 1.0, 3.0};
+  std::vector<double> b{1.0, 3.0, 5.0};
+  EXPECT_NEAR(gini(a), gini(b), 1e-12);
+}
+
+TEST(Gini, NegativeSamplesShifted) {
+  // Payoffs can be negative (costs exceed benefits); shifting preserves a
+  // meaningful [0, 1) coefficient.
+  std::vector<double> xs{-1.0, 0.0, 1.0};
+  const double g = gini(xs);
+  EXPECT_GE(g, 0.0);
+  EXPECT_LT(g, 1.0);
+}
+
+TEST(Gini, MoreSkewHigherCoefficient) {
+  std::vector<double> mild{4.0, 5.0, 6.0};
+  std::vector<double> wild{1.0, 1.0, 13.0};
+  EXPECT_GT(gini(wild), gini(mild));
+}

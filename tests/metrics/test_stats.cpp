@@ -1,0 +1,250 @@
+#include "metrics/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+using namespace p2panon::metrics;
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.stderr_mean(), 0.0);
+}
+
+TEST(Accumulator, SingleValue) {
+  Accumulator a;
+  a.add(5.0);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 5.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+}
+
+TEST(Accumulator, KnownMeanAndVariance) {
+  Accumulator a;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations = 32.
+  EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+  Accumulator whole, left, right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i * 0.7) * 10 + i * 0.1;
+    whole.add(x);
+    (i < 37 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Accumulator, MergeWithEmpty) {
+  Accumulator a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(TCritical, MatchesTablesAtCommonDf) {
+  // Two-sided 95% critical values from standard t tables.
+  EXPECT_NEAR(t_critical(0.95, 10), 2.228, 0.01);
+  EXPECT_NEAR(t_critical(0.95, 30), 2.042, 0.01);
+  EXPECT_NEAR(t_critical(0.95, 120), 1.980, 0.01);
+}
+
+TEST(TCritical, ApproachesNormalQuantile) {
+  EXPECT_NEAR(t_critical(0.95, 100000), 1.960, 0.002);
+  EXPECT_NEAR(t_critical(0.99, 100000), 2.576, 0.002);
+}
+
+TEST(TCritical, WiderConfidenceWiderValue) {
+  EXPECT_GT(t_critical(0.99, 20), t_critical(0.95, 20));
+  EXPECT_GT(t_critical(0.95, 20), t_critical(0.90, 20));
+}
+
+TEST(ConfidenceInterval, ContainsTrueMeanOfConstantData) {
+  Accumulator a;
+  for (int i = 0; i < 10; ++i) a.add(7.0);
+  auto ci = confidence_interval(a);
+  EXPECT_DOUBLE_EQ(ci.mean, 7.0);
+  EXPECT_DOUBLE_EQ(ci.half_width, 0.0);
+  EXPECT_TRUE(ci.contains(7.0));
+}
+
+TEST(ConfidenceInterval, ShrinksWithSamples) {
+  Accumulator small, large;
+  for (int i = 0; i < 10; ++i) small.add(i % 2 == 0 ? 1.0 : -1.0);
+  for (int i = 0; i < 1000; ++i) large.add(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_GT(confidence_interval(small).half_width, confidence_interval(large).half_width);
+}
+
+TEST(ConfidenceInterval, SingleSampleHasZeroWidth) {
+  Accumulator a;
+  a.add(3.0);
+  EXPECT_DOUBLE_EQ(confidence_interval(a).half_width, 0.0);
+}
+
+namespace {
+
+Accumulator acc_of(std::initializer_list<double> xs) {
+  Accumulator a;
+  for (double x : xs) a.add(x);
+  return a;
+}
+
+}  // namespace
+
+TEST(WelchTTest, ClearlySeparatedMeansSignificant) {
+  const auto a = acc_of({10.0, 11.0, 9.5, 10.5, 10.2});
+  const auto b = acc_of({1.0, 1.2, 0.8, 1.1, 0.9});
+  const auto r = welch_t_test(a, b);
+  EXPECT_TRUE(r.significant_95);
+  EXPECT_GT(r.t, 0.0);  // a.mean > b.mean
+}
+
+TEST(WelchTTest, OverlappingSamplesNotSignificant) {
+  const auto a = acc_of({5.0, 7.0, 6.0, 4.0, 8.0});
+  const auto b = acc_of({5.5, 6.5, 4.5, 7.5, 5.0});
+  EXPECT_FALSE(welch_t_test(a, b).significant_95);
+}
+
+TEST(WelchTTest, DirectionOfT) {
+  const auto lo = acc_of({1.0, 2.0, 1.5});
+  const auto hi = acc_of({9.0, 10.0, 9.5});
+  EXPECT_LT(welch_t_test(lo, hi).t, 0.0);
+  EXPECT_GT(welch_t_test(hi, lo).t, 0.0);
+}
+
+TEST(WelchTTest, TooFewSamplesNeverSignificant) {
+  const auto a = acc_of({1.0});
+  const auto b = acc_of({100.0, 101.0});
+  EXPECT_FALSE(welch_t_test(a, b).significant_95);
+}
+
+TEST(WelchTTest, ZeroVarianceHandled) {
+  const auto same_a = acc_of({3.0, 3.0, 3.0});
+  const auto same_b = acc_of({3.0, 3.0});
+  EXPECT_FALSE(welch_t_test(same_a, same_b).significant_95);
+  const auto other = acc_of({4.0, 4.0, 4.0});
+  EXPECT_TRUE(welch_t_test(same_a, other).significant_95);
+}
+
+TEST(WelchTTest, DegreesOfFreedomReasonable) {
+  const auto a = acc_of({1.0, 2.0, 3.0, 4.0, 5.0});
+  const auto b = acc_of({2.0, 3.0, 4.0, 5.0, 6.0});
+  const auto r = welch_t_test(a, b);
+  // Equal variances and sizes: df ~ n1 + n2 - 2 = 8.
+  EXPECT_NEAR(r.df, 8.0, 0.5);
+  EXPECT_GT(r.critical_95, 2.0);
+  EXPECT_LT(r.critical_95, 3.2);
+}
+
+TEST(EmpiricalDistribution, CdfMonotoneAndBounded) {
+  EmpiricalDistribution d({3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0});
+  double prev = 0.0;
+  for (double x = 0.0; x <= 10.0; x += 0.5) {
+    const double p = d.cdf(x);
+    EXPECT_GE(p, prev);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+  EXPECT_DOUBLE_EQ(d.cdf(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(9.0), 1.0);
+}
+
+TEST(EmpiricalDistribution, CdfCountsInclusive) {
+  EmpiricalDistribution d({1.0, 2.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(d.cdf(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(d.cdf(1.9999), 0.25);
+}
+
+TEST(EmpiricalDistribution, QuantileEndpoints) {
+  EmpiricalDistribution d({10.0, 20.0, 30.0});
+  EXPECT_DOUBLE_EQ(d.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(d.quantile(1.0), 30.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 20.0);
+}
+
+TEST(EmpiricalDistribution, QuantileInterpolates) {
+  EmpiricalDistribution d({0.0, 10.0});
+  EXPECT_NEAR(d.quantile(0.25), 2.5, 1e-12);
+}
+
+TEST(EmpiricalDistribution, AddThenQuery) {
+  EmpiricalDistribution d;
+  for (int i = 1; i <= 100; ++i) d.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(d.min(), 1.0);
+  EXPECT_DOUBLE_EQ(d.max(), 100.0);
+  EXPECT_NEAR(d.mean(), 50.5, 1e-12);
+  EXPECT_NEAR(d.cdf(50.0), 0.5, 1e-12);
+}
+
+TEST(EmpiricalDistribution, CdfSeriesShape) {
+  EmpiricalDistribution d;
+  for (int i = 0; i < 1000; ++i) d.add(static_cast<double>(i));
+  auto series = d.cdf_series(11);
+  ASSERT_EQ(series.size(), 11u);
+  EXPECT_DOUBLE_EQ(series.front().x, 0.0);
+  EXPECT_DOUBLE_EQ(series.back().x, 999.0);
+  EXPECT_DOUBLE_EQ(series.back().p, 1.0);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].p, series[i - 1].p);
+    EXPECT_GT(series[i].x, series[i - 1].x);
+  }
+}
+
+TEST(EmpiricalDistribution, VarianceMatchesAccumulator) {
+  Accumulator a;
+  EmpiricalDistribution d;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::cos(i * 1.3) * 4;
+    a.add(x);
+    d.add(x);
+  }
+  EXPECT_NEAR(d.variance(), a.variance(), 1e-10);
+}
+
+TEST(Histogram, BinsAndDensity) {
+  Histogram h(0.0, 10.0, 5);
+  for (double x : {0.5, 1.5, 2.5, 2.6, 9.9}) h.add(x);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 2u);  // [0,2)
+  EXPECT_EQ(h.count(1), 2u);  // [2,4)
+  EXPECT_EQ(h.count(4), 1u);  // [8,10)
+  EXPECT_DOUBLE_EQ(h.density(0), 0.4);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-100.0);
+  h.add(100.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(10.0, 20.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 12.5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 17.5);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 20.0);
+}

@@ -1,0 +1,63 @@
+#include "metrics/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+using p2panon::metrics::TimeSeries;
+
+namespace {
+
+TimeSeries steps() {
+  TimeSeries ts;
+  ts.record(0.0, 10.0);
+  ts.record(5.0, 20.0);
+  ts.record(10.0, 15.0);
+  return ts;
+}
+
+}  // namespace
+
+TEST(TimeSeries, RecordsAndSummaries) {
+  const TimeSeries ts = steps();
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_DOUBLE_EQ(ts.min_value(), 10.0);
+  EXPECT_DOUBLE_EQ(ts.max_value(), 20.0);
+  EXPECT_DOUBLE_EQ(ts.mean_value(), 15.0);
+}
+
+TEST(TimeSeries, AtIsStepFunction) {
+  const TimeSeries ts = steps();
+  EXPECT_DOUBLE_EQ(ts.at(-1.0), 10.0);  // before first: first value
+  EXPECT_DOUBLE_EQ(ts.at(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(ts.at(4.999), 10.0);
+  EXPECT_DOUBLE_EQ(ts.at(5.0), 20.0);
+  EXPECT_DOUBLE_EQ(ts.at(7.0), 20.0);
+  EXPECT_DOUBLE_EQ(ts.at(100.0), 15.0);
+}
+
+TEST(TimeSeries, ResampleGridAndValues) {
+  const TimeSeries ts = steps();
+  const auto grid = ts.resample(0.0, 10.0, 11);
+  ASSERT_EQ(grid.size(), 11u);
+  EXPECT_DOUBLE_EQ(grid[0].t, 0.0);
+  EXPECT_DOUBLE_EQ(grid[10].t, 10.0);
+  EXPECT_DOUBLE_EQ(grid[3].value, 10.0);   // t = 3
+  EXPECT_DOUBLE_EQ(grid[7].value, 20.0);   // t = 7
+  EXPECT_DOUBLE_EQ(grid[10].value, 15.0);  // t = 10
+}
+
+TEST(TimeSeries, TimeWeightedMean) {
+  const TimeSeries ts = steps();
+  // [0,5): 10; [5,10): 20 -> mean over [0,10] = 15.
+  EXPECT_NEAR(ts.time_weighted_mean(0.0, 10.0), 15.0, 1e-12);
+  // [0,20]: 10*5 + 20*5 + 15*10 = 300 -> 15.
+  EXPECT_NEAR(ts.time_weighted_mean(0.0, 20.0), 15.0, 1e-12);
+  // Window entirely inside one step.
+  EXPECT_NEAR(ts.time_weighted_mean(6.0, 9.0), 20.0, 1e-12);
+}
+
+TEST(TimeSeries, EqualTimestampsAllowed) {
+  TimeSeries ts;
+  ts.record(1.0, 1.0);
+  ts.record(1.0, 2.0);
+  EXPECT_DOUBLE_EQ(ts.at(1.0), 2.0);  // last write at a timestamp wins
+}

@@ -1,0 +1,139 @@
+#include "net/churn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+using namespace p2panon::net;
+namespace sim = p2panon::sim;
+
+namespace {
+
+ChurnConfig test_config() {
+  ChurnConfig cfg;
+  cfg.join_interarrival_mean = sim::minutes(1.0);
+  cfg.session_median = sim::minutes(60.0);
+  cfg.session_min = sim::minutes(5.0);
+  cfg.session_max = sim::hours(24.0);
+  cfg.offline_gap_mean = sim::minutes(30.0);
+  cfg.departure_probability = 0.1;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(ChurnProcess, SessionLengthsWithinBounds) {
+  ChurnProcess churn(test_config(), sim::rng::Stream(1).child("c"));
+  for (int i = 0; i < 20000; ++i) {
+    const sim::Time s = churn.session_length();
+    EXPECT_GE(s, sim::minutes(5.0));
+    EXPECT_LE(s, sim::hours(24.0) + 1e-6);
+  }
+}
+
+TEST(ChurnProcess, SessionMedianNearConfigured) {
+  ChurnProcess churn(test_config(), sim::rng::Stream(2).child("c"));
+  std::vector<double> sessions;
+  const int n = 50001;
+  sessions.reserve(n);
+  for (int i = 0; i < n; ++i) sessions.push_back(churn.session_length());
+  std::nth_element(sessions.begin(), sessions.begin() + n / 2, sessions.end());
+  // Bounded Pareto truncation pulls the median slightly below the unbounded
+  // target; allow 10%.
+  EXPECT_NEAR(sessions[n / 2], sim::minutes(60.0), sim::minutes(6.0));
+}
+
+TEST(ChurnProcess, JoinGapsExponentialMean) {
+  ChurnProcess churn(test_config(), sim::rng::Stream(3).child("c"));
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += churn.next_join_gap();
+  EXPECT_NEAR(sum / n, sim::minutes(1.0), sim::minutes(0.05));
+}
+
+TEST(ChurnProcess, OfflineGapMean) {
+  ChurnProcess churn(test_config(), sim::rng::Stream(4).child("c"));
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += churn.offline_gap();
+  EXPECT_NEAR(sum / n, sim::minutes(30.0), sim::minutes(1.5));
+}
+
+TEST(ChurnProcess, DepartureFrequencyMatchesProbability) {
+  ChurnProcess churn(test_config(), sim::rng::Stream(5).child("c"));
+  int departures = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) departures += churn.is_final_departure() ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(departures) / n, 0.1, 0.005);
+}
+
+TEST(ChurnProcess, DeterministicForSameStream) {
+  ChurnProcess a(test_config(), sim::rng::Stream(6).child("c"));
+  ChurnProcess b(test_config(), sim::rng::Stream(6).child("c"));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.session_length(), b.session_length());
+    EXPECT_DOUBLE_EQ(a.next_join_gap(), b.next_join_gap());
+  }
+}
+
+TEST(AvailabilityTracker, NeverJoinedIsZero) {
+  AvailabilityTracker t;
+  EXPECT_FALSE(t.ever_joined());
+  EXPECT_FALSE(t.online());
+  EXPECT_DOUBLE_EQ(t.availability(100.0), 0.0);
+}
+
+TEST(AvailabilityTracker, AlwaysOnlineIsOne) {
+  AvailabilityTracker t;
+  t.on_join(0.0);
+  EXPECT_TRUE(t.online());
+  EXPECT_DOUBLE_EQ(t.availability(1000.0), 1.0);
+}
+
+TEST(AvailabilityTracker, HalfOnline) {
+  AvailabilityTracker t;
+  t.on_join(0.0);
+  t.on_leave(50.0);
+  t.on_join(100.0);
+  // At t = 150: sessions = 50 + 50 = 100 of lifetime 150.
+  EXPECT_NEAR(t.availability(150.0), 100.0 / 150.0, 1e-12);
+}
+
+TEST(AvailabilityTracker, OfflineLifetimeEndsAtLastLeave) {
+  AvailabilityTracker t;
+  t.on_join(0.0);
+  t.on_leave(60.0);
+  // Rhea et al.: lifetime runs to the final departure, so later queries
+  // while offline do not dilute availability.
+  EXPECT_DOUBLE_EQ(t.availability(1000.0), 1.0);
+}
+
+TEST(AvailabilityTracker, SessionTimeAccumulates) {
+  AvailabilityTracker t;
+  t.on_join(10.0);
+  t.on_leave(30.0);
+  t.on_join(50.0);
+  EXPECT_DOUBLE_EQ(t.total_session_time(70.0), 40.0);
+}
+
+TEST(AvailabilityTracker, AvailabilityBoundedInUnitInterval) {
+  AvailabilityTracker t;
+  t.on_join(5.0);
+  t.on_leave(10.0);
+  t.on_join(20.0);
+  t.on_leave(25.0);
+  for (double now : {26.0, 50.0, 500.0}) {
+    const double a = t.availability(now);
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+  }
+}
+
+TEST(AvailabilityTracker, JoinAtQueryInstant) {
+  AvailabilityTracker t;
+  t.on_join(42.0);
+  const double a = t.availability(42.0);
+  EXPECT_GE(a, 0.0);
+  EXPECT_LE(a, 1.0);
+}

@@ -1,0 +1,63 @@
+#include "net/link_model.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace p2panon::net;
+
+TEST(LinkModel, BandwidthWithinConfiguredRange) {
+  LinkModel links(LinkModelConfig{}, 42);
+  for (NodeId a = 0; a < 30; ++a) {
+    for (NodeId b = 0; b < 30; ++b) {
+      const double bw = links.bandwidth(a, b);
+      EXPECT_GE(bw, 1.0);
+      EXPECT_LE(bw, 10.0);
+    }
+  }
+}
+
+TEST(LinkModel, Symmetric) {
+  LinkModel links(LinkModelConfig{}, 7);
+  for (NodeId a = 0; a < 20; ++a) {
+    for (NodeId b = 0; b < 20; ++b) {
+      EXPECT_DOUBLE_EQ(links.bandwidth(a, b), links.bandwidth(b, a));
+    }
+  }
+}
+
+TEST(LinkModel, DeterministicInSeed) {
+  LinkModel l1(LinkModelConfig{}, 11), l2(LinkModelConfig{}, 11);
+  EXPECT_DOUBLE_EQ(l1.bandwidth(3, 9), l2.bandwidth(3, 9));
+}
+
+TEST(LinkModel, DifferentSeedsDiffer) {
+  LinkModel l1(LinkModelConfig{}, 11), l2(LinkModelConfig{}, 12);
+  int same = 0;
+  for (NodeId a = 0; a < 10; ++a) {
+    for (NodeId b = a + 1; b < 10; ++b) {
+      if (l1.bandwidth(a, b) == l2.bandwidth(a, b)) ++same;
+    }
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(LinkModel, TransmissionCostInverseInBandwidth) {
+  LinkModelConfig cfg;
+  cfg.payload_size = 2.0;
+  cfg.cost_scale = 3.0;
+  LinkModel links(cfg, 5);
+  const double bw = links.bandwidth(1, 2);
+  EXPECT_NEAR(links.unit_cost(1, 2), 3.0 / bw, 1e-12);
+  EXPECT_NEAR(links.transmission_cost(1, 2), 2.0 * 3.0 / bw, 1e-12);
+}
+
+TEST(LinkModel, SelfLinkMaximalBandwidth) {
+  LinkModel links(LinkModelConfig{}, 5);
+  EXPECT_DOUBLE_EQ(links.bandwidth(4, 4), 10.0);
+}
+
+TEST(LinkModel, PairsDecorrelated) {
+  // Adjacent pairs must not share bandwidth (hash, not pattern).
+  LinkModel links(LinkModelConfig{}, 13);
+  EXPECT_NE(links.bandwidth(0, 1), links.bandwidth(0, 2));
+  EXPECT_NE(links.bandwidth(0, 1), links.bandwidth(1, 2));
+}

@@ -1,0 +1,192 @@
+#include "net/overlay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "sim/simulator.hpp"
+
+using namespace p2panon::net;
+namespace sim = p2panon::sim;
+
+namespace {
+
+OverlayConfig small_config(double malicious = 0.0) {
+  OverlayConfig cfg;
+  cfg.node_count = 40;
+  cfg.degree = 5;
+  cfg.malicious_fraction = malicious;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(Overlay, NeighborSetsHaveConfiguredDegree) {
+  sim::Simulator s;
+  Overlay o(small_config(), s, sim::rng::Stream(1));
+  for (NodeId id = 0; id < o.size(); ++id) {
+    EXPECT_EQ(o.neighbors(id).size(), 5u);
+  }
+}
+
+TEST(Overlay, NeighborsDistinctAndNotSelf) {
+  sim::Simulator s;
+  Overlay o(small_config(), s, sim::rng::Stream(2));
+  for (NodeId id = 0; id < o.size(); ++id) {
+    std::set<NodeId> uniq;
+    for (NodeId nb : o.neighbors(id)) {
+      EXPECT_NE(nb, id);
+      EXPECT_LT(nb, o.size());
+      uniq.insert(nb);
+    }
+    EXPECT_EQ(uniq.size(), o.neighbors(id).size());
+  }
+}
+
+TEST(Overlay, MaliciousFractionApplied) {
+  sim::Simulator s;
+  Overlay o(small_config(0.5), s, sim::rng::Stream(3));
+  EXPECT_EQ(o.malicious_nodes().size(), 20u);
+  EXPECT_EQ(o.good_nodes().size(), 20u);
+}
+
+TEST(Overlay, MaliciousFractionZeroAndOne) {
+  sim::Simulator s1, s2;
+  Overlay none(small_config(0.0), s1, sim::rng::Stream(4));
+  EXPECT_TRUE(none.malicious_nodes().empty());
+  Overlay all(small_config(1.0), s2, sim::rng::Stream(5));
+  EXPECT_EQ(all.malicious_nodes().size(), all.size());
+}
+
+TEST(Overlay, AllNodesOfflineBeforeStart) {
+  sim::Simulator s;
+  Overlay o(small_config(), s, sim::rng::Stream(6));
+  EXPECT_TRUE(o.online_nodes().empty());
+}
+
+TEST(Overlay, NodesJoinAfterStart) {
+  sim::Simulator s;
+  Overlay o(small_config(), s, sim::rng::Stream(7));
+  o.start();
+  s.run_until(sim::hours(2.0));
+  EXPECT_FALSE(o.online_nodes().empty());
+  EXPECT_GT(o.churn_events(), 0u);
+}
+
+TEST(Overlay, ChurnProducesLeavesAndRejoins) {
+  sim::Simulator s;
+  auto cfg = small_config();
+  cfg.churn.session_median = sim::minutes(20.0);  // faster churn
+  Overlay o(cfg, s, sim::rng::Stream(8));
+  int joins = 0, leaves = 0;
+  o.add_churn_observer([&](NodeId, bool online, sim::Time) { (online ? joins : leaves)++; });
+  o.start();
+  s.run_until(sim::hours(12.0));
+  EXPECT_GT(joins, 40);   // rejoins happened
+  EXPECT_GT(leaves, 10);
+}
+
+TEST(Overlay, TrueAvailabilityInUnitInterval) {
+  sim::Simulator s;
+  Overlay o(small_config(), s, sim::rng::Stream(9));
+  o.start();
+  s.run_until(sim::hours(6.0));
+  for (NodeId id = 0; id < o.size(); ++id) {
+    const double a = o.true_availability(id);
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+  }
+}
+
+TEST(Overlay, OnlineNeighborsSubsetOfNeighbors) {
+  sim::Simulator s;
+  Overlay o(small_config(), s, sim::rng::Stream(10));
+  o.start();
+  s.run_until(sim::hours(1.0));
+  for (NodeId id = 0; id < o.size(); ++id) {
+    auto nbs = o.neighbors(id);
+    for (NodeId nb : o.online_neighbors(id)) {
+      EXPECT_TRUE(o.is_online(nb));
+      EXPECT_NE(std::find(nbs.begin(), nbs.end(), nb), nbs.end());
+    }
+  }
+}
+
+TEST(Overlay, ForceOnlineBringsNodeBack) {
+  sim::Simulator s;
+  Overlay o(small_config(), s, sim::rng::Stream(11));
+  o.start();
+  s.run_until(sim::hours(1.0));
+  // Find any offline node (there is one early on) and force it online.
+  for (NodeId id = 0; id < o.size(); ++id) {
+    if (!o.is_online(id)) {
+      o.force_online(id);
+      EXPECT_TRUE(o.is_online(id));
+      return;
+    }
+  }
+  GTEST_SKIP() << "all nodes already online at probe time";
+}
+
+TEST(Overlay, MaliciousAlwaysOnlineStayOnline) {
+  sim::Simulator s;
+  auto cfg = small_config(0.3);
+  cfg.malicious_always_online = true;
+  cfg.churn.session_median = sim::minutes(15.0);
+  Overlay o(cfg, s, sim::rng::Stream(12));
+  o.start();
+  s.run_until(sim::hours(24.0));
+  for (NodeId id : o.malicious_nodes()) {
+    EXPECT_TRUE(o.is_online(id)) << "availability attacker " << id << " went offline";
+    EXPECT_NEAR(o.true_availability(id), 1.0, 1e-9);
+  }
+}
+
+TEST(Overlay, DepartedNeighborsReplaced) {
+  sim::Simulator s;
+  auto cfg = small_config();
+  cfg.churn.departure_probability = 0.5;  // departures happen fast
+  cfg.churn.session_median = sim::minutes(10.0);
+  Overlay o(cfg, s, sim::rng::Stream(13));
+  int replacements = 0;
+  o.add_neighbor_observer([&](NodeId s_, NodeId old_nb, NodeId fresh, sim::Time) {
+    EXPECT_NE(old_nb, fresh);
+    EXPECT_NE(fresh, s_);
+    ++replacements;
+  });
+  o.start();
+  s.run_until(sim::hours(24.0));
+  EXPECT_GT(replacements, 0);
+  // No surviving node keeps a departed neighbour (unless no candidate
+  // existed, which cannot happen with 40 nodes and this horizon).
+  for (NodeId id = 0; id < o.size(); ++id) {
+    if (o.node(id).departed) continue;
+    for (NodeId nb : o.neighbors(id)) {
+      EXPECT_FALSE(o.node(nb).departed)
+          << "node " << id << " still lists departed neighbour " << nb;
+    }
+  }
+}
+
+TEST(Overlay, DeterministicAcrossRuns) {
+  auto run = [](std::uint64_t seed) {
+    sim::Simulator s;
+    Overlay o(small_config(0.2), s, sim::rng::Stream(seed));
+    o.start();
+    s.run_until(sim::hours(8.0));
+    return std::make_tuple(o.churn_events(), o.online_nodes(), o.malicious_nodes());
+  };
+  EXPECT_EQ(run(99), run(99));
+  EXPECT_NE(std::get<0>(run(99)), 0u);
+}
+
+TEST(Overlay, ChurnEventsCounterConsistentWithObserver) {
+  sim::Simulator s;
+  Overlay o(small_config(), s, sim::rng::Stream(14));
+  std::uint64_t observed = 0;
+  o.add_churn_observer([&](NodeId, bool, sim::Time) { ++observed; });
+  o.start();
+  s.run_until(sim::hours(4.0));
+  EXPECT_EQ(observed, o.churn_events());
+}

@@ -1,0 +1,160 @@
+#include "net/probing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/overlay.hpp"
+#include "sim/simulator.hpp"
+
+using namespace p2panon::net;
+namespace sim = p2panon::sim;
+
+namespace {
+
+OverlayConfig stable_config() {
+  OverlayConfig cfg;
+  cfg.node_count = 20;
+  cfg.degree = 4;
+  // Long sessions and no departures: nodes mostly stay online.
+  cfg.churn.session_median = sim::hours(50.0);
+  cfg.churn.session_min = sim::hours(40.0);
+  cfg.churn.session_max = sim::hours(100.0);
+  cfg.churn.departure_probability = 0.0;
+  cfg.churn.join_interarrival_mean = sim::minutes(0.5);
+  return cfg;
+}
+
+}  // namespace
+
+TEST(Probing, EstimatesNormaliseToOne) {
+  sim::Simulator s;
+  Overlay o(stable_config(), s, sim::rng::Stream(1));
+  ProbingEstimator probing(o, ProbingConfig{}, sim::rng::Stream(1).child("p"));
+  o.start();
+  s.run_until(sim::hours(4.0));
+  for (NodeId id = 0; id < o.size(); ++id) {
+    double total = 0.0;
+    for (NodeId nb : o.neighbors(id)) total += probing.availability(id, nb);
+    EXPECT_NEAR(total, 1.0, 1e-9) << "alpha_s must normalise over D(s)";
+  }
+}
+
+TEST(Probing, UniformPriorBeforeObservations) {
+  sim::Simulator s;
+  Overlay o(stable_config(), s, sim::rng::Stream(2));
+  ProbingEstimator probing(o, ProbingConfig{}, sim::rng::Stream(2).child("p"));
+  // No simulation run: no probes yet.
+  for (NodeId nb : o.neighbors(0)) {
+    EXPECT_DOUBLE_EQ(probing.availability(0, nb), 1.0 / 4.0);
+  }
+}
+
+TEST(Probing, ProbesAccumulateSessionTime) {
+  sim::Simulator s;
+  Overlay o(stable_config(), s, sim::rng::Stream(3));
+  ProbingEstimator probing(o, ProbingConfig{sim::minutes(5.0)}, sim::rng::Stream(3).child("p"));
+  o.start();
+  s.run_until(sim::hours(8.0));
+  EXPECT_GT(probing.probes_performed(), 0u);
+  // With everyone long-lived, observed session times grow roughly with the
+  // horizon.
+  bool some_accumulation = false;
+  for (NodeId id = 0; id < o.size() && !some_accumulation; ++id) {
+    for (NodeId nb : o.neighbors(id)) {
+      if (probing.observed_session_time(id, nb) > sim::hours(1.0)) {
+        some_accumulation = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(some_accumulation);
+}
+
+TEST(Probing, StableNeighborsConvergeTowardUniform) {
+  // With all neighbours equally long-lived, estimates approach 1/d.
+  sim::Simulator s;
+  Overlay o(stable_config(), s, sim::rng::Stream(4));
+  ProbingEstimator probing(o, ProbingConfig{sim::minutes(5.0)}, sim::rng::Stream(4).child("p"));
+  o.start();
+  s.run_until(sim::hours(30.0));
+  for (NodeId nb : o.neighbors(0)) {
+    EXPECT_NEAR(probing.availability(0, nb), 0.25, 0.1);
+  }
+}
+
+TEST(Probing, ChurningNeighborScoresLowerThanStableOne) {
+  sim::Simulator s;
+  OverlayConfig cfg;
+  cfg.node_count = 30;
+  cfg.degree = 6;
+  cfg.churn.session_median = sim::minutes(30.0);  // real churn
+  cfg.churn.session_min = sim::minutes(5.0);
+  cfg.churn.session_max = sim::hours(8.0);
+  cfg.churn.departure_probability = 0.0;
+  cfg.churn.offline_gap_mean = sim::minutes(60.0);
+  Overlay o(cfg, s, sim::rng::Stream(5));
+  ProbingEstimator probing(o, ProbingConfig{sim::minutes(5.0)}, sim::rng::Stream(5).child("p"));
+  o.start();
+  s.run_until(sim::hours(48.0));
+
+  // Compare estimated vs true availability rank correlation in aggregate:
+  // the neighbour with the highest true availability should rarely have the
+  // lowest estimate. Count agreements over all nodes.
+  int agree = 0, total = 0;
+  for (NodeId id = 0; id < o.size(); ++id) {
+    if (!o.is_online(id)) continue;
+    NodeId best_true = kInvalidNode, worst_true = kInvalidNode;
+    double bt = -1, wt = 2;
+    for (NodeId nb : o.neighbors(id)) {
+      const double a = o.true_availability(nb);
+      if (a > bt) {
+        bt = a;
+        best_true = nb;
+      }
+      if (a < wt) {
+        wt = a;
+        worst_true = nb;
+      }
+    }
+    if (best_true == kInvalidNode || best_true == worst_true || bt - wt < 0.2) continue;
+    ++total;
+    if (probing.availability(id, best_true) >= probing.availability(id, worst_true)) ++agree;
+  }
+  if (total < 3) GTEST_SKIP() << "not enough contrast in availabilities";
+  EXPECT_GT(static_cast<double>(agree) / total, 0.6)
+      << "estimates should usually rank a stable neighbour above a churner";
+}
+
+TEST(Probing, OfflineNodeStopsProbing) {
+  sim::Simulator s;
+  OverlayConfig cfg = stable_config();
+  cfg.node_count = 4;
+  cfg.degree = 2;
+  cfg.churn.session_min = sim::minutes(30.0);
+  cfg.churn.session_median = sim::minutes(40.0);  // must stay < sqrt(min*max)
+  cfg.churn.session_max = sim::minutes(60.0);
+  cfg.churn.offline_gap_mean = sim::hours(100.0);  // leaves and stays away
+  Overlay o(cfg, s, sim::rng::Stream(6));
+  ProbingEstimator probing(o, ProbingConfig{sim::minutes(5.0)}, sim::rng::Stream(6).child("p"));
+  o.start();
+  s.run_until(sim::hours(2.0));
+  const auto probes_at_2h = probing.probes_performed();
+  s.run_until(sim::hours(20.0));
+  // All nodes offline after ~1h sessions; probe count must stop growing.
+  EXPECT_EQ(probing.probes_performed(), probes_at_2h);
+}
+
+TEST(Probing, DeterministicAcrossIdenticalRuns) {
+  auto run = [] {
+    sim::Simulator s;
+    Overlay o(stable_config(), s, sim::rng::Stream(7));
+    ProbingEstimator probing(o, ProbingConfig{}, sim::rng::Stream(7).child("p"));
+    o.start();
+    s.run_until(sim::hours(6.0));
+    std::vector<double> snapshot;
+    for (NodeId id = 0; id < o.size(); ++id) {
+      for (NodeId nb : o.neighbors(id)) snapshot.push_back(probing.availability(id, nb));
+    }
+    return snapshot;
+  };
+  EXPECT_EQ(run(), run());
+}

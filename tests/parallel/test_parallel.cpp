@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+using namespace p2panon::parallel;
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.submit([&] { ++count; });
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, TasksCanSubmitWork) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&] {
+    ++count;
+    pool.submit([&] { ++count; });
+  });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ParallelFor, CoversFullRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, 0, 1000, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int count = 0;
+  parallel_for(pool, 5, 5, [&](std::size_t) { ++count; });
+  parallel_for(pool, 7, 3, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(ParallelFor, NonzeroBegin) {
+  ThreadPool pool(4);
+  std::atomic<long> sum{0};
+  parallel_for(pool, 10, 20, [&](std::size_t i) { sum += static_cast<long>(i); });
+  EXPECT_EQ(sum.load(), 145);  // 10+..+19
+}
+
+TEST(ParallelFor, PropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for(pool, 0, 100,
+                   [](std::size_t i) {
+                     if (i == 37) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, SingleIteration) {
+  ThreadPool pool(4);
+  int value = 0;
+  parallel_for(pool, 0, 1, [&](std::size_t) { value = 42; });
+  EXPECT_EQ(value, 42);
+}
+
+TEST(RunReplicates, ResultsIndexedByReplicate) {
+  ThreadPool pool(4);
+  auto results = run_replicates<std::size_t>(pool, 64, [](std::size_t r) { return r * r; });
+  ASSERT_EQ(results.size(), 64u);
+  for (std::size_t r = 0; r < 64; ++r) EXPECT_EQ(results[r], r * r);
+}
+
+TEST(RunReplicates, DeterministicAcrossThreadCounts) {
+  auto work = [](std::size_t r) {
+    // Deterministic per-replicate pseudo-work.
+    std::uint64_t x = r * 2654435761ULL + 1;
+    for (int i = 0; i < 100; ++i) x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    return x;
+  };
+  ThreadPool one(1), many(8);
+  auto a = run_replicates<std::uint64_t>(one, 32, work);
+  auto b = run_replicates<std::uint64_t>(many, 32, work);
+  EXPECT_EQ(a, b);
+}

@@ -1,0 +1,134 @@
+#include "payment/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "payment/bank.hpp"
+#include "payment/settlement.hpp"
+#include "payment/token.hpp"
+
+using namespace p2panon::payment;
+namespace rng = p2panon::sim::rng;
+
+TEST(AuditLog, EmptyReplayIsEmpty) {
+  AuditLog log;
+  ReplayState state;
+  EXPECT_TRUE(log.replay(state));
+  EXPECT_TRUE(state.accounts.empty());
+  EXPECT_EQ(state.total(), 0);
+}
+
+TEST(AuditLog, ManualJournalReplays) {
+  AuditLog log;
+  log.record(TxKind::kOpenAccount, 0, 0, 1000);
+  log.record(TxKind::kOpenAccount, 1, 0, 0);
+  log.record(TxKind::kWithdraw, 0, 0, 300);
+  log.record(TxKind::kEscrowFund, 0, 0, 300);
+  log.record(TxKind::kEscrowPay, 1, 0, 200);
+  ReplayState state;
+  ASSERT_TRUE(log.replay(state));
+  EXPECT_EQ(state.accounts[0], 700);
+  EXPECT_EQ(state.accounts[1], 200);
+  EXPECT_EQ(state.escrows[0], 100);
+  EXPECT_EQ(state.outstanding, 0);
+  EXPECT_EQ(state.total(), 1000);
+}
+
+TEST(AuditLog, OverdraftRejected) {
+  AuditLog log;
+  log.record(TxKind::kOpenAccount, 0, 0, 10);
+  log.record(TxKind::kWithdraw, 0, 0, 50);
+  ReplayState state;
+  EXPECT_FALSE(log.replay(state));
+}
+
+TEST(AuditLog, DepositBeyondOutstandingRejected) {
+  AuditLog log;
+  log.record(TxKind::kOpenAccount, 0, 0, 10);
+  log.record(TxKind::kDeposit, 0, 0, 5);  // no coins outstanding
+  ReplayState state;
+  EXPECT_FALSE(log.replay(state));
+}
+
+TEST(AuditLog, NonDenseAccountIdsRejected) {
+  AuditLog log;
+  log.record(TxKind::kOpenAccount, 3, 0, 10);
+  ReplayState state;
+  EXPECT_FALSE(log.replay(state));
+}
+
+TEST(AuditLog, NegativeAmountRejected) {
+  AuditLog log;
+  log.record(TxKind::kOpenAccount, 0, 0, -1);
+  ReplayState state;
+  EXPECT_FALSE(log.replay(state));
+}
+
+TEST(AuditLog, PrintIsHumanReadable) {
+  AuditLog log;
+  log.record(TxKind::kOpenAccount, 0, 0, from_credits(5.0));
+  std::ostringstream os;
+  log.print(os);
+  EXPECT_NE(os.str().find("open"), std::string::npos);
+  EXPECT_NE(os.str().find("5"), std::string::npos);
+}
+
+TEST(AuditIntegration, BankJournalReplaysToLiveBalances) {
+  // Drive a full settlement through an audited bank, then replay the
+  // journal and compare against the live balances.
+  AuditLog log;
+  Bank bank(rng::Stream(77).child("bank"));
+  bank.attach_audit(&log);
+  SettlementEngine engine(bank);
+
+  std::vector<AccountId> acct;
+  for (p2panon::net::NodeId n = 0; n < 4; ++n) {
+    acct.push_back(bank.open_account(n, from_credits(100.0), n + 1));
+  }
+  const AccountId refund = bank.open_pseudonymous_account();
+
+  Wallet wallet(bank, acct[0], rng::Stream(78).child("w"));
+  const Amount p_f = from_credits(5.0), p_r = from_credits(10.0);
+  auto coins = wallet.withdraw(2 * p_f + p_r);
+  ASSERT_TRUE(coins.has_value());
+  auto escrow = bank.open_escrow(*coins);
+  ASSERT_TRUE(escrow.has_value());
+
+  std::vector<PathRecord> records{{1, 0, 3, {1, 2}}};
+  const SettlementId sid = engine.open(1, *escrow, {p_f, p_r}, records, refund);
+  engine.submit_claim(sid, acct[1],
+                      make_receipt(bank.account_mac_key(acct[1]), 1, 1, 1, 0, 2));
+  engine.submit_claim(sid, acct[2],
+                      make_receipt(bank.account_mac_key(acct[2]), 1, 1, 2, 1, 3));
+  engine.close(sid);
+
+  ReplayState state;
+  ASSERT_TRUE(log.replay(state));
+  ASSERT_EQ(state.accounts.size(), bank.account_count());
+  for (AccountId a = 0; a < state.accounts.size(); ++a) {
+    EXPECT_EQ(state.accounts[a], bank.balance(a)) << "account " << a << " diverged";
+  }
+  EXPECT_EQ(state.outstanding, bank.outstanding_coin_value());
+  EXPECT_EQ(state.total(), bank.total_money() + bank.outstanding_coin_value());
+}
+
+TEST(AuditIntegration, JournalNeverContainsCoinSerials) {
+  // Unlinkability against the bank's own log: withdrawals journal amounts
+  // only. (Structural check: the Transaction record has no serial field;
+  // this test documents the property by construction.)
+  AuditLog log;
+  Bank bank(rng::Stream(79).child("bank"));
+  bank.attach_audit(&log);
+  const AccountId a = bank.open_account(0, from_credits(10.0), 1);
+  Wallet wallet(bank, a, rng::Stream(80).child("w"));
+  auto coins = wallet.withdraw(from_credits(3.0));
+  ASSERT_TRUE(coins.has_value());
+  for (const Transaction& tx : log.transactions()) {
+    // Only kind/account/escrow/amount exist; amounts are denominations.
+    if (tx.kind == TxKind::kWithdraw) {
+      EXPECT_GT(tx.amount, 0);
+    }
+  }
+  SUCCEED();
+}

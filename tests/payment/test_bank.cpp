@@ -1,0 +1,215 @@
+#include "payment/bank.hpp"
+
+#include <gtest/gtest.h>
+
+#include "payment/token.hpp"
+
+using namespace p2panon::payment;
+namespace rng = p2panon::sim::rng;
+
+namespace {
+
+class BankTest : public ::testing::Test {
+ protected:
+  Bank bank{rng::Stream(1).child("bank")};
+};
+
+}  // namespace
+
+TEST_F(BankTest, OpenAccountAndBalance) {
+  const AccountId a = bank.open_account(0, 1000, 0xAA);
+  EXPECT_EQ(bank.balance(a), 1000);
+  EXPECT_EQ(bank.account_of(0), a);
+  EXPECT_EQ(bank.account_owner(a), 0u);
+  EXPECT_EQ(bank.account_mac_key(a), 0xAAu);
+}
+
+TEST_F(BankTest, PseudonymousAccountUnbound) {
+  const AccountId a = bank.open_pseudonymous_account(50);
+  EXPECT_EQ(bank.balance(a), 50);
+  EXPECT_EQ(bank.account_owner(a), p2panon::net::kInvalidNode);
+}
+
+TEST_F(BankTest, AccountOfUnknownNode) {
+  EXPECT_EQ(bank.account_of(77), kInvalidAccount);
+}
+
+TEST_F(BankTest, DenominationKeysStablePerDenomination) {
+  const auto& k1 = bank.denomination_key(8);
+  const auto& k2 = bank.denomination_key(8);
+  EXPECT_EQ(k1, k2);
+  EXPECT_NE(bank.denomination_key(16).n, k1.n);
+}
+
+TEST(DecomposeAmount, PowersOfTwoSumExactly) {
+  for (Amount v : {1LL, 2LL, 3LL, 1000LL, 123456789LL, 75000LL}) {
+    Amount sum = 0;
+    for (Amount d : decompose_amount(v)) {
+      EXPECT_GT(d, 0);
+      EXPECT_EQ(d & (d - 1), 0) << "not a power of two";
+      sum += d;
+    }
+    EXPECT_EQ(sum, v);
+  }
+}
+
+TEST(DecomposeAmount, ZeroIsEmpty) { EXPECT_TRUE(decompose_amount(0).empty()); }
+
+TEST(Money, CreditConversionRoundTrips) {
+  EXPECT_EQ(from_credits(75.0), 75000);
+  EXPECT_DOUBLE_EQ(to_credits(75000), 75.0);
+  EXPECT_EQ(from_credits(0.5), 500);
+}
+
+TEST(Money, SplitEvenlyConserves) {
+  for (Amount total : {0LL, 1LL, 7LL, 1000LL, 99999LL}) {
+    for (std::size_t parts : {1u, 2u, 3u, 7u, 13u}) {
+      auto shares = split_evenly(total, parts);
+      ASSERT_EQ(shares.size(), parts);
+      Amount sum = 0;
+      for (Amount s : shares) sum += s;
+      EXPECT_EQ(sum, total);
+      // Near-equal: max - min <= 1.
+      const auto [mn, mx] = std::minmax_element(shares.begin(), shares.end());
+      EXPECT_LE(*mx - *mn, 1);
+    }
+  }
+}
+
+TEST(Money, SplitZeroParts) { EXPECT_TRUE(split_evenly(100, 0).empty()); }
+
+TEST_F(BankTest, WalletWithdrawProducesVerifiableCoins) {
+  const AccountId a = bank.open_account(0, from_credits(1000.0), 1);
+  Wallet w(bank, a, rng::Stream(2).child("w"));
+  auto coins = w.withdraw(from_credits(75.5));
+  ASSERT_TRUE(coins.has_value());
+  Amount total = 0;
+  for (const Coin& c : *coins) {
+    EXPECT_TRUE(c.verify(bank.denomination_key(c.denomination)));
+    total += c.denomination;
+  }
+  EXPECT_EQ(total, from_credits(75.5));
+  EXPECT_EQ(bank.balance(a), from_credits(1000.0 - 75.5));
+  EXPECT_EQ(bank.outstanding_coin_value(), from_credits(75.5));
+}
+
+TEST_F(BankTest, WalletInsufficientFundsIsAtomic) {
+  const AccountId a = bank.open_account(0, 100, 1);
+  Wallet w(bank, a, rng::Stream(3).child("w"));
+  auto coins = w.withdraw(1000);
+  EXPECT_FALSE(coins.has_value());
+  EXPECT_EQ(bank.balance(a), 100);  // nothing lost
+  EXPECT_EQ(bank.outstanding_coin_value(), 0);
+}
+
+TEST_F(BankTest, DepositCreditsAndMarksSpent) {
+  const AccountId a = bank.open_account(0, from_credits(100.0), 1);
+  const AccountId b = bank.open_account(1, 0, 2);
+  Wallet w(bank, a, rng::Stream(4).child("w"));
+  auto coins = w.withdraw(from_credits(10.0));
+  ASSERT_TRUE(coins.has_value());
+  for (const Coin& c : *coins) {
+    EXPECT_EQ(bank.deposit_coin(b, c), DepositResult::kOk);
+  }
+  EXPECT_EQ(bank.balance(b), from_credits(10.0));
+  EXPECT_EQ(bank.outstanding_coin_value(), 0);
+}
+
+TEST_F(BankTest, DoubleSpendRejected) {
+  const AccountId a = bank.open_account(0, from_credits(100.0), 1);
+  const AccountId b = bank.open_account(1, 0, 2);
+  Wallet w(bank, a, rng::Stream(5).child("w"));
+  auto coins = w.withdraw(1);  // one coin of denom 1
+  ASSERT_TRUE(coins.has_value());
+  ASSERT_EQ(coins->size(), 1u);
+  EXPECT_EQ(bank.deposit_coin(b, coins->front()), DepositResult::kOk);
+  EXPECT_EQ(bank.deposit_coin(b, coins->front()), DepositResult::kDoubleSpend);
+  EXPECT_EQ(bank.deposit_coin(a, coins->front()), DepositResult::kDoubleSpend);
+}
+
+TEST_F(BankTest, ForgedCoinRejected) {
+  bank.open_account(0, 100, 1);
+  const AccountId b = bank.open_account(1, 0, 2);
+  [[maybe_unused]] const auto& key = bank.denomination_key(4);
+  Coin fake;
+  fake.serial = 123;
+  fake.denomination = 4;
+  fake.signature = 999;  // forged
+  EXPECT_EQ(bank.deposit_coin(b, fake), DepositResult::kBadSignature);
+  EXPECT_EQ(bank.balance(b), 0);
+}
+
+TEST_F(BankTest, UnknownDenominationRejected) {
+  const AccountId b = bank.open_account(1, 0, 2);
+  Coin c;
+  c.serial = 5;
+  c.denomination = 12345;  // never issued
+  c.signature = 1;
+  EXPECT_EQ(bank.deposit_coin(b, c), DepositResult::kUnknownDenomination);
+}
+
+TEST_F(BankTest, EscrowFundedByCoins) {
+  const AccountId a = bank.open_account(0, from_credits(100.0), 1);
+  Wallet w(bank, a, rng::Stream(6).child("w"));
+  auto coins = w.withdraw(from_credits(20.0));
+  ASSERT_TRUE(coins.has_value());
+  auto escrow = bank.open_escrow(*coins);
+  ASSERT_TRUE(escrow.has_value());
+  EXPECT_EQ(bank.escrow_balance(*escrow), from_credits(20.0));
+  EXPECT_EQ(bank.outstanding_coin_value(), 0);
+}
+
+TEST_F(BankTest, EscrowRejectsSpentCoins) {
+  const AccountId a = bank.open_account(0, from_credits(100.0), 1);
+  const AccountId b = bank.open_account(1, 0, 2);
+  Wallet w(bank, a, rng::Stream(7).child("w"));
+  auto coins = w.withdraw(1);
+  ASSERT_TRUE(coins.has_value());
+  EXPECT_EQ(bank.deposit_coin(b, coins->front()), DepositResult::kOk);
+  EXPECT_FALSE(bank.open_escrow(*coins).has_value());
+}
+
+TEST_F(BankTest, EscrowRejectsDuplicateCoinInBatch) {
+  const AccountId a = bank.open_account(0, from_credits(100.0), 1);
+  Wallet w(bank, a, rng::Stream(8).child("w"));
+  auto coins = w.withdraw(2);
+  ASSERT_TRUE(coins.has_value());
+  ASSERT_EQ(coins->size(), 1u);
+  std::vector<Coin> batch{coins->front(), coins->front()};
+  EXPECT_FALSE(bank.open_escrow(batch).has_value());
+  // Rejection must not mark anything spent: a later honest use succeeds.
+  auto escrow = bank.open_escrow(*coins);
+  EXPECT_TRUE(escrow.has_value());
+}
+
+TEST_F(BankTest, EscrowPayTransfersAndChecksBalance) {
+  const AccountId a = bank.open_account(0, from_credits(100.0), 1);
+  const AccountId b = bank.open_account(1, 0, 2);
+  Wallet w(bank, a, rng::Stream(9).child("w"));
+  auto coins = w.withdraw(1000);
+  auto escrow = bank.open_escrow(*coins);
+  ASSERT_TRUE(escrow.has_value());
+  EXPECT_TRUE(bank.escrow_pay(*escrow, b, 600));
+  EXPECT_EQ(bank.balance(b), 600);
+  EXPECT_FALSE(bank.escrow_pay(*escrow, b, 600));  // only 400 left
+  EXPECT_EQ(bank.balance(b), 600);                 // unchanged on failure
+  EXPECT_TRUE(bank.escrow_pay(*escrow, b, 400));
+  EXPECT_EQ(bank.escrow_balance(*escrow), 0);
+}
+
+TEST_F(BankTest, MoneyConservationAcrossLifecycle) {
+  const AccountId a = bank.open_account(0, from_credits(500.0), 1);
+  const AccountId b = bank.open_account(1, from_credits(10.0), 2);
+  const Amount before = bank.total_money() + bank.outstanding_coin_value();
+
+  Wallet w(bank, a, rng::Stream(10).child("w"));
+  auto coins = w.withdraw(from_credits(123.456));
+  EXPECT_EQ(bank.total_money() + bank.outstanding_coin_value(), before);
+  auto escrow = bank.open_escrow(*coins);
+  EXPECT_EQ(bank.total_money() + bank.outstanding_coin_value(), before);
+  bank.escrow_pay(*escrow, b, from_credits(100.0));
+  EXPECT_EQ(bank.total_money() + bank.outstanding_coin_value(), before);
+  bank.escrow_pay(*escrow, a, bank.escrow_balance(*escrow));
+  EXPECT_EQ(bank.total_money() + bank.outstanding_coin_value(), before);
+  EXPECT_EQ(bank.balance(b), from_credits(110.0));
+}

@@ -1,0 +1,214 @@
+#include "payment/settlement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "payment/token.hpp"
+
+using namespace p2panon::payment;
+namespace rng = p2panon::sim::rng;
+using p2panon::net::NodeId;
+
+namespace {
+
+/// Fixture: bank with accounts for nodes 0..4, node 0 the initiator; one
+/// funded escrow; a settlement over two recorded paths:
+///   conn 1: 0 -> 1 -> 2 -> R(4)
+///   conn 2: 0 -> 1 -> 3 -> R(4)
+/// Terms: P_f = 10 credits, P_r = 20 credits; ||pi|| = 3 (forwarders 1,2,3);
+/// total instances = 4.
+class SettlementTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (NodeId n = 0; n < 5; ++n) {
+      accounts_.push_back(bank_.open_account(n, from_credits(1000.0), 0xF00 + n));
+    }
+    refund_ = bank_.open_pseudonymous_account();
+
+    Wallet wallet(bank_, accounts_[0], rng::Stream(7).child("w"));
+    const Amount committed = 4 * p_f_ + p_r_;
+    auto coins = wallet.withdraw(committed);
+    ASSERT_TRUE(coins.has_value());
+    auto escrow = bank_.open_escrow(*coins);
+    ASSERT_TRUE(escrow.has_value());
+    escrow_ = *escrow;
+
+    std::vector<PathRecord> records{
+        PathRecord{1, 0, 4, {1, 2}},
+        PathRecord{2, 0, 4, {1, 3}},
+    };
+    sid_ = engine_.open(kPair, escrow_, SettlementTerms{p_f_, p_r_}, records, refund_);
+  }
+
+  ForwardReceipt receipt_for(NodeId fwd, std::uint32_t conn, NodeId pred, NodeId succ) {
+    return make_receipt(bank_.account_mac_key(accounts_[fwd]), kPair, conn, fwd, pred, succ);
+  }
+
+  static constexpr p2panon::net::PairId kPair = 11;
+  const Amount p_f_ = from_credits(10.0);
+  const Amount p_r_ = from_credits(20.0);
+
+  Bank bank_{rng::Stream(1).child("bank")};
+  SettlementEngine engine_{bank_};
+  std::vector<AccountId> accounts_;
+  AccountId refund_ = kInvalidAccount;
+  EscrowId escrow_ = 0;
+  SettlementId sid_ = 0;
+};
+
+}  // namespace
+
+TEST_F(SettlementTest, ForwarderSetSizeFromRecords) {
+  EXPECT_EQ(engine_.forwarder_set_size(sid_), 3u);
+}
+
+TEST_F(SettlementTest, HonestClaimsAccepted) {
+  EXPECT_EQ(engine_.submit_claim(sid_, accounts_[1], receipt_for(1, 1, 0, 2)),
+            ClaimResult::kAccepted);
+  EXPECT_EQ(engine_.submit_claim(sid_, accounts_[2], receipt_for(2, 1, 1, 4)),
+            ClaimResult::kAccepted);
+  EXPECT_EQ(engine_.submit_claim(sid_, accounts_[1], receipt_for(1, 2, 0, 3)),
+            ClaimResult::kAccepted);
+  EXPECT_EQ(engine_.submit_claim(sid_, accounts_[3], receipt_for(3, 2, 1, 4)),
+            ClaimResult::kAccepted);
+}
+
+TEST_F(SettlementTest, FullSettlementPaysMPfPlusShares) {
+  engine_.submit_claim(sid_, accounts_[1], receipt_for(1, 1, 0, 2));
+  engine_.submit_claim(sid_, accounts_[2], receipt_for(2, 1, 1, 4));
+  engine_.submit_claim(sid_, accounts_[1], receipt_for(1, 2, 0, 3));
+  engine_.submit_claim(sid_, accounts_[3], receipt_for(3, 2, 1, 4));
+  const SettlementReport& report = engine_.close(sid_);
+
+  // Node 1 forwarded twice: 2*P_f + a routing share. P_r = 20000 milli
+  // splits over ||pi|| = 3 as [6667, 6667, 6666] (largest remainder), paid
+  // in ascending account order.
+  const Amount share = p_r_ / 3;  // 6666
+  EXPECT_EQ(report.payouts.at(accounts_[1]), 2 * p_f_ + share + 1);
+  EXPECT_EQ(report.payouts.at(accounts_[2]), p_f_ + share + 1);
+  EXPECT_EQ(report.payouts.at(accounts_[3]), p_f_ + share);
+  EXPECT_EQ(report.paid_out + report.refunded, report.escrow_in);
+  EXPECT_EQ(report.refunded, 0);  // everything claimed
+  EXPECT_EQ(report.accepted_claims, 4u);
+  EXPECT_EQ(report.forwarder_set_size, 3u);
+}
+
+TEST_F(SettlementTest, ForgedMacRejected) {
+  ForwardReceipt r = receipt_for(1, 1, 0, 2);
+  r.mac ^= 1;  // tamper
+  EXPECT_EQ(engine_.submit_claim(sid_, accounts_[1], r), ClaimResult::kBadMac);
+}
+
+TEST_F(SettlementTest, ReceiptSignedWithWrongKeyRejected) {
+  // Node 2 forges a receipt for node 1's hop using its own key.
+  ForwardReceipt r = make_receipt(bank_.account_mac_key(accounts_[2]), kPair, 1, 1, 0, 2);
+  EXPECT_EQ(engine_.submit_claim(sid_, accounts_[1], r), ClaimResult::kBadMac);
+}
+
+TEST_F(SettlementTest, ClaimingSomeoneElsesReceiptRejected) {
+  // Node 2 tries to redeem node 1's (valid) receipt.
+  ForwardReceipt r = receipt_for(1, 1, 0, 2);
+  EXPECT_EQ(engine_.submit_claim(sid_, accounts_[2], r), ClaimResult::kWrongClaimant);
+}
+
+TEST_F(SettlementTest, OverClaimRejected) {
+  // Node 3 claims a hop on connection 1 where it never forwarded.
+  ForwardReceipt r = receipt_for(3, 1, 0, 4);
+  EXPECT_EQ(engine_.submit_claim(sid_, accounts_[3], r), ClaimResult::kNotOnPath);
+}
+
+TEST_F(SettlementTest, ReplayRejected) {
+  EXPECT_EQ(engine_.submit_claim(sid_, accounts_[1], receipt_for(1, 1, 0, 2)),
+            ClaimResult::kAccepted);
+  EXPECT_EQ(engine_.submit_claim(sid_, accounts_[1], receipt_for(1, 1, 0, 2)),
+            ClaimResult::kDuplicate);
+}
+
+TEST_F(SettlementTest, WrongPairIdRejected) {
+  ForwardReceipt r = make_receipt(bank_.account_mac_key(accounts_[1]), 999, 1, 1, 0, 2);
+  EXPECT_EQ(engine_.submit_claim(sid_, accounts_[1], r), ClaimResult::kUnknownSettlement);
+}
+
+TEST_F(SettlementTest, UnknownSettlementIdRejected) {
+  EXPECT_EQ(engine_.submit_claim(12345, accounts_[1], receipt_for(1, 1, 0, 2)),
+            ClaimResult::kUnknownSettlement);
+}
+
+TEST_F(SettlementTest, UnclaimedSharesRefundedNotRedistributed) {
+  // Only node 1 claims (both instances); nodes 2 and 3 never claim.
+  engine_.submit_claim(sid_, accounts_[1], receipt_for(1, 1, 0, 2));
+  engine_.submit_claim(sid_, accounts_[1], receipt_for(1, 2, 0, 3));
+  const SettlementReport& report = engine_.close(sid_);
+
+  // Node 1 gets its 2*P_f plus exactly ONE routing share of P_r/||pi||
+  // (the first largest-remainder share, 6667 of 20000/3).
+  EXPECT_EQ(report.payouts.at(accounts_[1]), 2 * p_f_ + p_r_ / 3 + 1);
+  // The rest (2 unclaimed P_f instances + 2 routing shares) is refunded.
+  EXPECT_EQ(report.paid_out + report.refunded, report.escrow_in);
+  EXPECT_GT(report.refunded, 0);
+  EXPECT_EQ(bank_.balance(refund_), report.refunded);
+}
+
+TEST_F(SettlementTest, CloseIsIdempotent) {
+  engine_.submit_claim(sid_, accounts_[1], receipt_for(1, 1, 0, 2));
+  const SettlementReport& first = engine_.close(sid_);
+  const SettlementReport& second = engine_.close(sid_);
+  EXPECT_EQ(first.paid_out, second.paid_out);
+  EXPECT_EQ(&first, &second);
+  EXPECT_TRUE(engine_.is_closed(sid_));
+}
+
+TEST_F(SettlementTest, ClaimAfterCloseRejected) {
+  engine_.close(sid_);
+  EXPECT_EQ(engine_.submit_claim(sid_, accounts_[1], receipt_for(1, 1, 0, 2)),
+            ClaimResult::kUnknownSettlement);
+}
+
+TEST_F(SettlementTest, RejectedClaimsCounted) {
+  ForwardReceipt bad = receipt_for(1, 1, 0, 2);
+  bad.mac ^= 1;
+  engine_.submit_claim(sid_, accounts_[1], bad);
+  engine_.submit_claim(sid_, accounts_[3], receipt_for(3, 1, 0, 4));  // over-claim
+  const SettlementReport& report = engine_.close(sid_);
+  EXPECT_EQ(report.rejected_claims, 2u);
+}
+
+TEST_F(SettlementTest, MoneyConservedThroughSettlement) {
+  const Amount before = bank_.total_money() + bank_.outstanding_coin_value();
+  engine_.submit_claim(sid_, accounts_[1], receipt_for(1, 1, 0, 2));
+  engine_.submit_claim(sid_, accounts_[2], receipt_for(2, 1, 1, 4));
+  engine_.close(sid_);
+  EXPECT_EQ(bank_.total_money() + bank_.outstanding_coin_value(), before);
+}
+
+TEST(SettlementRepeatedForwarder, NodeOnTwoPositionsOfOnePath) {
+  // Path: 0 -> 1 -> 2 -> 1 -> R(3): node 1 occupies two positions with
+  // different (pred, succ); both instances must be claimable.
+  Bank bank(rng::Stream(20).child("bank"));
+  SettlementEngine engine(bank);
+  std::vector<AccountId> acct;
+  for (NodeId n = 0; n < 4; ++n) acct.push_back(bank.open_account(n, from_credits(100.0), n + 1));
+  const AccountId refund = bank.open_pseudonymous_account();
+
+  Wallet wallet(bank, acct[0], rng::Stream(21).child("w"));
+  const Amount p_f = from_credits(5.0), p_r = from_credits(10.0);
+  auto coins = wallet.withdraw(3 * p_f + p_r);
+  auto escrow = bank.open_escrow(*coins);
+  ASSERT_TRUE(escrow.has_value());
+
+  std::vector<PathRecord> records{PathRecord{1, 0, 3, {1, 2, 1}}};
+  const SettlementId sid = engine.open(5, *escrow, SettlementTerms{p_f, p_r}, records, refund);
+  EXPECT_EQ(engine.forwarder_set_size(sid), 2u);  // {1, 2}
+
+  auto r1a = make_receipt(bank.account_mac_key(acct[1]), 5, 1, 1, 0, 2);
+  auto r2 = make_receipt(bank.account_mac_key(acct[2]), 5, 1, 2, 1, 1);
+  auto r1b = make_receipt(bank.account_mac_key(acct[1]), 5, 1, 1, 2, 3);
+  EXPECT_EQ(engine.submit_claim(sid, acct[1], r1a), ClaimResult::kAccepted);
+  EXPECT_EQ(engine.submit_claim(sid, acct[2], r2), ClaimResult::kAccepted);
+  EXPECT_EQ(engine.submit_claim(sid, acct[1], r1b), ClaimResult::kAccepted);
+
+  const auto& report = engine.close(sid);
+  EXPECT_EQ(report.accepted_claims, 3u);
+  // Node 1: 2 instances + one routing share (of 2).
+  EXPECT_EQ(report.payouts.at(acct[1]), 2 * p_f + p_r / 2);
+  EXPECT_EQ(report.payouts.at(acct[2]), p_f + p_r / 2);
+}

@@ -1,0 +1,137 @@
+// Randomised settlement property test: for arbitrary generated path
+// records, honest-claim subsets and junk claims, the settlement engine must
+// conserve money exactly, never overpay a claimant, and never pay junk.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "payment/settlement.hpp"
+#include "payment/token.hpp"
+
+using namespace p2panon::payment;
+using p2panon::net::NodeId;
+namespace rng = p2panon::sim::rng;
+
+namespace {
+
+struct FuzzWorld {
+  explicit FuzzWorld(std::uint64_t seed)
+      : stream(seed), bank(stream.child("bank")), engine(bank) {
+    for (NodeId n = 0; n < kNodes; ++n) {
+      accounts.push_back(bank.open_account(n, from_credits(1.0e6), stream.next_u64()));
+    }
+  }
+
+  static constexpr NodeId kNodes = 12;
+  rng::Stream stream;
+  Bank bank;
+  SettlementEngine engine;
+  std::vector<AccountId> accounts;
+};
+
+/// Generate a random set of path records from initiator 0 to responder 11.
+std::vector<PathRecord> random_records(rng::Stream& s, std::size_t connections) {
+  std::vector<PathRecord> records;
+  for (std::uint32_t j = 1; j <= connections; ++j) {
+    PathRecord rec;
+    rec.conn_index = j;
+    rec.entry = 0;
+    rec.exit = 11;
+    const auto hops = 1 + s.below(4);
+    for (std::uint64_t h = 0; h < hops; ++h) {
+      rec.forwarders.push_back(static_cast<NodeId>(1 + s.below(10)));  // nodes 1..10
+    }
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+}  // namespace
+
+class SettlementFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SettlementFuzz, ConservationAndNoOverpay) {
+  FuzzWorld w(GetParam());
+  auto gen = w.stream.child("gen");
+
+  const std::size_t connections = 1 + gen.below(8);
+  const auto records = random_records(gen, connections);
+
+  std::size_t total_instances = 0;
+  std::map<NodeId, std::size_t> instances;
+  for (const PathRecord& r : records) {
+    total_instances += r.forwarders.size();
+    for (NodeId f : r.forwarders) ++instances[f];
+  }
+
+  const Amount p_f = from_credits(1.0 + static_cast<double>(gen.below(100)));
+  const Amount p_r = from_credits(static_cast<double>(gen.below(400)));
+  const Amount committed = static_cast<Amount>(total_instances) * p_f + p_r;
+
+  Wallet wallet(w.bank, w.accounts[0], w.stream.child("wallet"));
+  auto coins = wallet.withdraw(committed);
+  ASSERT_TRUE(coins.has_value());
+  auto escrow = w.bank.open_escrow(*coins);
+  ASSERT_TRUE(escrow.has_value());
+  const AccountId refund = w.bank.open_pseudonymous_account();
+  const SettlementId sid = w.engine.open(3, *escrow, {p_f, p_r}, records, refund);
+
+  const Amount money_before = w.bank.total_money() + w.bank.outstanding_coin_value();
+
+  // Claim a random subset of the honest receipts (some forwarders "forget").
+  std::map<AccountId, Amount> max_due;
+  for (const PathRecord& rec : records) {
+    NodeId pred = rec.entry;
+    for (std::size_t i = 0; i < rec.forwarders.size(); ++i) {
+      const NodeId f = rec.forwarders[i];
+      const NodeId succ = i + 1 < rec.forwarders.size() ? rec.forwarders[i + 1] : rec.exit;
+      if (gen.bernoulli(0.8)) {
+        const auto receipt = make_receipt(w.bank.account_mac_key(w.accounts[f]), 3,
+                                          rec.conn_index, f, pred, succ);
+        const auto res = w.engine.submit_claim(sid, w.accounts[f], receipt);
+        EXPECT_TRUE(res == ClaimResult::kAccepted || res == ClaimResult::kDuplicate);
+      }
+      pred = f;
+    }
+  }
+  // A burst of junk claims: wrong hops, forged MACs, stolen receipts.
+  for (int junk = 0; junk < 20; ++junk) {
+    const auto f = static_cast<NodeId>(1 + gen.below(10));
+    ForwardReceipt r = make_receipt(w.bank.account_mac_key(w.accounts[f]), 3,
+                                    static_cast<std::uint32_t>(1 + gen.below(10)), f,
+                                    static_cast<NodeId>(gen.below(12)),
+                                    static_cast<NodeId>(gen.below(12)));
+    if (gen.bernoulli(0.3)) r.mac ^= 1;  // forge some
+    const AccountId claimant = gen.bernoulli(0.2)
+                                   ? w.accounts[1 + gen.below(10)]  // maybe stolen
+                                   : w.accounts[f];
+    const auto res = w.engine.submit_claim(sid, claimant, r);
+    // Junk may coincidentally be a valid unclaimed hop — anything else must
+    // be rejected with a specific reason.
+    EXPECT_TRUE(res == ClaimResult::kAccepted || res == ClaimResult::kBadMac ||
+                res == ClaimResult::kNotOnPath || res == ClaimResult::kDuplicate ||
+                res == ClaimResult::kWrongClaimant);
+  }
+
+  const SettlementReport& report = w.engine.close(sid);
+
+  // Exact conservation.
+  EXPECT_EQ(report.paid_out + report.refunded, report.escrow_in);
+  EXPECT_EQ(w.bank.total_money() + w.bank.outstanding_coin_value(), money_before);
+
+  // No claimant is paid more than its full honest due (m*P_f + one largest
+  // routing share).
+  const Amount share_cap = p_r / static_cast<Amount>(report.forwarder_set_size) + 1;
+  for (const auto& [acct, paid] : report.payouts) {
+    const NodeId owner = w.bank.account_owner(acct);
+    const auto it = instances.find(owner);
+    ASSERT_NE(it, instances.end()) << "paid someone with zero recorded instances";
+    EXPECT_LE(paid, static_cast<Amount>(it->second) * p_f + share_cap);
+  }
+
+  // Claims accepted never exceed recorded instances.
+  EXPECT_LE(report.accepted_claims, total_instances);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SettlementFuzz,
+                         ::testing::Range<std::uint64_t>(1, 26));  // 25 random worlds

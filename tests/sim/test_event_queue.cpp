@@ -1,0 +1,159 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using p2panon::sim::EventQueue;
+using p2panon::sim::kTimeInfinity;
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.next_time(), kTimeInfinity);
+}
+
+TEST(EventQueue, PopInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, MixedEqualAndDistinctTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(2.0, [&] { order.push_back(20); });
+  q.schedule(1.0, [&] { order.push_back(10); });
+  q.schedule(2.0, [&] { order.push_back(21); });
+  q.schedule(1.0, [&] { order.push_back(11); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{10, 11, 20, 21}));
+}
+
+TEST(EventQueue, NextTimeReflectsEarliestLive) {
+  EventQueue q;
+  auto id = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 1.0);
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+}
+
+TEST(EventQueue, CancelRemovesEvent) {
+  EventQueue q;
+  bool fired = false;
+  auto id = q.schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, DoubleCancelReturnsFalse) {
+  EventQueue q;
+  auto id = q.schedule(1.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterPopReturnsFalse) {
+  EventQueue q;
+  auto id = q.schedule(1.0, [] {});
+  q.pop();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelUnknownIdReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(0));
+  EXPECT_FALSE(q.cancel(12345));
+}
+
+TEST(EventQueue, CancelMiddleOfThree) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] { order.push_back(1); });
+  auto mid = q.schedule(2.0, [&] { order.push_back(2); });
+  q.schedule(3.0, [&] { order.push_back(3); });
+  EXPECT_TRUE(q.cancel(mid));
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  auto a = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop();
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, ClearDropsEverything) {
+  EventQueue q;
+  q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.next_time(), kTimeInfinity);
+}
+
+TEST(EventQueue, PoppedCarriesTimeAndId) {
+  EventQueue q;
+  auto id = q.schedule(4.5, [] {});
+  auto popped = q.pop();
+  EXPECT_DOUBLE_EQ(popped.time, 4.5);
+  EXPECT_EQ(popped.id, id);
+  ASSERT_TRUE(popped.fn);
+}
+
+TEST(EventQueue, ManyEventsStressOrder) {
+  EventQueue q;
+  // Deterministic pseudo-random times; verify global ordering on pop.
+  std::uint64_t state = 9;
+  for (int i = 0; i < 2000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double t = static_cast<double>(state % 1000);
+    q.schedule(t, [] {});
+  }
+  double last = -1.0;
+  while (!q.empty()) {
+    auto e = q.pop();
+    EXPECT_GE(e.time, last);
+    last = e.time;
+  }
+}
+
+TEST(EventQueue, InterleavedCancelStress) {
+  EventQueue q;
+  std::vector<p2panon::sim::EventId> ids;
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(q.schedule(static_cast<double>(i % 10), [&] { ++fired; }));
+  }
+  // Cancel every third event.
+  int cancelled = 0;
+  for (std::size_t i = 0; i < ids.size(); i += 3) {
+    if (q.cancel(ids[i])) ++cancelled;
+  }
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired + cancelled, 100);
+  EXPECT_EQ(cancelled, 34);
+}

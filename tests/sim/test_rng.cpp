@@ -1,0 +1,362 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace rng = p2panon::sim::rng;
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  std::uint64_t s1 = 42, s2 = 42;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng::splitmix64(s1), rng::splitmix64(s2));
+  }
+}
+
+TEST(SplitMix64, DistinctSeedsDiverge) {
+  std::uint64_t s1 = 1, s2 = 2;
+  EXPECT_NE(rng::splitmix64(s1), rng::splitmix64(s2));
+}
+
+TEST(HashTag, StableAndDiscriminating) {
+  EXPECT_EQ(rng::hash_tag("churn"), rng::hash_tag("churn"));
+  EXPECT_NE(rng::hash_tag("churn"), rng::hash_tag("links"));
+  EXPECT_NE(rng::hash_tag(""), rng::hash_tag("a"));
+}
+
+TEST(Stream, SameSeedSameSequence) {
+  rng::Stream a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Stream, DifferentSeedsDifferentSequences) {
+  rng::Stream a(7), b(8);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Stream, ChildStreamsIndependentOfParentConsumption) {
+  rng::Stream parent(99);
+  rng::Stream c1 = parent.child("x", 1);
+  // Consuming the parent must not change what a child derived later yields.
+  for (int i = 0; i < 50; ++i) parent.next_u64();
+  rng::Stream c2 = parent.child("x", 1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(c1.next_u64(), c2.next_u64());
+}
+
+TEST(Stream, ChildrenWithDistinctTagsDiffer) {
+  rng::Stream parent(99);
+  rng::Stream a = parent.child("alpha"), b = parent.child("beta");
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Stream, ChildrenWithDistinctIdsDiffer) {
+  rng::Stream parent(99);
+  rng::Stream a = parent.child("t", 0), b = parent.child("t", 1);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Stream, ChainedDerivationDoesNotCancel) {
+  // Regression: with XOR-only key derivation, child("a", i).child("b", i)
+  // collapsed to the same stream for every i (the id term cancelled),
+  // which made e.g. all Crowds termination coin sequences identical.
+  rng::Stream root(3);
+  auto g1 = root.child("a", 7).child("b", 7);
+  auto g2 = root.child("a", 8).child("b", 8);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (g1.next_u64() == g2.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Stream, FirstDrawOfChildStreamsUnbiased) {
+  // Regression companion: the first double of fresh child streams must be
+  // uniform across ids, not clustered.
+  rng::Stream root(3);
+  int below = 0;
+  const int n = 20000;
+  for (int c = 0; c < n; ++c) {
+    auto s = root.child("geo", c).child("termination", c);
+    if (s.next_double() < 0.75) ++below;
+  }
+  EXPECT_NEAR(static_cast<double>(below) / n, 0.75, 0.02);
+}
+
+TEST(Stream, GrandchildrenDeterministic) {
+  rng::Stream p(5);
+  auto g1 = p.child("a", 3).child("b", 9);
+  auto g2 = rng::Stream(5).child("a", 3).child("b", 9);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(g1.next_u64(), g2.next_u64());
+}
+
+TEST(Stream, NextDoubleInUnitInterval) {
+  rng::Stream s(123);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = s.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Stream, NextDoubleMeanNearHalf) {
+  rng::Stream s(321);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += s.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Stream, UniformRespectsBounds) {
+  rng::Stream s(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = s.uniform(-3.0, 7.5);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 7.5);
+  }
+}
+
+TEST(Stream, BelowIsUnbiasedAcrossSmallRange) {
+  rng::Stream s(77);
+  std::map<std::uint64_t, int> counts;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) ++counts[s.below(6)];
+  ASSERT_EQ(counts.size(), 6u);
+  for (const auto& [v, c] : counts) {
+    EXPECT_LT(v, 6u);
+    EXPECT_NEAR(static_cast<double>(c) / n, 1.0 / 6.0, 0.01);
+  }
+}
+
+TEST(Stream, BelowOneAlwaysZero) {
+  rng::Stream s(4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(s.below(1), 0u);
+}
+
+TEST(Stream, UniformIntInclusiveBounds) {
+  rng::Stream s(8);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = s.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Stream, BernoulliFrequencyMatchesP) {
+  rng::Stream s(13);
+  const int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) hits += s.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Stream, BernoulliDegenerateCases) {
+  rng::Stream s(14);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(s.bernoulli(0.0));
+    EXPECT_TRUE(s.bernoulli(1.0));
+  }
+}
+
+TEST(Stream, ExponentialMeanMatchesRate) {
+  rng::Stream s(15);
+  const double rate = 0.25;
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = s.exponential(rate);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.05);
+}
+
+TEST(Stream, ParetoRespectsScale) {
+  rng::Stream s(16);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(s.pareto(1.5, 2.0), 2.0);
+}
+
+TEST(Stream, ParetoMedianMatchesShapeFormula) {
+  const double xm = 5.0, median = 60.0;
+  const double alpha = rng::pareto_shape_for_median(xm, median);
+  rng::Stream s(17);
+  std::vector<double> xs;
+  const int n = 100001;
+  xs.reserve(n);
+  for (int i = 0; i < n; ++i) xs.push_back(s.pareto(alpha, xm));
+  std::nth_element(xs.begin(), xs.begin() + n / 2, xs.end());
+  EXPECT_NEAR(xs[n / 2], median, median * 0.05);
+}
+
+TEST(Stream, BoundedParetoStaysInBounds) {
+  rng::Stream s(18);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = s.bounded_pareto(1.2, 5.0, 100.0);
+    EXPECT_GE(x, 5.0);
+    EXPECT_LE(x, 100.0 + 1e-9);
+  }
+}
+
+TEST(Stream, BoundedParetoSkewsLow) {
+  // Pareto mass concentrates near the lower bound: the median must be much
+  // closer to lo than to hi.
+  rng::Stream s(19);
+  std::vector<double> xs;
+  const int n = 50001;
+  for (int i = 0; i < n; ++i) xs.push_back(s.bounded_pareto(1.0, 1.0, 1000.0));
+  std::nth_element(xs.begin(), xs.begin() + n / 2, xs.end());
+  EXPECT_LT(xs[n / 2], 10.0);
+}
+
+TEST(Stream, NormalMeanAndStddev) {
+  rng::Stream s(20);
+  const int n = 200000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = s.normal(10.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Stream, ShufflePreservesElements) {
+  rng::Stream s(21);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  s.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Stream, ShuffleActuallyPermutes) {
+  rng::Stream s(22);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[i] = i;
+  auto orig = v;
+  s.shuffle(v);
+  EXPECT_NE(v, orig);  // probability ~1/50! of a false failure
+}
+
+TEST(Stream, SampleIndicesDistinctAndInRange) {
+  rng::Stream s(23);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto idx = s.sample_indices(20, 7);
+    ASSERT_EQ(idx.size(), 7u);
+    std::set<std::size_t> uniq(idx.begin(), idx.end());
+    EXPECT_EQ(uniq.size(), 7u);
+    for (auto i : idx) EXPECT_LT(i, 20u);
+  }
+}
+
+TEST(Stream, SampleIndicesFullRange) {
+  rng::Stream s(24);
+  auto idx = s.sample_indices(5, 5);
+  std::set<std::size_t> uniq(idx.begin(), idx.end());
+  EXPECT_EQ(uniq.size(), 5u);
+}
+
+TEST(Stream, SampleIndicesZero) {
+  rng::Stream s(25);
+  EXPECT_TRUE(s.sample_indices(5, 0).empty());
+}
+
+TEST(ParetoShape, MedianFormulaInverts) {
+  // alpha derived from (xm, median) must map the analytic median back.
+  const double xm = 300.0;  // 5 min in seconds
+  const double median = 3600.0;
+  const double alpha = rng::pareto_shape_for_median(xm, median);
+  EXPECT_NEAR(xm * std::pow(2.0, 1.0 / alpha), median, 1e-6);
+}
+
+TEST(BoundedParetoShape, AnalyticMedianMatchesEmpirical) {
+  const double lo = 300.0, hi = 86400.0, target = 3600.0;
+  const double alpha = rng::bounded_pareto_shape_for_median(lo, hi, target);
+  EXPECT_NEAR(rng::bounded_pareto_median(alpha, lo, hi), target, 1e-6);
+
+  rng::Stream s(26);
+  std::vector<double> xs;
+  const int n = 100001;
+  xs.reserve(n);
+  for (int i = 0; i < n; ++i) xs.push_back(s.bounded_pareto(alpha, lo, hi));
+  std::nth_element(xs.begin(), xs.begin() + n / 2, xs.end());
+  EXPECT_NEAR(xs[n / 2], target, target * 0.05);
+}
+
+TEST(BoundedParetoShape, MedianDecreasesWithShape) {
+  const double lo = 1.0, hi = 1000.0;
+  EXPECT_GT(rng::bounded_pareto_median(0.5, lo, hi), rng::bounded_pareto_median(2.0, lo, hi));
+}
+
+TEST(Zipf, ZeroExponentIsUniform) {
+  rng::Stream s(30);
+  std::vector<int> counts(5, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[s.zipf(5, 0.0)];
+  for (int c : counts) EXPECT_NEAR(static_cast<double>(c) / n, 0.2, 0.01);
+}
+
+TEST(Zipf, RankProbabilitiesMatchLaw) {
+  rng::Stream s(31);
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[s.zipf(4, 1.0)];
+  // Weights 1, 1/2, 1/3, 1/4; normaliser 25/12.
+  const double z = 1.0 + 0.5 + 1.0 / 3.0 + 0.25;
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, (1.0 / (k + 1)) / z, 0.01) << "rank " << k;
+  }
+}
+
+TEST(Zipf, HigherExponentMoreSkew) {
+  rng::Stream s(32);
+  int top_mild = 0, top_heavy = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (s.zipf(10, 0.5) == 0) ++top_mild;
+    if (s.zipf(10, 2.0) == 0) ++top_heavy;
+  }
+  EXPECT_GT(top_heavy, top_mild);
+}
+
+TEST(Zipf, SingleElementAlwaysZero) {
+  rng::Stream s(33);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(s.zipf(1, 1.5), 0u);
+}
+
+TEST(BoundedParetoShape, LongMedianAchievableWithWideBounds) {
+  // Regression: medians above sqrt(lo*hi) are unreachable (the bisection
+  // degenerated silently); with adequate bounds they must solve exactly.
+  const double lo = 300.0;                  // 5 min
+  const double target = 240.0 * 60.0;       // 240 min
+  const double hi = 10.0 * target * target / lo;
+  const double alpha = rng::bounded_pareto_shape_for_median(lo, hi, target);
+  EXPECT_GT(alpha, 1e-4);
+  EXPECT_NEAR(rng::bounded_pareto_median(alpha, lo, hi), target, 1.0);
+}
+
+// Property sweep: below(n) never returns >= n across magnitudes.
+class BelowRange : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BelowRange, NeverOutOfRange) {
+  rng::Stream s(GetParam() * 31 + 7);
+  const std::uint64_t n = GetParam();
+  for (int i = 0; i < 5000; ++i) EXPECT_LT(s.below(n), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, BelowRange,
+                         ::testing::Values(1ULL, 2ULL, 3ULL, 7ULL, 64ULL, 1000ULL, 1ULL << 32,
+                                           (1ULL << 63) + 12345ULL));

@@ -1,0 +1,109 @@
+// Statistical quality checks for the RNG: chi-square uniformity, serial
+// independence proxies, and cross-stream decorrelation. These guard the
+// Monte-Carlo foundation every experiment stands on.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace rng = p2panon::sim::rng;
+
+namespace {
+
+/// Chi-square statistic for observed counts vs a uniform expectation.
+double chi_square_uniform(const std::vector<int>& counts, double expected) {
+  double chi = 0.0;
+  for (int c : counts) {
+    const double d = static_cast<double>(c) - expected;
+    chi += d * d / expected;
+  }
+  return chi;
+}
+
+}  // namespace
+
+class RngStatistics : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngStatistics, ChiSquareUniformityOfBelow) {
+  rng::Stream s(GetParam());
+  constexpr int kBins = 32;
+  constexpr int kDraws = 64000;
+  std::vector<int> counts(kBins, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[s.below(kBins)];
+  // 31 degrees of freedom: critical value at p = 0.001 is ~61.1.
+  EXPECT_LT(chi_square_uniform(counts, kDraws / static_cast<double>(kBins)), 61.1);
+}
+
+TEST_P(RngStatistics, ChiSquareUniformityOfDoubleBins) {
+  rng::Stream s(GetParam() + 1000);
+  constexpr int kBins = 20;
+  constexpr int kDraws = 40000;
+  std::vector<int> counts(kBins, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[static_cast<int>(s.next_double() * kBins)];
+  }
+  // 19 dof, p = 0.001 critical ~43.8.
+  EXPECT_LT(chi_square_uniform(counts, kDraws / static_cast<double>(kBins)), 43.8);
+}
+
+TEST_P(RngStatistics, SerialCorrelationNegligible) {
+  rng::Stream s(GetParam() + 2000);
+  constexpr int kDraws = 50000;
+  double prev = s.next_double();
+  double sum_x = 0, sum_y = 0, sum_xy = 0, sum_x2 = 0, sum_y2 = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double cur = s.next_double();
+    sum_x += prev;
+    sum_y += cur;
+    sum_xy += prev * cur;
+    sum_x2 += prev * prev;
+    sum_y2 += cur * cur;
+    prev = cur;
+  }
+  const double n = kDraws;
+  const double corr = (n * sum_xy - sum_x * sum_y) /
+                      std::sqrt((n * sum_x2 - sum_x * sum_x) * (n * sum_y2 - sum_y * sum_y));
+  EXPECT_LT(std::abs(corr), 0.02);
+}
+
+TEST_P(RngStatistics, SiblingStreamsUncorrelated) {
+  rng::Stream parent(GetParam() + 3000);
+  auto a = parent.child("left");
+  auto b = parent.child("right");
+  constexpr int kDraws = 50000;
+  double sum_x = 0, sum_y = 0, sum_xy = 0, sum_x2 = 0, sum_y2 = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = a.next_double();
+    const double y = b.next_double();
+    sum_x += x;
+    sum_y += y;
+    sum_xy += x * y;
+    sum_x2 += x * x;
+    sum_y2 += y * y;
+  }
+  const double n = kDraws;
+  const double corr = (n * sum_xy - sum_x * sum_y) /
+                      std::sqrt((n * sum_x2 - sum_x * sum_x) * (n * sum_y2 - sum_y * sum_y));
+  EXPECT_LT(std::abs(corr), 0.02);
+}
+
+TEST_P(RngStatistics, BitBalance) {
+  // Each of the 64 output bits should be set ~half the time.
+  rng::Stream s(GetParam() + 4000);
+  constexpr int kDraws = 20000;
+  std::array<int, 64> ones{};
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint64_t x = s.next_u64();
+    for (int b = 0; b < 64; ++b) {
+      if ((x >> b) & 1ULL) ++ones[b];
+    }
+  }
+  for (int b = 0; b < 64; ++b) {
+    EXPECT_NEAR(static_cast<double>(ones[b]) / kDraws, 0.5, 0.02) << "bit " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngStatistics, ::testing::Values(1, 42, 31337));

@@ -1,0 +1,136 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/types.hpp"
+
+using p2panon::sim::Simulator;
+namespace sim = p2panon::sim;
+
+TEST(Simulator, ClockStartsAtZero) {
+  Simulator s;
+  EXPECT_DOUBLE_EQ(s.now(), 0.0);
+  EXPECT_TRUE(s.idle());
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator s;
+  double seen = -1;
+  s.schedule_at(10.0, [&] { seen = s.now(); });
+  s.run_to_completion();
+  EXPECT_DOUBLE_EQ(seen, 10.0);
+  EXPECT_DOUBLE_EQ(s.now(), 10.0);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator s;
+  std::vector<double> times;
+  s.schedule_at(5.0, [&] {
+    s.schedule_in(2.5, [&] { times.push_back(s.now()); });
+  });
+  s.run_to_completion();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_DOUBLE_EQ(times[0], 7.5);
+}
+
+TEST(Simulator, EventsExecuteInOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(3.0, [&] { order.push_back(3); });
+  s.schedule_at(1.0, [&] { order.push_back(1); });
+  s.schedule_at(2.0, [&] { order.push_back(2); });
+  s.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(1.0, [&] { ++fired; });
+  s.schedule_at(5.0, [&] { ++fired; });
+  s.schedule_at(10.0, [&] { ++fired; });
+  s.run_until(5.0);
+  EXPECT_EQ(fired, 2);  // events at exactly the horizon run
+  EXPECT_DOUBLE_EQ(s.now(), 5.0);
+  EXPECT_EQ(s.pending_events(), 1u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator s;
+  s.run_until(42.0);
+  EXPECT_DOUBLE_EQ(s.now(), 42.0);
+}
+
+TEST(Simulator, SelfPerpetuatingEventsRespectHorizon) {
+  Simulator s;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    s.schedule_in(1.0, tick);
+  };
+  s.schedule_at(0.0, tick);
+  s.run_until(10.5);
+  EXPECT_EQ(count, 11);  // t = 0..10
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  bool fired = false;
+  auto id = s.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(s.cancel(id));
+  s.run_to_completion();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, StepExecutesExactlyOne) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(1.0, [&] { ++fired; });
+  s.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Simulator, EventsExecutedCounter) {
+  Simulator s;
+  for (int i = 0; i < 7; ++i) s.schedule_at(static_cast<double>(i), [] {});
+  s.run_to_completion();
+  EXPECT_EQ(s.events_executed(), 7u);
+}
+
+TEST(Simulator, EventSchedulingFromWithinEvent) {
+  Simulator s;
+  std::vector<double> times;
+  s.schedule_at(1.0, [&] {
+    times.push_back(s.now());
+    s.schedule_at(1.0, [&] { times.push_back(s.now()); });  // same time, runs after
+    s.schedule_in(0.0, [&] { times.push_back(s.now()); });
+  });
+  s.run_to_completion();
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 1.0);
+  EXPECT_DOUBLE_EQ(times[2], 1.0);
+}
+
+TEST(Simulator, ResetRestoresInitialState) {
+  Simulator s;
+  s.schedule_at(1.0, [] {});
+  s.run_to_completion();
+  s.schedule_at(5.0, [] {});
+  s.reset();
+  EXPECT_DOUBLE_EQ(s.now(), 0.0);
+  EXPECT_TRUE(s.idle());
+  EXPECT_EQ(s.events_executed(), 0u);
+}
+
+TEST(SimTime, UnitHelpers) {
+  EXPECT_DOUBLE_EQ(sim::minutes(1.0), 60.0);
+  EXPECT_DOUBLE_EQ(sim::hours(2.0), 7200.0);
+  EXPECT_DOUBLE_EQ(sim::to_minutes(sim::minutes(42.0)), 42.0);
+}
