@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_anonymity_functional"
+  "../bench/abl_anonymity_functional.pdb"
+  "CMakeFiles/abl_anonymity_functional.dir/abl_anonymity_functional.cpp.o"
+  "CMakeFiles/abl_anonymity_functional.dir/abl_anonymity_functional.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_anonymity_functional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_async_formation"
+  "../bench/abl_async_formation.pdb"
+  "CMakeFiles/abl_async_formation.dir/abl_async_formation.cpp.o"
+  "CMakeFiles/abl_async_formation.dir/abl_async_formation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_async_formation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

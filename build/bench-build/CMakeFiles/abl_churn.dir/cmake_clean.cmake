@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_churn"
+  "../bench/abl_churn.pdb"
+  "CMakeFiles/abl_churn.dir/abl_churn.cpp.o"
+  "CMakeFiles/abl_churn.dir/abl_churn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_cid_rotation"
+  "../bench/abl_cid_rotation.pdb"
+  "CMakeFiles/abl_cid_rotation.dir/abl_cid_rotation.cpp.o"
+  "CMakeFiles/abl_cid_rotation.dir/abl_cid_rotation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cid_rotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

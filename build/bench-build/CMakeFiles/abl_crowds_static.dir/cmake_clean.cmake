@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_crowds_static"
+  "../bench/abl_crowds_static.pdb"
+  "CMakeFiles/abl_crowds_static.dir/abl_crowds_static.cpp.o"
+  "CMakeFiles/abl_crowds_static.dir/abl_crowds_static.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_crowds_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

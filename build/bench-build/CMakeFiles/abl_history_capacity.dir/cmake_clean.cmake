@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_history_capacity"
+  "../bench/abl_history_capacity.pdb"
+  "CMakeFiles/abl_history_capacity.dir/abl_history_capacity.cpp.o"
+  "CMakeFiles/abl_history_capacity.dir/abl_history_capacity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_history_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

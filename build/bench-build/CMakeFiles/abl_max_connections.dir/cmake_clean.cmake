@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_max_connections"
+  "../bench/abl_max_connections.pdb"
+  "CMakeFiles/abl_max_connections.dir/abl_max_connections.cpp.o"
+  "CMakeFiles/abl_max_connections.dir/abl_max_connections.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_max_connections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_path_length"
+  "../bench/abl_path_length.pdb"
+  "CMakeFiles/abl_path_length.dir/abl_path_length.cpp.o"
+  "CMakeFiles/abl_path_length.dir/abl_path_length.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_path_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

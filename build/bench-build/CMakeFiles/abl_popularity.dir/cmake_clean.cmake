@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_popularity"
+  "../bench/abl_popularity.pdb"
+  "CMakeFiles/abl_popularity.dir/abl_popularity.cpp.o"
+  "CMakeFiles/abl_popularity.dir/abl_popularity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_popularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

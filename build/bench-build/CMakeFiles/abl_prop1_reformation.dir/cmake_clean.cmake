@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_prop1_reformation"
+  "../bench/abl_prop1_reformation.pdb"
+  "CMakeFiles/abl_prop1_reformation.dir/abl_prop1_reformation.cpp.o"
+  "CMakeFiles/abl_prop1_reformation.dir/abl_prop1_reformation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_prop1_reformation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

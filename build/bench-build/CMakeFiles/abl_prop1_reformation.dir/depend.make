@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_prop1_reformation.
+# This may be replaced when dependencies are built.

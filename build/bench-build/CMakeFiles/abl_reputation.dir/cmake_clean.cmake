@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_reputation"
+  "../bench/abl_reputation.pdb"
+  "CMakeFiles/abl_reputation.dir/abl_reputation.cpp.o"
+  "CMakeFiles/abl_reputation.dir/abl_reputation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_reputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

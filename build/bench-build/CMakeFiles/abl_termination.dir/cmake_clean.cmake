@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_termination"
+  "../bench/abl_termination.pdb"
+  "CMakeFiles/abl_termination.dir/abl_termination.cpp.o"
+  "CMakeFiles/abl_termination.dir/abl_termination.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_termination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

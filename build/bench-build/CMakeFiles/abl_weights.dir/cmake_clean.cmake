@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_weights"
+  "../bench/abl_weights.pdb"
+  "CMakeFiles/abl_weights.dir/abl_weights.cpp.o"
+  "CMakeFiles/abl_weights.dir/abl_weights.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/attack_anonymity_over_time"
+  "../bench/attack_anonymity_over_time.pdb"
+  "CMakeFiles/attack_anonymity_over_time.dir/attack_anonymity_over_time.cpp.o"
+  "CMakeFiles/attack_anonymity_over_time.dir/attack_anonymity_over_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_anonymity_over_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for attack_anonymity_over_time.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/attack_availability"
+  "../bench/attack_availability.pdb"
+  "CMakeFiles/attack_availability.dir/attack_availability.cpp.o"
+  "CMakeFiles/attack_availability.dir/attack_availability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/attack_intersection"
+  "../bench/attack_intersection.pdb"
+  "CMakeFiles/attack_intersection.dir/attack_intersection.cpp.o"
+  "CMakeFiles/attack_intersection.dir/attack_intersection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_intersection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

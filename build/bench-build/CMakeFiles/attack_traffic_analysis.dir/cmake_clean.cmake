@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/attack_traffic_analysis"
+  "../bench/attack_traffic_analysis.pdb"
+  "CMakeFiles/attack_traffic_analysis.dir/attack_traffic_analysis.cpp.o"
+  "CMakeFiles/attack_traffic_analysis.dir/attack_traffic_analysis.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_traffic_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_payoff_model1"
+  "../bench/fig3_payoff_model1.pdb"
+  "CMakeFiles/fig3_payoff_model1.dir/fig3_payoff_model1.cpp.o"
+  "CMakeFiles/fig3_payoff_model1.dir/fig3_payoff_model1.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_payoff_model1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_payoff_model2"
+  "../bench/fig4_payoff_model2.pdb"
+  "CMakeFiles/fig4_payoff_model2.dir/fig4_payoff_model2.cpp.o"
+  "CMakeFiles/fig4_payoff_model2.dir/fig4_payoff_model2.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_payoff_model2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

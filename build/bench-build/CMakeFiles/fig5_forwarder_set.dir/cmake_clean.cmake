@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_forwarder_set"
+  "../bench/fig5_forwarder_set.pdb"
+  "CMakeFiles/fig5_forwarder_set.dir/fig5_forwarder_set.cpp.o"
+  "CMakeFiles/fig5_forwarder_set.dir/fig5_forwarder_set.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_forwarder_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_payoff_cdf_f01"
+  "../bench/fig6_payoff_cdf_f01.pdb"
+  "CMakeFiles/fig6_payoff_cdf_f01.dir/fig6_payoff_cdf_f01.cpp.o"
+  "CMakeFiles/fig6_payoff_cdf_f01.dir/fig6_payoff_cdf_f01.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_payoff_cdf_f01.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

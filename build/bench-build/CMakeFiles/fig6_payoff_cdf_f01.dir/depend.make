@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_payoff_cdf_f01.
+# This may be replaced when dependencies are built.

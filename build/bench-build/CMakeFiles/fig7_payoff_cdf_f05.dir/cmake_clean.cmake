@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_payoff_cdf_f05"
+  "../bench/fig7_payoff_cdf_f05.pdb"
+  "CMakeFiles/fig7_payoff_cdf_f05.dir/fig7_payoff_cdf_f05.cpp.o"
+  "CMakeFiles/fig7_payoff_cdf_f05.dir/fig7_payoff_cdf_f05.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_payoff_cdf_f05.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

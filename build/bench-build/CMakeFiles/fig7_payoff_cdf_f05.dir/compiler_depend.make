@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_payoff_cdf_f05.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_routing_efficiency"
+  "../bench/table2_routing_efficiency.pdb"
+  "CMakeFiles/table2_routing_efficiency.dir/table2_routing_efficiency.cpp.o"
+  "CMakeFiles/table2_routing_efficiency.dir/table2_routing_efficiency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_routing_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anonymous_web_session.dir/anonymous_web_session.cpp.o"
+  "CMakeFiles/anonymous_web_session.dir/anonymous_web_session.cpp.o.d"
+  "anonymous_web_session"
+  "anonymous_web_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anonymous_web_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defense_tuning.dir/defense_tuning.cpp.o"
+  "CMakeFiles/defense_tuning.dir/defense_tuning.cpp.o.d"
+  "defense_tuning"
+  "defense_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defense_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

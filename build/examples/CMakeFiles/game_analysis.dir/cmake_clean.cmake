@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/game_analysis.dir/game_analysis.cpp.o"
+  "CMakeFiles/game_analysis.dir/game_analysis.cpp.o.d"
+  "game_analysis"
+  "game_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/game_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

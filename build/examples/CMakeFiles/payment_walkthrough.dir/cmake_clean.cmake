@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payment_walkthrough.dir/payment_walkthrough.cpp.o"
+  "CMakeFiles/payment_walkthrough.dir/payment_walkthrough.cpp.o.d"
+  "payment_walkthrough"
+  "payment_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payment_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

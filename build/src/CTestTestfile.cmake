@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("parallel")
+subdirs("sim")
+subdirs("metrics")
+subdirs("net")
+subdirs("payment")
+subdirs("core")
+subdirs("attack")
+subdirs("harness")

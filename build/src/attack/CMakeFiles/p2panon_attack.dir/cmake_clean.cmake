@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2panon_attack.dir/intersection.cpp.o"
+  "CMakeFiles/p2panon_attack.dir/intersection.cpp.o.d"
+  "CMakeFiles/p2panon_attack.dir/traffic_analysis.cpp.o"
+  "CMakeFiles/p2panon_attack.dir/traffic_analysis.cpp.o.d"
+  "libp2panon_attack.a"
+  "libp2panon_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2panon_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/async_path.cpp" "src/core/CMakeFiles/p2panon_core.dir/async_path.cpp.o" "gcc" "src/core/CMakeFiles/p2panon_core.dir/async_path.cpp.o.d"
+  "/root/repo/src/core/crowds.cpp" "src/core/CMakeFiles/p2panon_core.dir/crowds.cpp.o" "gcc" "src/core/CMakeFiles/p2panon_core.dir/crowds.cpp.o.d"
+  "/root/repo/src/core/edge_quality.cpp" "src/core/CMakeFiles/p2panon_core.dir/edge_quality.cpp.o" "gcc" "src/core/CMakeFiles/p2panon_core.dir/edge_quality.cpp.o.d"
+  "/root/repo/src/core/game.cpp" "src/core/CMakeFiles/p2panon_core.dir/game.cpp.o" "gcc" "src/core/CMakeFiles/p2panon_core.dir/game.cpp.o.d"
+  "/root/repo/src/core/history.cpp" "src/core/CMakeFiles/p2panon_core.dir/history.cpp.o" "gcc" "src/core/CMakeFiles/p2panon_core.dir/history.cpp.o.d"
+  "/root/repo/src/core/incentive.cpp" "src/core/CMakeFiles/p2panon_core.dir/incentive.cpp.o" "gcc" "src/core/CMakeFiles/p2panon_core.dir/incentive.cpp.o.d"
+  "/root/repo/src/core/path.cpp" "src/core/CMakeFiles/p2panon_core.dir/path.cpp.o" "gcc" "src/core/CMakeFiles/p2panon_core.dir/path.cpp.o.d"
+  "/root/repo/src/core/reputation.cpp" "src/core/CMakeFiles/p2panon_core.dir/reputation.cpp.o" "gcc" "src/core/CMakeFiles/p2panon_core.dir/reputation.cpp.o.d"
+  "/root/repo/src/core/routing.cpp" "src/core/CMakeFiles/p2panon_core.dir/routing.cpp.o" "gcc" "src/core/CMakeFiles/p2panon_core.dir/routing.cpp.o.d"
+  "/root/repo/src/core/spne_routing.cpp" "src/core/CMakeFiles/p2panon_core.dir/spne_routing.cpp.o" "gcc" "src/core/CMakeFiles/p2panon_core.dir/spne_routing.cpp.o.d"
+  "/root/repo/src/core/utility.cpp" "src/core/CMakeFiles/p2panon_core.dir/utility.cpp.o" "gcc" "src/core/CMakeFiles/p2panon_core.dir/utility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/p2panon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/payment/CMakeFiles/p2panon_payment.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/p2panon_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/p2panon_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2panon_core.dir/async_path.cpp.o"
+  "CMakeFiles/p2panon_core.dir/async_path.cpp.o.d"
+  "CMakeFiles/p2panon_core.dir/crowds.cpp.o"
+  "CMakeFiles/p2panon_core.dir/crowds.cpp.o.d"
+  "CMakeFiles/p2panon_core.dir/edge_quality.cpp.o"
+  "CMakeFiles/p2panon_core.dir/edge_quality.cpp.o.d"
+  "CMakeFiles/p2panon_core.dir/game.cpp.o"
+  "CMakeFiles/p2panon_core.dir/game.cpp.o.d"
+  "CMakeFiles/p2panon_core.dir/history.cpp.o"
+  "CMakeFiles/p2panon_core.dir/history.cpp.o.d"
+  "CMakeFiles/p2panon_core.dir/incentive.cpp.o"
+  "CMakeFiles/p2panon_core.dir/incentive.cpp.o.d"
+  "CMakeFiles/p2panon_core.dir/path.cpp.o"
+  "CMakeFiles/p2panon_core.dir/path.cpp.o.d"
+  "CMakeFiles/p2panon_core.dir/reputation.cpp.o"
+  "CMakeFiles/p2panon_core.dir/reputation.cpp.o.d"
+  "CMakeFiles/p2panon_core.dir/routing.cpp.o"
+  "CMakeFiles/p2panon_core.dir/routing.cpp.o.d"
+  "CMakeFiles/p2panon_core.dir/spne_routing.cpp.o"
+  "CMakeFiles/p2panon_core.dir/spne_routing.cpp.o.d"
+  "CMakeFiles/p2panon_core.dir/utility.cpp.o"
+  "CMakeFiles/p2panon_core.dir/utility.cpp.o.d"
+  "libp2panon_core.a"
+  "libp2panon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2panon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

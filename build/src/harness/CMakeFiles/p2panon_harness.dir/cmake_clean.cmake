@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2panon_harness.dir/replicate.cpp.o"
+  "CMakeFiles/p2panon_harness.dir/replicate.cpp.o.d"
+  "CMakeFiles/p2panon_harness.dir/scenario.cpp.o"
+  "CMakeFiles/p2panon_harness.dir/scenario.cpp.o.d"
+  "CMakeFiles/p2panon_harness.dir/table.cpp.o"
+  "CMakeFiles/p2panon_harness.dir/table.cpp.o.d"
+  "libp2panon_harness.a"
+  "libp2panon_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2panon_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2panon_metrics.dir/anonymity.cpp.o"
+  "CMakeFiles/p2panon_metrics.dir/anonymity.cpp.o.d"
+  "CMakeFiles/p2panon_metrics.dir/stats.cpp.o"
+  "CMakeFiles/p2panon_metrics.dir/stats.cpp.o.d"
+  "CMakeFiles/p2panon_metrics.dir/timeseries.cpp.o"
+  "CMakeFiles/p2panon_metrics.dir/timeseries.cpp.o.d"
+  "libp2panon_metrics.a"
+  "libp2panon_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2panon_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/churn.cpp" "src/net/CMakeFiles/p2panon_net.dir/churn.cpp.o" "gcc" "src/net/CMakeFiles/p2panon_net.dir/churn.cpp.o.d"
+  "/root/repo/src/net/link_model.cpp" "src/net/CMakeFiles/p2panon_net.dir/link_model.cpp.o" "gcc" "src/net/CMakeFiles/p2panon_net.dir/link_model.cpp.o.d"
+  "/root/repo/src/net/overlay.cpp" "src/net/CMakeFiles/p2panon_net.dir/overlay.cpp.o" "gcc" "src/net/CMakeFiles/p2panon_net.dir/overlay.cpp.o.d"
+  "/root/repo/src/net/probing.cpp" "src/net/CMakeFiles/p2panon_net.dir/probing.cpp.o" "gcc" "src/net/CMakeFiles/p2panon_net.dir/probing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/p2panon_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

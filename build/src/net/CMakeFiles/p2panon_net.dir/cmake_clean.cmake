@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2panon_net.dir/churn.cpp.o"
+  "CMakeFiles/p2panon_net.dir/churn.cpp.o.d"
+  "CMakeFiles/p2panon_net.dir/link_model.cpp.o"
+  "CMakeFiles/p2panon_net.dir/link_model.cpp.o.d"
+  "CMakeFiles/p2panon_net.dir/overlay.cpp.o"
+  "CMakeFiles/p2panon_net.dir/overlay.cpp.o.d"
+  "CMakeFiles/p2panon_net.dir/probing.cpp.o"
+  "CMakeFiles/p2panon_net.dir/probing.cpp.o.d"
+  "libp2panon_net.a"
+  "libp2panon_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2panon_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

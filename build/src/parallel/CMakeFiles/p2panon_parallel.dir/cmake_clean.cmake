@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2panon_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/p2panon_parallel.dir/thread_pool.cpp.o.d"
+  "libp2panon_parallel.a"
+  "libp2panon_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2panon_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/payment/audit.cpp" "src/payment/CMakeFiles/p2panon_payment.dir/audit.cpp.o" "gcc" "src/payment/CMakeFiles/p2panon_payment.dir/audit.cpp.o.d"
+  "/root/repo/src/payment/bank.cpp" "src/payment/CMakeFiles/p2panon_payment.dir/bank.cpp.o" "gcc" "src/payment/CMakeFiles/p2panon_payment.dir/bank.cpp.o.d"
+  "/root/repo/src/payment/crypto.cpp" "src/payment/CMakeFiles/p2panon_payment.dir/crypto.cpp.o" "gcc" "src/payment/CMakeFiles/p2panon_payment.dir/crypto.cpp.o.d"
+  "/root/repo/src/payment/route_verification.cpp" "src/payment/CMakeFiles/p2panon_payment.dir/route_verification.cpp.o" "gcc" "src/payment/CMakeFiles/p2panon_payment.dir/route_verification.cpp.o.d"
+  "/root/repo/src/payment/settlement.cpp" "src/payment/CMakeFiles/p2panon_payment.dir/settlement.cpp.o" "gcc" "src/payment/CMakeFiles/p2panon_payment.dir/settlement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/p2panon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/p2panon_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2panon_payment.dir/audit.cpp.o"
+  "CMakeFiles/p2panon_payment.dir/audit.cpp.o.d"
+  "CMakeFiles/p2panon_payment.dir/bank.cpp.o"
+  "CMakeFiles/p2panon_payment.dir/bank.cpp.o.d"
+  "CMakeFiles/p2panon_payment.dir/crypto.cpp.o"
+  "CMakeFiles/p2panon_payment.dir/crypto.cpp.o.d"
+  "CMakeFiles/p2panon_payment.dir/route_verification.cpp.o"
+  "CMakeFiles/p2panon_payment.dir/route_verification.cpp.o.d"
+  "CMakeFiles/p2panon_payment.dir/settlement.cpp.o"
+  "CMakeFiles/p2panon_payment.dir/settlement.cpp.o.d"
+  "libp2panon_payment.a"
+  "libp2panon_payment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2panon_payment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attack.dir/attack/test_intersection.cpp.o"
+  "CMakeFiles/test_attack.dir/attack/test_intersection.cpp.o.d"
+  "CMakeFiles/test_attack.dir/attack/test_traffic_analysis.cpp.o"
+  "CMakeFiles/test_attack.dir/attack/test_traffic_analysis.cpp.o.d"
+  "test_attack"
+  "test_attack.pdb"
+  "test_attack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_async_path.cpp" "tests/CMakeFiles/test_core.dir/core/test_async_path.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_async_path.cpp.o.d"
+  "/root/repo/tests/core/test_cid_rotation.cpp" "tests/CMakeFiles/test_core.dir/core/test_cid_rotation.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_cid_rotation.cpp.o.d"
+  "/root/repo/tests/core/test_contract.cpp" "tests/CMakeFiles/test_core.dir/core/test_contract.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_contract.cpp.o.d"
+  "/root/repo/tests/core/test_crowds.cpp" "tests/CMakeFiles/test_core.dir/core/test_crowds.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_crowds.cpp.o.d"
+  "/root/repo/tests/core/test_edge_quality.cpp" "tests/CMakeFiles/test_core.dir/core/test_edge_quality.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_edge_quality.cpp.o.d"
+  "/root/repo/tests/core/test_game.cpp" "tests/CMakeFiles/test_core.dir/core/test_game.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_game.cpp.o.d"
+  "/root/repo/tests/core/test_history.cpp" "tests/CMakeFiles/test_core.dir/core/test_history.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_history.cpp.o.d"
+  "/root/repo/tests/core/test_incentive.cpp" "tests/CMakeFiles/test_core.dir/core/test_incentive.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_incentive.cpp.o.d"
+  "/root/repo/tests/core/test_path.cpp" "tests/CMakeFiles/test_core.dir/core/test_path.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_path.cpp.o.d"
+  "/root/repo/tests/core/test_quality_properties.cpp" "tests/CMakeFiles/test_core.dir/core/test_quality_properties.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_quality_properties.cpp.o.d"
+  "/root/repo/tests/core/test_reputation.cpp" "tests/CMakeFiles/test_core.dir/core/test_reputation.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_reputation.cpp.o.d"
+  "/root/repo/tests/core/test_spne_routing.cpp" "tests/CMakeFiles/test_core.dir/core/test_spne_routing.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_spne_routing.cpp.o.d"
+  "/root/repo/tests/core/test_utility_routing.cpp" "tests/CMakeFiles/test_core.dir/core/test_utility_routing.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_utility_routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/p2panon_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/p2panon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/p2panon_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/payment/CMakeFiles/p2panon_payment.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/p2panon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/p2panon_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/p2panon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/p2panon_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

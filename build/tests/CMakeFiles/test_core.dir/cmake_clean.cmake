@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_async_path.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_async_path.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_cid_rotation.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_cid_rotation.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_contract.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_contract.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_crowds.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_crowds.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_edge_quality.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_edge_quality.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_game.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_game.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_history.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_history.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_incentive.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_incentive.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_path.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_path.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_quality_properties.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_quality_properties.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_reputation.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_reputation.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_spne_routing.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_spne_routing.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_utility_routing.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_utility_routing.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

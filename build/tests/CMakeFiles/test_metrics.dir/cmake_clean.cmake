@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metrics.dir/metrics/test_anonymity.cpp.o"
+  "CMakeFiles/test_metrics.dir/metrics/test_anonymity.cpp.o.d"
+  "CMakeFiles/test_metrics.dir/metrics/test_gini.cpp.o"
+  "CMakeFiles/test_metrics.dir/metrics/test_gini.cpp.o.d"
+  "CMakeFiles/test_metrics.dir/metrics/test_stats.cpp.o"
+  "CMakeFiles/test_metrics.dir/metrics/test_stats.cpp.o.d"
+  "CMakeFiles/test_metrics.dir/metrics/test_timeseries.cpp.o"
+  "CMakeFiles/test_metrics.dir/metrics/test_timeseries.cpp.o.d"
+  "test_metrics"
+  "test_metrics.pdb"
+  "test_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/net/test_churn.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_churn.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_link_model.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_link_model.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_overlay.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_overlay.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_overlay_properties.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_overlay_properties.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_probing.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_probing.cpp.o.d"
+  "test_net"
+  "test_net.pdb"
+  "test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/parallel/test_parallel.cpp" "tests/CMakeFiles/test_parallel.dir/parallel/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/test_parallel.dir/parallel/test_parallel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/p2panon_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/p2panon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/p2panon_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/payment/CMakeFiles/p2panon_payment.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/p2panon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/p2panon_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/p2panon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/p2panon_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

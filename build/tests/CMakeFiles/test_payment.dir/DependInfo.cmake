@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/payment/test_audit.cpp" "tests/CMakeFiles/test_payment.dir/payment/test_audit.cpp.o" "gcc" "tests/CMakeFiles/test_payment.dir/payment/test_audit.cpp.o.d"
+  "/root/repo/tests/payment/test_bank.cpp" "tests/CMakeFiles/test_payment.dir/payment/test_bank.cpp.o" "gcc" "tests/CMakeFiles/test_payment.dir/payment/test_bank.cpp.o.d"
+  "/root/repo/tests/payment/test_crypto.cpp" "tests/CMakeFiles/test_payment.dir/payment/test_crypto.cpp.o" "gcc" "tests/CMakeFiles/test_payment.dir/payment/test_crypto.cpp.o.d"
+  "/root/repo/tests/payment/test_crypto_properties.cpp" "tests/CMakeFiles/test_payment.dir/payment/test_crypto_properties.cpp.o" "gcc" "tests/CMakeFiles/test_payment.dir/payment/test_crypto_properties.cpp.o.d"
+  "/root/repo/tests/payment/test_route_verification.cpp" "tests/CMakeFiles/test_payment.dir/payment/test_route_verification.cpp.o" "gcc" "tests/CMakeFiles/test_payment.dir/payment/test_route_verification.cpp.o.d"
+  "/root/repo/tests/payment/test_settlement.cpp" "tests/CMakeFiles/test_payment.dir/payment/test_settlement.cpp.o" "gcc" "tests/CMakeFiles/test_payment.dir/payment/test_settlement.cpp.o.d"
+  "/root/repo/tests/payment/test_settlement_fuzz.cpp" "tests/CMakeFiles/test_payment.dir/payment/test_settlement_fuzz.cpp.o" "gcc" "tests/CMakeFiles/test_payment.dir/payment/test_settlement_fuzz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/p2panon_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/p2panon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/p2panon_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/payment/CMakeFiles/p2panon_payment.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/p2panon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/p2panon_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/p2panon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/p2panon_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_payment.dir/payment/test_audit.cpp.o"
+  "CMakeFiles/test_payment.dir/payment/test_audit.cpp.o.d"
+  "CMakeFiles/test_payment.dir/payment/test_bank.cpp.o"
+  "CMakeFiles/test_payment.dir/payment/test_bank.cpp.o.d"
+  "CMakeFiles/test_payment.dir/payment/test_crypto.cpp.o"
+  "CMakeFiles/test_payment.dir/payment/test_crypto.cpp.o.d"
+  "CMakeFiles/test_payment.dir/payment/test_crypto_properties.cpp.o"
+  "CMakeFiles/test_payment.dir/payment/test_crypto_properties.cpp.o.d"
+  "CMakeFiles/test_payment.dir/payment/test_route_verification.cpp.o"
+  "CMakeFiles/test_payment.dir/payment/test_route_verification.cpp.o.d"
+  "CMakeFiles/test_payment.dir/payment/test_settlement.cpp.o"
+  "CMakeFiles/test_payment.dir/payment/test_settlement.cpp.o.d"
+  "CMakeFiles/test_payment.dir/payment/test_settlement_fuzz.cpp.o"
+  "CMakeFiles/test_payment.dir/payment/test_settlement_fuzz.cpp.o.d"
+  "test_payment"
+  "test_payment.pdb"
+  "test_payment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_payment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
