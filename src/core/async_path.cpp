@@ -83,7 +83,7 @@ void AsyncConnectionRunner::hop_arrived(std::shared_ptr<Pending> p, net::NodeId 
   }
 
   RoutingContext ctx{overlay_, builder_.quality_evaluator(), p->contract, p->pair,
-                     p->conn_index, p->responder};
+                     p->conn_index, p->responder, builder_.resources()};
   const PathBuilder::HopOutcome hop = builder_.next_hop(
       ctx, holder, pred, first_hop, forwarders, *p->strategies, p->coin_stream,
       p->pick_stream);

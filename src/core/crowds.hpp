@@ -40,7 +40,9 @@ class CrowdsSession {
   /// Run the next connection: reuse the current static path when all of its
   /// forwarders are online, otherwise re-form it (a reformation). Records
   /// history, charges costs, and updates the forwarder set exactly like
-  /// ConnectionSetSession does for per-connection routing.
+  /// ConnectionSetSession does for per-connection routing. Re-formation
+  /// routes through `builder`, so it shares the builder's per-replicate
+  /// DecisionResources (edge-quality cache + memo arena) when attached.
   const BuiltPath& run_connection(const PathBuilder& builder, HistoryStore& history,
                                   const StrategyAssignment& strategies, PayoffLedger& ledger,
                                   const net::Overlay& overlay, sim::rng::Stream& stream);

@@ -1,0 +1,159 @@
+// Packed-key open-addressing hash table for the per-hop decision stack.
+//
+// The routing hot path indexes small fixed-width composite keys —
+// (pair, predecessor, successor) history counts, (s, v, pair, pred) edge
+// qualities, (from, pred, depth) lookahead states. A node-based
+// std::map/unordered_map pays an allocation plus pointer chases per probe;
+// this table packs each composite key into 128 bits and resolves lookups
+// with linear probing over one contiguous slot array, so the steady-state
+// cost of a hit is a single cache line. Erase uses backward-shift deletion
+// (no tombstones), keeping probe sequences short under the record/evict
+// churn of bounded history profiles.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace p2panon::core {
+
+/// A 128-bit composite key assembled from up to four 32-bit ids.
+struct PackedKey {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  [[nodiscard]] friend bool operator==(const PackedKey&, const PackedKey&) = default;
+
+  [[nodiscard]] static constexpr PackedKey of(std::uint32_t a, std::uint32_t b,
+                                              std::uint32_t c = 0, std::uint32_t d = 0) noexcept {
+    return PackedKey{(static_cast<std::uint64_t>(a) << 32) | b,
+                     (static_cast<std::uint64_t>(c) << 32) | d};
+  }
+};
+
+/// SplitMix64-style avalanche over both key words. Cheap and well mixed for
+/// power-of-two table sizes.
+[[nodiscard]] constexpr std::uint64_t hash_packed_key(PackedKey k) noexcept {
+  std::uint64_t z = k.lo ^ (k.hi * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Two-multiply mixing for the *lossy* lookup structures (edge-quality
+/// cache, decision scratch), whose slot index comes from the HIGH bits
+/// (multiplicative hashing concentrates entropy there — callers shift, not
+/// mask). A collision in those structures costs a recomputation, never a
+/// wrong answer, so the shorter dependency chain wins on the hot path. The
+/// exact PackedFlatMap keeps the avalanche hash above.
+[[nodiscard]] constexpr std::uint64_t hash_packed_key_fast(PackedKey k) noexcept {
+  return (k.lo ^ (k.hi * 0xD1B54A32D192ED03ULL)) * 0x9E3779B97F4A7C15ULL;
+}
+
+/// Exact map from PackedKey to Value (linear probing, max load 0.75,
+/// power-of-two capacity, backward-shift erase). Values must be cheap to
+/// move; Value{} is reserved for vacated slots only and carries no meaning.
+template <typename Value>
+class PackedFlatMap {
+ public:
+  PackedFlatMap() = default;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  void clear() {
+    slots_.clear();
+    size_ = 0;
+  }
+
+  [[nodiscard]] const Value* find(PackedKey key) const noexcept {
+    if (slots_.empty()) return nullptr;
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = hash_packed_key(key) & mask;; i = (i + 1) & mask) {
+      const Slot& s = slots_[i];
+      if (!s.used) return nullptr;
+      if (s.key == key) return &s.value;
+    }
+  }
+
+  [[nodiscard]] Value* find(PackedKey key) noexcept {
+    return const_cast<Value*>(static_cast<const PackedFlatMap*>(this)->find(key));
+  }
+
+  /// Value slot for `key`, inserting a default-constructed one when absent.
+  [[nodiscard]] Value& get_or_insert(PackedKey key) {
+    if (slots_.empty() || (size_ + 1) * 4 > slots_.size() * 3) grow();
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = hash_packed_key(key) & mask;; i = (i + 1) & mask) {
+      Slot& s = slots_[i];
+      if (!s.used) {
+        s.used = true;
+        s.key = key;
+        s.value = Value{};
+        ++size_;
+        return s.value;
+      }
+      if (s.key == key) return s.value;
+    }
+  }
+
+  /// Remove `key` if present; true when an entry was erased.
+  bool erase(PackedKey key) noexcept {
+    if (slots_.empty()) return false;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = hash_packed_key(key) & mask;
+    for (;; i = (i + 1) & mask) {
+      if (!slots_[i].used) return false;
+      if (slots_[i].key == key) break;
+    }
+    // Backward-shift: pull later probe-chain members into the hole so no
+    // tombstone is needed.
+    std::size_t j = i;
+    for (;;) {
+      j = (j + 1) & mask;
+      if (!slots_[j].used) break;
+      const std::size_t ideal = hash_packed_key(slots_[j].key) & mask;
+      if (((j - ideal) & mask) >= ((j - i) & mask)) {
+        slots_[i] = slots_[j];
+        i = j;
+      }
+    }
+    slots_[i].used = false;
+    slots_[i].value = Value{};
+    --size_;
+    return true;
+  }
+
+  /// Visit every (key, value) pair; order is unspecified.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.used) fn(s.key, s.value);
+    }
+  }
+
+ private:
+  struct Slot {
+    PackedKey key;
+    Value value{};
+    bool used = false;
+  };
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.empty() ? 16 : old.size() * 2, Slot{});
+    const std::size_t mask = slots_.size() - 1;
+    for (Slot& s : old) {
+      if (!s.used) continue;
+      std::size_t i = hash_packed_key(s.key) & mask;
+      while (slots_[i].used) i = (i + 1) & mask;
+      slots_[i] = std::move(s);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace p2panon::core

@@ -4,22 +4,35 @@
 
 namespace p2panon::core {
 
+void HistoryProfile::remove_from_index(const HistoryEntry& entry) {
+  std::uint32_t* c = counts_.find(edge_key(entry.pair, entry.predecessor, entry.successor));
+  assert(c != nullptr && *c > 0);
+  if (--*c == 0) counts_.erase(edge_key(entry.pair, entry.predecessor, entry.successor));
+  std::uint32_t* d = counts_.find(position_key(entry.pair, entry.predecessor));
+  assert(d != nullptr && *d > 0);
+  if (--*d == 0) counts_.erase(position_key(entry.pair, entry.predecessor));
+}
+
 void HistoryProfile::record(const HistoryEntry& entry) {
   if (capacity_ != 0 && entries_.size() == capacity_) {
-    const HistoryEntry& old = entries_.front();
-    auto it = counts_.find({old.pair, old.predecessor, old.successor});
-    assert(it != counts_.end() && it->second > 0);
-    if (--it->second == 0) counts_.erase(it);
+    remove_from_index(entries_.front());  // FIFO: the oldest entry leaves
     entries_.erase(entries_.begin());
   }
   entries_.push_back(entry);
-  ++counts_[{entry.pair, entry.predecessor, entry.successor}];
+  ++counts_.get_or_insert(edge_key(entry.pair, entry.predecessor, entry.successor));
+  ++counts_.get_or_insert(position_key(entry.pair, entry.predecessor));
+  ++epoch_;
 }
 
 std::size_t HistoryProfile::count(net::PairId pair, net::NodeId predecessor,
                                   net::NodeId successor) const {
-  auto it = counts_.find({pair, predecessor, successor});
-  return it == counts_.end() ? 0 : it->second;
+  const std::uint32_t* c = counts_.find(edge_key(pair, predecessor, successor));
+  return c == nullptr ? 0 : *c;
+}
+
+std::size_t HistoryProfile::position_count(net::PairId pair, net::NodeId predecessor) const {
+  const std::uint32_t* d = counts_.find(position_key(pair, predecessor));
+  return d == nullptr ? 0 : *d;
 }
 
 double HistoryProfile::selectivity(net::PairId pair, net::NodeId predecessor,
@@ -32,6 +45,7 @@ double HistoryProfile::selectivity(net::PairId pair, net::NodeId predecessor,
 void HistoryProfile::clear() {
   entries_.clear();
   counts_.clear();
+  ++epoch_;
 }
 
 HistoryStore::HistoryStore(std::size_t node_count, std::size_t per_node_capacity) {

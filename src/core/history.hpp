@@ -9,12 +9,25 @@
 // Selectivity of edge (s, v) at connection k (conditioned on the current
 // predecessor) is
 //   sigma(s, v) = #entries{(s -> v) | same pair, same predecessor} / (k - 1).
+//
+// Index structure (the decision-stack hot path): counts are kept in a
+// packed-key flat hash map keyed by (pair, predecessor, successor), with a
+// second O(1)-maintained map of per-(pair, predecessor) denominators — the
+// total number of stored entries for that pair/position. A zero denominator
+// proves sigma(s, v) == 0 for *every* successor v, which lets the
+// edge-quality cache and the memoised lookahead collapse predecessor-
+// distinct states that are numerically identical (see core/edge_quality and
+// core/decision_scratch).
+//
+// Every mutation (record, FIFO eviction, clear) bumps a monotonically
+// increasing epoch; caches that snapshot derived quantities compare epochs
+// to self-invalidate instead of subscribing to callbacks.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
+#include "core/flat_hash.hpp"
 #include "net/ids.hpp"
 
 namespace p2panon::core {
@@ -27,9 +40,9 @@ struct HistoryEntry {
 };
 
 /// History profile for one node. Storage is bounded by `capacity` entries
-/// (0 = unbounded); eviction is FIFO, which models a node that only keeps
-/// recent history (an ablation knob — the paper notes the amount of stored
-/// history influences edge quality).
+/// (0 = unbounded); eviction is FIFO — the oldest stored entry leaves first,
+/// modelling a node that only keeps recent history (an ablation knob — the
+/// paper notes the amount of stored history influences edge quality).
 class HistoryProfile {
  public:
   explicit HistoryProfile(std::size_t capacity = 0) : capacity_(capacity) {}
@@ -40,6 +53,11 @@ class HistoryProfile {
   [[nodiscard]] std::size_t count(net::PairId pair, net::NodeId predecessor,
                                   net::NodeId successor) const;
 
+  /// Number of stored entries matching (pair, predecessor) across all
+  /// successors — the O(1) denominator of history-conditioned statistics.
+  /// Zero means selectivity is 0 for every successor at this position.
+  [[nodiscard]] std::size_t position_count(net::PairId pair, net::NodeId predecessor) const;
+
   /// sigma(s, v) for the k-th connection (k is 1-based; k == 1 has no
   /// history and yields 0).
   [[nodiscard]] double selectivity(net::PairId pair, net::NodeId predecessor,
@@ -49,14 +67,33 @@ class HistoryProfile {
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   void clear();
 
+  /// Monotonically increasing mutation counter: bumped by every record
+  /// (including its FIFO eviction, if any) and by clear(). Equal epochs
+  /// guarantee identical selectivity answers.
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
   [[nodiscard]] const std::vector<HistoryEntry>& entries() const noexcept { return entries_; }
 
  private:
-  using Key = std::tuple<net::PairId, net::NodeId, net::NodeId>;
+  [[nodiscard]] static PackedKey edge_key(net::PairId pair, net::NodeId predecessor,
+                                          net::NodeId successor) noexcept {
+    return PackedKey::of(pair, predecessor, successor);
+  }
+  [[nodiscard]] static PackedKey position_key(net::PairId pair,
+                                              net::NodeId predecessor) noexcept {
+    // Disambiguated from edge keys by the successor slot no real edge uses:
+    // kInvalidNode never appears as a stored successor.
+    return PackedKey::of(pair, predecessor, net::kInvalidNode, 1);
+  }
+
+  void remove_from_index(const HistoryEntry& entry);
 
   std::size_t capacity_;
-  std::vector<HistoryEntry> entries_;  // FIFO order
-  std::map<Key, std::size_t> counts_;
+  std::uint64_t epoch_ = 0;
+  std::vector<HistoryEntry> entries_;  // FIFO order, oldest first
+  /// Edge-key -> multiplicity, position-key -> denominator; one table keeps
+  /// both so a record touches a single allocation-free index.
+  PackedFlatMap<std::uint32_t> counts_;
 };
 
 /// History profiles for all nodes of an overlay, indexed by node id.

@@ -82,7 +82,7 @@ BuiltPath PathBuilder::build(net::PairId pair, std::uint32_t conn_index, net::No
                              const StrategyAssignment& strategies,
                              sim::rng::Stream& stream) const {
   assert(initiator != responder);
-  RoutingContext ctx{overlay_, quality_, contract, pair, conn_index, responder};
+  RoutingContext ctx{overlay_, quality_, contract, pair, conn_index, responder, resources_};
 
   BuiltPath path;
   path.nodes.push_back(initiator);

@@ -44,13 +44,18 @@ struct PathBuilderConfig {
 
 class PathBuilder {
  public:
+  /// `resources`, when given, is the per-replicate edge-quality cache and
+  /// decision memo arena threaded into every RoutingContext this builder
+  /// creates. Null disables caching; results are bitwise identical.
   PathBuilder(const net::Overlay& overlay, const EdgeQualityEvaluator& quality,
-              PathBuilderConfig cfg = {}) noexcept
-      : overlay_(overlay), quality_(quality), cfg_(cfg) {}
+              PathBuilderConfig cfg = {}, DecisionResources* resources = nullptr) noexcept
+      : overlay_(overlay), quality_(quality), cfg_(cfg), resources_(resources) {}
 
   [[nodiscard]] const EdgeQualityEvaluator& quality_evaluator() const noexcept {
     return quality_;
   }
+
+  [[nodiscard]] DecisionResources* resources() const noexcept { return resources_; }
 
   /// Form the path for connection `conn_index` (1-based) of `pair` from
   /// `initiator` to `responder` under `contract`, with per-node strategies
@@ -93,6 +98,7 @@ class PathBuilder {
   const net::Overlay& overlay_;
   const EdgeQualityEvaluator& quality_;
   PathBuilderConfig cfg_;
+  DecisionResources* resources_;
 };
 
 }  // namespace p2panon::core

@@ -74,8 +74,7 @@ HopChoice ReputationRouting::choose(const RoutingContext& ctx, net::NodeId self,
       have = true;
     }
   }
-  best.edge_quality =
-      ctx.quality.edge_quality(self, best.next, ctx.responder, ctx.pair, pred, ctx.conn_index);
+  best.edge_quality = ctx.edge_q(self, best.next, pred);
   return best;
 }
 

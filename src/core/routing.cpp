@@ -12,9 +12,8 @@ HopChoice RandomRouting::choose(const RoutingContext& ctx, net::NodeId self, net
   const net::NodeId pick = candidates[stream.below(candidates.size())];
   HopChoice c;
   c.next = pick;
-  c.edge_quality =
-      ctx.quality.edge_quality(self, pick, ctx.responder, ctx.pair, pred, ctx.conn_index);
-  c.utility = model1_utility(ctx, self, pred, pick);
+  c.edge_quality = ctx.edge_q(self, pick, pred);
+  c.utility = model1_utility_with_q(ctx, self, pick, c.edge_quality);
   return c;
 }
 
@@ -22,7 +21,8 @@ namespace {
 
 /// Shared argmax loop: pick the candidate with the highest utility, breaking
 /// utility ties toward the higher-quality edge (paper §2.2), then toward the
-/// lower node id for determinism.
+/// lower node id for determinism. The edge quality is resolved once per
+/// candidate and handed to the utility callback, which needs the same value.
 template <typename UtilityFn>
 HopChoice argmax_choice(const RoutingContext& ctx, net::NodeId self, net::NodeId pred,
                         std::span<const net::NodeId> candidates, UtilityFn&& utility_of) {
@@ -30,9 +30,8 @@ HopChoice argmax_choice(const RoutingContext& ctx, net::NodeId self, net::NodeId
   HopChoice best;
   bool have = false;
   for (net::NodeId j : candidates) {
-    const double u = utility_of(j);
-    const double q =
-        ctx.quality.edge_quality(self, j, ctx.responder, ctx.pair, pred, ctx.conn_index);
+    const double q = ctx.edge_q(self, j, pred);
+    const double u = utility_of(j, q);
     const bool better =
         !have || u > best.utility ||
         (u == best.utility && (q > best.edge_quality ||
@@ -51,16 +50,20 @@ HopChoice UtilityModelIRouting::choose(const RoutingContext& ctx, net::NodeId se
                                        net::NodeId pred,
                                        std::span<const net::NodeId> candidates,
                                        sim::rng::Stream& /*stream*/) const {
-  return argmax_choice(ctx, self, pred, candidates,
-                       [&](net::NodeId j) { return model1_utility(ctx, self, pred, j); });
+  return argmax_choice(ctx, self, pred, candidates, [&](net::NodeId j, double q) {
+    return model1_utility_with_q(ctx, self, j, q);
+  });
 }
 
 HopChoice UtilityModelIIRouting::choose(const RoutingContext& ctx, net::NodeId self,
                                         net::NodeId pred,
                                         std::span<const net::NodeId> candidates,
                                         sim::rng::Stream& /*stream*/) const {
-  return argmax_choice(ctx, self, pred, candidates, [&](net::NodeId j) {
-    return model2_utility(ctx, self, pred, j, depth_);
+  // One memo generation for the whole decision: candidate lookahead trees
+  // overlap heavily and share their subproblem values.
+  DecisionScope scope(ctx.resources);
+  return argmax_choice(ctx, self, pred, candidates, [&](net::NodeId j, double q) {
+    return model2_utility_with_q(ctx, self, j, depth_, q);
   });
 }
 

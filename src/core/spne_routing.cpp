@@ -1,6 +1,7 @@
 #include "core/spne_routing.hpp"
 
 #include <cassert>
+#include <optional>
 
 namespace p2panon::core {
 
@@ -27,17 +28,71 @@ game::PathGameSpec SpneRouting::make_spec(const RoutingContext& ctx) {
   return spec;
 }
 
+namespace {
+
+/// Equilibrium onward-path quality of `holder` with `stages_left` moves
+/// remaining — the lazy, memoised twin of
+/// BackwardInductionSolver::compute_decision. It visits candidates in the
+/// same order (overlay neighbour order, skipping self/offline/responder),
+/// evaluates the same expressions in the same order, and applies the same
+/// strictly-better-wins rule, so its values are bitwise identical to the
+/// eager table's onward_quality — but only subgames actually reachable from
+/// the decision point are solved, each at most once per decision thanks to
+/// the scratch memo. Predecessors never enter the stage game (selectivity
+/// conditions on kInvalidNode), so (holder, stages_left) is the whole state.
+double equilibrium_onward(const RoutingContext& ctx, net::NodeId holder,
+                          std::uint32_t stages_left) {
+  if (holder == ctx.responder) return 0.0;
+
+  DecisionScratch& scratch = ctx.resources->scratch;
+  const PackedKey key = PackedKey::of(holder, stages_left, 0, kScratchEquilibrium);
+  double cached = 0.0;
+  if (scratch.lookup(key, &cached)) return cached;
+
+  // Delivering to the responder is always available: edge quality 1.
+  double best_onward = 1.0;
+  double best_utility = ctx.contract.forwarding_benefit + 1.0 * ctx.contract.routing_benefit() -
+                        (participation_cost(ctx, holder) +
+                         transmission_cost(ctx, holder, ctx.responder));
+
+  if (stages_left > 0) {
+    for (net::NodeId j : ctx.overlay.neighbors(holder)) {
+      if (j == holder || !ctx.overlay.is_online(j) || j == ctx.responder) continue;
+      const double q_ij = ctx.edge_q(holder, j, net::kInvalidNode);
+      const double onward = q_ij + equilibrium_onward(ctx, j, stages_left - 1);
+      const double u = ctx.contract.forwarding_benefit + onward * ctx.contract.routing_benefit() -
+                       (participation_cost(ctx, holder) + transmission_cost(ctx, holder, j));
+      if (u > best_utility) {
+        best_utility = u;
+        best_onward = onward;
+      }
+    }
+  }
+
+  scratch.store(key, best_onward);
+  return best_onward;
+}
+
+}  // namespace
+
 HopChoice SpneRouting::choose(const RoutingContext& ctx, net::NodeId self, net::NodeId pred,
                               std::span<const net::NodeId> candidates,
                               sim::rng::Stream& /*stream*/) const {
   assert(!candidates.empty());
-  const game::PathGameSpec spec = make_spec(ctx);
-  const game::BackwardInductionSolver solver(spec, stages_);
 
-  // The solver's prescribed action considers the full neighbour set; the
+  // The equilibrium prescription considers the full neighbour set; the
   // builder may offer a narrower candidate list (declines, no-backtrack),
   // so re-derive the best response restricted to `candidates`, using the
-  // solver's equilibrium continuation values.
+  // equilibrium continuation values.
+  //
+  // With decision resources attached, continuations come from the lazy
+  // memoised DFS above; without them, from the legacy eager solver over the
+  // whole overlay. Both produce bitwise-identical values.
+  const game::PathGameSpec spec = make_spec(ctx);
+  std::optional<game::BackwardInductionSolver> solver;
+  if (ctx.resources == nullptr) solver.emplace(spec, stages_);
+  DecisionScope scope(ctx.resources);
+
   HopChoice best;
   bool have = false;
   for (net::NodeId j : candidates) {
@@ -48,14 +103,16 @@ HopChoice SpneRouting::choose(const RoutingContext& ctx, net::NodeId self, net::
       // At the forced-delivery stage a forwarding move earns no equilibrium
       // continuation: only the immediate edge counts, so the responder's
       // quality-1 edge dominates whenever it is available.
-      onward = spec.edge_quality(self, j);
+      onward = ctx.edge_q(self, j, net::kInvalidNode);
     } else {
-      onward = spec.edge_quality(self, j) + solver.decision(j, stages_ - 1).onward_quality;
+      const double continuation = solver.has_value()
+                                      ? solver->decision(j, stages_ - 1).onward_quality
+                                      : equilibrium_onward(ctx, j, stages_ - 1);
+      onward = ctx.edge_q(self, j, net::kInvalidNode) + continuation;
     }
     const double u = spec.forwarding_benefit + onward * spec.routing_benefit -
                      spec.cost(self, j);
-    const double q =
-        ctx.quality.edge_quality(self, j, ctx.responder, ctx.pair, pred, ctx.conn_index);
+    const double q = ctx.edge_q(self, j, pred);
     if (!have || u > best.utility ||
         (u == best.utility && (q > best.edge_quality ||
                                (q == best.edge_quality && j < best.next)))) {

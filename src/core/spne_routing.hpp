@@ -12,6 +12,13 @@
 // bounded-lookahead model threads them exactly. The two agree whenever
 // selectivity is predecessor-insensitive; tests cover both the agreement
 // and the equilibrium property.
+//
+// Performance note: when the RoutingContext carries DecisionResources, the
+// eager full-overlay backward-induction table is replaced by a lazy,
+// memoised DFS over (holder, stages-left) that solves only the subgames
+// reachable from the decision point — bitwise identical to the table (same
+// candidate order, same expression order, same strictly-better-wins rule;
+// see test_decision_cache).
 #pragma once
 
 #include <cstdint>

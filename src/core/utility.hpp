@@ -19,6 +19,7 @@
 #include <cstdint>
 
 #include "core/contract.hpp"
+#include "core/decision_scratch.hpp"
 #include "core/edge_quality.hpp"
 #include "net/overlay.hpp"
 
@@ -32,6 +33,19 @@ struct RoutingContext {
   net::PairId pair = net::kInvalidPair;
   std::uint32_t conn_index = 1;  ///< k, 1-based
   net::NodeId responder = net::kInvalidNode;
+  /// Optional per-replicate cache + memo arena. Null means "compute from
+  /// scratch"; results are bitwise identical either way.
+  DecisionResources* resources = nullptr;
+
+  /// q(s, v) for this decision — through the edge-quality cache when
+  /// resources are attached, straight through the evaluator otherwise.
+  [[nodiscard]] double edge_q(net::NodeId s, net::NodeId v, net::NodeId pred) const {
+    if (resources != nullptr) {
+      return resources->edge_cache.get_or_compute(quality, s, v, responder, pair, pred,
+                                                  conn_index);
+    }
+    return quality.edge_quality(s, v, responder, pair, pred, conn_index);
+  }
 };
 
 /// Participation cost C_p of node i (paper §2.4.1).
@@ -49,10 +63,21 @@ struct RoutingContext {
 [[nodiscard]] double model1_utility(const RoutingContext& ctx, net::NodeId i, net::NodeId pred,
                                     net::NodeId j);
 
+/// Model I with q(i, j) already in hand (callers that need the edge quality
+/// anyway — e.g. for tie-breaking — avoid resolving it twice; the value is
+/// identical to what model1_utility would recompute).
+[[nodiscard]] double model1_utility_with_q(const RoutingContext& ctx, net::NodeId i,
+                                           net::NodeId j, double q_ij);
+
 /// Quality (sum of edge qualities) of the best onward path of at most
 /// `depth` edges starting at node `from` (predecessor `pred`), stopping
 /// early when the responder is reached. Exhaustive search over online
-/// neighbours; cost O(d^depth), fine for d ~ 5 and depth <= 4.
+/// neighbours; cost O(d^depth), fine for d ~ 5 and depth <= 4. While a
+/// DecisionScope is open on ctx.resources, subproblems are memoised per
+/// (from, canonical predecessor, depth) — predecessors with no stored
+/// history at `from` collapse to one canonical key because sigma is
+/// exactly 0 toward every successor — turning the d^depth tree into at
+/// most nodes x depth distinct evaluations per decision.
 [[nodiscard]] double best_onward_quality(const RoutingContext& ctx, net::NodeId from,
                                          net::NodeId pred, std::uint32_t depth);
 
@@ -60,6 +85,13 @@ struct RoutingContext {
 /// the given lookahead horizon (>= 1; 1 degenerates to Model I).
 [[nodiscard]] double model2_utility(const RoutingContext& ctx, net::NodeId i, net::NodeId pred,
                                     net::NodeId j, std::uint32_t lookahead_depth);
+
+/// Model II with q(i, j) already in hand (see model1_utility_with_q; i's own
+/// predecessor only ever entered Model II through q_ij, so it is not a
+/// parameter here).
+[[nodiscard]] double model2_utility_with_q(const RoutingContext& ctx, net::NodeId i,
+                                           net::NodeId j, std::uint32_t lookahead_depth,
+                                           double q_ij);
 
 /// Whether node j would agree to participate as a forwarder under the
 /// contract: the sufficient condition of Proposition 3, P_f > C_p + C_t,

@@ -36,7 +36,9 @@ ScenarioResult ScenarioRunner::run() const {
   net::ProbingEstimator probing(overlay, cfg.probing, root.child("probing"));
   core::HistoryStore history(overlay.size(), cfg.history_capacity);
   core::EdgeQualityEvaluator quality(probing, history, cfg.weights);
-  core::PathBuilder builder(overlay, quality, cfg.path_builder);
+  core::DecisionResources resources;  // one edge cache + memo arena per replicate
+  core::PathBuilder builder(overlay, quality, cfg.path_builder,
+                            cfg.use_decision_cache ? &resources : nullptr);
   core::PayoffLedger ledger(overlay.size());
 
   // --- Bank: every node opens an account with a registered MAC key.

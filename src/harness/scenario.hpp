@@ -66,6 +66,13 @@ struct ScenarioConfig {
   metrics::AnonymityValuation anonymity;  ///< A(.) for the initiator utility
 
   core::PathBuilderConfig path_builder;
+
+  /// Attach the per-replicate decision resources (epoch-invalidated
+  /// edge-quality cache + memoised-lookahead arena) to the path builder.
+  /// Off or on, replicate results are bitwise identical (see
+  /// test_cache_equivalence); the switch exists for that proof and for
+  /// before/after benchmarking.
+  bool use_decision_cache = true;
 };
 
 /// Everything the benches and EXPERIMENTS.md need from one replicate.

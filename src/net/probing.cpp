@@ -10,6 +10,7 @@ ProbingEstimator::ProbingEstimator(Overlay& overlay, const ProbingConfig& cfg,
       cfg_(cfg),
       stream_(stream),
       session_time_(overlay.size()),
+      epoch_(overlay.size(), 0),
       loop_active_(overlay.size(), false) {
   assert(cfg_.period > 0.0);
   overlay_.add_churn_observer(
@@ -32,8 +33,9 @@ void ProbingEstimator::on_churn(NodeId node, bool online) {
 
 void ProbingEstimator::on_neighbor_replaced(NodeId s, NodeId old_neighbor, NodeId /*fresh*/) {
   // Forget the departed neighbour; the fresh one is initialised on first
-  // sighting by probe().
+  // sighting by probe(). D(s) changed, so every alpha_s(.) may have.
   session_time_[s].erase(old_neighbor);
+  ++epoch_[s];
 }
 
 void ProbingEstimator::start_probe_loop(NodeId s) {
@@ -47,6 +49,7 @@ void ProbingEstimator::probe(NodeId s) {
     return;
   }
   ++probes_;
+  ++epoch_[s];  // session times are about to move
   auto& times = session_time_[s];
   for (NodeId u : overlay_.neighbors(s)) {
     if (!overlay_.is_online(u)) continue;

@@ -40,6 +40,13 @@ class ProbingEstimator {
   /// Falls back to uniform 1/|D(s)| before any session time accumulates.
   [[nodiscard]] double availability(NodeId s, NodeId u) const;
 
+  /// Monotonically increasing per-node estimate epoch: bumped whenever
+  /// anything alpha_s(.) depends on changes (a probe of s updating session
+  /// times, or a neighbour replacement in D(s)). Equal epochs guarantee
+  /// identical availability answers for s — the invalidation signal for the
+  /// edge-quality cache (core/edge_quality).
+  [[nodiscard]] std::uint64_t epoch(NodeId s) const { return epoch_.at(s); }
+
   /// Raw observed session time t_s(u) in seconds.
   [[nodiscard]] sim::Time observed_session_time(NodeId s, NodeId u) const;
 
@@ -58,6 +65,7 @@ class ProbingEstimator {
   /// session_time_[s][u] = t_s(u). Entries exist only for current/past
   /// neighbours of s.
   std::vector<std::unordered_map<NodeId, sim::Time>> session_time_;
+  std::vector<std::uint64_t> epoch_;
   std::vector<bool> loop_active_;
   std::uint64_t probes_ = 0;
 };

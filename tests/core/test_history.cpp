@@ -119,3 +119,56 @@ TEST(HistoryStore, AccumulatesAcrossConnections) {
   EXPECT_EQ(store.at(2).count(1, 0, 4), 10u);
   EXPECT_DOUBLE_EQ(store.at(2).selectivity(1, 0, 4, 11), 1.0);
 }
+
+TEST(HistoryProfile, PositionCountSumsOverSuccessors) {
+  HistoryProfile h;
+  EXPECT_EQ(h.position_count(1, 10), 0u);
+  h.record({1, 1, 10, 20});
+  h.record({1, 2, 10, 21});
+  h.record({1, 3, 11, 20});
+  h.record({2, 1, 10, 20});  // different pair: separate denominator
+  EXPECT_EQ(h.position_count(1, 10), 2u);
+  EXPECT_EQ(h.position_count(1, 11), 1u);
+  EXPECT_EQ(h.position_count(2, 10), 1u);
+  EXPECT_EQ(h.position_count(2, 11), 0u);
+}
+
+TEST(HistoryProfile, PositionCountTracksEviction) {
+  HistoryProfile h(2);
+  h.record({1, 1, 10, 20});
+  h.record({1, 2, 10, 21});
+  EXPECT_EQ(h.position_count(1, 10), 2u);
+  h.record({1, 3, 11, 22});  // evicts (10, 20)
+  EXPECT_EQ(h.position_count(1, 10), 1u);
+  h.record({1, 4, 11, 23});  // evicts (10, 21)
+  EXPECT_EQ(h.position_count(1, 10), 0u);
+  EXPECT_EQ(h.position_count(1, 11), 2u);
+  h.clear();
+  EXPECT_EQ(h.position_count(1, 11), 0u);
+}
+
+TEST(HistoryProfile, EpochBumpsOnEveryMutation) {
+  HistoryProfile h(2);
+  const std::uint64_t e0 = h.epoch();
+  h.record({1, 1, 10, 20});
+  const std::uint64_t e1 = h.epoch();
+  EXPECT_GT(e1, e0);
+  h.record({1, 2, 10, 21});
+  const std::uint64_t e2 = h.epoch();
+  EXPECT_GT(e2, e1);
+  h.record({1, 3, 10, 22});  // record + FIFO eviction
+  const std::uint64_t e3 = h.epoch();
+  EXPECT_GT(e3, e2);
+  h.clear();
+  EXPECT_GT(h.epoch(), e3);
+}
+
+TEST(HistoryProfile, EpochStableAcrossReads) {
+  HistoryProfile h;
+  h.record({1, 1, 10, 20});
+  const std::uint64_t e = h.epoch();
+  (void)h.count(1, 10, 20);
+  (void)h.position_count(1, 10);
+  (void)h.selectivity(1, 10, 20, 5);
+  EXPECT_EQ(h.epoch(), e);
+}

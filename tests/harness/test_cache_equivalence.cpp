@@ -1,0 +1,105 @@
+// The tentpole equivalence proof: a full replicate with the decision-stack
+// caches force-disabled must be bitwise identical to one with them enabled.
+// If any cache layer (edge-quality cache, memoised lookahead, lazy SPNE
+// solver) ever returned a value that differed in even the last ulp, the
+// divergence would compound through routing choices, history, payments and
+// payoffs — so comparing raw sample vectors with operator== is the
+// strictest possible end-to-end check.
+#include "harness/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace p2panon;
+using namespace p2panon::harness;
+
+namespace {
+
+void expect_bitwise_equal(const ScenarioResult& off, const ScenarioResult& on) {
+  // Raw per-sample vectors: exact double equality, element by element.
+  EXPECT_EQ(off.good_payoff_samples, on.good_payoff_samples);
+  EXPECT_EQ(off.member_payoff_samples, on.member_payoff_samples);
+
+  // Accumulator means over pair-level metrics.
+  EXPECT_EQ(off.forwarder_set_size.mean(), on.forwarder_set_size.mean());
+  EXPECT_EQ(off.avg_path_length.mean(), on.avg_path_length.mean());
+  EXPECT_EQ(off.path_quality.mean(), on.path_quality.mean());
+  EXPECT_EQ(off.initiator_utility.mean(), on.initiator_utility.mean());
+  EXPECT_EQ(off.initiator_spend.mean(), on.initiator_spend.mean());
+  EXPECT_EQ(off.connection_latency.mean(), on.connection_latency.mean());
+  EXPECT_EQ(off.routing_efficiency, on.routing_efficiency);
+
+  // System-level counters and the payment invariant.
+  EXPECT_EQ(off.total_paid_credits, on.total_paid_credits);
+  EXPECT_EQ(off.reformations, on.reformations);
+  EXPECT_EQ(off.connections_completed, on.connections_completed);
+  EXPECT_EQ(off.churn_events, on.churn_events);
+  EXPECT_EQ(off.probes, on.probes);
+  EXPECT_EQ(off.payment_conserved, on.payment_conserved);
+  EXPECT_TRUE(on.payment_conserved);
+}
+
+ScenarioResult run_with_cache(ScenarioConfig cfg, bool enabled) {
+  cfg.use_decision_cache = enabled;
+  return ScenarioRunner(cfg).run();
+}
+
+}  // namespace
+
+TEST(CacheEquivalence, PaperDefaultModel2Depth3) {
+  // The acceptance configuration: paper defaults, Utility Model II with the
+  // full depth-3 lookahead (the hot path the caches accelerate).
+  ScenarioConfig cfg = paper_default_config(21);
+  cfg.good_strategy = core::StrategyKind::kUtilityModelII;
+  cfg.lookahead_depth = 3;
+  expect_bitwise_equal(run_with_cache(cfg, false), run_with_cache(cfg, true));
+}
+
+TEST(CacheEquivalence, AdversarialChurnHeavy) {
+  // Hostile conditions stress every invalidation path: 40% adversaries
+  // dropping payloads (reformations re-enter routing mid-set), short
+  // sessions (rapid churn: neighbour replacements bump probing epochs,
+  // forced-online events), and bounded history (FIFO evictions bump
+  // history epochs while entries leave mid-replicate).
+  ScenarioConfig cfg = paper_default_config(22);
+  cfg.good_strategy = core::StrategyKind::kUtilityModelII;
+  cfg.lookahead_depth = 3;
+  cfg.overlay.malicious_fraction = 0.4;
+  cfg.adversary.drop_probability = 0.3;
+  cfg.overlay.churn.session_median = sim::minutes(10.0);
+  cfg.overlay.churn.session_min = sim::minutes(2.0);
+  cfg.overlay.churn.session_max = sim::hours(2.0);
+  cfg.history_capacity = 8;
+  cfg.pair_count = 40;  // keep the hostile run fast; coverage, not scale
+  expect_bitwise_equal(run_with_cache(cfg, false), run_with_cache(cfg, true));
+}
+
+TEST(CacheEquivalence, SpneStrategy) {
+  // The lazy memoised backward induction must reproduce the eager solver
+  // through a whole replicate, not just per-decision.
+  ScenarioConfig cfg = paper_default_config(23);
+  cfg.good_strategy = core::StrategyKind::kSpne;
+  cfg.lookahead_depth = 3;
+  cfg.overlay.node_count = 20;
+  cfg.overlay.degree = 4;
+  cfg.pair_count = 12;
+  cfg.connections_per_pair = 8;
+  cfg.warmup = sim::minutes(30.0);
+  cfg.pair_start_window = sim::minutes(30.0);
+  expect_bitwise_equal(run_with_cache(cfg, false), run_with_cache(cfg, true));
+}
+
+TEST(CacheEquivalence, Model1AndRandomUnaffected) {
+  // Strategies that only touch the edge cache (no lookahead memo) must be
+  // equally invariant.
+  for (const auto kind : {core::StrategyKind::kUtilityModelI, core::StrategyKind::kRandom}) {
+    ScenarioConfig cfg = paper_default_config(24);
+    cfg.good_strategy = kind;
+    cfg.overlay.node_count = 20;
+    cfg.overlay.degree = 4;
+    cfg.pair_count = 10;
+    cfg.connections_per_pair = 6;
+    cfg.warmup = sim::minutes(30.0);
+    cfg.pair_start_window = sim::minutes(30.0);
+    expect_bitwise_equal(run_with_cache(cfg, false), run_with_cache(cfg, true));
+  }
+}

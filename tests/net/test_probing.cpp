@@ -143,6 +143,26 @@ TEST(Probing, OfflineNodeStopsProbing) {
   EXPECT_EQ(probing.probes_performed(), probes_at_2h);
 }
 
+TEST(Probing, EpochAdvancesWithProbesAndIsStableAcrossReads) {
+  sim::Simulator s;
+  Overlay o(stable_config(), s, sim::rng::Stream(8));
+  ProbingEstimator probing(o, ProbingConfig{sim::minutes(5.0)}, sim::rng::Stream(8).child("p"));
+  std::vector<std::uint64_t> before;
+  for (NodeId id = 0; id < o.size(); ++id) before.push_back(probing.epoch(id));
+  o.start();
+  s.run_until(sim::hours(4.0));
+  // Every node probed at least once in 4 hours, so every epoch moved.
+  bool all_advanced = true;
+  for (NodeId id = 0; id < o.size(); ++id) {
+    if (probing.epoch(id) <= before[id]) all_advanced = false;
+  }
+  EXPECT_TRUE(all_advanced);
+  // Reads never move the epoch: equal epochs must mean equal answers.
+  const std::uint64_t e = probing.epoch(0);
+  for (NodeId nb : o.neighbors(0)) (void)probing.availability(0, nb);
+  EXPECT_EQ(probing.epoch(0), e);
+}
+
 TEST(Probing, DeterministicAcrossIdenticalRuns) {
   auto run = [] {
     sim::Simulator s;
