@@ -4,6 +4,7 @@
 
 namespace p2panon::core {
 
+// lint-exempt(epoch): private helper reachable only from record(), which bumps
 void HistoryProfile::remove_from_index(const HistoryEntry& entry) {
   std::uint32_t* c = counts_.find(edge_key(entry.pair, entry.predecessor, entry.successor));
   assert(c != nullptr && *c > 0);

@@ -79,9 +79,9 @@ ScenarioResult ScenarioRunner::run() const {
     contract.p_forward = cfg.p_forward;
     contract.ttl_hops = cfg.ttl_hops;
     contract.cid_rotation = cfg.cid_rotation;
-    plans.push_back(PairPlan{
+    plans.emplace_back(
         std::make_unique<core::ConnectionSetSession>(pid, initiator, responder, contract),
-        root.child("pair-run", pid)});
+        root.child("pair-run", pid));
   }
 
   // --- Schedule: overlay churn, then the recurring connections.

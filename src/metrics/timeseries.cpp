@@ -7,7 +7,7 @@ namespace p2panon::metrics {
 
 void TimeSeries::record(double t, double value) {
   assert((points_.empty() || t >= points_.back().t) && "timestamps must be non-decreasing");
-  points_.push_back(Point{t, value});
+  points_.emplace_back(t, value);
 }
 
 double TimeSeries::min_value() const {
@@ -47,7 +47,7 @@ std::vector<TimeSeries::Point> TimeSeries::resample(double t0, double t1,
   out.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     const double t = t0 + (t1 - t0) * static_cast<double>(i) / static_cast<double>(count - 1);
-    out.push_back(Point{t, at(t)});
+    out.emplace_back(t, at(t));
   }
   return out;
 }

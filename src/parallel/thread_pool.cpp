@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace p2panon::parallel {
 
@@ -37,6 +38,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lk(mu_);
   cv_idle_.wait(lk, [this] { return queue_.empty() && in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lk.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -53,7 +59,14 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    task();
+    try {
+      task();
+    } catch (...) {
+      // A throwing task must not escape the worker (std::terminate); park
+      // the first exception for wait_idle() to rethrow on the caller.
+      std::lock_guard lk(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
     {
       std::lock_guard lk(mu_);
       --in_flight_;

@@ -10,6 +10,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -35,6 +36,13 @@ class ThreadPool {
   void submit(std::function<void()> task);
 
   /// Block until every task submitted so far has finished executing.
+  ///
+  /// Exception safety: a task that throws does NOT take the worker thread
+  /// down (which would std::terminate the process). The first exception is
+  /// captured and rethrown here once the pool drains; later exceptions from
+  /// the same batch are dropped, matching parallel_for's first-error-wins
+  /// contract. The captured slot is cleared on rethrow, so the pool remains
+  /// usable for subsequent batches.
   void wait_idle();
 
  private:
@@ -47,6 +55,7 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
+  std::exception_ptr first_error_;  // first task exception, guarded by mu_
 };
 
 }  // namespace p2panon::parallel

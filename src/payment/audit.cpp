@@ -12,7 +12,7 @@ Amount ReplayState::total() const noexcept {
 }
 
 void AuditLog::record(TxKind kind, AccountId account, EscrowId escrow, Amount amount) {
-  log_.push_back(Transaction{log_.size(), kind, account, escrow, amount});
+  log_.emplace_back(log_.size(), kind, account, escrow, amount);
 }
 
 bool AuditLog::replay(ReplayState& out) const {

@@ -10,7 +10,7 @@ AccountId Bank::open_account(net::NodeId owner, Amount initial_balance, crypto::
   assert(initial_balance >= 0);
   assert(by_owner_.find(owner) == by_owner_.end() && "account already open for node");
   const auto id = static_cast<AccountId>(accounts_.size());
-  accounts_.push_back(Account{owner, initial_balance, mac_key});
+  accounts_.emplace_back(owner, initial_balance, mac_key);
   by_owner_.emplace(owner, id);
   journal(TxKind::kOpenAccount, id, 0, initial_balance);
   return id;
@@ -19,7 +19,7 @@ AccountId Bank::open_account(net::NodeId owner, Amount initial_balance, crypto::
 AccountId Bank::open_pseudonymous_account(Amount initial_balance) {
   assert(initial_balance >= 0);
   const auto id = static_cast<AccountId>(accounts_.size());
-  accounts_.push_back(Account{net::kInvalidNode, initial_balance, 0});
+  accounts_.emplace_back(net::kInvalidNode, initial_balance, 0);
   journal(TxKind::kOpenAccount, id, 0, initial_balance);
   return id;
 }

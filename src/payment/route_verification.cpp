@@ -20,7 +20,7 @@ void RouteVerificationChain::extend(crypto::u64 forwarder_key, net::NodeId forwa
                        static_cast<crypto::u64>(conn_index_),
                        static_cast<crypto::u64>(predecessor),
                        static_cast<crypto::u64>(successor)});
-  links_.push_back(ChainLink{forwarder, predecessor, successor, head_});
+  links_.emplace_back(forwarder, predecessor, successor, head_);
 }
 
 std::vector<net::NodeId> RouteVerificationChain::claimed_forwarders() const {

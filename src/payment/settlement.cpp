@@ -7,7 +7,8 @@
 namespace p2panon::payment {
 
 SettlementId SettlementEngine::open(net::PairId pair, EscrowId escrow, SettlementTerms terms,
-                                    std::vector<PathRecord> records, AccountId refund_account) {
+                                    const std::vector<PathRecord>& records,
+                                    AccountId refund_account) {
   assert(terms.forwarding_benefit >= 0 && terms.routing_benefit >= 0);
   Settlement s;
   s.pair = pair;

@@ -83,7 +83,7 @@ class SettlementEngine {
   /// records are the initiator's validated paths; `refund_account` receives
   /// whatever the escrow does not pay out.
   SettlementId open(net::PairId pair, EscrowId escrow, SettlementTerms terms,
-                    std::vector<PathRecord> records, AccountId refund_account);
+                    const std::vector<PathRecord>& records, AccountId refund_account);
 
   /// Submit one receipt as a claim by `claimant`.
   ClaimResult submit_claim(SettlementId id, AccountId claimant, const ForwardReceipt& receipt);

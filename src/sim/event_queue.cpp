@@ -8,7 +8,7 @@ namespace p2panon::sim {
 EventId EventQueue::schedule(Time at, EventFn fn) {
   assert(fn && "scheduling an empty event");
   const EventId id = next_id_++;
-  heap_.push_back(Entry{at, next_seq_++, id, std::move(fn)});
+  heap_.emplace_back(at, next_seq_++, id, std::move(fn));
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++live_count_;
   return id;
@@ -38,10 +38,12 @@ bool EventQueue::cancel(EventId id) {
 
 void EventQueue::skip_cancelled() const {
   // Note: physically removing cancelled heads; logically const (live set
-  // unchanged). cancelled_ entries are erased on removal in pop(); here we
-  // only peek, so we pop cancelled heads into oblivion via const_cast-free
-  // mutable heap_.
+  // unchanged; heap_ and cancelled_ are mutable bookkeeping). Erasing the id
+  // from cancelled_ here matters beyond memory: ids are never reused, so a
+  // stale entry can't misfire, but the set would otherwise grow with every
+  // cancellation for the lifetime of the run.
   while (!heap_.empty() && cancelled_.count(heap_.front().id) != 0) {
+    cancelled_.erase(heap_.front().id);
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     heap_.pop_back();
   }

@@ -72,7 +72,7 @@ class EventQueue {
   void skip_cancelled() const;
 
   mutable std::vector<Entry> heap_;
-  std::unordered_set<EventId> cancelled_;
+  mutable std::unordered_set<EventId> cancelled_;
   std::size_t live_count_ = 0;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;  // 0 is kInvalidEventId

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "parallel/parallel_for.hpp"
@@ -79,6 +80,51 @@ TEST(ParallelFor, PropagatesException) {
                      if (i == 37) throw std::runtime_error("boom");
                    }),
       std::runtime_error);
+}
+
+TEST(ThreadPool, ThrowingTaskRethrownFromWaitIdle) {
+  // A raw submit()ed task that throws must not escape the worker thread
+  // (that would std::terminate); wait_idle() surfaces it on the caller.
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.submit([&] { ++ran; });
+  pool.submit([] { throw std::runtime_error("task boom"); });
+  pool.submit([&] { ++ran; });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 2);  // non-throwing tasks still completed
+}
+
+TEST(ThreadPool, PoolUsableAfterTaskException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The captured slot is cleared on rethrow: the next batch is clean.
+  std::atomic<int> count{0};
+  for (int i = 0; i < 20; ++i) pool.submit([&] { ++count; });
+  EXPECT_NO_THROW(pool.wait_idle());
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPool, FirstExceptionWins) {
+  ThreadPool pool(4);
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([i] { throw std::runtime_error("boom " + std::to_string(i)); });
+  }
+  // Exactly one rethrow: a second wait_idle() must come back clean.
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_NO_THROW(pool.wait_idle());
+}
+
+TEST(ThreadPool, DestructorSwallowsUnobservedTaskException) {
+  // A pool destroyed without wait_idle() after a task threw must still join
+  // cleanly (the error is unobservable at that point, not fatal).
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("unobserved"); });
+    for (int i = 0; i < 10; ++i) pool.submit([&] { ++count; });
+  }
+  EXPECT_EQ(count.load(), 10);
 }
 
 TEST(ParallelFor, SingleIteration) {

@@ -1,0 +1,317 @@
+#!/usr/bin/env python3
+"""Project-specific invariant linter (stdlib only — runs anywhere Python 3.8+ does).
+
+Three rule families that clang-tidy cannot express, keyed to contracts this
+codebase actually depends on:
+
+R1 determinism
+    ``src/core``, ``src/sim`` and ``src/harness`` must be bitwise-deterministic
+    in the scenario seed: every figure in EXPERIMENTS.md assumes that replaying
+    a seed replays the run. Any ambient-entropy source — ``rand()``,
+    ``std::random_device``, wall-clock reads — silently breaks that, usually
+    without failing a test. Such calls are banned in those trees; randomness
+    must come from ``sim::rng::Stream`` and time from ``Simulator::now()``.
+
+R2 epoch contract
+    PR 1 made the decision stack cache edge qualities and memoised lookahead
+    values, invalidated *only* by comparing monotone epochs published by
+    ``core::HistoryProfile`` and ``net::ProbingEstimator``. A mutating method
+    that forgets to bump the epoch produces stale-cache reads that corrupt
+    results while every unit test of the mutated class still passes. The rule:
+    any non-const member function of a guarded class whose body touches
+    guarded state must also touch the epoch counter (or carry an explicit
+    ``// lint-exempt(epoch): <reason>`` on the line above its definition).
+
+R3 clean tree
+    No ``build*`` trees, ``compile_commands.json``, or CTest bookkeeping may
+    ever be tracked by git; stale tracked artifacts shadow fresh builds and
+    poison review diffs.
+
+Exit status: 0 when clean, 1 with one ``file:line: [rule] message`` per finding.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+from typing import Iterator, List, Optional, Tuple
+
+# --------------------------------------------------------------------------
+# R1 configuration
+# --------------------------------------------------------------------------
+
+DETERMINISM_DIRS = ("src/core", "src/sim", "src/harness")
+
+# Patterns are matched against comment- and string-stripped source, so prose
+# like "initialised to rand(0, T)" in a doc comment never trips them.
+DETERMINISM_BANNED: List[Tuple[re.Pattern, str]] = [
+    (re.compile(r"\bstd\s*::\s*random_device\b"), "std::random_device (ambient entropy)"),
+    (re.compile(r"(?<!\w)(?<!::)random_device\b"), "random_device (ambient entropy)"),
+    (re.compile(r"\bstd\s*::\s*rand\b"), "std::rand"),
+    (re.compile(r"(?<![\w:])s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"\bsystem_clock\b"), "wall clock (system_clock)"),
+    (re.compile(r"\bsteady_clock\b"), "wall clock (steady_clock)"),
+    (re.compile(r"\bhigh_resolution_clock\b"), "wall clock (high_resolution_clock)"),
+    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday()"),
+    (re.compile(r"\bclock_gettime\s*\("), "clock_gettime()"),
+    (re.compile(r"(?<![\w:])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"), "time()"),
+    (re.compile(r"(?<![\w:.>])clock\s*\(\s*\)"), "clock()"),
+]
+
+# An inline waiver must name the rule and give a reason; a bare marker is
+# rejected so suppressions stay auditable.
+ALLOW_RE = re.compile(r"lint-allow\(determinism\):\s*\S")
+
+# --------------------------------------------------------------------------
+# R2 configuration — the guarded classes and their cache-contract state.
+# --------------------------------------------------------------------------
+
+EPOCH_GUARDS = [
+    {
+        "cls": "HistoryProfile",
+        "files": ("src/core/history.hpp", "src/core/history.cpp"),
+        "state": ("entries_", "counts_"),
+        "epoch": re.compile(r"(\+\+\s*epoch_|epoch_\s*(\[[^]]*\]\s*)?(\+\+|\+=|=))"),
+    },
+    {
+        "cls": "ProbingEstimator",
+        "files": ("src/net/probing.hpp", "src/net/probing.cpp"),
+        "state": ("session_time_",),
+        "epoch": re.compile(r"(\+\+\s*epoch_|epoch_\s*(\[[^]]*\]\s*)?(\+\+|\+=|=))"),
+    },
+]
+
+EXEMPT_RE = re.compile(r"lint-exempt\(epoch\):\s*\S")
+
+# --------------------------------------------------------------------------
+# Source mangling helpers
+# --------------------------------------------------------------------------
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Replace comments and string/char literals with spaces, preserving
+    line structure so reported line numbers stay valid."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(" " * (j - i))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def iter_source_files(repo: pathlib.Path, subdirs) -> Iterator[pathlib.Path]:
+    for sub in subdirs:
+        base = repo / sub
+        if not base.is_dir():
+            continue
+        for ext in ("*.hpp", "*.h", "*.cpp", "*.cc"):
+            yield from sorted(base.rglob(ext))
+
+
+def match_brace_block(text: str, open_idx: int) -> int:
+    """Index one past the matching ``}`` for the ``{`` at ``open_idx``."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+# --------------------------------------------------------------------------
+# R1 — determinism
+# --------------------------------------------------------------------------
+
+
+def check_determinism(repo: pathlib.Path) -> List[str]:
+    findings = []
+    for path in iter_source_files(repo, DETERMINISM_DIRS):
+        raw = path.read_text(encoding="utf-8", errors="replace")
+        raw_lines = raw.splitlines()
+        stripped = strip_comments_and_strings(raw)
+        for lineno, line in enumerate(stripped.splitlines(), start=1):
+            for pat, what in DETERMINISM_BANNED:
+                if not pat.search(line):
+                    continue
+                original = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
+                if ALLOW_RE.search(original):
+                    continue
+                rel = path.relative_to(repo)
+                findings.append(
+                    f"{rel}:{lineno}: [determinism] {what} is banned in "
+                    f"{'/'.join(rel.parts[:2])}; draw from sim::rng::Stream / "
+                    f"Simulator::now() instead"
+                )
+    return findings
+
+
+# --------------------------------------------------------------------------
+# R2 — epoch contract
+# --------------------------------------------------------------------------
+
+# Qualified out-of-class definition: ``ret Class::name(...) [const] ... {``.
+def iter_method_definitions(stripped: str, cls: str) -> Iterator[Tuple[str, int, int, bool]]:
+    """Yield (method_name, body_start, body_end, is_const) for every
+    out-of-class member definition of ``cls`` in ``stripped`` text."""
+    for m in re.finditer(rf"\b{cls}\s*::\s*(~?\w+)\s*\(", stripped):
+        name = m.group(1)
+        # Find the parameter list's closing paren.
+        close = match_paren(stripped, m.end() - 1)
+        if close is None:
+            continue
+        # Scan the trailer up to '{' or ';' (declaration / deleted).
+        brace = None
+        trailer_end = None
+        for i in range(close, len(stripped)):
+            if stripped[i] == "{":
+                brace = i
+                trailer_end = i
+                break
+            if stripped[i] == ";":
+                break
+        if brace is None:
+            continue
+        trailer = stripped[close:trailer_end]
+        is_const = re.search(r"\bconst\b", trailer) is not None
+        end = match_brace_block(stripped, brace)
+        # Include the constructor init list (between ) and {) in the body
+        # span: state initialisation there is pre-publication and exempt,
+        # but we skip constructors entirely anyway.
+        yield name, brace, end, is_const
+
+
+def match_paren(text: str, open_idx: int) -> Optional[int]:
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return None
+
+
+def check_epoch_contract(repo: pathlib.Path) -> List[str]:
+    findings = []
+    for guard in EPOCH_GUARDS:
+        cls = guard["cls"]
+        state_res = [re.compile(rf"\b{re.escape(f)}\b") for f in guard["state"]]
+        for rel in guard["files"]:
+            path = repo / rel
+            if not path.is_file():
+                findings.append(f"{rel}:1: [epoch] guarded file missing — update tools/lint "
+                                f"if {cls} moved")
+                continue
+            raw = path.read_text(encoding="utf-8", errors="replace")
+            stripped = strip_comments_and_strings(raw)
+            for name, start, end, is_const in iter_method_definitions(stripped, cls):
+                if is_const or name == cls or name == f"~{cls}":
+                    continue
+                body = stripped[start:end]
+                touches_state = any(r.search(body) for r in state_res)
+                if not touches_state:
+                    continue
+                if guard["epoch"].search(body):
+                    continue
+                def_line = stripped.count("\n", 0, start) + 1
+                # Exemption comment on the line(s) just above the definition
+                # header (search a few lines back in the ORIGINAL text).
+                raw_lines = raw.splitlines()
+                header_line = stripped.count("\n", 0, raw.find(f"{cls}::{name}"))
+                context = "\n".join(raw_lines[max(0, header_line - 2):header_line + 1])
+                if EXEMPT_RE.search(context):
+                    continue
+                findings.append(
+                    f"{rel}:{def_line}: [epoch] {cls}::{name} mutates guarded state "
+                    f"({', '.join(guard['state'])}) without bumping the monotone epoch; "
+                    f"stale-epoch caches (core/edge_quality, core/decision_scratch) would "
+                    f"serve corrupt values. Bump the epoch or annotate the definition "
+                    f"with // lint-exempt(epoch): <reason>"
+                )
+    return findings
+
+
+# --------------------------------------------------------------------------
+# R3 — no tracked build artifacts
+# --------------------------------------------------------------------------
+
+TRACKED_BANNED = re.compile(
+    r"^(build[^/]*/|.*/(CMakeCache\.txt|CTestTestfile\.cmake|compile_commands\.json)$"
+    r"|Testing/|.*\.(o|obj|gcda|gcno|profraw)$)"
+)
+
+
+def check_tracked_artifacts(repo: pathlib.Path) -> List[str]:
+    try:
+        out = subprocess.run(
+            ["git", "-C", str(repo), "ls-files"],
+            capture_output=True, text=True, check=True, timeout=60,
+        ).stdout
+    except (OSError, subprocess.SubprocessError):
+        # Not a git checkout (e.g. a release tarball): nothing to verify.
+        return []
+    findings = []
+    for f in out.splitlines():
+        if TRACKED_BANNED.match(f):
+            findings.append(
+                f"{f}:1: [tracked-artifact] build artifact is tracked by git; "
+                f"`git rm --cached` it and rely on .gitignore's build*/ patterns"
+            )
+    return findings
+
+
+# --------------------------------------------------------------------------
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--repo", type=pathlib.Path,
+                    default=pathlib.Path(__file__).resolve().parents[2],
+                    help="repository root (default: two levels above this script)")
+    args = ap.parse_args()
+    repo = args.repo.resolve()
+
+    findings = []
+    findings += check_determinism(repo)
+    findings += check_epoch_contract(repo)
+    findings += check_tracked_artifacts(repo)
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"\ncheck_invariants: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("check_invariants: clean (determinism, epoch contract, tracked artifacts)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Run the project's curated .clang-tidy check set over src/ (stdlib only).
+
+Thin parallel driver around ``clang-tidy -p <build-dir>``: it reads
+``compile_commands.json``, keeps the first-party ``src/`` translation units
+(third-party and generated TUs are not ours to fix), fans out one clang-tidy
+process per CPU, and fails if any diagnostic is emitted — the project
+.clang-tidy sets ``WarningsAsErrors: '*'`` so the tidy gate is binary.
+
+Wired up as the ``lint.clang-tidy`` ctest test whenever a clang-tidy binary is
+found at configure time; containers without clang-tidy simply don't register
+the test (the invariant linter still runs). This script is also usable
+directly:
+
+    tools/lint/run_clang_tidy.py --build-dir build [--clang-tidy clang-tidy-18]
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import os
+import pathlib
+import re
+import subprocess
+import sys
+
+# clang-tidy's own chatter ("N warnings generated", suppression notes) is not
+# a diagnostic; a real finding always carries "warning:" or "error:".
+DIAG_RE = re.compile(r"(warning|error):")
+NOISE_RE = re.compile(
+    r"^\d+ warnings? generated|^Suppressed \d+ warnings|"
+    r"^Use -header-filter|^\s*$"
+)
+
+
+def tidy_one(clang_tidy: str, build_dir: pathlib.Path, tu: str) -> tuple[str, int, str]:
+    proc = subprocess.run(
+        [clang_tidy, "-p", str(build_dir), "--quiet", tu],
+        capture_output=True, text=True, timeout=600,
+    )
+    lines = [
+        ln for ln in (proc.stdout + proc.stderr).splitlines()
+        if DIAG_RE.search(ln) or not NOISE_RE.match(ln)
+    ]
+    has_diag = any(DIAG_RE.search(ln) for ln in lines)
+    return tu, (1 if has_diag or proc.returncode != 0 else 0), "\n".join(lines)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--clang-tidy", default="clang-tidy")
+    ap.add_argument("--build-dir", type=pathlib.Path, required=True,
+                    help="build tree containing compile_commands.json")
+    ap.add_argument("--repo", type=pathlib.Path,
+                    default=pathlib.Path(__file__).resolve().parents[2])
+    ap.add_argument("--jobs", type=int, default=os.cpu_count() or 1)
+    args = ap.parse_args()
+
+    ccdb = args.build_dir / "compile_commands.json"
+    if not ccdb.is_file():
+        print(f"run_clang_tidy: {ccdb} not found — configure with "
+              f"CMAKE_EXPORT_COMPILE_COMMANDS=ON first", file=sys.stderr)
+        return 2
+
+    src_root = (args.repo / "src").resolve()
+    tus = sorted({
+        str(pathlib.Path(entry["file"]).resolve())
+        for entry in json.loads(ccdb.read_text())
+        if pathlib.Path(entry["file"]).resolve().is_relative_to(src_root)
+    })
+    if not tus:
+        print("run_clang_tidy: no src/ translation units in compile database",
+              file=sys.stderr)
+        return 2
+
+    failed = 0
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for tu, rc, output in pool.map(
+                lambda f: tidy_one(args.clang_tidy, args.build_dir, f), tus):
+            if rc:
+                failed += 1
+                rel = os.path.relpath(tu, args.repo)
+                print(f"--- {rel}\n{output}")
+
+    if failed:
+        print(f"run_clang_tidy: diagnostics in {failed}/{len(tus)} TU(s)",
+              file=sys.stderr)
+        return 1
+    print(f"run_clang_tidy: clean ({len(tus)} src/ TUs)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
