@@ -1,7 +1,12 @@
 #include "core/async_path.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <utility>
+
+#include "core/suspicion.hpp"
+#include "fault/fault.hpp"
 
 namespace p2panon::core {
 
@@ -17,12 +22,23 @@ struct AsyncConnectionRunner::Pending {
 
   sim::Time started = 0.0;
   std::uint32_t attempts = 0;
+  std::uint32_t ack_timeouts = 0;
   bool finished = false;
+  /// True while an attempt is in flight; cleared by the *first* failure
+  /// signal (NACK, ack timeout, deadline), making them race-free: whichever
+  /// fires first schedules the retry, the rest become stale no-ops.
+  bool attempt_active = false;
 
   // Per-attempt state.
   BuiltPath partial;
+  std::vector<sim::Time> relay_times;
   sim::rng::Stream coin_stream{0};
   sim::rng::Stream pick_stream{0};
+  sim::rng::Stream backoff_stream{0};
+  /// Identity of the newest leg; stale acks/timeouts compare against it.
+  std::uint64_t current_tid = 0;
+  sim::EventId ack_timeout_event = sim::kInvalidEventId;
+  sim::EventId deadline_event = sim::kInvalidEventId;
 };
 
 void AsyncConnectionRunner::establish(net::PairId pair, std::uint32_t conn_index,
@@ -40,6 +56,8 @@ void AsyncConnectionRunner::establish(net::PairId pair, std::uint32_t conn_index
   p->contract = contract;
   p->strategies = &strategies;
   p->stream = stream;
+  p->backoff_stream =
+      stream.child("backoff", (static_cast<std::uint64_t>(pair) << 20) | conn_index);
   p->on_done = std::move(on_done);
   p->started = sim_.now();
   start_attempt(std::move(p));
@@ -53,34 +71,36 @@ void AsyncConnectionRunner::start_attempt(std::shared_ptr<Pending> p) {
     result.established = false;
     result.attempts = p->attempts;
     result.setup_time = sim_.now() - p->started;
+    result.ack_timeouts = p->ack_timeouts;
     p->on_done(result);
     return;
   }
   ++p->attempts;
+  p->attempt_active = true;
   p->partial = BuiltPath{};
   p->partial.nodes.push_back(p->initiator);
+  p->relay_times.clear();
+  p->relay_times.push_back(sim_.now());
   p->coin_stream = p->stream.child("termination", (static_cast<std::uint64_t>(p->conn_index)
                                                    << 16) |
                                                       p->attempts);
   p->pick_stream = p->stream.child("picks", (static_cast<std::uint64_t>(p->conn_index) << 16) |
                                                 p->attempts);
-  hop_arrived(std::move(p), /*holder=*/net::kInvalidNode, net::kInvalidNode, 0);
+  if (cfg_.attempt_deadline > 0.0) {
+    const std::uint32_t attempt = p->attempts;
+    p->deadline_event = sim_.schedule_in(cfg_.attempt_deadline, [this, p, attempt] {
+      if (p->finished || !p->attempt_active || attempt != p->attempts) return;
+      fail_attempt(p);
+    });
+  }
+  arrive_setup(std::move(p), net::kInvalidNode, net::kInvalidNode, 0);
 }
 
-void AsyncConnectionRunner::hop_arrived(std::shared_ptr<Pending> p, net::NodeId holder,
-                                        net::NodeId pred, std::uint32_t forwarders) {
-  if (p->finished) return;
+void AsyncConnectionRunner::arrive_setup(std::shared_ptr<Pending> p, net::NodeId holder,
+                                         net::NodeId pred, std::uint32_t forwarders) {
+  if (p->finished || !p->attempt_active) return;
   const bool first_hop = holder == net::kInvalidNode;
-  if (first_hop) {
-    holder = p->initiator;
-  } else {
-    // The payload just reached `holder`; if it left while the message was in
-    // flight, the attempt is dead.
-    if (!overlay_.is_online(holder)) {
-      fail_attempt(std::move(p));
-      return;
-    }
-  }
+  if (first_hop) holder = p->initiator;
 
   RoutingContext ctx{overlay_, builder_.quality_evaluator(), p->contract, p->pair,
                      p->conn_index, p->responder, builder_.resources()};
@@ -91,57 +111,139 @@ void AsyncConnectionRunner::hop_arrived(std::shared_ptr<Pending> p, net::NodeId 
   p->partial.edge_qualities.push_back(hop.edge_quality);
   p->partial.nodes.push_back(hop.next);
 
-  const sim::Time flight = overlay_.links().transfer_time(holder, hop.next);
   if (hop.delivered) {
-    // Payload reaches the responder after `flight`; the confirmation then
-    // retraces the path in reverse.
+    // Payload reaches the responder; the confirmation then retraces the
+    // path in reverse.
     const std::size_t responder_index = p->partial.nodes.size() - 1;
-    sim_.schedule_in(flight, [this, p = std::move(p), responder_index]() mutable {
-      confirm_step(std::move(p), responder_index);
+    send_leg(p, holder, hop.next, [this, p, responder_index] {
+      p->relay_times.push_back(sim_.now());
+      arrive_confirm(p, responder_index);
     });
     return;
   }
   const auto next_forwarders = forwarders + 1;
-  sim_.schedule_in(flight, [this, p = std::move(p), holder, next = hop.next,
-                            next_forwarders]() mutable {
-    hop_arrived(std::move(p), next, holder, next_forwarders);
+  const net::NodeId next = hop.next;
+  send_leg(p, holder, next, [this, p, holder, next, next_forwarders] {
+    p->relay_times.push_back(sim_.now());
+    arrive_setup(p, next, holder, next_forwarders);
   });
 }
 
-void AsyncConnectionRunner::confirm_step(std::shared_ptr<Pending> p,
-                                         std::size_t reverse_index) {
-  if (!p || p->finished) return;
+void AsyncConnectionRunner::arrive_confirm(std::shared_ptr<Pending> p,
+                                           std::size_t reverse_index) {
+  if (p->finished || !p->attempt_active) return;
   // The confirmation currently sits at nodes[reverse_index]; index 0 is the
   // initiator — arrival there completes the connection.
   if (reverse_index == 0) {
     p->finished = true;
+    p->attempt_active = false;
+    cancel_timers(*p);
+    if (suspicion_ != nullptr) {
+      // A confirmed end-to-end path vouches for every intermediate hop.
+      for (std::size_t i = 1; i + 1 < p->partial.nodes.size(); ++i) {
+        suspicion_->record_success(p->partial.nodes[i]);
+      }
+    }
     AsyncResult result;
     result.established = true;
     result.path = p->partial;
     result.attempts = p->attempts;
     result.setup_time = sim_.now() - p->started;
+    result.ack_timeouts = p->ack_timeouts;
+    result.relay_times = p->relay_times;
     p->on_done(result);
     return;
   }
   const net::NodeId at = p->partial.nodes[reverse_index];
-  // Endpoints are active by assumption; intermediate forwarders must still
-  // be online to relay the confirmation.
-  const bool intermediate = reverse_index + 1 < p->partial.nodes.size();
-  if (intermediate && !overlay_.is_online(at)) {
-    fail_attempt(std::move(p));
-    return;
-  }
   const net::NodeId towards = p->partial.nodes[reverse_index - 1];
-  const sim::Time flight = overlay_.links().transfer_time(at, towards);
-  sim_.schedule_in(flight, [this, p = std::move(p), reverse_index]() mutable {
-    confirm_step(std::move(p), reverse_index - 1);
+  send_leg(p, at, towards, [this, p, reverse_index] {
+    arrive_confirm(p, reverse_index - 1);
+  });
+}
+
+void AsyncConnectionRunner::send_leg(std::shared_ptr<Pending> p, net::NodeId from,
+                                     net::NodeId to, std::function<void()> delivered) {
+  const std::uint32_t attempt = p->attempts;
+  const std::uint64_t tid = ++p->current_tid;
+  const sim::Time base = overlay_.links().transfer_time(from, to);
+
+  // The sender's patience scales with its own link: a leg's ack needs one
+  // round trip, so the timer covers factor round trips plus fixed slack.
+  const sim::Time patience = cfg_.ack_timeout_factor * 2.0 * base + cfg_.ack_timeout_slack;
+  p->ack_timeout_event = sim_.schedule_in(patience, [this, p, attempt, tid, to] {
+    if (p->finished || !p->attempt_active || attempt != p->attempts) return;
+    if (tid != p->current_tid) return;  // a newer leg superseded this timer
+    ++p->ack_timeouts;
+    if (suspicion_ != nullptr) suspicion_->record_timeout(to);
+    fail_attempt(p);
+  });
+
+  if (faults_ != nullptr && faults_->drop_message(from, to)) return;  // timer will fire
+  sim::Time flight = base;
+  if (faults_ != nullptr) flight += faults_->extra_delay(from, to);
+
+  sim_.schedule_in(flight, [this, p, attempt, tid, from, to,
+                            delivered = std::move(delivered)] {
+    if (p->finished || !p->attempt_active || attempt != p->attempts) return;
+    if (overlay_.is_online(to)) {
+      send_ack(p, to, from, tid);
+      delivered();
+      return;
+    }
+    // Crashed hosts are silent (the sender's timer must expire); gracefully
+    // departed ones refuse — their host answers with the RST analog.
+    if (!overlay_.appears_online(to)) send_nack(p, to, from);
+  });
+}
+
+void AsyncConnectionRunner::send_ack(std::shared_ptr<Pending> p, net::NodeId from,
+                                     net::NodeId to, std::uint64_t tid) {
+  if (faults_ != nullptr && faults_->drop_message(from, to)) return;
+  sim::Time flight = overlay_.links().transfer_time(from, to);
+  if (faults_ != nullptr) flight += faults_->extra_delay(from, to);
+  sim_.schedule_in(flight, [this, p, tid] {
+    if (p->finished || tid != p->current_tid) return;  // stale ack
+    sim_.cancel(p->ack_timeout_event);
+  });
+}
+
+void AsyncConnectionRunner::send_nack(std::shared_ptr<Pending> p, net::NodeId from,
+                                      net::NodeId to) {
+  const std::uint32_t attempt = p->attempts;
+  if (faults_ != nullptr && faults_->drop_message(from, to)) return;  // timer covers it
+  sim::Time flight = overlay_.links().transfer_time(from, to);
+  if (faults_ != nullptr) flight += faults_->extra_delay(from, to);
+  sim_.schedule_in(flight, [this, p, attempt] {
+    if (p->finished || !p->attempt_active || attempt != p->attempts) return;
+    fail_attempt(p);
   });
 }
 
 void AsyncConnectionRunner::fail_attempt(std::shared_ptr<Pending> p) {
-  if (p->finished) return;
-  sim_.schedule_in(cfg_.retry_backoff,
+  if (p->finished || !p->attempt_active) return;
+  p->attempt_active = false;
+  cancel_timers(*p);
+  // Capped exponential backoff: base * 2^(n-1) is exact in binary floating
+  // point (ldexp), so the schedule is bitwise reproducible.
+  const int exponent = static_cast<int>(std::min<std::uint32_t>(p->attempts, 62u)) - 1;
+  const sim::Time capped = std::min(std::ldexp(cfg_.backoff_base, exponent), cfg_.backoff_cap);
+  const double jitter =
+      cfg_.backoff_jitter > 0.0
+          ? p->backoff_stream.uniform(1.0 - cfg_.backoff_jitter, 1.0 + cfg_.backoff_jitter)
+          : 1.0;
+  sim_.schedule_in(capped * jitter,
                    [this, p = std::move(p)]() mutable { start_attempt(std::move(p)); });
+}
+
+void AsyncConnectionRunner::cancel_timers(Pending& p) {
+  if (p.ack_timeout_event != sim::kInvalidEventId) {
+    sim_.cancel(p.ack_timeout_event);
+    p.ack_timeout_event = sim::kInvalidEventId;
+  }
+  if (p.deadline_event != sim::kInvalidEventId) {
+    sim_.cancel(p.deadline_event);
+    p.deadline_event = sim::kInvalidEventId;
+  }
 }
 
 }  // namespace p2panon::core

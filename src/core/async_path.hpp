@@ -7,28 +7,61 @@
 // while the setup (or the reverse-path confirmation) is in flight kills the
 // attempt, forcing the initiator to re-form the path.
 //
-// AsyncConnectionRunner simulates exactly that: every hop decision and
-// every confirmation step is a scheduled event at link-transfer-time
-// granularity; offline holders abort the attempt; the initiator retries
-// after a backoff. The completion callback receives the final path plus
-// the attempt count and total setup time — the churn-reformation statistics
-// the paper's §2.1 argues about.
+// AsyncConnectionRunner simulates exactly that, and — unlike the original
+// omniscient version — detects failures the way a deployment would:
+//
+//  * every hop (setup payload forward, confirmation backward) is a "leg"
+//    with an ack expected from its receiver; the sender arms an ack timer
+//    sized from the link's own transfer time, so slow links get patient
+//    timers and fast links fail fast;
+//  * a receiver that left *gracefully* answers with a NACK (the TCP-RST
+//    analog: its former host refuses the connection), failing the attempt
+//    after one return flight instead of a full timeout;
+//  * a receiver that crashed *silently* answers nothing — the attempt dies
+//    only when the ack timer fires, and the timed-out hop's receiver is
+//    reported to the optional SuspicionTracker;
+//  * the optional fault::FaultInjector can drop or delay any leg or ack,
+//    so lossy links produce spurious timeouts exactly like dead nodes do;
+//  * retries use capped exponential backoff with multiplicative jitter
+//    drawn from a dedicated child stream, and an optional per-attempt
+//    deadline bounds how long one attempt may dangle.
+//
+// With no injector, no tracker, and no failures, the timing is unchanged
+// from the omniscient version: setup completes after exactly one forward
+// plus one reverse traversal (acks ride in parallel and gate nothing).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "core/path.hpp"
 #include "sim/simulator.hpp"
 
+namespace p2panon::fault {
+class FaultInjector;
+}
+
 namespace p2panon::core {
 
+class SuspicionTracker;
+
 struct AsyncConfig {
-  /// Delay before retrying a failed formation attempt.
-  sim::Time retry_backoff = 2.0;
+  /// Backoff before retry n (1-based) is
+  /// min(backoff_base * 2^(n-1), backoff_cap) * U[1-j, 1+j].
+  sim::Time backoff_base = 2.0;
+  sim::Time backoff_cap = 60.0;
+  double backoff_jitter = 0.5;  ///< j above, in [0, 1)
   /// Give up after this many attempts (the callback then reports failure).
   std::uint32_t max_attempts = 16;
+  /// Ack timer for a leg over link (a, b):
+  /// ack_timeout_factor * 2 * transfer_time(a, b) + ack_timeout_slack.
+  double ack_timeout_factor = 4.0;
+  sim::Time ack_timeout_slack = 1.0;
+  /// Hard ceiling on one attempt's duration; 0 disables. A safety net for
+  /// pathological delay jitter — ack timers catch ordinary failures first.
+  sim::Time attempt_deadline = 0.0;
 };
 
 struct AsyncResult {
@@ -36,20 +69,34 @@ struct AsyncResult {
   BuiltPath path;                ///< valid when established
   std::uint32_t attempts = 0;    ///< formation attempts (1 = no reformation)
   sim::Time setup_time = 0.0;    ///< from establish() to confirmation arrival
+  std::uint32_t ack_timeouts = 0;  ///< legs whose ack timer fired, all attempts
+  /// When established: forward-pass arrival time of the setup payload at
+  /// path.nodes[i] (index 0 = final attempt's start). Lets callers audit
+  /// that no leg was accepted by a node that was dead at handling time.
+  std::vector<sim::Time> relay_times;
 };
 
 class AsyncConnectionRunner {
  public:
   using Callback = std::function<void(const AsyncResult&)>;
 
+  /// `faults` (optional) injects loss/delay on every leg and ack;
+  /// `suspicion` (optional) learns from ack timeouts and confirmed paths.
+  /// Both must outlive the runner.
   AsyncConnectionRunner(sim::Simulator& simulator, const net::Overlay& overlay,
-                        const PathBuilder& builder, AsyncConfig cfg = {}) noexcept
-      : sim_(simulator), overlay_(overlay), builder_(builder), cfg_(cfg) {}
+                        const PathBuilder& builder, AsyncConfig cfg = {},
+                        fault::FaultInjector* faults = nullptr,
+                        SuspicionTracker* suspicion = nullptr) noexcept
+      : sim_(simulator),
+        overlay_(overlay),
+        builder_(builder),
+        cfg_(cfg),
+        faults_(faults),
+        suspicion_(suspicion) {}
 
   /// Begin establishing connection `conn_index` of `pair` from `initiator`
   /// to `responder`. The callback fires (once) when the reverse-path
   /// confirmation reaches the initiator, or when attempts are exhausted.
-  /// `stream` must outlive the establishment (the runner keeps a copy).
   void establish(net::PairId pair, std::uint32_t conn_index, net::NodeId initiator,
                  net::NodeId responder, const Contract& contract,
                  const StrategyAssignment& strategies, const sim::rng::Stream& stream,
@@ -60,15 +107,27 @@ class AsyncConnectionRunner {
   struct Pending;
 
   void start_attempt(std::shared_ptr<Pending> p);
-  void hop_arrived(std::shared_ptr<Pending> p, net::NodeId holder, net::NodeId pred,
-                   std::uint32_t forwarders);
-  void confirm_step(std::shared_ptr<Pending> p, std::size_t reverse_index);
+  void arrive_setup(std::shared_ptr<Pending> p, net::NodeId holder, net::NodeId pred,
+                    std::uint32_t forwarders);
+  void arrive_confirm(std::shared_ptr<Pending> p, std::size_t reverse_index);
+  /// Send one leg from `from` to `to`: arms the ack timer, routes the
+  /// payload through the fault injector, and classifies the receiver at
+  /// arrival (alive → ack + `delivered`; crashed → silence; gracefully
+  /// offline → NACK).
+  void send_leg(std::shared_ptr<Pending> p, net::NodeId from, net::NodeId to,
+                std::function<void()> delivered);
+  void send_ack(std::shared_ptr<Pending> p, net::NodeId from, net::NodeId to,
+                std::uint64_t tid);
+  void send_nack(std::shared_ptr<Pending> p, net::NodeId from, net::NodeId to);
   void fail_attempt(std::shared_ptr<Pending> p);
+  void cancel_timers(Pending& p);
 
   sim::Simulator& sim_;
   const net::Overlay& overlay_;
   const PathBuilder& builder_;
   AsyncConfig cfg_;
+  fault::FaultInjector* faults_;
+  SuspicionTracker* suspicion_;
 };
 
 }  // namespace p2panon::core

@@ -31,6 +31,7 @@
 #include "core/contract.hpp"
 #include "core/flat_hash.hpp"
 #include "core/history.hpp"
+#include "core/suspicion.hpp"
 #include "net/ids.hpp"
 #include "net/probing.hpp"
 
@@ -38,13 +39,22 @@ namespace p2panon::core {
 
 class EdgeQualityEvaluator {
  public:
+  /// `suspicion` (optional) folds the timeout-driven suspect penalty into
+  /// the availability term; nullptr reproduces the fault-free quality
+  /// bitwise (the multiplier is then exactly 1 and never computed).
   EdgeQualityEvaluator(const net::ProbingEstimator& probing, const HistoryStore& history,
-                       QualityWeights weights) noexcept
-      : probing_(probing), history_(history), weights_(weights) {}
+                       QualityWeights weights,
+                       const SuspicionTracker* suspicion = nullptr) noexcept
+      : probing_(probing), history_(history), weights_(weights), suspicion_(suspicion) {}
 
   [[nodiscard]] const QualityWeights& weights() const noexcept { return weights_; }
   [[nodiscard]] const net::ProbingEstimator& probing() const noexcept { return probing_; }
   [[nodiscard]] const HistoryStore& history() const noexcept { return history_; }
+
+  /// Suspicion epoch for cache freshness: constant 0 without a tracker.
+  [[nodiscard]] std::uint64_t suspicion_epoch() const noexcept {
+    return suspicion_ != nullptr ? suspicion_->epoch() : 0;
+  }
 
   /// q(s, v) when s (whose current predecessor on the path is `predecessor`)
   /// considers forwarding connection k of `pair` to v, with responder R.
@@ -53,7 +63,8 @@ class EdgeQualityEvaluator {
                                     std::uint32_t k) const {
     if (v == responder) return 1.0;  // last edge always has quality 1
     const double sigma = history_.at(s).selectivity(pair, predecessor, v, k);
-    const double alpha = probing_.availability(s, v);
+    double alpha = probing_.availability(s, v);
+    if (suspicion_ != nullptr) alpha *= suspicion_->availability_factor(v);
     return weights_.w_selectivity * sigma + weights_.w_availability * alpha;
   }
 
@@ -67,6 +78,7 @@ class EdgeQualityEvaluator {
   const net::ProbingEstimator& probing_;
   const HistoryStore& history_;
   QualityWeights weights_;
+  const SuspicionTracker* suspicion_;
 };
 
 /// Lossy, fixed-size, epoch-invalidated memo of edge_quality answers. One
@@ -99,6 +111,7 @@ class EdgeQualityCache {
   struct NodeFacts {
     std::uint64_t h_epoch = 0;
     std::uint64_t p_epoch = 0;
+    std::uint64_t s_epoch = 0;  ///< suspicion epoch (constant 0 untracked)
     net::NodeId s = net::kInvalidNode;
     net::PairId pair = net::kInvalidPair;
     net::NodeId predecessor = net::kInvalidNode;
@@ -111,6 +124,7 @@ class EdgeQualityCache {
     NodeFacts f;
     f.h_epoch = profile.epoch();
     f.p_epoch = eval.probing().epoch(s);
+    f.s_epoch = eval.suspicion_epoch();
     f.s = s;
     f.pair = pair;
     f.predecessor = predecessor;
@@ -134,6 +148,7 @@ class EdgeQualityCache {
 
     const std::uint64_t h_epoch = f.h_epoch;
     const std::uint64_t p_epoch = f.p_epoch;
+    const std::uint64_t s_epoch = f.s_epoch;
     const bool free = f.canonical == net::kInvalidNode;
     const PackedKey key = PackedKey::of(f.s, v, f.pair, f.canonical);
 
@@ -149,6 +164,7 @@ class EdgeQualityCache {
       Slot& slot = slots_[i];
       if (slot.used && slot.key == key) {
         const bool fresh = slot.history_epoch == h_epoch && slot.probing_epoch == p_epoch &&
+                           slot.suspicion_epoch == s_epoch &&
                            (slot.history_free || slot.conn_index == k);
         if (fresh) {
           ++hits_;
@@ -170,6 +186,7 @@ class EdgeQualityCache {
     slot.key = key;
     slot.history_epoch = h_epoch;
     slot.probing_epoch = p_epoch;
+    slot.suspicion_epoch = s_epoch;
     slot.conn_index = k;
     slot.history_free = free;
     slot.used = true;
@@ -192,6 +209,7 @@ class EdgeQualityCache {
     PackedKey key;               // (s, v, pair, canonical predecessor)
     std::uint64_t history_epoch = 0;
     std::uint64_t probing_epoch = 0;
+    std::uint64_t suspicion_epoch = 0;
     std::uint32_t conn_index = 0;
     bool history_free = false;   // sigma == 0 entry: valid for any k
     bool used = false;

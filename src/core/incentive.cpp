@@ -100,6 +100,17 @@ const BuiltPath& ConnectionSetSession::run_connection(const PathBuilder& builder
     if (!dropped) break;
   }
 
+  return adopt_connection(std::move(path), history, ledger, overlay);
+}
+
+const BuiltPath& ConnectionSetSession::adopt_connection(BuiltPath path, HistoryStore& history,
+                                                        PayoffLedger& ledger,
+                                                        const net::Overlay& overlay) {
+  assert(!settled_ && "connection after settlement");
+  const auto conn_index = static_cast<std::uint32_t>(paths_.size() + 1);
+  const net::PairId wire_pair = effective_pair(conn_index);
+  const std::uint32_t wire_index = effective_conn_index(conn_index);
+
   // Reverse-path confirmation: the initiator recreates the path and every
   // forwarder records its history entry under the wire-visible cid.
   history.record_path(wire_pair, wire_index, path.nodes);

@@ -92,6 +92,14 @@ class ConnectionSetSession {
                                   const net::Overlay& overlay, sim::rng::Stream& stream,
                                   const AdversaryModel& adversary = {});
 
+  /// Adopt an externally-formed path (e.g. from AsyncConnectionRunner or a
+  /// data-phase re-formation) as the set's next connection: records history
+  /// at every forwarder under the wire-visible cid, charges costs, and
+  /// updates the forwarder-set / edge-reuse statistics — exactly the
+  /// bookkeeping tail of run_connection, without building the path.
+  const BuiltPath& adopt_connection(BuiltPath path, HistoryStore& history,
+                                    PayoffLedger& ledger, const net::Overlay& overlay);
+
   /// Settle all completed connections through the payment system and credit
   /// forwarder ledgers. Call once, after the last run_connection.
   SettleOutcome settle(payment::Bank& bank, payment::SettlementEngine& engine,

@@ -11,7 +11,7 @@ std::vector<net::NodeId> PathBuilder::candidates_for(const RoutingContext& ctx,
   std::vector<net::NodeId> out;
   out.reserve(overlay_.neighbors(holder).size() + 1);
   for (net::NodeId c : overlay_.neighbors(holder)) {
-    if (c == holder || c == pred || !overlay_.is_online(c)) continue;
+    if (c == holder || c == pred || !overlay_.appears_online(c)) continue;
     if (c == ctx.responder) {
       // The initiator never hands the payload straight to the responder —
       // that forfeits its anonymity (in Crowds the first hop is always a
@@ -55,7 +55,7 @@ PathBuilder::HopOutcome PathBuilder::next_hop(const RoutingContext& ctx, net::No
 
   if (!deliver) {
     auto candidates = candidates_for(ctx, holder, pred, first_hop, &out.declined);
-    if (candidates.empty() && pred != net::kInvalidNode && overlay_.is_online(pred)) {
+    if (candidates.empty() && pred != net::kInvalidNode && overlay_.appears_online(pred)) {
       // Only the sender itself is available: bouncing back beats failing.
       candidates.push_back(pred);
     }

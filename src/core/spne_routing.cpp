@@ -12,7 +12,7 @@ game::PathGameSpec SpneRouting::make_spec(const RoutingContext& ctx) {
   spec.candidates = [&ctx](net::NodeId v) {
     std::vector<net::NodeId> out;
     for (net::NodeId c : ctx.overlay.neighbors(v)) {
-      if (c != v && ctx.overlay.is_online(c)) out.push_back(c);
+      if (c != v && ctx.overlay.appears_online(c)) out.push_back(c);
     }
     return out;
   };
@@ -57,7 +57,7 @@ double equilibrium_onward(const RoutingContext& ctx, net::NodeId holder,
 
   if (stages_left > 0) {
     for (net::NodeId j : ctx.overlay.neighbors(holder)) {
-      if (j == holder || !ctx.overlay.is_online(j) || j == ctx.responder) continue;
+      if (j == holder || !ctx.overlay.appears_online(j) || j == ctx.responder) continue;
       const double q_ij = ctx.edge_q(holder, j, net::kInvalidNode);
       const double onward = q_ij + equilibrium_onward(ctx, j, stages_left - 1);
       const double u = ctx.contract.forwarding_benefit + onward * ctx.contract.routing_benefit() -

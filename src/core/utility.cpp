@@ -43,7 +43,7 @@ double best_onward_quality(const RoutingContext& ctx, net::NodeId from, net::Nod
   double best = 0.0;
   bool any = false;
   for (net::NodeId c : ctx.overlay.neighbors(from)) {
-    if (!ctx.overlay.is_online(c) || c == from) continue;
+    if (!ctx.overlay.appears_online(c) || c == from) continue;
     const double q =
         cache != nullptr
             ? cache->get_or_compute_at(ctx.quality, facts, c, ctx.responder, ctx.conn_index)
@@ -82,7 +82,7 @@ bool would_participate(const RoutingContext& ctx, net::NodeId j) {
   // Cheapest usable outgoing link: any online neighbour or direct delivery.
   double min_ct = transmission_cost(ctx, j, ctx.responder);
   for (net::NodeId c : ctx.overlay.neighbors(j)) {
-    if (!ctx.overlay.is_online(c) || c == j) continue;
+    if (!ctx.overlay.appears_online(c) || c == j) continue;
     min_ct = std::min(min_ct, transmission_cost(ctx, j, c));
   }
   return ctx.contract.forwarding_benefit > participation_cost(ctx, j) + min_ct;

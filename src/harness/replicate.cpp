@@ -50,6 +50,17 @@ ReplicatedResult run_replicated(const ScenarioConfig& base, std::size_t replicat
     agg.total_reformations += r.reformations;
     agg.total_churn_events += r.churn_events;
     agg.all_payments_conserved = agg.all_payments_conserved && r.payment_conserved;
+    agg.delivery_ratio.add(r.delivery_ratio());
+    agg.setup_time.merge(r.setup_time);
+    agg.time_to_detect.merge(r.time_to_detect);
+    agg.total_connections_completed += r.connections_completed;
+    agg.total_connections_failed += r.connections_failed;
+    agg.total_setup_attempts += r.setup_attempts;
+    agg.total_ack_timeouts += r.setup_ack_timeouts;
+    agg.total_crashes += r.crashes;
+    agg.total_messages_dropped += r.messages_dropped;
+    agg.total_keepalives_sent += r.keepalives_sent;
+    agg.total_keepalives_delivered += r.keepalives_delivered;
   }
   return agg;
 }

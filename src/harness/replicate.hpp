@@ -42,6 +42,19 @@ struct ReplicatedResult {
   std::uint64_t total_churn_events = 0;
   bool all_payments_conserved = true;
 
+  // --- Fault/robustness aggregates (all zero outside fault mode).
+  metrics::Accumulator delivery_ratio;  ///< per-replicate data-phase ratio
+  metrics::Accumulator setup_time;      ///< pooled per-setup samples (merge)
+  metrics::Accumulator time_to_detect;  ///< pooled per-failure samples (merge)
+  std::uint64_t total_connections_completed = 0;
+  std::uint64_t total_connections_failed = 0;
+  std::uint64_t total_setup_attempts = 0;
+  std::uint64_t total_ack_timeouts = 0;
+  std::uint64_t total_crashes = 0;
+  std::uint64_t total_messages_dropped = 0;
+  std::uint64_t total_keepalives_sent = 0;
+  std::uint64_t total_keepalives_delivered = 0;
+
   [[nodiscard]] metrics::ConfidenceInterval good_payoff_ci(double confidence = 0.95) const {
     return metrics::confidence_interval(good_payoff, confidence);
   }

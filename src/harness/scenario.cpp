@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 
 #include "core/edge_quality.hpp"
 #include "core/path.hpp"
+#include "core/suspicion.hpp"
 #include "payment/settlement.hpp"
 #include "sim/simulator.hpp"
 
@@ -35,11 +37,36 @@ ScenarioResult ScenarioRunner::run() const {
   net::Overlay overlay(cfg.overlay, simulator, root.child("overlay"));
   net::ProbingEstimator probing(overlay, cfg.probing, root.child("probing"));
   core::HistoryStore history(overlay.size(), cfg.history_capacity);
-  core::EdgeQualityEvaluator quality(probing, history, cfg.weights);
+
+  // Fault mode: any enabled fault swaps the omniscient synchronous setup
+  // for the timeout-driven async runner + keepalive data phase. With every
+  // knob off none of these objects exist and every stream/draw/decision is
+  // bitwise identical to the pre-fault implementation.
+  const bool fault_mode = cfg.fault.enabled();
+  std::optional<core::SuspicionTracker> suspicion;
+  if (fault_mode) suspicion.emplace(overlay.size(), cfg.suspicion_penalty);
+  std::optional<fault::FaultInjector> faults;
+  if (fault_mode) {
+    faults.emplace(cfg.fault, overlay, root.child("faults"));
+    probing.set_probe_oracle([&f = *faults](net::NodeId prober, net::NodeId target) {
+      return f.probe_observation(prober, target);
+    });
+  }
+
+  core::EdgeQualityEvaluator quality(probing, history, cfg.weights,
+                                     suspicion ? &*suspicion : nullptr);
   core::DecisionResources resources;  // one edge cache + memo arena per replicate
   core::PathBuilder builder(overlay, quality, cfg.path_builder,
                             cfg.use_decision_cache ? &resources : nullptr);
   core::PayoffLedger ledger(overlay.size());
+
+  std::optional<core::AsyncConnectionRunner> setup_runner;
+  std::optional<core::DataPhaseRunner> data_runner;
+  if (fault_mode) {
+    setup_runner.emplace(simulator, overlay, builder, cfg.async_setup, &*faults,
+                         &*suspicion);
+    data_runner.emplace(simulator, overlay, *setup_runner, cfg.data_phase, &*faults);
+  }
 
   // --- Bank: every node opens an account with a registered MAC key.
   payment::Bank bank(root.child("bank"));
@@ -60,6 +87,7 @@ ScenarioResult ScenarioRunner::run() const {
   struct PairPlan {
     std::unique_ptr<core::ConnectionSetSession> session;
     sim::rng::Stream stream;
+    std::uint32_t launched = 0;  ///< async launches (fault mode wire index)
   };
   std::vector<PairPlan> plans;
   plans.reserve(cfg.pair_count);
@@ -84,8 +112,14 @@ ScenarioResult ScenarioRunner::run() const {
         root.child("pair-run", pid));
   }
 
-  // --- Schedule: overlay churn, then the recurring connections.
+  // --- Schedule: overlay churn (and fault hazards), then the recurring
+  // connections. `result` exists before scheduling because fault-mode
+  // completion callbacks write into it during the run.
   overlay.start();
+  if (faults) faults->start();
+
+  ScenarioResult result;
+  result.new_edge_fraction_by_conn.resize(cfg.connections_per_pair);
 
   std::uint64_t connections_completed = 0;
   metrics::Accumulator latency;
@@ -100,10 +134,56 @@ ScenarioResult ScenarioRunner::run() const {
         // recurring applications (HTTP, FTP, ...) imply an active initiator.
         overlay.force_online(p.session->initiator());
         overlay.force_online(p.session->responder());
-        const core::BuiltPath& path = p.session->run_connection(
-            builder, history, strategies, ledger, overlay, p.stream, cfg.adversary);
-        latency.add(overlay.links().path_latency(path.nodes));
-        ++connections_completed;
+        if (!fault_mode) {
+          const core::BuiltPath& path = p.session->run_connection(
+              builder, history, strategies, ledger, overlay, p.stream, cfg.adversary);
+          latency.add(overlay.links().path_latency(path.nodes));
+          ++connections_completed;
+          return;
+        }
+
+        // Fault mode: timeout-driven setup, then a keepalive data phase
+        // whose detected failures re-form the path. Wire ids follow launch
+        // order (completions may interleave across the pair's connections).
+        const std::uint32_t conn = ++p.launched;
+        const net::PairId wire_pair = p.session->effective_pair(conn);
+        const std::uint32_t wire_index = p.session->effective_conn_index(conn);
+        setup_runner->establish(
+            wire_pair, wire_index, p.session->initiator(), p.session->responder(),
+            p.session->contract(), strategies, p.stream.child("setup", conn),
+            [&, pid, conn, wire_pair, wire_index](const core::AsyncResult& r) {
+              PairPlan& plan = plans[pid];
+              result.setup_attempts += r.attempts;
+              result.setup_ack_timeouts += r.ack_timeouts;
+              result.reformations += r.attempts - 1;
+              if (!r.established) {
+                ++result.connections_failed;
+                return;
+              }
+              result.setup_time.add(r.setup_time);
+              const core::BuiltPath& path =
+                  plan.session->adopt_connection(r.path, history, ledger, overlay);
+              latency.add(overlay.links().path_latency(path.nodes));
+              ++connections_completed;
+              data_runner->run(
+                  wire_pair, wire_index, path, plan.session->contract(), strategies,
+                  plan.stream.child("data", conn),
+                  [&, pid](const core::DataPhaseResult& d) {
+                    PairPlan& owner = plans[pid];
+                    result.keepalives_sent += d.keepalives_sent;
+                    result.keepalives_delivered += d.keepalives_delivered;
+                    result.failures_detected += d.failures_detected;
+                    result.reformations += d.reformations;
+                    result.setup_attempts += d.reform_setup_attempts;
+                    for (const sim::Time lag : d.detection_delays) {
+                      result.time_to_detect.add(lag);
+                    }
+                    for (const core::BuiltPath& reformed : d.reformed_paths) {
+                      (void)owner.session->adopt_connection(reformed, history, ledger,
+                                                            overlay);
+                    }
+                  });
+            });
       });
       last_connection_at = std::max(last_connection_at, at);
       at += schedule_stream.exponential(1.0 / cfg.connection_interval_mean);
@@ -112,12 +192,13 @@ ScenarioResult ScenarioRunner::run() const {
 
   // Run just past the last connection; churn and probing are open-ended
   // (availability attackers never leave), so a horizon — not queue drain —
-  // ends the run.
-  simulator.run_until(last_connection_at + sim::minutes(1.0));
+  // ends the run. Fault mode needs room for the last connection's data
+  // phase (plus its re-formations) to play out.
+  const sim::Time tail =
+      fault_mode ? cfg.data_phase.duration + sim::minutes(10.0) : sim::minutes(1.0);
+  simulator.run_until(last_connection_at + tail);
 
   // --- Settle every pair through the payment system.
-  ScenarioResult result;
-  result.new_edge_fraction_by_conn.resize(cfg.connections_per_pair);
   auto settle_stream = root.child("settle");
   for (PairPlan& plan : plans) {
     core::ConnectionSetSession& session = *plan.session;
@@ -182,6 +263,11 @@ ScenarioResult ScenarioRunner::run() const {
   result.probes = probing.probes_performed();
   result.connections_completed = connections_completed;
   result.sim_end_time = simulator.now();
+  if (faults) {
+    result.crashes = faults->crashes();
+    result.messages_dropped = faults->messages_dropped();
+    result.probe_false_negatives = faults->probe_false_negatives();
+  }
 
   const payment::Amount money_after = bank.total_money() + bank.outstanding_coin_value();
   result.payment_conserved = money_before == money_after;

@@ -11,8 +11,11 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/async_path.hpp"
+#include "core/data_phase.hpp"
 #include "core/incentive.hpp"
 #include "core/routing.hpp"
+#include "fault/fault.hpp"
 #include "metrics/anonymity.hpp"
 #include "metrics/stats.hpp"
 #include "net/overlay.hpp"
@@ -60,6 +63,17 @@ struct ScenarioConfig {
 
   core::AdversaryModel adversary;  ///< payload-drop attack knobs
   std::size_t history_capacity = 0;  ///< per-node entries; 0 = unbounded
+
+  /// Fault model. Default-constructed (all-off) leaves the scenario on the
+  /// omniscient synchronous path — bitwise identical to the pre-fault
+  /// implementation. Any enabled fault switches connection setup to the
+  /// timeout-driven AsyncConnectionRunner and adds a keepalive data phase
+  /// per connection.
+  fault::FaultConfig fault;
+  core::AsyncConfig async_setup;    ///< setup timeouts/backoff (fault mode)
+  core::DataPhaseConfig data_phase; ///< keepalive phase knobs (fault mode)
+  /// SuspicionTracker penalty (availability multiplier per hop timeout).
+  double suspicion_penalty = 0.5;
 
   double initial_balance_credits = 1.0e9;  ///< per-node bank balance
 
@@ -111,6 +125,28 @@ struct ScenarioResult {
   bool payment_conserved = false;  ///< bank money + coins unchanged
   double total_paid_credits = 0.0;
   sim::Time sim_end_time = 0.0;
+
+  // --- Fault/robustness metrics (all zero outside fault mode).
+  std::uint64_t connections_failed = 0;    ///< setups that exhausted attempts
+  std::uint64_t setup_attempts = 0;        ///< attempts incl. re-formations
+  std::uint64_t setup_ack_timeouts = 0;    ///< per-hop ack timers that fired
+  std::uint64_t crashes = 0;               ///< silent crashes injected
+  std::uint64_t messages_dropped = 0;      ///< legs/acks lost to the injector
+  std::uint64_t probe_false_negatives = 0;
+  std::uint64_t keepalives_sent = 0;
+  std::uint64_t keepalives_delivered = 0;
+  std::uint64_t failures_detected = 0;     ///< keepalive timers that fired
+  metrics::Accumulator setup_time;         ///< established setups, seconds
+  metrics::Accumulator time_to_detect;     ///< detection lag per failure, seconds
+
+  /// Data-phase delivery ratio; 1.0 when no keepalive was ever sent (the
+  /// fault-free synchronous path delivers by construction).
+  [[nodiscard]] double delivery_ratio() const noexcept {
+    return keepalives_sent == 0
+               ? 1.0
+               : static_cast<double>(keepalives_delivered) /
+                     static_cast<double>(keepalives_sent);
+  }
 };
 
 class ScenarioRunner {

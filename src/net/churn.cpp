@@ -32,13 +32,13 @@ bool ChurnProcess::is_final_departure() noexcept {
 }
 
 void AvailabilityTracker::on_join(sim::Time now) noexcept {
-  assert(!online() && "join while online");
+  if (online()) return;  // duplicate join: the session already runs
   if (first_join_ < 0.0) first_join_ = now;
   session_start_ = now;
 }
 
 void AvailabilityTracker::on_leave(sim::Time now) noexcept {
-  assert(online() && "leave while offline");
+  if (!online()) return;  // leave before/without a join: nothing to close
   assert(now >= session_start_);
   accumulated_ += now - session_start_;
   session_start_ = -1.0;

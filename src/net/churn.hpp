@@ -54,6 +54,10 @@ class ChurnProcess {
 };
 
 /// Ground-truth availability bookkeeping for a single node.
+///
+/// Robust to out-of-order driving: a join while online and a leave while
+/// offline are ignored (the first event of each kind wins), so forced
+/// transitions and fault injection cannot corrupt the accounting.
 class AvailabilityTracker {
  public:
   void on_join(sim::Time now) noexcept;
@@ -66,6 +70,11 @@ class AvailabilityTracker {
   [[nodiscard]] bool ever_joined() const noexcept { return first_join_ >= 0.0; }
   [[nodiscard]] bool online() const noexcept { return session_start_ >= 0.0; }
   [[nodiscard]] sim::Time total_session_time(sim::Time now) const noexcept;
+
+  /// Time of the most recent leave (graceful or crash); -1 if none yet.
+  /// Ground truth for the time-to-detect metric: detection delay is
+  /// "detector noticed at t" minus this.
+  [[nodiscard]] sim::Time last_leave() const noexcept { return last_leave_; }
 
  private:
   sim::Time first_join_ = -1.0;

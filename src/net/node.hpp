@@ -1,6 +1,7 @@
 // Per-node overlay state.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "net/churn.hpp"
@@ -18,6 +19,16 @@ struct Node {
   NodeKind kind = NodeKind::kGood;
   bool online = false;
   bool departed = false;  ///< final departure happened; never returns
+  /// Down by *silent* crash (fault injection): offline, but no churn
+  /// observer was notified, so the rest of the system still believes the
+  /// node is up until timeouts say otherwise.
+  bool crashed = false;
+  /// Session epoch for pending leave events: bumped whenever a session ends
+  /// or begins outside the normal churn draw flow (crash, recovery, forced
+  /// offline), so a leave scheduled for a dead session cannot fire into a
+  /// later one. Never bumped on the ordinary join/leave path, which keeps
+  /// fault-free runs bitwise identical.
+  std::uint64_t leave_epoch = 0;
 
   /// Fixed-size neighbour set D(s); entries are replaced (not removed) when
   /// a neighbour departs for good.

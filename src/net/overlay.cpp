@@ -64,7 +64,7 @@ void Overlay::start() {
 
 void Overlay::do_join(NodeId id) {
   Node& n = nodes_.at(id);
-  if (n.departed || n.online) return;
+  if (n.departed || n.online || n.crashed) return;
   n.online = true;
   n.tracker.on_join(sim_.now());
   ++churn_event_count_;
@@ -76,12 +76,16 @@ void Overlay::do_join(NodeId id) {
 
 void Overlay::schedule_leave(NodeId id) {
   const sim::Time session = churn_.session_length();
-  sim_.schedule_in(session, [this, id] { do_leave(id); });
+  // Capture the session epoch: if the session ends abnormally (crash,
+  // forced offline) before this fires, the epoch moves on and the stale
+  // leave becomes a no-op instead of truncating a later session.
+  const std::uint64_t epoch = nodes_.at(id).leave_epoch;
+  sim_.schedule_in(session, [this, id, epoch] { do_leave(id, epoch); });
 }
 
-void Overlay::do_leave(NodeId id) {
+void Overlay::do_leave(NodeId id, std::uint64_t leave_epoch) {
   Node& n = nodes_.at(id);
-  if (!n.online) return;
+  if (!n.online || n.leave_epoch != leave_epoch) return;
   n.online = false;
   n.tracker.on_leave(sim_.now());
   ++churn_event_count_;
@@ -100,10 +104,51 @@ void Overlay::force_online(NodeId id) {
   Node& n = nodes_.at(id);
   if (n.online) return;
   n.departed = false;
+  if (n.crashed) {
+    n.crashed = false;
+    ++n.leave_epoch;
+  }
   n.online = true;
   n.tracker.on_join(sim_.now());
   ++churn_event_count_;
   notify_churn(id, true);
+  schedule_leave(id);
+}
+
+void Overlay::force_offline(NodeId id) {
+  Node& n = nodes_.at(id);
+  if (!n.online) return;
+  n.online = false;
+  ++n.leave_epoch;  // the pending natural leave belongs to a dead session
+  n.tracker.on_leave(sim_.now());
+  ++churn_event_count_;
+  notify_churn(id, false);
+}
+
+bool Overlay::crash(NodeId id) {
+  Node& n = nodes_.at(id);
+  if (!n.online || n.departed) return false;
+  n.online = false;
+  n.crashed = true;
+  ++n.leave_epoch;  // invalidate the session's pending graceful leave
+  // Ground truth sees the downtime (availability, last_leave for the
+  // time-to-detect metric) — but observers are NOT notified: that silence
+  // is the entire point of a silent crash.
+  n.tracker.on_leave(sim_.now());
+  ++churn_event_count_;
+  return true;
+}
+
+void Overlay::recover(NodeId id) {
+  Node& n = nodes_.at(id);
+  if (!n.crashed) return;
+  n.crashed = false;
+  ++n.leave_epoch;
+  if (n.departed || n.online) return;
+  n.online = true;
+  n.tracker.on_join(sim_.now());
+  ++churn_event_count_;
+  notify_churn(id, true);  // a recovery is an ordinary, visible (re)join
   schedule_leave(id);
 }
 

@@ -55,6 +55,16 @@ class Overlay {
   [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
   [[nodiscard]] const Node& node(NodeId id) const { return nodes_.at(id); }
   [[nodiscard]] bool is_online(NodeId id) const { return nodes_.at(id).online; }
+
+  /// What the rest of the overlay *believes* about the node's liveness: a
+  /// silently-crashed node still appears online (nobody was told), while a
+  /// graceful leave is announced and visible immediately. Protocol code
+  /// (candidate selection, routing) must use this instead of is_online();
+  /// only physical message delivery and probes may consult ground truth.
+  [[nodiscard]] bool appears_online(NodeId id) const {
+    const Node& n = nodes_.at(id);
+    return n.online || n.crashed;
+  }
   [[nodiscard]] std::span<const NodeId> neighbors(NodeId id) const {
     return nodes_.at(id).neighbors;
   }
@@ -85,6 +95,24 @@ class Overlay {
   /// initiator/responder pair can communicate). No-op if already online.
   void force_online(NodeId id);
 
+  /// Force a node gracefully offline immediately (test/harness hook): the
+  /// leave is announced to churn observers exactly like a natural one, but
+  /// no rejoin is scheduled and no churn-stream variates are drawn. No-op
+  /// if already offline.
+  void force_offline(NodeId id);
+
+  /// Silent crash (fault injection): the node goes down *without* any
+  /// churn-observer notification — the rest of the system keeps believing
+  /// it is online until timeouts prove otherwise. Ground-truth availability
+  /// tracking still records the downtime (that is what time-to-detect is
+  /// measured against). Returns false (no-op) if the node is not up.
+  bool crash(NodeId id);
+
+  /// Recover a crashed node: it rejoins like any other join (observers see
+  /// it) and a fresh session is scheduled. No-op if the node is not
+  /// currently crashed.
+  void recover(NodeId id);
+
   /// Number of join and leave events processed so far.
   [[nodiscard]] std::uint64_t churn_events() const noexcept { return churn_event_count_; }
 
@@ -92,7 +120,7 @@ class Overlay {
 
  private:
   void do_join(NodeId id);
-  void do_leave(NodeId id);
+  void do_leave(NodeId id, std::uint64_t leave_epoch);
   void schedule_leave(NodeId id);
   void replace_departed_neighbor(NodeId departed);
   [[nodiscard]] NodeId pick_replacement(NodeId owner, NodeId departed);

@@ -52,7 +52,11 @@ void ProbingEstimator::probe(NodeId s) {
   ++epoch_[s];  // session times are about to move
   auto& times = session_time_[s];
   for (NodeId u : overlay_.neighbors(s)) {
-    if (!overlay_.is_online(u)) continue;
+    // What this probe *observes* — ground truth unless a fault oracle is
+    // installed (probe false negatives, partitions). A neighbour observed
+    // dead simply fails to accumulate session time this period.
+    const bool observed_alive = oracle_ ? oracle_(s, u) : overlay_.is_online(u);
+    if (!observed_alive) continue;
     auto it = times.find(u);
     if (it == times.end()) {
       // New neighbour first observed alive: t_s(u) = rand(0, T).

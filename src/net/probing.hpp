@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -29,6 +30,12 @@ struct ProbingConfig {
 
 class ProbingEstimator {
  public:
+  /// What a probe by `prober` observes about `target`. Installed by the
+  /// fault layer to degrade ground truth (false negatives, partitions);
+  /// when absent, probes see the simulator's omniscient liveness, which is
+  /// the fault-free baseline behaviour, bit for bit.
+  using ProbeOracle = std::function<bool(NodeId prober, NodeId target)>;
+
   /// Registers churn/neighbour observers on the overlay and schedules the
   /// per-node probe loops. Construct before Overlay::start().
   ProbingEstimator(Overlay& overlay, const ProbingConfig& cfg, sim::rng::Stream stream);
@@ -53,6 +60,11 @@ class ProbingEstimator {
   [[nodiscard]] std::uint64_t probes_performed() const noexcept { return probes_; }
   [[nodiscard]] const ProbingConfig& config() const noexcept { return cfg_; }
 
+  /// Route probe outcomes through `oracle` instead of ground truth.
+  /// Install before any probing period elapses (estimates made under the
+  /// old oracle are not revised).
+  void set_probe_oracle(ProbeOracle oracle) { oracle_ = std::move(oracle); }
+
  private:
   void on_churn(NodeId node, bool online);
   void on_neighbor_replaced(NodeId s, NodeId old_neighbor, NodeId fresh);
@@ -62,6 +74,7 @@ class ProbingEstimator {
   Overlay& overlay_;
   ProbingConfig cfg_;
   sim::rng::Stream stream_;
+  ProbeOracle oracle_;  ///< empty = ground truth (fault-free baseline)
   /// session_time_[s][u] = t_s(u). Entries exist only for current/past
   /// neighbours of s.
   std::vector<std::unordered_map<NodeId, sim::Time>> session_time_;

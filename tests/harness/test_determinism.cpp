@@ -75,6 +75,33 @@ void expect_same_results(const ReplicatedResult& a, const ReplicatedResult& b) {
   EXPECT_EQ(a.total_reformations, b.total_reformations);
   EXPECT_EQ(a.total_churn_events, b.total_churn_events);
   EXPECT_EQ(a.all_payments_conserved, b.all_payments_conserved);
+  // Fault/robustness aggregates (all zero outside fault mode, but the
+  // contract is bitwise either way).
+  EXPECT_EQ(a.total_connections_completed, b.total_connections_completed);
+  EXPECT_EQ(a.total_connections_failed, b.total_connections_failed);
+  EXPECT_EQ(a.total_setup_attempts, b.total_setup_attempts);
+  EXPECT_EQ(a.total_ack_timeouts, b.total_ack_timeouts);
+  EXPECT_EQ(a.total_crashes, b.total_crashes);
+  EXPECT_EQ(a.total_messages_dropped, b.total_messages_dropped);
+  EXPECT_EQ(a.total_keepalives_sent, b.total_keepalives_sent);
+  EXPECT_EQ(a.total_keepalives_delivered, b.total_keepalives_delivered);
+  expect_biteq(a.delivery_ratio.mean(), b.delivery_ratio.mean(), "delivery_ratio.mean");
+  expect_biteq(a.setup_time.mean(), b.setup_time.mean(), "setup_time.mean");
+  expect_biteq(a.setup_time.variance(), b.setup_time.variance(), "setup_time.var");
+  expect_biteq(a.time_to_detect.mean(), b.time_to_detect.mean(), "time_to_detect.mean");
+}
+
+ScenarioConfig faulty_stress_config(std::uint64_t seed = 23) {
+  ScenarioConfig cfg = stress_config(seed);
+  cfg.fault.link_loss = 0.05;
+  cfg.fault.delay_jitter = 0.3;
+  cfg.fault.crash_rate_per_hour = 4.0;
+  cfg.fault.crash_recovery_mean = sim::minutes(10.0);
+  cfg.fault.probe_false_negative = 0.1;
+  cfg.async_setup.attempt_deadline = sim::minutes(3.0);
+  cfg.data_phase.duration = 60.0;
+  cfg.data_phase.keepalive_interval = 10.0;
+  return cfg;
 }
 
 ReplicatedResult run_with_pool_size(std::size_t threads, std::size_t replicates) {
@@ -116,4 +143,35 @@ TEST(Determinism, FullScenarioRaceStress) {
   EXPECT_EQ(r.replicates, 8u);
   EXPECT_TRUE(r.all_payments_conserved);
   EXPECT_GT(r.connection_latency.mean(), 0.0);
+}
+
+TEST(Determinism, FaultKnobsOffAreBitwiseInert) {
+  // Tuning the async-setup and data-phase knobs must not move a single bit
+  // while the fault config itself stays all-off: the scenario must take the
+  // original synchronous path and never consult those knobs.
+  const ReplicatedResult baseline = run_replicated(stress_config(), 3, nullptr);
+
+  ScenarioConfig tweaked = stress_config();
+  ASSERT_FALSE(tweaked.fault.enabled());
+  tweaked.async_setup.max_attempts = 3;
+  tweaked.async_setup.backoff_base = 7.0;
+  tweaked.async_setup.attempt_deadline = sim::minutes(1.0);
+  tweaked.data_phase.duration = 5.0;
+  tweaked.data_phase.keepalive_interval = 1.0;
+  expect_same_results(baseline, run_replicated(tweaked, 3, nullptr));
+}
+
+TEST(Determinism, FaultModeBitwiseIdenticalAcrossPoolSizes) {
+  // The fault-mode machinery (injector streams, async setup, keepalive
+  // layer) must honour the same pool-invisibility contract as the
+  // synchronous path.
+  const ReplicatedResult serial = run_replicated(faulty_stress_config(), 4, nullptr);
+  EXPECT_GT(serial.total_crashes, 0u) << "config must actually exercise fault mode";
+  EXPECT_GT(serial.total_keepalives_sent, 0u);
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    SCOPED_TRACE("pool size " + std::to_string(threads));
+    parallel::ThreadPool pool(threads);
+    expect_same_results(serial, run_replicated(faulty_stress_config(), 4, &pool));
+  }
 }

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 using namespace p2panon::net;
@@ -136,4 +137,41 @@ TEST(AvailabilityTracker, JoinAtQueryInstant) {
   const double a = t.availability(42.0);
   EXPECT_GE(a, 0.0);
   EXPECT_LE(a, 1.0);
+}
+
+TEST(AvailabilityTracker, DoubleJoinIsIdempotent) {
+  AvailabilityTracker t;
+  t.on_join(10.0);
+  t.on_join(20.0);  // out-of-order driving: already online, must be a no-op
+  EXPECT_TRUE(t.online());
+  EXPECT_DOUBLE_EQ(t.total_session_time(30.0), 20.0);
+  EXPECT_DOUBLE_EQ(t.availability(30.0), 1.0);
+}
+
+TEST(AvailabilityTracker, LeaveBeforeJoinIgnored) {
+  AvailabilityTracker t;
+  t.on_leave(5.0);  // never joined: must be a no-op, not an assert
+  EXPECT_FALSE(t.ever_joined());
+  EXPECT_FALSE(t.online());
+  EXPECT_DOUBLE_EQ(t.availability(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.last_leave(), -1.0);
+}
+
+TEST(AvailabilityTracker, LeaveAtTimeZeroIsDefined) {
+  AvailabilityTracker t;
+  t.on_join(0.0);
+  t.on_leave(0.0);  // zero-length session at time zero: lifetime is 0
+  const double a = t.availability(0.0);
+  EXPECT_FALSE(std::isnan(a));
+  EXPECT_DOUBLE_EQ(a, 0.0);
+  EXPECT_DOUBLE_EQ(t.last_leave(), 0.0);
+}
+
+TEST(AvailabilityTracker, DoubleLeaveKeepsFirstLeaveTime) {
+  AvailabilityTracker t;
+  t.on_join(0.0);
+  t.on_leave(10.0);
+  t.on_leave(20.0);  // already offline: no-op
+  EXPECT_DOUBLE_EQ(t.last_leave(), 10.0);
+  EXPECT_DOUBLE_EQ(t.total_session_time(30.0), 10.0);
 }

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "net/overlay.hpp"
 #include "sim/simulator.hpp"
 
@@ -177,4 +180,50 @@ TEST(Probing, DeterministicAcrossIdenticalRuns) {
     return snapshot;
   };
   EXPECT_EQ(run(), run());
+}
+
+TEST(Probing, OracleFalseNegativesFreezeSessionTimes) {
+  // An always-dead oracle (total probe false negatives) must stop session
+  // time from accumulating — probes still run and bump epochs, but every
+  // observation says "down", so estimates stay at the uniform prior.
+  sim::Simulator s;
+  Overlay o(stable_config(), s, sim::rng::Stream(5));
+  ProbingEstimator probing(o, ProbingConfig{sim::minutes(5.0)}, sim::rng::Stream(5).child("p"));
+  probing.set_probe_oracle([](NodeId, NodeId) { return false; });
+  o.start();
+  s.run_until(sim::hours(8.0));
+  EXPECT_GT(probing.probes_performed(), 0u);
+  for (NodeId id = 0; id < o.size(); ++id) {
+    if (o.is_online(id)) EXPECT_GT(probing.epoch(id), 0u);
+    for (NodeId nb : o.neighbors(id)) {
+      EXPECT_DOUBLE_EQ(probing.observed_session_time(id, nb), 0.0);
+    }
+  }
+  // Uniform prior survives: no observations ever accumulated.
+  for (NodeId nb : o.neighbors(0)) {
+    EXPECT_DOUBLE_EQ(probing.availability(0, nb), 1.0 / 4.0);
+  }
+}
+
+TEST(Probing, TruthfulOracleMatchesNoOracleBitwise) {
+  // An oracle that just relays ground truth must reproduce the oracle-free
+  // estimator exactly (the fault-free baseline guarantee).
+  auto run = [](bool with_oracle) {
+    sim::Simulator s;
+    auto o = std::make_unique<Overlay>(stable_config(), s, sim::rng::Stream(6));
+    ProbingEstimator probing(*o, ProbingConfig{sim::minutes(5.0)},
+                             sim::rng::Stream(6).child("p"));
+    if (with_oracle) {
+      probing.set_probe_oracle(
+          [&o = *o](NodeId, NodeId target) { return o.is_online(target); });
+    }
+    o->start();
+    s.run_until(sim::hours(8.0));
+    std::vector<double> alphas;
+    for (NodeId id = 0; id < o->size(); ++id) {
+      for (NodeId nb : o->neighbors(id)) alphas.push_back(probing.availability(id, nb));
+    }
+    return alphas;
+  };
+  EXPECT_EQ(run(false), run(true));
 }

@@ -27,6 +27,19 @@ R3 clean tree
     ever be tracked by git; stale tracked artifacts shadow fresh builds and
     poison review diffs.
 
+R4 finished guard
+    The async setup / data-phase runners keep per-connection state alive via
+    ``shared_ptr<Pending>`` captured by scheduled closures. Any such closure
+    that fires after the connection resolved (stale ack timer, backoff
+    retry, keepalive echo) must first check the ``finished`` flag (plus its
+    generation counters) or delegate to a method that does — otherwise a
+    resolved connection gets double-completed or a dead path re-formed. The
+    rule: in any file mentioning ``shared_ptr<Pending>``, every
+    ``schedule_in``/``schedule_at`` lambda capturing ``p`` must mention
+    ``finished`` in its body, or call a method whose out-of-class definition
+    opens with a finished guard. Waive with
+    ``// lint-exempt(finished): <reason>`` on or above the call line.
+
 Exit status: 0 when clean, 1 with one ``file:line: [rule] message`` per finding.
 """
 
@@ -43,7 +56,7 @@ from typing import Iterator, List, Optional, Tuple
 # R1 configuration
 # --------------------------------------------------------------------------
 
-DETERMINISM_DIRS = ("src/core", "src/sim", "src/harness")
+DETERMINISM_DIRS = ("src/core", "src/sim", "src/harness", "src/fault")
 
 # Patterns are matched against comment- and string-stripped source, so prose
 # like "initialised to rand(0, T)" in a doc comment never trips them.
@@ -80,6 +93,12 @@ EPOCH_GUARDS = [
         "cls": "ProbingEstimator",
         "files": ("src/net/probing.hpp", "src/net/probing.cpp"),
         "state": ("session_time_",),
+        "epoch": re.compile(r"(\+\+\s*epoch_|epoch_\s*(\[[^]]*\]\s*)?(\+\+|\+=|=))"),
+    },
+    {
+        "cls": "SuspicionTracker",
+        "files": ("src/core/suspicion.hpp", "src/core/suspicion.cpp"),
+        "state": ("counts_",),
         "epoch": re.compile(r"(\+\+\s*epoch_|epoch_\s*(\[[^]]*\]\s*)?(\+\+|\+=|=))"),
     },
 ]
@@ -260,6 +279,84 @@ def check_epoch_contract(repo: pathlib.Path) -> List[str]:
 
 
 # --------------------------------------------------------------------------
+# R4 — finished guard on scheduled Pending closures
+# --------------------------------------------------------------------------
+
+PENDING_FILE_RE = re.compile(r"shared_ptr\s*<\s*Pending\s*>")
+SCHEDULE_CALL_RE = re.compile(r"\bschedule_(?:in|at)\s*\(")
+FINISHED_EXEMPT_RE = re.compile(r"lint-exempt\(finished\):\s*\S")
+CAPTURES_P_RE = re.compile(r"(?<![\w.])p\b")
+
+
+def guarded_callees(stripped: str) -> set:
+    """Method names whose out-of-class definition opens with a finished guard
+    (``if (...finished...)`` as the body's first statement)."""
+    names = set()
+    for m in re.finditer(r"\b\w+\s*::\s*(\w+)\s*\(", stripped):
+        close = match_paren(stripped, m.end() - 1)
+        if close is None:
+            continue
+        brace = None
+        for i in range(close, len(stripped)):
+            if stripped[i] == "{":
+                brace = i
+                break
+            if stripped[i] == ";":
+                break
+        if brace is None:
+            continue
+        body_head = stripped[brace + 1:match_brace_block(stripped, brace)].lstrip()
+        if re.match(r"if\s*\([^)]*\bfinished\b", body_head):
+            names.add(m.group(1))
+    return names
+
+
+def check_finished_guards(repo: pathlib.Path) -> List[str]:
+    findings = []
+    for path in iter_source_files(repo, ("src",)):
+        raw = path.read_text(encoding="utf-8", errors="replace")
+        stripped = strip_comments_and_strings(raw)
+        if not PENDING_FILE_RE.search(stripped):
+            continue
+        callees = guarded_callees(stripped)
+        raw_lines = raw.splitlines()
+        for m in SCHEDULE_CALL_RE.finditer(stripped):
+            open_paren = m.end() - 1
+            close = match_paren(stripped, open_paren)
+            if close is None:
+                continue
+            call = stripped[open_paren:close]
+            lb = call.find("[")
+            if lb == -1:
+                continue  # no lambda argument
+            rb = call.find("]", lb)
+            if rb == -1 or not CAPTURES_P_RE.search(call[lb + 1:rb]):
+                continue  # lambda does not capture the Pending pointer
+            body_open = call.find("{", rb)
+            if body_open == -1:
+                continue
+            body = call[body_open:match_brace_block(call, body_open)]
+            if re.search(r"\bfinished\b", body):
+                continue
+            if any(cm.group(1) in callees
+                   for cm in re.finditer(r"\b(\w+)\s*\(", body)):
+                continue
+            lineno = stripped.count("\n", 0, m.start()) + 1
+            context = "\n".join(raw_lines[max(0, lineno - 2):lineno])
+            if FINISHED_EXEMPT_RE.search(context):
+                continue
+            rel = path.relative_to(repo)
+            findings.append(
+                f"{rel}:{lineno}: [finished-guard] scheduled lambda captures the "
+                f"shared Pending state but neither checks `finished` nor calls a "
+                f"method that opens with a finished guard; a stale firing would "
+                f"act on a resolved connection. Guard the body or annotate the "
+                f"call with // lint-exempt(finished): <reason>"
+            )
+    return findings
+
+
+# --------------------------------------------------------------------------
 # R3 — no tracked build artifacts
 # --------------------------------------------------------------------------
 
@@ -302,6 +399,7 @@ def main() -> int:
     findings = []
     findings += check_determinism(repo)
     findings += check_epoch_contract(repo)
+    findings += check_finished_guards(repo)
     findings += check_tracked_artifacts(repo)
 
     for f in findings:
@@ -309,7 +407,8 @@ def main() -> int:
     if findings:
         print(f"\ncheck_invariants: {len(findings)} finding(s)", file=sys.stderr)
         return 1
-    print("check_invariants: clean (determinism, epoch contract, tracked artifacts)")
+    print("check_invariants: clean (determinism, epoch contract, finished guards, "
+          "tracked artifacts)")
     return 0
 
 
