@@ -1,0 +1,122 @@
+// Bench-local copy of the pre-slot-map EventQueue, preserved as the "before"
+// side of the BENCH_sim_engine before/after pairs (see scale_overlay.cpp).
+//
+// This is the engine the repo shipped before the rebuild: a binary heap of
+// full Entry records (each carrying a std::function callback), lazy
+// cancellation through an unordered_set, and — the part the slot map
+// removes — a linear std::any_of scan over the whole heap on every cancel()
+// to distinguish live ids from already-fired ones. Cancel is therefore
+// O(pending) and each schedule() pays the std::function allocation for any
+// capture beyond its small-buffer size.
+//
+// Semantics match the current queue exactly (same (time, seq) tie-break,
+// same cancel-after-fire / double-cancel answers), so the measured workload
+// can be templated over either implementation.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace p2panon::bench {
+
+class LegacyEventQueue {
+ public:
+  using EventFn = std::function<void()>;
+
+  LegacyEventQueue() = default;
+  LegacyEventQueue(const LegacyEventQueue&) = delete;
+  LegacyEventQueue& operator=(const LegacyEventQueue&) = delete;
+
+  sim::EventId schedule(sim::Time at, EventFn fn) {
+    assert(fn && "scheduling an empty event");
+    const sim::EventId id = next_id_++;
+    heap_.emplace_back(Entry{at, next_seq_++, id, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    ++live_count_;
+    return id;
+  }
+
+  bool cancel(sim::EventId id) {
+    if (id == sim::kInvalidEventId || id >= next_id_) return false;
+    auto [it, inserted] = cancelled_.insert(id);
+    (void)it;
+    if (!inserted) return false;  // already cancelled
+    // Liveness check: the O(pending) scan the slot map exists to remove.
+    const bool present = std::any_of(heap_.begin(), heap_.end(),
+                                     [id](const Entry& e) { return e.id == id; });
+    if (!present) {
+      cancelled_.erase(id);
+      return false;  // already fired
+    }
+    --live_count_;
+    return true;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return live_count_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return live_count_; }
+
+  [[nodiscard]] sim::Time next_time() const noexcept {
+    skip_cancelled();
+    return heap_.empty() ? sim::kTimeInfinity : heap_.front().time;
+  }
+
+  struct Popped {
+    sim::Time time;
+    sim::EventId id;
+    EventFn fn;
+  };
+
+  Popped pop() {
+    skip_cancelled();
+    assert(!heap_.empty() && "pop() on empty LegacyEventQueue");
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Entry e = std::move(heap_.back());
+    heap_.pop_back();
+    --live_count_;
+    return Popped{e.time, e.id, std::move(e.fn)};
+  }
+
+  void clear() {
+    heap_.clear();
+    cancelled_.clear();
+    live_count_ = 0;
+  }
+
+ private:
+  struct Entry {
+    sim::Time time;
+    std::uint64_t seq;  // tie-break: FIFO among equal times
+    sim::EventId id;
+    EventFn fn;
+  };
+
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void skip_cancelled() const {
+    while (!heap_.empty() && cancelled_.count(heap_.front().id) != 0) {
+      cancelled_.erase(heap_.front().id);
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      heap_.pop_back();
+    }
+  }
+
+  mutable std::vector<Entry> heap_;
+  mutable std::unordered_set<sim::EventId> cancelled_;
+  std::size_t live_count_ = 0;
+  std::uint64_t next_seq_ = 0;
+  sim::EventId next_id_ = 1;  // 0 is kInvalidEventId
+};
+
+}  // namespace p2panon::bench

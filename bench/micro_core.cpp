@@ -21,6 +21,7 @@
 #include <iterator>
 #include <map>
 #include <tuple>
+#include <unordered_map>
 #include <utility>
 
 #include "core/decision_scratch.hpp"
@@ -274,13 +275,40 @@ BENCHMARK(BM_SelectivityFlatMap);
 struct LegacyDecisionStack {
   const RoutingEnv& env;
   std::vector<std::map<std::tuple<net::PairId, net::NodeId, net::NodeId>, std::uint32_t>> counts;
+  std::vector<std::unordered_map<net::NodeId, double>> session_times;
 
-  explicit LegacyDecisionStack(const RoutingEnv& e) : env(e), counts(e.overlay.size()) {
+  explicit LegacyDecisionStack(const RoutingEnv& e)
+      : env(e), counts(e.overlay.size()), session_times(e.overlay.size()) {
     for (net::NodeId s = 0; s < e.overlay.size(); ++s) {
       for (const core::HistoryEntry& entry : e.history.at(s).entries()) {
         ++counts[s][{entry.pair, entry.predecessor, entry.successor}];
       }
+      for (net::NodeId v : e.overlay.neighbors(s)) {
+        const double t = e.probing.observed_session_time(s, v);
+        if (t > 0.0) session_times[s][v] = t;
+      }
     }
+  }
+
+  // Pre-rebuild ProbingEstimator::availability: an O(d) walk re-summing the
+  // per-neighbour session times — held in a per-node unordered_map, as the
+  // old estimator stored them — on every call. The current estimator keeps a
+  // running total over a packed flat table, so the real accessor is O(1);
+  // using it here would let the "before" side inherit that optimisation and
+  // understate the gap.
+  [[nodiscard]] double availability(net::NodeId s, net::NodeId u) const {
+    const std::unordered_map<net::NodeId, double>& times = session_times[s];
+    double total = 0.0;
+    for (net::NodeId v : env.overlay.neighbors(s)) {
+      const auto it = times.find(v);
+      if (it != times.end()) total += it->second;
+    }
+    if (total <= 0.0) {
+      const auto d = env.overlay.neighbors(s).size();
+      return d > 0 ? 1.0 / static_cast<double>(d) : 0.0;
+    }
+    const auto it = times.find(u);
+    return it == times.end() ? 0.0 : it->second / total;
   }
 
   [[nodiscard]] double edge_quality(net::NodeId s, net::NodeId v, net::NodeId responder,
@@ -294,7 +322,7 @@ struct LegacyDecisionStack {
       sigma = static_cast<double>(c) / static_cast<double>(k - 1);
     }
     const core::QualityWeights& w = env.quality.weights();
-    return w.w_selectivity * sigma + w.w_availability * env.probing.availability(s, v);
+    return w.w_selectivity * sigma + w.w_availability * availability(s, v);
   }
 
   [[nodiscard]] double best_onward(net::NodeId from, net::NodeId pred,

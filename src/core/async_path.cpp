@@ -41,6 +41,19 @@ struct AsyncConnectionRunner::Pending {
   sim::EventId deadline_event = sim::kInvalidEventId;
 };
 
+struct AsyncConnectionRunner::LegDelivery {
+  enum class Kind : std::uint8_t {
+    kSetup,      ///< setup payload hops forward: arrive_setup(next, holder, forwarders)
+    kResponder,  ///< setup payload reaches the responder: confirmation turns around
+    kConfirm,    ///< confirmation retraces one hop: arrive_confirm(index - 1)
+  };
+  Kind kind;
+  net::NodeId holder = net::kInvalidNode;  ///< kSetup: the hop's sender (next's predecessor)
+  net::NodeId next = net::kInvalidNode;    ///< kSetup: the receiving forwarder
+  std::uint32_t forwarders = 0;            ///< kSetup: forwarder count including `next`
+  std::uint32_t index = 0;                 ///< kResponder/kConfirm: position in partial.nodes
+};
+
 void AsyncConnectionRunner::establish(net::PairId pair, std::uint32_t conn_index,
                                       net::NodeId initiator, net::NodeId responder,
                                       const Contract& contract,
@@ -114,19 +127,16 @@ void AsyncConnectionRunner::arrive_setup(std::shared_ptr<Pending> p, net::NodeId
   if (hop.delivered) {
     // Payload reaches the responder; the confirmation then retraces the
     // path in reverse.
-    const std::size_t responder_index = p->partial.nodes.size() - 1;
-    send_leg(p, holder, hop.next, [this, p, responder_index] {
-      p->relay_times.push_back(sim_.now());
-      arrive_confirm(p, responder_index);
-    });
+    LegDelivery leg{LegDelivery::Kind::kResponder};
+    leg.index = static_cast<std::uint32_t>(p->partial.nodes.size() - 1);
+    send_leg(p, holder, hop.next, leg);
     return;
   }
-  const auto next_forwarders = forwarders + 1;
-  const net::NodeId next = hop.next;
-  send_leg(p, holder, next, [this, p, holder, next, next_forwarders] {
-    p->relay_times.push_back(sim_.now());
-    arrive_setup(p, next, holder, next_forwarders);
-  });
+  LegDelivery leg{LegDelivery::Kind::kSetup};
+  leg.holder = holder;
+  leg.next = hop.next;
+  leg.forwarders = forwarders + 1;
+  send_leg(p, holder, hop.next, leg);
 }
 
 void AsyncConnectionRunner::arrive_confirm(std::shared_ptr<Pending> p,
@@ -156,13 +166,30 @@ void AsyncConnectionRunner::arrive_confirm(std::shared_ptr<Pending> p,
   }
   const net::NodeId at = p->partial.nodes[reverse_index];
   const net::NodeId towards = p->partial.nodes[reverse_index - 1];
-  send_leg(p, at, towards, [this, p, reverse_index] {
-    arrive_confirm(p, reverse_index - 1);
-  });
+  LegDelivery leg{LegDelivery::Kind::kConfirm};
+  leg.index = static_cast<std::uint32_t>(reverse_index);
+  send_leg(p, at, towards, leg);
+}
+
+void AsyncConnectionRunner::deliver_leg(const std::shared_ptr<Pending>& p,
+                                        const LegDelivery& leg) {
+  switch (leg.kind) {
+    case LegDelivery::Kind::kSetup:
+      p->relay_times.push_back(sim_.now());
+      arrive_setup(p, leg.next, leg.holder, leg.forwarders);
+      break;
+    case LegDelivery::Kind::kResponder:
+      p->relay_times.push_back(sim_.now());
+      arrive_confirm(p, leg.index);
+      break;
+    case LegDelivery::Kind::kConfirm:
+      arrive_confirm(p, leg.index - 1);
+      break;
+  }
 }
 
 void AsyncConnectionRunner::send_leg(std::shared_ptr<Pending> p, net::NodeId from,
-                                     net::NodeId to, std::function<void()> delivered) {
+                                     net::NodeId to, LegDelivery leg) {
   const std::uint32_t attempt = p->attempts;
   const std::uint64_t tid = ++p->current_tid;
   const sim::Time base = overlay_.links().transfer_time(from, to);
@@ -182,12 +209,11 @@ void AsyncConnectionRunner::send_leg(std::shared_ptr<Pending> p, net::NodeId fro
   sim::Time flight = base;
   if (faults_ != nullptr) flight += faults_->extra_delay(from, to);
 
-  sim_.schedule_in(flight, [this, p, attempt, tid, from, to,
-                            delivered = std::move(delivered)] {
+  sim_.schedule_in(flight, [this, p, attempt, tid, from, to, leg] {
     if (p->finished || !p->attempt_active || attempt != p->attempts) return;
     if (overlay_.is_online(to)) {
       send_ack(p, to, from, tid);
-      delivered();
+      deliver_leg(p, leg);
       return;
     }
     // Crashed hosts are silent (the sender's timer must expire); gracefully

@@ -105,6 +105,11 @@ class AsyncConnectionRunner {
  private:
   /// Per-establishment state, kept alive by the scheduled closures.
   struct Pending;
+  /// What to do when a leg's payload arrives — a small POD instead of a
+  /// continuation closure, so the scheduled delivery lambda fits
+  /// EventCallback's inline buffer (a nested std::function would both
+  /// heap-allocate its own capture and blow the budget).
+  struct LegDelivery;
 
   void start_attempt(std::shared_ptr<Pending> p);
   void arrive_setup(std::shared_ptr<Pending> p, net::NodeId holder, net::NodeId pred,
@@ -112,10 +117,10 @@ class AsyncConnectionRunner {
   void arrive_confirm(std::shared_ptr<Pending> p, std::size_t reverse_index);
   /// Send one leg from `from` to `to`: arms the ack timer, routes the
   /// payload through the fault injector, and classifies the receiver at
-  /// arrival (alive → ack + `delivered`; crashed → silence; gracefully
+  /// arrival (alive → ack + deliver_leg(); crashed → silence; gracefully
   /// offline → NACK).
-  void send_leg(std::shared_ptr<Pending> p, net::NodeId from, net::NodeId to,
-                std::function<void()> delivered);
+  void send_leg(std::shared_ptr<Pending> p, net::NodeId from, net::NodeId to, LegDelivery leg);
+  void deliver_leg(const std::shared_ptr<Pending>& p, const LegDelivery& leg);
   void send_ack(std::shared_ptr<Pending> p, net::NodeId from, net::NodeId to,
                 std::uint64_t tid);
   void send_nack(std::shared_ptr<Pending> p, net::NodeId from, net::NodeId to);

@@ -15,14 +15,26 @@ void HistoryProfile::remove_from_index(const HistoryEntry& entry) {
 }
 
 void HistoryProfile::record(const HistoryEntry& entry) {
-  if (capacity_ != 0 && entries_.size() == capacity_) {
-    remove_from_index(entries_.front());  // FIFO: the oldest entry leaves
-    entries_.erase(entries_.begin());
+  if (capacity_ != 0 && ring_.size() == capacity_) {
+    // FIFO: the oldest entry leaves — overwrite it in place, O(1).
+    remove_from_index(ring_[head_]);
+    ring_[head_] = entry;
+    head_ = (head_ + 1) % capacity_;
+  } else {
+    ring_.push_back(entry);
   }
-  entries_.push_back(entry);
   ++counts_.get_or_insert(edge_key(entry.pair, entry.predecessor, entry.successor));
   ++counts_.get_or_insert(position_key(entry.pair, entry.predecessor));
   ++epoch_;
+}
+
+std::vector<HistoryEntry> HistoryProfile::entries() const {
+  std::vector<HistoryEntry> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
 }
 
 std::size_t HistoryProfile::count(net::PairId pair, net::NodeId predecessor,
@@ -44,7 +56,8 @@ double HistoryProfile::selectivity(net::PairId pair, net::NodeId predecessor,
 }
 
 void HistoryProfile::clear() {
-  entries_.clear();
+  ring_.clear();
+  head_ = 0;
   counts_.clear();
   ++epoch_;
 }

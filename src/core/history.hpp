@@ -43,6 +43,8 @@ struct HistoryEntry {
 /// (0 = unbounded); eviction is FIFO — the oldest stored entry leaves first,
 /// modelling a node that only keeps recent history (an ablation knob — the
 /// paper notes the amount of stored history influences edge quality).
+/// Bounded mode stores entries in a ring buffer, so a record that evicts is
+/// O(1) (the old erase-from-front shifted the whole window per record).
 class HistoryProfile {
  public:
   explicit HistoryProfile(std::size_t capacity = 0) : capacity_(capacity) {}
@@ -63,7 +65,7 @@ class HistoryProfile {
   [[nodiscard]] double selectivity(net::PairId pair, net::NodeId predecessor,
                                    net::NodeId successor, std::uint32_t k) const;
 
-  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return ring_.size(); }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   void clear();
 
@@ -72,7 +74,11 @@ class HistoryProfile {
   /// guarantee identical selectivity answers.
   [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
 
-  [[nodiscard]] const std::vector<HistoryEntry>& entries() const noexcept { return entries_; }
+  /// Stored entries in FIFO order (oldest first). Returns a snapshot by
+  /// value: the backing store is a ring buffer, so entries are not
+  /// contiguous in eviction order once the window wraps. Cold path (tests,
+  /// diagnostics); queries go through the count indices.
+  [[nodiscard]] std::vector<HistoryEntry> entries() const;
 
  private:
   [[nodiscard]] static PackedKey edge_key(net::PairId pair, net::NodeId predecessor,
@@ -90,7 +96,11 @@ class HistoryProfile {
 
   std::size_t capacity_;
   std::uint64_t epoch_ = 0;
-  std::vector<HistoryEntry> entries_;  // FIFO order, oldest first
+  /// Ring buffer: grows like a plain vector until `capacity_` entries are
+  /// stored (head_ == 0, FIFO order is index order); once full, ring_[head_]
+  /// is the oldest entry and each record overwrites it in place.
+  std::vector<HistoryEntry> ring_;
+  std::size_t head_ = 0;
   /// Edge-key -> multiplicity, position-key -> denominator; one table keeps
   /// both so a record touches a single allocation-free index.
   PackedFlatMap<std::uint32_t> counts_;

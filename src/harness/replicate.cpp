@@ -61,6 +61,10 @@ ReplicatedResult run_replicated(const ScenarioConfig& base, std::size_t replicat
     agg.total_messages_dropped += r.messages_dropped;
     agg.total_keepalives_sent += r.keepalives_sent;
     agg.total_keepalives_delivered += r.keepalives_delivered;
+    agg.total_engine_events_scheduled += r.engine_events_scheduled;
+    agg.total_engine_events_cancelled += r.engine_events_cancelled;
+    agg.total_engine_events_fired += r.engine_events_fired;
+    agg.total_engine_callback_heap_allocs += r.engine_callback_heap_allocs;
   }
   return agg;
 }

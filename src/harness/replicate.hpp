@@ -55,6 +55,12 @@ struct ReplicatedResult {
   std::uint64_t total_keepalives_sent = 0;
   std::uint64_t total_keepalives_delivered = 0;
 
+  // --- Simulation-engine totals across replicates (see ScenarioResult).
+  std::uint64_t total_engine_events_scheduled = 0;
+  std::uint64_t total_engine_events_cancelled = 0;
+  std::uint64_t total_engine_events_fired = 0;
+  std::uint64_t total_engine_callback_heap_allocs = 0;
+
   [[nodiscard]] metrics::ConfidenceInterval good_payoff_ci(double confidence = 0.95) const {
     return metrics::confidence_interval(good_payoff, confidence);
   }

@@ -4,7 +4,6 @@
 #include <cassert>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 
 #include "core/edge_quality.hpp"
 #include "core/path.hpp"
@@ -123,22 +122,48 @@ ScenarioResult ScenarioRunner::run() const {
 
   std::uint64_t connections_completed = 0;
   metrics::Accumulator latency;
+
+  // Everything a connection launch touches, bundled so the scheduled lambda
+  // captures one pointer (plus the pair id) instead of a dozen references —
+  // small enough for EventCallback's inline buffer, so launch events do not
+  // heap-allocate.
+  struct LaunchContext {
+    const ScenarioConfig& cfg;
+    std::vector<PairPlan>& plans;
+    net::Overlay& overlay;
+    core::PathBuilder& builder;
+    core::HistoryStore& history;
+    core::StrategyAssignment& strategies;
+    core::PayoffLedger& ledger;
+    std::optional<core::AsyncConnectionRunner>& setup_runner;
+    std::optional<core::DataPhaseRunner>& data_runner;
+    ScenarioResult& result;
+    metrics::Accumulator& latency;
+    std::uint64_t& connections_completed;
+    bool fault_mode;
+  };
+  LaunchContext lctx{cfg,         plans,      overlay, builder,
+                     history,     strategies, ledger,  setup_runner,
+                     data_runner, result,     latency, connections_completed,
+                     fault_mode};
+
   auto schedule_stream = root.child("schedule");
   sim::Time last_connection_at = cfg.warmup;
   for (net::PairId pid = 0; pid < cfg.pair_count; ++pid) {
     sim::Time at = cfg.warmup + schedule_stream.uniform(0.0, cfg.pair_start_window);
     for (std::uint32_t j = 0; j < cfg.connections_per_pair; ++j) {
-      simulator.schedule_at(at, [&, pid] {
-        PairPlan& p = plans[pid];
+      simulator.schedule_at(at, [ctx = &lctx, pid] {
+        PairPlan& p = ctx->plans[pid];
         // The endpoints must be online for the connection to run; the paper's
         // recurring applications (HTTP, FTP, ...) imply an active initiator.
-        overlay.force_online(p.session->initiator());
-        overlay.force_online(p.session->responder());
-        if (!fault_mode) {
+        ctx->overlay.force_online(p.session->initiator());
+        ctx->overlay.force_online(p.session->responder());
+        if (!ctx->fault_mode) {
           const core::BuiltPath& path = p.session->run_connection(
-              builder, history, strategies, ledger, overlay, p.stream, cfg.adversary);
-          latency.add(overlay.links().path_latency(path.nodes));
-          ++connections_completed;
+              ctx->builder, ctx->history, ctx->strategies, ctx->ledger, ctx->overlay,
+              p.stream, ctx->cfg.adversary);
+          ctx->latency.add(ctx->overlay.links().path_latency(path.nodes));
+          ++ctx->connections_completed;
           return;
         }
 
@@ -148,11 +173,12 @@ ScenarioResult ScenarioRunner::run() const {
         const std::uint32_t conn = ++p.launched;
         const net::PairId wire_pair = p.session->effective_pair(conn);
         const std::uint32_t wire_index = p.session->effective_conn_index(conn);
-        setup_runner->establish(
+        ctx->setup_runner->establish(
             wire_pair, wire_index, p.session->initiator(), p.session->responder(),
-            p.session->contract(), strategies, p.stream.child("setup", conn),
-            [&, pid, conn, wire_pair, wire_index](const core::AsyncResult& r) {
-              PairPlan& plan = plans[pid];
+            p.session->contract(), ctx->strategies, p.stream.child("setup", conn),
+            [ctx, pid, conn, wire_pair, wire_index](const core::AsyncResult& r) {
+              PairPlan& plan = ctx->plans[pid];
+              ScenarioResult& result = ctx->result;
               result.setup_attempts += r.attempts;
               result.setup_ack_timeouts += r.ack_timeouts;
               result.reformations += r.attempts - 1;
@@ -161,15 +187,16 @@ ScenarioResult ScenarioRunner::run() const {
                 return;
               }
               result.setup_time.add(r.setup_time);
-              const core::BuiltPath& path =
-                  plan.session->adopt_connection(r.path, history, ledger, overlay);
-              latency.add(overlay.links().path_latency(path.nodes));
-              ++connections_completed;
-              data_runner->run(
-                  wire_pair, wire_index, path, plan.session->contract(), strategies,
+              const core::BuiltPath& path = plan.session->adopt_connection(
+                  r.path, ctx->history, ctx->ledger, ctx->overlay);
+              ctx->latency.add(ctx->overlay.links().path_latency(path.nodes));
+              ++ctx->connections_completed;
+              ctx->data_runner->run(
+                  wire_pair, wire_index, path, plan.session->contract(), ctx->strategies,
                   plan.stream.child("data", conn),
-                  [&, pid](const core::DataPhaseResult& d) {
-                    PairPlan& owner = plans[pid];
+                  [ctx, pid](const core::DataPhaseResult& d) {
+                    PairPlan& owner = ctx->plans[pid];
+                    ScenarioResult& result = ctx->result;
                     result.keepalives_sent += d.keepalives_sent;
                     result.keepalives_delivered += d.keepalives_delivered;
                     result.failures_detected += d.failures_detected;
@@ -179,8 +206,8 @@ ScenarioResult ScenarioRunner::run() const {
                       result.time_to_detect.add(lag);
                     }
                     for (const core::BuiltPath& reformed : d.reformed_paths) {
-                      (void)owner.session->adopt_connection(reformed, history, ledger,
-                                                            overlay);
+                      (void)owner.session->adopt_connection(reformed, ctx->history,
+                                                            ctx->ledger, ctx->overlay);
                     }
                   });
             });
@@ -200,6 +227,7 @@ ScenarioResult ScenarioRunner::run() const {
 
   // --- Settle every pair through the payment system.
   auto settle_stream = root.child("settle");
+  std::vector<double> member_cost;  // NodeId-indexed, re-zeroed per pair
   for (PairPlan& plan : plans) {
     core::ConnectionSetSession& session = *plan.session;
     const core::SettleOutcome outcome =
@@ -223,27 +251,18 @@ ScenarioResult ScenarioRunner::run() const {
     // Membership payoff: for every good member of this pair's forwarder set,
     // its settlement payout (m*P_f + routing share) minus the transmission
     // costs of its instances within the set and its participation cost.
-    std::unordered_map<net::NodeId, double> member_cost;
+    member_cost.assign(overlay.size(), 0.0);
     for (const core::BuiltPath& p : session.paths()) {
       for (std::size_t i = 1; i + 1 < p.nodes.size(); ++i) {
         member_cost[p.nodes[i]] +=
             overlay.links().transmission_cost(p.nodes[i], p.nodes[i + 1]);
       }
     }
-    // Ascending account order keeps floating-point accumulation (and hence
-    // replicate results) independent of hash-map iteration order.
-    std::vector<payment::AccountId> paid_accounts;
-    paid_accounts.reserve(outcome.report.payouts.size());
     for (const auto& [acct, amount] : outcome.report.payouts) {
-      (void)amount;
-      paid_accounts.push_back(acct);
-    }
-    std::sort(paid_accounts.begin(), paid_accounts.end());
-    for (payment::AccountId acct : paid_accounts) {
       const net::NodeId owner = bank.account_owner(acct);
       if (owner == net::kInvalidNode || !overlay.node(owner).is_good()) continue;
-      const double payoff = payment::to_credits(outcome.report.payouts.at(acct)) -
-                            member_cost[owner] - overlay.node(owner).participation_cost;
+      const double payoff = payment::to_credits(amount) - member_cost[owner] -
+                            overlay.node(owner).participation_cost;
       result.member_payoff.add(payoff);
       result.member_payoff_samples.push_back(payoff);
     }
@@ -257,6 +276,12 @@ ScenarioResult ScenarioRunner::run() const {
       result.forwarder_set_size.mean() > 0.0
           ? result.member_payoff.mean() / result.forwarder_set_size.mean()
           : 0.0;
+
+  const sim::EventQueue::Stats& queue_stats = simulator.queue_stats();
+  result.engine_events_scheduled = queue_stats.scheduled;
+  result.engine_events_cancelled = queue_stats.cancelled;
+  result.engine_events_fired = queue_stats.fired;
+  result.engine_callback_heap_allocs = queue_stats.callback_heap_allocs;
 
   result.connection_latency = latency;
   result.churn_events = overlay.churn_events();

@@ -139,6 +139,16 @@ struct ScenarioResult {
   metrics::Accumulator setup_time;         ///< established setups, seconds
   metrics::Accumulator time_to_detect;     ///< detection lag per failure, seconds
 
+  // --- Simulation-engine counters (EventQueue::Stats for the replicate's
+  // simulator). Deterministic: bitwise-equal runs schedule/cancel/fire the
+  // same events, so the determinism tests pin these too. The heap-alloc
+  // count is the number of scheduled callbacks that outgrew EventCallback's
+  // inline buffer — zero in steady state (see the scale bench / alloc guard).
+  std::uint64_t engine_events_scheduled = 0;
+  std::uint64_t engine_events_cancelled = 0;
+  std::uint64_t engine_events_fired = 0;
+  std::uint64_t engine_callback_heap_allocs = 0;
+
   /// Data-phase delivery ratio; 1.0 when no keepalive was ever sent (the
   /// fault-free synchronous path delivers by construction).
   [[nodiscard]] double delivery_ratio() const noexcept {

@@ -4,12 +4,20 @@
 
 namespace p2panon::net {
 
+namespace {
+
+[[nodiscard]] core::PackedKey session_key(NodeId s, NodeId u) noexcept {
+  return core::PackedKey::of(s, u);
+}
+
+}  // namespace
+
 ProbingEstimator::ProbingEstimator(Overlay& overlay, const ProbingConfig& cfg,
                                    sim::rng::Stream stream)
     : overlay_(overlay),
       cfg_(cfg),
       stream_(stream),
-      session_time_(overlay.size()),
+      total_(overlay.size(), 0.0),
       epoch_(overlay.size(), 0),
       loop_active_(overlay.size(), false) {
   assert(cfg_.period > 0.0);
@@ -33,8 +41,14 @@ void ProbingEstimator::on_churn(NodeId node, bool online) {
 
 void ProbingEstimator::on_neighbor_replaced(NodeId s, NodeId old_neighbor, NodeId /*fresh*/) {
   // Forget the departed neighbour; the fresh one is initialised on first
-  // sighting by probe(). D(s) changed, so every alpha_s(.) may have.
-  session_time_[s].erase(old_neighbor);
+  // sighting by probe(). D(s) changed, so every alpha_s(.) may have —
+  // rebuild the cached denominator over the (already updated) neighbour set.
+  session_time_.erase(session_key(s, old_neighbor));
+  double total = 0.0;
+  for (NodeId v : overlay_.neighbors(s)) {
+    if (const sim::Time* t = session_time_.find(session_key(s, v))) total += *t;
+  }
+  total_[s] = total;
   ++epoch_[s];
 }
 
@@ -50,45 +64,46 @@ void ProbingEstimator::probe(NodeId s) {
   }
   ++probes_;
   ++epoch_[s];  // session times are about to move
-  auto& times = session_time_[s];
+  // One walk both updates session times and refreshes the cached
+  // denominator. Each neighbour's own update lands before it is added, so
+  // the accumulation below is the neighbour-order sum of the final values —
+  // bit-identical to the per-query walk this cache replaced.
+  double total = 0.0;
   for (NodeId u : overlay_.neighbors(s)) {
     // What this probe *observes* — ground truth unless a fault oracle is
     // installed (probe false negatives, partitions). A neighbour observed
     // dead simply fails to accumulate session time this period.
     const bool observed_alive = oracle_ ? oracle_(s, u) : overlay_.is_online(u);
-    if (!observed_alive) continue;
-    auto it = times.find(u);
-    if (it == times.end()) {
-      // New neighbour first observed alive: t_s(u) = rand(0, T).
-      auto init_stream = stream_.child("init", (static_cast<std::uint64_t>(s) << 32) | u);
-      times.emplace(u, init_stream.uniform(0.0, cfg_.period));
-    } else {
-      it->second += cfg_.period;
+    const core::PackedKey key = session_key(s, u);
+    if (observed_alive) {
+      if (sim::Time* t = session_time_.find(key)) {
+        *t += cfg_.period;
+      } else {
+        // New neighbour first observed alive: t_s(u) = rand(0, T).
+        auto init_stream = stream_.child("init", (static_cast<std::uint64_t>(s) << 32) | u);
+        session_time_.get_or_insert(key) = init_stream.uniform(0.0, cfg_.period);
+      }
     }
+    if (const sim::Time* t = session_time_.find(key)) total += *t;
   }
+  total_[s] = total;
   start_probe_loop(s);
 }
 
 double ProbingEstimator::availability(NodeId s, NodeId u) const {
-  const auto& times = session_time_.at(s);
-  double total = 0.0;
-  for (NodeId v : overlay_.neighbors(s)) {
-    auto it = times.find(v);
-    if (it != times.end()) total += it->second;
-  }
+  const double total = total_.at(s);
   if (total <= 0.0) {
     // No observations yet: uniform prior over the neighbour set.
     const auto d = overlay_.neighbors(s).size();
     return d > 0 ? 1.0 / static_cast<double>(d) : 0.0;
   }
-  auto it = times.find(u);
-  return it == times.end() ? 0.0 : it->second / total;
+  const sim::Time* t = session_time_.find(session_key(s, u));
+  return t == nullptr ? 0.0 : *t / total;
 }
 
 sim::Time ProbingEstimator::observed_session_time(NodeId s, NodeId u) const {
-  const auto& times = session_time_.at(s);
-  auto it = times.find(u);
-  return it == times.end() ? 0.0 : it->second;
+  const sim::Time* t = session_time_.find(session_key(s, u));
+  return t == nullptr ? 0.0 : *t;
 }
 
 }  // namespace p2panon::net

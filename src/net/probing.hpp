@@ -15,9 +15,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
+#include "core/flat_hash.hpp"
 #include "net/overlay.hpp"
 #include "sim/rng.hpp"
 #include "sim/types.hpp"
@@ -45,6 +45,9 @@ class ProbingEstimator {
 
   /// alpha_s(u): s's availability estimate for neighbour u, in [0, 1].
   /// Falls back to uniform 1/|D(s)| before any session time accumulates.
+  /// O(1): the denominator sum_{v in D(s)} t_s(v) is maintained
+  /// incrementally at the two points session times mutate (probe() and
+  /// neighbour replacement) rather than re-walked per query.
   [[nodiscard]] double availability(NodeId s, NodeId u) const;
 
   /// Monotonically increasing per-node estimate epoch: bumped whenever
@@ -75,9 +78,14 @@ class ProbingEstimator {
   ProbingConfig cfg_;
   sim::rng::Stream stream_;
   ProbeOracle oracle_;  ///< empty = ground truth (fault-free baseline)
-  /// session_time_[s][u] = t_s(u). Entries exist only for current/past
-  /// neighbours of s.
-  std::vector<std::unordered_map<NodeId, sim::Time>> session_time_;
+  /// t_s(u), keyed PackedKey::of(s, u). Entries exist only for neighbours of
+  /// s that have been observed alive at least once.
+  core::PackedFlatMap<sim::Time> session_time_;
+  /// total_[s] = sum_{v in D(s)} t_s(v), the availability() denominator.
+  /// Recomputed with the same neighbour-order walk the per-query sum used to
+  /// do — at exactly the mutation points that bump epoch_[s] — so cached and
+  /// freshly-summed answers are bit-identical.
+  std::vector<double> total_;
   std::vector<std::uint64_t> epoch_;
   std::vector<bool> loop_active_;
   std::uint64_t probes_ = 0;

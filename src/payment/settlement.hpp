@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <set>
 #include <unordered_map>
@@ -68,8 +69,10 @@ struct SettlementReport {
   std::size_t accepted_claims = 0;
   std::size_t rejected_claims = 0;
   std::size_t forwarder_set_size = 0;  ///< ||pi||
-  /// Per-account payout, for auditing.
-  std::unordered_map<AccountId, Amount> payouts;
+  /// Per-account payout, for auditing. Ordered so consumers that fold the
+  /// payouts into floating-point sums iterate in ascending account order
+  /// without sorting first.
+  std::map<AccountId, Amount> payouts;
 };
 
 class SettlementEngine {

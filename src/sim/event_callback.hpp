@@ -1,0 +1,134 @@
+// Small-buffer-optimised, move-only callable for simulator events.
+//
+// Every scheduled event used to carry a std::function<void()>, whose capture
+// allocates once it outgrows the (implementation-defined, typically 16-byte)
+// inline buffer — which every model lambda does. EventCallback stores captures
+// up to kInlineSize bytes in place, so steady-state scheduling performs zero
+// per-event heap allocations; larger callables still work but fall back to the
+// heap and are counted via uses_heap() (surfaced as
+// EventQueue::Stats::callback_heap_allocs, guarded by a test).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace p2panon::sim {
+
+class EventCallback {
+ public:
+  /// Inline capture budget. Sized for the largest steady-state capture in the
+  /// model layers (async_path leg delivery / data_phase relay flight / churn
+  /// timers); grow it if the allocation-guard test starts reporting heap
+  /// fallbacks.
+  static constexpr std::size_t kInlineSize = 96;
+
+  EventCallback() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      vt_ = inline_vtable<Fn>();
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      vt_ = heap_vtable<Fn>();
+    }
+  }
+
+  EventCallback(EventCallback&& other) noexcept : vt_(other.vt_) {
+    if (vt_ != nullptr) {
+      vt_->relocate(storage_, other.storage_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  EventCallback& operator=(EventCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      vt_ = other.vt_;
+      if (vt_ != nullptr) {
+        vt_->relocate(storage_, other.storage_);
+        other.vt_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+
+  ~EventCallback() { reset(); }
+
+  void operator()() {
+    vt_->invoke(storage_);
+  }
+
+  /// Destroy the held callable (no-op when empty).
+  void reset() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(storage_);
+      vt_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+  /// True when the held callable outgrew the inline buffer.
+  [[nodiscard]] bool uses_heap() const noexcept {
+    return vt_ != nullptr && vt_->heap;
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void* storage);
+    // Move-construct into dst from src, then destroy src's residue. All held
+    // types are nothrow-movable (enforced below), so relocation can't throw.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+    bool heap;
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineSize && alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static const VTable* inline_vtable() {
+    static constexpr VTable vt{
+        [](void* s) { (*static_cast<Fn*>(s))(); },
+        [](void* dst, void* src) noexcept {
+          ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+          static_cast<Fn*>(src)->~Fn();
+        },
+        [](void* s) noexcept { static_cast<Fn*>(s)->~Fn(); },
+        /*heap=*/false,
+    };
+    return &vt;
+  }
+
+  template <typename Fn>
+  static const VTable* heap_vtable() {
+    static constexpr VTable vt{
+        [](void* s) { (**static_cast<Fn**>(s))(); },
+        [](void* dst, void* src) noexcept {
+          ::new (dst) Fn*(*static_cast<Fn**>(src));
+        },
+        [](void* s) noexcept { delete *static_cast<Fn**>(s); },
+        /*heap=*/true,
+    };
+    return &vt;
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  const VTable* vt_ = nullptr;
+};
+
+}  // namespace p2panon::sim

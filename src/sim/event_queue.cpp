@@ -5,69 +5,100 @@
 
 namespace p2panon::sim {
 
+std::uint32_t EventQueue::acquire_slot() {
+  std::uint32_t idx;
+  if (free_head_ != kNoFreeSlot) {
+    idx = free_head_;
+    free_head_ = slots_[idx].next_free;
+  } else {
+    assert(slots_.size() < kNoFreeSlot && "slot index space exhausted");
+    idx = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[idx];
+  ++s.gen;
+  if (s.gen == 0) ++s.gen;  // gen 0 never names a live event (id 0 is invalid)
+  s.live = true;
+  return idx;
+}
+
+void EventQueue::release_slot(std::uint32_t slot) noexcept {
+  Slot& s = slots_[slot];
+  s.live = false;
+  s.fn.reset();
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
 EventId EventQueue::schedule(Time at, EventFn fn) {
   assert(fn && "scheduling an empty event");
-  const EventId id = next_id_++;
-  heap_.emplace_back(at, next_seq_++, id, std::move(fn));
+  ++stats_.scheduled;
+  if (fn.uses_heap()) ++stats_.callback_heap_allocs;
+  const std::uint32_t slot = acquire_slot();
+  slots_[slot].fn = std::move(fn);
+  heap_.push_back(HeapEntry{at, next_seq_++, slot, slots_[slot].gen});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++live_count_;
-  return id;
+  return make_id(slot, slots_[slot].gen);
 }
 
 bool EventQueue::cancel(EventId id) {
-  if (id == kInvalidEventId || id >= next_id_) return false;
-  // An id is live iff it is in the heap and not already cancelled. We cannot
-  // cheaply test heap membership, so track cancellations and let pop() and
-  // size accounting reconcile: double-cancel and cancel-after-fire are
-  // detected via the cancelled set and fired ids.
-  auto [it, inserted] = cancelled_.insert(id);
-  (void)it;
-  if (!inserted) return false;  // already cancelled
-  // If the id already fired, pop() removed it from the heap; detect that by
-  // scanning being too slow, we instead rely on pop() erasing fired ids from
-  // cancelled_ lazily. To keep the API honest we verify liveness here:
-  bool present = std::any_of(heap_.begin(), heap_.end(),
-                             [id](const Entry& e) { return e.id == id; });
-  if (!present) {
-    cancelled_.erase(id);
-    return false;
-  }
+  const auto slot = static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size()) return false;
+  const Slot& s = slots_[slot];
+  if (!s.live || s.gen != gen) return false;  // fired, cancelled, or recycled
+  release_slot(slot);
   --live_count_;
+  ++stats_.cancelled;
+  // The heap entry stays behind; drop_stale_tops() discards it when it
+  // surfaces (its generation no longer matches the slot's).
   return true;
 }
 
-void EventQueue::skip_cancelled() const {
-  // Note: physically removing cancelled heads; logically const (live set
-  // unchanged; heap_ and cancelled_ are mutable bookkeeping). Erasing the id
-  // from cancelled_ here matters beyond memory: ids are never reused, so a
-  // stale entry can't misfire, but the set would otherwise grow with every
-  // cancellation for the lifetime of the run.
-  while (!heap_.empty() && cancelled_.count(heap_.front().id) != 0) {
-    cancelled_.erase(heap_.front().id);
+void EventQueue::drop_stale_tops() const {
+  while (!heap_.empty() && !entry_live(heap_.front())) {
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     heap_.pop_back();
   }
 }
 
 Time EventQueue::next_time() const noexcept {
-  skip_cancelled();
+  drop_stale_tops();
   return heap_.empty() ? kTimeInfinity : heap_.front().time;
 }
 
 EventQueue::Popped EventQueue::pop() {
-  skip_cancelled();
+  drop_stale_tops();
   assert(!heap_.empty() && "pop() on empty EventQueue");
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Entry e = std::move(heap_.back());
+  const HeapEntry e = heap_.back();
   heap_.pop_back();
+  Popped out{e.time, make_id(e.slot, e.gen), std::move(slots_[e.slot].fn)};
+  // Free the slot before the caller runs the callback: the event is spent,
+  // so cancel() of its own id from inside the callback reports false.
+  release_slot(e.slot);
   --live_count_;
-  return Popped{e.time, e.id, std::move(e.fn)};
+  ++stats_.fired;
+  return out;
 }
 
 void EventQueue::clear() {
   heap_.clear();
-  cancelled_.clear();
+  // Rebuild the free list over every slot. Generations are preserved (and
+  // bumped on reuse), so ids handed out before clear() can never alias a
+  // post-clear event.
+  free_head_ = kNoFreeSlot;
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    Slot& s = slots_[i];
+    s.live = false;
+    s.fn.reset();
+    s.next_free = free_head_;
+    free_head_ = i;
+  }
   live_count_ = 0;
+  next_seq_ = 0;
+  stats_ = Stats{};
 }
 
 }  // namespace p2panon::sim

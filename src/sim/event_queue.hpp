@@ -1,23 +1,43 @@
 // Pending-event set for the discrete-event simulator.
 //
-// A binary heap keyed by (time, sequence number): ties in time are broken by
-// insertion order, which makes runs independent of heap internals and hence
-// reproducible. Cancellation is lazy: cancelled entries stay in the heap and
-// are skipped on pop, which keeps cancel O(1).
+// A binary heap keyed by (time, sequence number) orders execution: ties in
+// time are broken by insertion order, which makes runs independent of heap
+// internals and hence reproducible. Callbacks live in a generation-checked
+// slot map; the heap holds only light (time, seq, slot, gen) records. An
+// EventId encodes (generation << 32 | slot), so cancel() is O(1): decode,
+// compare generations, drop the callback. The heap entry of a cancelled event
+// stays behind and is skipped when it surfaces at the top.
+//
+// Cancellation semantics (tested in tests/sim/test_event_queue.cpp):
+//  - cancel() returns true exactly once, and only if the event had not yet
+//    fired: the slot is freed and the callback destroyed immediately.
+//  - cancel-after-fire returns false: pop() frees the slot before the caller
+//    runs the callback, so from the callback's perspective the event no
+//    longer exists.
+//  - double-cancel returns false: the first cancel frees the slot.
+//  - cancel-inside-own-callback returns false (the mid-pop() window): the
+//    event is already spent once pop() has returned it, even though the
+//    callback has not finished running.
+//  - cancel-other-from-callback behaves normally: cancelling a different
+//    pending event from inside a running callback returns true and the
+//    victim never fires.
+//  - stale ids never alias: a slot's generation is bumped on reuse (and
+//    generation 0 is skipped on wrap), so an id from a fired or cancelled
+//    event keeps returning false even after its slot is recycled — including
+//    across clear().
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/event_callback.hpp"
 #include "sim/types.hpp"
 
 namespace p2panon::sim {
 
 /// An event is an opaque callback executed at its scheduled time.
-using EventFn = std::function<void()>;
+using EventFn = EventCallback;
 
 class EventQueue {
  public:
@@ -26,11 +46,22 @@ class EventQueue {
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
+  /// Engine-health counters, monotone over the queue's lifetime (reset() by
+  /// clear()). callback_heap_allocs counts scheduled callbacks whose capture
+  /// outgrew EventCallback's inline buffer — zero in steady state.
+  struct Stats {
+    std::uint64_t scheduled = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t fired = 0;
+    std::uint64_t callback_heap_allocs = 0;
+  };
+
   /// Schedule `fn` at absolute time `at`. Returns a handle for cancel().
   EventId schedule(Time at, EventFn fn);
 
-  /// Cancel a previously scheduled event. Returns false if the event has
-  /// already fired, been cancelled, or never existed.
+  /// Cancel a previously scheduled event in O(1). Returns false if the event
+  /// has already fired, been cancelled, or never existed (see the semantics
+  /// block above).
   bool cancel(EventId id);
 
   /// True when no live (non-cancelled) events remain.
@@ -43,6 +74,9 @@ class EventQueue {
   [[nodiscard]] Time next_time() const noexcept;
 
   /// Pop and return the earliest live event. Precondition: !empty().
+  /// The event's slot is freed before this returns: cancel(id) for the popped
+  /// id answers false from here on, and the id may be reused by a later
+  /// schedule() (under a fresh generation).
   struct Popped {
     Time time;
     EventId id;
@@ -50,32 +84,60 @@ class EventQueue {
   };
   Popped pop();
 
-  /// Drop everything.
+  /// Drop everything and zero the stats. Outstanding ids stay dead: slot
+  /// generations survive and are bumped on reuse as usual.
   void clear();
 
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
  private:
-  struct Entry {
+  struct Slot {
+    EventCallback fn;
+    std::uint32_t gen = 0;       // bumped on allocation; 0 is never live
+    std::uint32_t next_free = 0; // free-list link, valid while not live
+    bool live = false;
+  };
+
+  struct HeapEntry {
     Time time;
     std::uint64_t seq;  // tie-break: FIFO among equal times
-    EventId id;
-    EventFn fn;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
 
   // Min-heap ordering on (time, seq).
   struct Later {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const noexcept {
       if (a.time != b.time) return a.time > b.time;
       return a.seq > b.seq;
     }
   };
 
-  void skip_cancelled() const;
+  static constexpr std::uint32_t kNoFreeSlot = 0xFFFFFFFFu;
 
-  mutable std::vector<Entry> heap_;
-  mutable std::unordered_set<EventId> cancelled_;
+  static EventId make_id(std::uint32_t slot, std::uint32_t gen) noexcept {
+    return (static_cast<EventId>(gen) << 32) | slot;
+  }
+
+  [[nodiscard]] bool entry_live(const HeapEntry& e) const noexcept {
+    const Slot& s = slots_[e.slot];
+    return s.live && s.gen == e.gen;
+  }
+
+  // Physically remove heap entries of cancelled events as they surface.
+  // Logically const: the live set is unchanged (heap_ is mutable
+  // bookkeeping, slots are not touched).
+  void drop_stale_tops() const;
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot) noexcept;
+
+  mutable std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoFreeSlot;
   std::size_t live_count_ = 0;
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;  // 0 is kInvalidEventId
+  Stats stats_;
 };
 
 }  // namespace p2panon::sim

@@ -25,6 +25,12 @@ class Simulator {
   /// Number of events executed so far.
   [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }
 
+  /// Engine counters (events scheduled/cancelled/fired, callback heap
+  /// fallbacks) since construction or the last reset().
+  [[nodiscard]] const EventQueue::Stats& queue_stats() const noexcept {
+    return queue_.stats();
+  }
+
   /// Schedule `fn` to run `delay` seconds from now (delay >= 0).
   EventId schedule_in(Time delay, EventFn fn);
 

@@ -58,7 +58,9 @@ TEST(FaultInjector, AllOffInjectsNothing) {
       EXPECT_FALSE(f.drop_message(a, b));
       EXPECT_DOUBLE_EQ(f.extra_delay(a, b), 0.0);
       EXPECT_FALSE(f.partitioned(a, b));
-      if (o.is_online(b)) EXPECT_TRUE(f.probe_observation(a, b));
+      if (o.is_online(b)) {
+        EXPECT_TRUE(f.probe_observation(a, b));
+      }
     }
   }
   EXPECT_EQ(f.messages_dropped(), 0u);

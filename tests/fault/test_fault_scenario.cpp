@@ -61,7 +61,9 @@ TEST(FaultScenario, SoakCompletesUnderCombinedFaults) {
   EXPECT_GT(r.failures_detected, 0u);
   EXPECT_LE(r.time_to_detect.count(),
             static_cast<std::size_t>(r.failures_detected));
-  if (r.time_to_detect.count() > 0) EXPECT_GT(r.time_to_detect.mean(), 0.0);
+  if (r.time_to_detect.count() > 0) {
+    EXPECT_GT(r.time_to_detect.mean(), 0.0);
+  }
 
   // Economic invariants hold even when connections die mid-flight.
   EXPECT_TRUE(r.payment_conserved);

@@ -89,6 +89,11 @@ void expect_same_results(const ReplicatedResult& a, const ReplicatedResult& b) {
   expect_biteq(a.setup_time.mean(), b.setup_time.mean(), "setup_time.mean");
   expect_biteq(a.setup_time.variance(), b.setup_time.variance(), "setup_time.var");
   expect_biteq(a.time_to_detect.mean(), b.time_to_detect.mean(), "time_to_detect.mean");
+  // Engine counters: identical runs schedule/cancel/fire the same events.
+  EXPECT_EQ(a.total_engine_events_scheduled, b.total_engine_events_scheduled);
+  EXPECT_EQ(a.total_engine_events_cancelled, b.total_engine_events_cancelled);
+  EXPECT_EQ(a.total_engine_events_fired, b.total_engine_events_fired);
+  EXPECT_EQ(a.total_engine_callback_heap_allocs, b.total_engine_callback_heap_allocs);
 }
 
 ScenarioConfig faulty_stress_config(std::uint64_t seed = 23) {

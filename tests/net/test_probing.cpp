@@ -194,7 +194,9 @@ TEST(Probing, OracleFalseNegativesFreezeSessionTimes) {
   s.run_until(sim::hours(8.0));
   EXPECT_GT(probing.probes_performed(), 0u);
   for (NodeId id = 0; id < o.size(); ++id) {
-    if (o.is_online(id)) EXPECT_GT(probing.epoch(id), 0u);
+    if (o.is_online(id)) {
+      EXPECT_GT(probing.epoch(id), 0u);
+    }
     for (NodeId nb : o.neighbors(id)) {
       EXPECT_DOUBLE_EQ(probing.observed_session_time(id, nb), 0.0);
     }

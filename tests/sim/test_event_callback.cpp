@@ -1,0 +1,108 @@
+#include "sim/event_callback.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+using p2panon::sim::EventCallback;
+
+TEST(EventCallback, DefaultIsEmpty) {
+  EventCallback cb;
+  EXPECT_FALSE(static_cast<bool>(cb));
+  EXPECT_FALSE(cb.uses_heap());
+}
+
+TEST(EventCallback, SmallCaptureStaysInline) {
+  int hits = 0;
+  EventCallback cb([&hits] { ++hits; });
+  EXPECT_TRUE(static_cast<bool>(cb));
+  EXPECT_FALSE(cb.uses_heap());
+  cb();
+  cb();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(EventCallback, CaptureAtInlineLimitStaysInline) {
+  // A capture filling the budget exactly (payload + one reference).
+  struct Exact {
+    char bytes[EventCallback::kInlineSize - sizeof(void*)] = {};
+  } exact;
+  exact.bytes[0] = 3;
+  int sum = 0;
+  EventCallback cb([exact, &sum] { sum += exact.bytes[0]; });
+  EXPECT_FALSE(cb.uses_heap());
+  cb();
+  EXPECT_EQ(sum, 3);
+}
+
+TEST(EventCallback, OversizedCaptureFallsBackToHeap) {
+  struct Big {
+    char bytes[EventCallback::kInlineSize + 1] = {};
+  } big;
+  big.bytes[EventCallback::kInlineSize] = 5;
+  int seen = 0;
+  EventCallback cb([big, &seen] { seen = big.bytes[EventCallback::kInlineSize]; });
+  EXPECT_TRUE(cb.uses_heap());
+  cb();
+  EXPECT_EQ(seen, 5);
+}
+
+TEST(EventCallback, MoveTransfersOwnership) {
+  int hits = 0;
+  EventCallback a([&hits] { ++hits; });
+  EventCallback b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+
+  EventCallback c;
+  c = std::move(b);
+  ASSERT_TRUE(static_cast<bool>(c));
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(EventCallback, MoveOnlyCapturesWork) {
+  auto owned = std::make_unique<int>(11);
+  int seen = 0;
+  EventCallback cb([owned = std::move(owned), &seen] { seen = *owned; });
+  EXPECT_FALSE(cb.uses_heap());  // unique_ptr fits inline
+  cb();
+  EXPECT_EQ(seen, 11);
+}
+
+TEST(EventCallback, DestructorReleasesCapture) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  {
+    EventCallback cb([token = std::move(token)] { (void)token; });
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(EventCallback, ResetReleasesCaptureAndEmpties) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  EventCallback cb([token = std::move(token)] { (void)token; });
+  cb.reset();
+  EXPECT_TRUE(watch.expired());
+  EXPECT_FALSE(static_cast<bool>(cb));
+}
+
+TEST(EventCallback, HeapCaptureDestroyedOnMoveAssignOver) {
+  struct Big {
+    std::shared_ptr<int> token;
+    char pad[EventCallback::kInlineSize] = {};
+  };
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  EventCallback cb(
+      [big = Big{std::move(token), {}}] { (void)big; });
+  EXPECT_TRUE(cb.uses_heap());
+  cb = EventCallback([] {});
+  EXPECT_TRUE(watch.expired());
+}

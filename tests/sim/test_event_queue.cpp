@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 using p2panon::sim::EventQueue;
@@ -156,4 +157,144 @@ TEST(EventQueue, InterleavedCancelStress) {
   while (!q.empty()) q.pop().fn();
   EXPECT_EQ(fired + cancelled, 100);
   EXPECT_EQ(cancelled, 34);
+}
+
+// --- The exact cancellation semantics documented in event_queue.hpp.
+
+TEST(EventQueueCancelSemantics, CancelInsideOwnCallbackReturnsFalse) {
+  // Once pop() has handed an event out, it is spent — even while its own
+  // callback is still on the stack (the "mid-pop() window").
+  EventQueue q;
+  p2panon::sim::EventId self = p2panon::sim::kInvalidEventId;
+  bool cancel_result = true;
+  self = q.schedule(1.0, [&] { cancel_result = q.cancel(self); });
+  q.pop().fn();
+  EXPECT_FALSE(cancel_result);
+}
+
+TEST(EventQueueCancelSemantics, CancelOtherFromCallbackPreventsIt) {
+  EventQueue q;
+  bool victim_fired = false;
+  bool cancel_result = false;
+  const auto victim = q.schedule(2.0, [&] { victim_fired = true; });
+  q.schedule(1.0, [&] { cancel_result = q.cancel(victim); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_TRUE(cancel_result);
+  EXPECT_FALSE(victim_fired);
+}
+
+TEST(EventQueueCancelSemantics, ScheduleFromCallbackRuns) {
+  EventQueue q;
+  bool late_fired = false;
+  q.schedule(1.0, [&] { q.schedule(2.0, [&] { late_fired = true; }); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_TRUE(late_fired);
+}
+
+TEST(EventQueueCancelSemantics, StaleIdAfterSlotReuseReturnsFalse) {
+  // A fired event's slot may be recycled by a later schedule(); the old id
+  // must keep answering false and must never cancel the new occupant.
+  EventQueue q;
+  const auto old_id = q.schedule(1.0, [] {});
+  q.pop();
+  bool fired = false;
+  const auto new_id = q.schedule(2.0, [&] { fired = true; });
+  EXPECT_NE(old_id, new_id);  // generation distinguishes the reuse
+  EXPECT_FALSE(q.cancel(old_id));
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().fn();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueueCancelSemantics, PreClearIdsStayDeadAfterClear) {
+  EventQueue q;
+  const auto id = q.schedule(1.0, [] {});
+  q.clear();
+  EXPECT_FALSE(q.cancel(id));
+  bool fired = false;
+  q.schedule(1.0, [&] { fired = true; });
+  EXPECT_FALSE(q.cancel(id));  // still the pre-clear generation
+  q.pop().fn();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueueCancelSemantics, CancelledSlotReusedKeepsOrdering) {
+  // Reusing a cancelled event's slot must not disturb (time, seq) order.
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] { order.push_back(1); });
+  const auto dead = q.schedule(1.0, [&] { order.push_back(-1); });
+  q.schedule(1.0, [&] { order.push_back(2); });
+  EXPECT_TRUE(q.cancel(dead));
+  q.schedule(1.0, [&] { order.push_back(3); });  // likely reuses dead's slot
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueStats, CountsScheduledCancelledFired) {
+  EventQueue q;
+  const auto a = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  q.schedule(3.0, [] {});
+  EXPECT_TRUE(q.cancel(a));
+  EXPECT_FALSE(q.cancel(a));  // failed cancels are not counted
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(q.stats().scheduled, 3u);
+  EXPECT_EQ(q.stats().cancelled, 1u);
+  EXPECT_EQ(q.stats().fired, 2u);
+  EXPECT_EQ(q.stats().callback_heap_allocs, 0u);
+}
+
+TEST(EventQueueStats, OversizedCaptureCountsAsHeapFallback) {
+  EventQueue q;
+  struct Big {
+    char bytes[p2panon::sim::EventCallback::kInlineSize + 1] = {};
+  } big;
+  q.schedule(1.0, [big] { (void)big; });
+  EXPECT_EQ(q.stats().callback_heap_allocs, 1u);
+  q.pop().fn();
+}
+
+TEST(EventQueueStress, MillionEventScheduleCancelPop) {
+  // ~1M events through interleaved schedule/cancel/pop with a pending set in
+  // the thousands — the cancel-heavy fault-mode shape. With the old
+  // O(pending) cancel this test is quadratic; with the slot map it is
+  // effectively instant, so a ctest timeout doubles as a complexity guard.
+  EventQueue q;
+  constexpr int kEvents = 1'000'000;
+  std::uint64_t rng = 42;
+  auto next = [&rng] {
+    rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+    return rng >> 33;
+  };
+  std::vector<p2panon::sim::EventId> pending_ids;
+  pending_ids.reserve(4096);
+  double now = 0.0;
+  std::uint64_t fired = 0;
+  std::uint64_t cancelled = 0;
+  int scheduled = 0;
+  while (scheduled < kEvents || !q.empty()) {
+    const std::uint64_t r = next();
+    const auto op = static_cast<int>(r % 4);
+    if (op == 1 && !pending_ids.empty()) {
+      // Cancel a pseudo-random previously issued id (may already be spent).
+      if (q.cancel(pending_ids[r % pending_ids.size()])) ++cancelled;
+    } else if (op >= 2 && scheduled < kEvents) {
+      const double at = now + 1.0 + static_cast<double>(r % 1000);
+      pending_ids.push_back(q.schedule(at, [&fired] { ++fired; }));
+      ++scheduled;
+    } else if (!q.empty()) {
+      auto ev = q.pop();
+      EXPECT_GE(ev.time, now);
+      now = ev.time;
+      ev.fn();
+    }
+    if (pending_ids.size() >= 4096) pending_ids.clear();
+  }
+  EXPECT_EQ(fired + cancelled, static_cast<std::uint64_t>(kEvents));
+  EXPECT_EQ(q.stats().scheduled, static_cast<std::uint64_t>(kEvents));
+  EXPECT_EQ(q.stats().fired, fired);
+  EXPECT_EQ(q.stats().cancelled, cancelled);
+  EXPECT_EQ(q.stats().callback_heap_allocs, 0u);
+  EXPECT_GT(cancelled, static_cast<std::uint64_t>(kEvents) / 20);
 }

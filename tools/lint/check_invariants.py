@@ -5,7 +5,8 @@ Three rule families that clang-tidy cannot express, keyed to contracts this
 codebase actually depends on:
 
 R1 determinism
-    ``src/core``, ``src/sim`` and ``src/harness`` must be bitwise-deterministic
+    ``src/core``, ``src/sim``, ``src/net``, ``src/harness`` and ``src/fault``
+    must be bitwise-deterministic
     in the scenario seed: every figure in EXPERIMENTS.md assumes that replaying
     a seed replays the run. Any ambient-entropy source — ``rand()``,
     ``std::random_device``, wall-clock reads — silently breaks that, usually
@@ -56,7 +57,7 @@ from typing import Iterator, List, Optional, Tuple
 # R1 configuration
 # --------------------------------------------------------------------------
 
-DETERMINISM_DIRS = ("src/core", "src/sim", "src/harness", "src/fault")
+DETERMINISM_DIRS = ("src/core", "src/sim", "src/net", "src/harness", "src/fault")
 
 # Patterns are matched against comment- and string-stripped source, so prose
 # like "initialised to rand(0, T)" in a doc comment never trips them.
@@ -86,13 +87,13 @@ EPOCH_GUARDS = [
     {
         "cls": "HistoryProfile",
         "files": ("src/core/history.hpp", "src/core/history.cpp"),
-        "state": ("entries_", "counts_"),
+        "state": ("ring_", "head_", "counts_"),
         "epoch": re.compile(r"(\+\+\s*epoch_|epoch_\s*(\[[^]]*\]\s*)?(\+\+|\+=|=))"),
     },
     {
         "cls": "ProbingEstimator",
         "files": ("src/net/probing.hpp", "src/net/probing.cpp"),
-        "state": ("session_time_",),
+        "state": ("session_time_", "total_"),
         "epoch": re.compile(r"(\+\+\s*epoch_|epoch_\s*(\[[^]]*\]\s*)?(\+\+|\+=|=))"),
     },
     {
