@@ -1,0 +1,175 @@
+// Chaos sweep for the crash-tolerant settlement lifecycle: hundreds of
+// randomized, seeded fault schedules, each a full scenario whose settlement
+// phase runs under a different mix of lost/delayed claims, initiator and
+// forwarder crashes, deadlines — and (on most schedules) message-plane
+// faults underneath. After every schedule the money-conservation invariants
+// are checked exactly, in integer milli-credits:
+//
+//   C1  bank money + outstanding coins unchanged end to end;
+//   C2  every settlement terminal (Closed | Abandoned | Expired), none open;
+//   C3  escrow in == payouts + refunds (no residuals: every terminalisation
+//       drains its escrow one way or the other);
+//   C4  bank-side audit journal reconciles against node-side settlement
+//       reports (replay rebuilds the bank state; per-account escrow payouts
+//       and refund totals match the reports) — the double-pay detector;
+//   C5  claims that raced past a terminal settlement were refused, and an
+//       expired settlement refunded everything it took in.
+//
+// Any violated invariant names the schedule (its seed reproduces the run
+// bit for bit) and exits non-zero, so the ctest `chaos` label is a gate.
+//
+//   ./chaos_settlement [seed] [schedules]     (default 42, 200)
+//
+// Summary counters are written to BENCH_chaos_settlement.json (in
+// $P2PANON_CSV_DIR when set, else the cwd).
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "harness/scenario.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using namespace p2panon;
+
+/// One randomized fault schedule. Every knob is drawn from the schedule's
+/// own stream child, so schedule i of seed s is a fixed, replayable world.
+harness::ScenarioConfig schedule_config(std::uint64_t seed, std::uint64_t index) {
+  sim::rng::Stream draw = sim::rng::Stream(seed).child("chaos-schedule", index);
+
+  harness::ScenarioConfig cfg;
+  cfg.seed = seed * 1000003 + index;  // distinct scenario universe per schedule
+  cfg.overlay.node_count = 16;
+  cfg.overlay.degree = 4;
+  cfg.pair_count = 5;
+  cfg.connections_per_pair = 3;
+  cfg.warmup = sim::minutes(20.0);
+  cfg.pair_start_window = sim::minutes(30.0);
+
+  // Bank plane: always chaotic (this is the subject under test).
+  cfg.fault.bank.claim_loss = draw.uniform(0.0, 0.5);
+  cfg.fault.bank.claim_delay_mean = draw.uniform(0.0, sim::minutes(10.0));
+  cfg.fault.bank.initiator_crash = draw.uniform(0.0, 0.6);
+  cfg.fault.bank.forwarder_crash = draw.uniform(0.0, 0.4);
+  cfg.fault.bank.claim_deadline = draw.uniform(sim::minutes(5.0), sim::minutes(30.0));
+  cfg.fault.bank.close_after = draw.uniform(sim::minutes(1.0), sim::minutes(15.0));
+  cfg.fault.bank.claim_spread = draw.uniform(30.0, sim::minutes(8.0));
+  cfg.fault.bank.lifecycle = true;  // lifecycle on even if every draw above is ~0
+
+  // Message/liveness plane underneath, on 3 of 4 schedules; the rest isolate
+  // the bank plane on the synchronous data path.
+  if (index % 4 != 3) {
+    cfg.fault.link_loss = draw.uniform(0.0, 0.08);
+    cfg.fault.delay_jitter = draw.uniform(0.0, 0.4);
+    cfg.fault.crash_rate_per_hour = draw.uniform(0.0, 6.0);
+    // Half of these worlds never let a crashed node back up.
+    cfg.fault.crash_recovery_mean =
+        draw.bernoulli(0.5) ? 0.0 : draw.uniform(sim::minutes(2.0), sim::minutes(15.0));
+    cfg.fault.probe_false_negative = draw.uniform(0.0, 0.15);
+    cfg.async_setup.attempt_deadline = sim::minutes(3.0);
+    cfg.data_phase.duration = 60.0;
+    cfg.data_phase.keepalive_interval = 10.0;
+  }
+  return cfg;
+}
+
+struct Tally {
+  std::uint64_t schedules = 0;
+  std::uint64_t closed = 0;
+  std::uint64_t abandoned = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t prorata = 0;
+  std::uint64_t claims_submitted = 0;
+  std::uint64_t claims_lost = 0;
+  std::uint64_t claims_rejected = 0;
+  std::uint64_t claims_after_terminal = 0;
+  std::int64_t escrow_milli = 0;
+  std::int64_t paid_milli = 0;
+  std::int64_t refunded_milli = 0;
+};
+
+void write_json(const Tally& t) {
+  std::filesystem::path dir = std::filesystem::current_path();
+  if (const char* csv_dir = std::getenv("P2PANON_CSV_DIR")) {
+    std::error_code ec;
+    std::filesystem::create_directories(csv_dir, ec);
+    if (!ec) dir = csv_dir;
+  }
+  const std::filesystem::path out_path = dir / "BENCH_chaos_settlement.json";
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "BENCH_chaos_settlement.json: cannot open " << out_path << "\n";
+    return;
+  }
+  out << "{\n"
+      << "  \"schedules\": " << t.schedules << ",\n"
+      << "  \"settlements_closed\": " << t.closed << ",\n"
+      << "  \"settlements_abandoned\": " << t.abandoned << ",\n"
+      << "  \"settlements_expired\": " << t.expired << ",\n"
+      << "  \"settlements_prorata\": " << t.prorata << ",\n"
+      << "  \"claims_submitted\": " << t.claims_submitted << ",\n"
+      << "  \"claims_lost\": " << t.claims_lost << ",\n"
+      << "  \"claims_rejected\": " << t.claims_rejected << ",\n"
+      << "  \"claims_after_terminal\": " << t.claims_after_terminal << ",\n"
+      << "  \"escrow_milli\": " << t.escrow_milli << ",\n"
+      << "  \"paid_milli\": " << t.paid_milli << ",\n"
+      << "  \"refunded_milli\": " << t.refunded_milli << ",\n"
+      << "  \"conserved\": true,\n"
+      << "  \"reconciled\": true\n"
+      << "}\n";
+  std::cout << "wrote " << out_path.string() << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  const std::uint64_t schedules = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 200;
+
+  Tally tally;
+  for (std::uint64_t i = 0; i < schedules; ++i) {
+    const harness::ScenarioConfig cfg = schedule_config(seed, i);
+    const harness::ScenarioResult r = harness::ScenarioRunner(cfg).run();
+    auto fail = [&](const char* what) {
+      std::cerr << "chaos schedule " << i << " (seed " << seed << "): " << what << "\n";
+      std::exit(1);
+    };
+
+    if (!r.payment_conserved) fail("C1: bank money + outstanding coins not conserved");
+    const std::uint64_t terminal =
+        r.settlements_closed + r.settlements_abandoned + r.settlements_expired;
+    if (terminal != cfg.pair_count) fail("C2: a settlement never terminalised");
+    if (r.settlement_escrow_milli != r.settlement_paid_milli + r.settlement_refunded_milli) {
+      fail("C3: escrow in != payouts + refunds (residual money)");
+    }
+    if (!r.settlement_reconciled) fail("C4: audit journal does not reconcile with reports");
+    if (r.settlements_expired > 0 && r.settlement_refunded_milli <= 0) {
+      fail("C5: expired settlements must refund");
+    }
+
+    tally.schedules += 1;
+    tally.closed += r.settlements_closed;
+    tally.abandoned += r.settlements_abandoned;
+    tally.expired += r.settlements_expired;
+    tally.prorata += r.settlements_prorata;
+    tally.claims_submitted += r.claims_submitted;
+    tally.claims_lost += r.claims_lost;
+    tally.claims_rejected += r.claims_rejected;
+    tally.claims_after_terminal += r.claims_after_terminal;
+    tally.escrow_milli += r.settlement_escrow_milli;
+    tally.paid_milli += r.settlement_paid_milli;
+    tally.refunded_milli += r.settlement_refunded_milli;
+  }
+
+  std::cout << "chaos settlement sweep: " << tally.schedules << " schedules, "
+            << tally.closed << " closed / " << tally.abandoned << " abandoned ("
+            << tally.prorata << " pro-rata) / " << tally.expired << " expired; "
+            << tally.claims_submitted << " claims (" << tally.claims_lost << " lost, "
+            << tally.claims_rejected << " rejected, " << tally.claims_after_terminal
+            << " after-terminal); all invariants held\n";
+  write_json(tally);
+  return 0;
+}

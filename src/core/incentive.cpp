@@ -151,26 +151,46 @@ double ConnectionSetSession::path_quality() const noexcept {
   return average_path_length() / static_cast<double>(forwarder_set_.size());
 }
 
-SettleOutcome ConnectionSetSession::settle(payment::Bank& bank,
-                                           payment::SettlementEngine& engine,
-                                           PayoffLedger& ledger, const net::Overlay& overlay,
-                                           sim::rng::Stream& stream) {
+void ConnectionSetSession::mark_completed(std::uint32_t conn_index) {
+  assert(track_completion_ && "completion marks require tracking mode");
+  assert(conn_index >= 1 && conn_index <= paths_.size());
+  if (completed_.size() < paths_.size()) completed_.resize(paths_.size(), false);
+  completed_[conn_index - 1] = true;
+}
+
+std::size_t ConnectionSetSession::completed_connections() const noexcept {
+  if (!track_completion_) return paths_.size();
+  std::size_t n = 0;
+  for (std::size_t j = 0; j < completed_.size(); ++j) {
+    if (completed_[j]) ++n;
+  }
+  return n;
+}
+
+PreparedSettlement ConnectionSetSession::open_settlement(payment::Bank& bank,
+                                                         payment::SettlementEngine& engine,
+                                                         sim::rng::Stream& stream,
+                                                         sim::Time deadline) {
   assert(!settled_ && "double settle");
   settled_ = true;
 
-  // --- Initiator side: compute the committed total and fund the escrow with
-  // blind coins, so the bank cannot link the escrow to the initiator.
+  // --- Initiator side: the committed total covers every adopted path — the
+  // escrow was committed before any outcome was known — while the records
+  // submitted to the bank cover only the connections whose completion the
+  // reverse-path receipts confirmed. A dead connection is thereby *excluded*
+  // from the claimable set instead of over-claimed against.
   std::size_t total_instances = 0;
   std::vector<payment::PathRecord> records;
   records.reserve(paths_.size());
   for (std::uint32_t j = 0; j < paths_.size(); ++j) {
     const BuiltPath& p = paths_[j];
+    total_instances += p.forwarder_count();
+    if (track_completion_ && (j >= completed_.size() || !completed_[j])) continue;
     payment::PathRecord rec;
     rec.conn_index = j + 1;
     rec.entry = p.initiator();
     rec.exit = p.responder();
     rec.forwarders.assign(p.nodes.begin() + 1, p.nodes.end() - 1);
-    total_instances += rec.forwarders.size();
     records.push_back(std::move(rec));
   }
 
@@ -191,39 +211,67 @@ SettleOutcome ConnectionSetSession::settle(payment::Bank& bank,
 
   const payment::AccountId refund_acct = bank.open_pseudonymous_account();
   payment::SettlementTerms terms{p_f, p_r};
-  const payment::SettlementId sid =
-      engine.open(pair_, *escrow, terms, records, refund_acct);
 
-  // --- Forwarder side: every forwarder claims each of its instances with a
-  // MAC'd receipt (assembled from the reverse-path confirmation).
+  PreparedSettlement prep;
+  prep.sid = engine.open(pair_, *escrow, terms, records, refund_acct, deadline);
+  prep.escrow_in = committed;
+
+  // --- Forwarder side: every forwarder holds one MAC'd receipt per
+  // forwarding instance (assembled from the reverse-path confirmation) —
+  // including instances on connections that later died; the bank's records
+  // are what decides whether such a claim verifies.
   for (std::uint32_t j = 0; j < paths_.size(); ++j) {
     const BuiltPath& p = paths_[j];
     for (std::size_t i = 1; i + 1 < p.nodes.size(); ++i) {
       const net::NodeId fwd = p.nodes[i];
       const payment::AccountId acct = bank.account_of(fwd);
       assert(acct != payment::kInvalidAccount);
-      const payment::ForwardReceipt receipt =
-          payment::make_receipt(bank.account_mac_key(acct), pair_, j + 1, fwd, p.nodes[i - 1],
-                                p.nodes[i + 1]);
-      [[maybe_unused]] const auto res = engine.submit_claim(sid, acct, receipt);
-      assert(res == payment::ClaimResult::kAccepted);
+      prep.claims.push_back(ClaimSubmission{
+          acct, payment::make_receipt(bank.account_mac_key(acct), pair_, j + 1, fwd,
+                                      p.nodes[i - 1], p.nodes[i + 1])});
     }
   }
+  return prep;
+}
 
-  const payment::SettlementReport& report = engine.close(sid);
+SettleOutcome ConnectionSetSession::finalize_settlement(const payment::Bank& bank,
+                                                        const payment::SettlementEngine& engine,
+                                                        PayoffLedger& ledger,
+                                                        payment::SettlementId sid) const {
+  const payment::SettlementReport* report = engine.report(sid);
+  assert(report != nullptr && "finalize before the settlement terminalised");
 
   // --- Credit ledgers from the authoritative bank payouts.
-  for (const auto& [acct, amount] : report.payouts) {
+  for (const auto& [acct, amount] : report->payouts) {
     const net::NodeId owner = bank.account_owner(acct);
     if (owner != net::kInvalidNode) ledger.credit(owner, payment::to_credits(amount));
   }
 
   SettleOutcome out;
-  out.report = report;
+  out.report = *report;
   out.forwarder_set_size = forwarder_set_.size();
-  out.initiator_spend = payment::to_credits(report.escrow_in - report.refunded);
-  (void)overlay;
+  out.initiator_spend = payment::to_credits(report->escrow_in - report->refunded);
   return out;
+}
+
+SettleOutcome ConnectionSetSession::settle(payment::Bank& bank,
+                                           payment::SettlementEngine& engine,
+                                           PayoffLedger& ledger, const net::Overlay& overlay,
+                                           sim::rng::Stream& stream) {
+  const PreparedSettlement prep =
+      open_settlement(bank, engine, stream, payment::kNoSettlementDeadline);
+
+  for (const ClaimSubmission& claim : prep.claims) {
+    [[maybe_unused]] const auto res = engine.submit_claim(prep.sid, claim.claimant, claim.receipt);
+    // With completion tracking off every record is on file, so every honest
+    // claim must verify; with tracking on, claims for dead connections are
+    // expected to bounce off the records (kNotOnPath).
+    assert(track_completion_ || res == payment::ClaimResult::kAccepted);
+  }
+
+  engine.close(prep.sid);
+  (void)overlay;
+  return finalize_settlement(bank, engine, ledger, prep.sid);
 }
 
 }  // namespace p2panon::core

@@ -73,6 +73,23 @@ struct SettleOutcome {
   double initiator_spend = 0.0;        ///< credits actually paid out of pocket
 };
 
+/// One forwarder's pending claim against an open settlement: the account
+/// that will redeem it plus the MAC'd receipt it holds. The harness turns
+/// these into (possibly lost / delayed / never-sent) bank messages.
+struct ClaimSubmission {
+  payment::AccountId claimant = payment::kInvalidAccount;
+  payment::ForwardReceipt receipt;
+};
+
+/// An opened-but-not-terminal settlement: the escrow is funded, the
+/// initiator's completed-connection records are on file at the bank, and
+/// the forwarders' receipts are ready to claim.
+struct PreparedSettlement {
+  payment::SettlementId sid = 0;
+  payment::Amount escrow_in = 0;  ///< full committed funding (all paths)
+  std::vector<ClaimSubmission> claims;
+};
+
 class ConnectionSetSession {
  public:
   ConnectionSetSession(net::PairId pair, net::NodeId initiator, net::NodeId responder,
@@ -101,14 +118,49 @@ class ConnectionSetSession {
                                     PayoffLedger& ledger, const net::Overlay& overlay);
 
   /// Settle all completed connections through the payment system and credit
-  /// forwarder ledgers. Call once, after the last run_connection.
+  /// forwarder ledgers. Call once, after the last run_connection. The
+  /// synchronous composition of open_settlement + every claim + close +
+  /// finalize_settlement, with identical bank traffic and stream draws.
   SettleOutcome settle(payment::Bank& bank, payment::SettlementEngine& engine,
                        PayoffLedger& ledger, const net::Overlay& overlay,
                        sim::rng::Stream& stream);
 
+  // --- Crash-tolerant settlement lifecycle (fault-mode wiring). ---
+
+  /// Record per-connection completion from data-phase receipts. Off by
+  /// default: settle treats every adopted connection as completed (the
+  /// pre-lifecycle behaviour, bit for bit). Once enabled, only connections
+  /// explicitly marked completed contribute PathRecords at settlement —
+  /// records for dead connections are excluded rather than over-claimed.
+  void enable_completion_tracking() { track_completion_ = true; }
+  [[nodiscard]] bool completion_tracking() const noexcept { return track_completion_; }
+  /// Mark connection `conn_index` (1-based, session adoption order) as
+  /// completed (its data phase ran to the end of the phase window).
+  void mark_completed(std::uint32_t conn_index);
+  [[nodiscard]] std::size_t completed_connections() const noexcept;
+
+  /// Initiator side of settlement, stopping short of close(): fund the
+  /// escrow with blind coins over the full committed amount (all adopted
+  /// paths — the escrow was committed before outcomes were known), open the
+  /// settlement with the *completed* records and `deadline`, and assemble
+  /// the receipts every forwarder holds (completed or not; the bank's
+  /// records decide what verifies). Marks the session settled.
+  PreparedSettlement open_settlement(payment::Bank& bank, payment::SettlementEngine& engine,
+                                     sim::rng::Stream& stream, sim::Time deadline);
+
+  /// Credit forwarder ledgers from the terminal report of `sid` and build
+  /// the SettleOutcome. Call exactly once, after the settlement reached a
+  /// terminal state (close / abandon / deadline expiry).
+  SettleOutcome finalize_settlement(const payment::Bank& bank,
+                                    const payment::SettlementEngine& engine,
+                                    PayoffLedger& ledger, payment::SettlementId sid) const;
+
   [[nodiscard]] std::uint32_t connections_run() const noexcept {
     return static_cast<std::uint32_t>(paths_.size());
   }
+  /// True once open_settlement/settle ran; no further connection may join
+  /// the set (late async completions must be dropped by the caller).
+  [[nodiscard]] bool settled() const noexcept { return settled_; }
   [[nodiscard]] const std::vector<BuiltPath>& paths() const noexcept { return paths_; }
 
   /// Distinct forwarders across all connections so far: Q = U_i F_i.
@@ -153,6 +205,9 @@ class ConnectionSetSession {
   std::vector<double> new_edge_fraction_;
   std::uint64_t reformations_ = 0;
   bool settled_ = false;
+  bool track_completion_ = false;
+  /// completed_[j] == connection j+1 confirmed complete (tracking mode).
+  std::vector<bool> completed_;
 };
 
 }  // namespace p2panon::core

@@ -39,6 +39,36 @@ struct PartitionWindow {
   sim::Time end = 0.0;
 };
 
+/// Bank-facing faults for the settlement lifecycle (robustness PR 5). These
+/// strike the *payment* plane: the messages between nodes and the bank, and
+/// the liveness of the parties between escrow funding and close. Any enabled
+/// knob (or `lifecycle = true`) switches the harness from the instantaneous
+/// post-run settle to the event-driven, deadline-guarded settlement phase;
+/// all-off stays bitwise identical to the pre-lifecycle pipeline. Every draw
+/// comes from a dedicated seeded stream child ("bank-faults"), so a chaos
+/// schedule replays exactly.
+struct BankFaultConfig {
+  /// Force the deadline-driven settlement lifecycle even with every fault
+  /// probability at zero (the clean-path lifecycle regression tests).
+  bool lifecycle = false;
+  double claim_loss = 0.0;        ///< P(a forwarder's claim submission is lost)
+  sim::Time claim_delay_mean = 0.0;  ///< exponential extra delay per claim
+  double initiator_crash = 0.0;   ///< P(initiator dies between funding and close)
+  double forwarder_crash = 0.0;   ///< P(a forwarder dies before claiming anything)
+  /// Claim deadline after open; at deadline the bank abandons (claims
+  /// pending, pro-rata) or expires (zero claims, full refund) on its own.
+  sim::Time claim_deadline = sim::minutes(30.0);
+  /// The surviving initiator sends close() this long after opening.
+  sim::Time close_after = sim::minutes(10.0);
+  /// Honest claim submissions spread uniformly over this window after open.
+  sim::Time claim_spread = sim::minutes(5.0);
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return lifecycle || claim_loss > 0.0 || claim_delay_mean > 0.0 ||
+           initiator_crash > 0.0 || forwarder_crash > 0.0;
+  }
+};
+
 struct FaultConfig {
   double link_loss = 0.0;            ///< per-message drop probability
   double delay_jitter = 0.0;         ///< extra delay up to this fraction of base
@@ -46,9 +76,12 @@ struct FaultConfig {
   sim::Time crash_recovery_mean = sim::minutes(10.0);  ///< 0 = crashed for good
   double probe_false_negative = 0.0;  ///< P(live target reported dead)
   std::vector<PartitionWindow> partitions;
+  BankFaultConfig bank;               ///< settlement-lifecycle fault plane
 
-  /// True when any fault source is active; the harness switches to the
-  /// timeout-driven (async + data-phase) pipeline only in that case.
+  /// True when any *message/liveness* fault source is active; the harness
+  /// switches to the timeout-driven (async + data-phase) pipeline only in
+  /// that case. Bank faults are orthogonal: they trigger the settlement
+  /// lifecycle (see BankFaultConfig::enabled), not the async data plane.
   [[nodiscard]] bool enabled() const noexcept {
     return link_loss > 0.0 || delay_jitter > 0.0 || crash_rate_per_hour > 0.0 ||
            probe_false_negative > 0.0 || !partitions.empty();

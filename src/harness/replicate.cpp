@@ -65,6 +65,18 @@ ReplicatedResult run_replicated(const ScenarioConfig& base, std::size_t replicat
     agg.total_engine_events_cancelled += r.engine_events_cancelled;
     agg.total_engine_events_fired += r.engine_events_fired;
     agg.total_engine_callback_heap_allocs += r.engine_callback_heap_allocs;
+    agg.total_settlements_closed += r.settlements_closed;
+    agg.total_settlements_abandoned += r.settlements_abandoned;
+    agg.total_settlements_expired += r.settlements_expired;
+    agg.total_settlements_prorata += r.settlements_prorata;
+    agg.total_claims_submitted += r.claims_submitted;
+    agg.total_claims_lost += r.claims_lost;
+    agg.total_claims_rejected += r.claims_rejected;
+    agg.total_claims_after_terminal += r.claims_after_terminal;
+    agg.total_settlement_escrow_milli += r.settlement_escrow_milli;
+    agg.total_settlement_paid_milli += r.settlement_paid_milli;
+    agg.total_settlement_refunded_milli += r.settlement_refunded_milli;
+    agg.all_settlements_reconciled = agg.all_settlements_reconciled && r.settlement_reconciled;
   }
   return agg;
 }

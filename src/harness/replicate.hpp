@@ -61,6 +61,20 @@ struct ReplicatedResult {
   std::uint64_t total_engine_events_fired = 0;
   std::uint64_t total_engine_callback_heap_allocs = 0;
 
+  // --- Settlement-lifecycle totals across replicates (see ScenarioResult).
+  std::uint64_t total_settlements_closed = 0;
+  std::uint64_t total_settlements_abandoned = 0;
+  std::uint64_t total_settlements_expired = 0;
+  std::uint64_t total_settlements_prorata = 0;
+  std::uint64_t total_claims_submitted = 0;
+  std::uint64_t total_claims_lost = 0;
+  std::uint64_t total_claims_rejected = 0;
+  std::uint64_t total_claims_after_terminal = 0;
+  std::int64_t total_settlement_escrow_milli = 0;
+  std::int64_t total_settlement_paid_milli = 0;
+  std::int64_t total_settlement_refunded_milli = 0;
+  bool all_settlements_reconciled = true;
+
   [[nodiscard]] metrics::ConfidenceInterval good_payoff_ci(double confidence = 0.95) const {
     return metrics::confidence_interval(good_payoff, confidence);
   }

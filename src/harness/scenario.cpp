@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
 #include <memory>
 #include <optional>
 
@@ -67,8 +68,18 @@ ScenarioResult ScenarioRunner::run() const {
     data_runner.emplace(simulator, overlay, *setup_runner, cfg.data_phase, &*faults);
   }
 
-  // --- Bank: every node opens an account with a registered MAC key.
+  // Bank-fault mode (orthogonal to message/liveness faults): settlement runs
+  // as the event-driven, deadline-guarded lifecycle instead of the
+  // instantaneous post-run settle, and the bank journals every operation for
+  // the end-of-run reconciliation.
+  const bool bank_mode = cfg.fault.bank.enabled();
+
+  // --- Bank: every node opens an account with a registered MAC key. The
+  // audit log attaches before the first account opens so a journal replay
+  // reconstructs the full state.
   payment::Bank bank(root.child("bank"));
+  payment::AuditLog audit;
+  if (bank_mode) bank.attach_audit(&audit);
   payment::SettlementEngine engine(bank);
   auto key_stream = root.child("mac-keys");
   const payment::Amount initial = payment::from_credits(cfg.initial_balance_credits);
@@ -109,6 +120,9 @@ ScenarioResult ScenarioRunner::run() const {
     plans.emplace_back(
         std::make_unique<core::ConnectionSetSession>(pid, initiator, responder, contract),
         root.child("pair-run", pid));
+    // Under bank faults a connection only counts as settleable once its data
+    // phase confirmed completion; that signal exists only in fault mode.
+    if (bank_mode && fault_mode) plans.back().session->enable_completion_tracking();
   }
 
   // --- Schedule: overlay churn (and fault hazards), then the recurring
@@ -141,11 +155,12 @@ ScenarioResult ScenarioRunner::run() const {
     metrics::Accumulator& latency;
     std::uint64_t& connections_completed;
     bool fault_mode;
+    bool track_completion;
   };
   LaunchContext lctx{cfg,         plans,      overlay, builder,
                      history,     strategies, ledger,  setup_runner,
                      data_runner, result,     latency, connections_completed,
-                     fault_mode};
+                     fault_mode,  bank_mode && fault_mode};
 
   auto schedule_stream = root.child("schedule");
   sim::Time last_connection_at = cfg.warmup;
@@ -178,6 +193,11 @@ ScenarioResult ScenarioRunner::run() const {
             p.session->contract(), ctx->strategies, p.stream.child("setup", conn),
             [ctx, pid, conn, wire_pair, wire_index](const core::AsyncResult& r) {
               PairPlan& plan = ctx->plans[pid];
+              // A setup that completes after the set settled (possible only
+              // in bank-fault mode, where the simulator keeps running through
+              // the settlement phase) joins nothing: the escrow is committed
+              // and the records are filed.
+              if (plan.session->settled()) return;
               ScenarioResult& result = ctx->result;
               result.setup_attempts += r.attempts;
               result.setup_ack_timeouts += r.ack_timeouts;
@@ -189,13 +209,17 @@ ScenarioResult ScenarioRunner::run() const {
               result.setup_time.add(r.setup_time);
               const core::BuiltPath& path = plan.session->adopt_connection(
                   r.path, ctx->history, ctx->ledger, ctx->overlay);
+              // Session adoption index of this connection (completions can
+              // interleave across a pair, so capture it now, not at launch).
+              const std::uint32_t adopted = plan.session->connections_run();
               ctx->latency.add(ctx->overlay.links().path_latency(path.nodes));
               ++ctx->connections_completed;
               ctx->data_runner->run(
                   wire_pair, wire_index, path, plan.session->contract(), ctx->strategies,
                   plan.stream.child("data", conn),
-                  [ctx, pid](const core::DataPhaseResult& d) {
+                  [ctx, pid, adopted](const core::DataPhaseResult& d) {
                     PairPlan& owner = ctx->plans[pid];
+                    if (owner.session->settled()) return;  // set already settled
                     ScenarioResult& result = ctx->result;
                     result.keepalives_sent += d.keepalives_sent;
                     result.keepalives_delivered += d.keepalives_delivered;
@@ -205,9 +229,16 @@ ScenarioResult ScenarioRunner::run() const {
                     for (const sim::Time lag : d.detection_delays) {
                       result.time_to_detect.add(lag);
                     }
+                    // The connection's live path is the last adopted one: the
+                    // original if it never re-formed, else the final re-form.
+                    std::uint32_t live = adopted;
                     for (const core::BuiltPath& reformed : d.reformed_paths) {
                       (void)owner.session->adopt_connection(reformed, ctx->history,
                                                             ctx->ledger, ctx->overlay);
+                      live = owner.session->connections_run();
+                    }
+                    if (ctx->track_completion && d.completed) {
+                      owner.session->mark_completed(live);
                     }
                   });
             });
@@ -227,11 +258,88 @@ ScenarioResult ScenarioRunner::run() const {
 
   // --- Settle every pair through the payment system.
   auto settle_stream = root.child("settle");
+  std::vector<core::SettleOutcome> outcomes;
+  outcomes.reserve(plans.size());
+  if (!bank_mode) {
+    for (PairPlan& plan : plans) {
+      outcomes.push_back(plan.session->settle(bank, engine, ledger, overlay, settle_stream));
+    }
+  } else {
+    // Event-driven settlement lifecycle: every escrow is funded and opened
+    // now, but claims arrive as lossy, delayed bank messages, the
+    // initiator's close may never come (crash between funding and close),
+    // and the deadline sweep terminalises whatever is left on its own —
+    // abandoning with a pro-rata payout, or expiring with a full refund.
+    const fault::BankFaultConfig& bf = cfg.fault.bank;
+    auto bank_fault_stream = root.child("bank-faults");
+    const sim::Time t0 = simulator.now();
+    const sim::Time deadline = t0 + bf.claim_deadline;
+    std::vector<payment::SettlementId> sids(plans.size());
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+      auto fs = bank_fault_stream.child("pair", i);
+      const core::PreparedSettlement prep =
+          plans[i].session->open_settlement(bank, engine, settle_stream, deadline);
+      sids[i] = prep.sid;
+
+      // One crash draw per distinct claimant, in first-appearance order: a
+      // crashed forwarder never sends any of its claims.
+      std::vector<payment::AccountId> drawn;
+      std::vector<payment::AccountId> crashed;
+      for (const core::ClaimSubmission& claim : prep.claims) {
+        if (std::find(drawn.begin(), drawn.end(), claim.claimant) != drawn.end()) continue;
+        drawn.push_back(claim.claimant);
+        if (fs.bernoulli(bf.forwarder_crash)) crashed.push_back(claim.claimant);
+      }
+
+      for (const core::ClaimSubmission& claim : prep.claims) {
+        if (std::find(crashed.begin(), crashed.end(), claim.claimant) != crashed.end()) {
+          ++result.claims_lost;  // never sent: the claimant is down
+          continue;
+        }
+        const sim::Time spread = fs.uniform(0.0, bf.claim_spread);
+        const sim::Time delay =
+            bf.claim_delay_mean > 0.0 ? fs.exponential(1.0 / bf.claim_delay_mean) : 0.0;
+        if (fs.bernoulli(bf.claim_loss)) {
+          ++result.claims_lost;  // lost on the way to the bank
+          continue;
+        }
+        // A delay past the deadline is not special-cased: the claim arrives,
+        // the settlement is already terminal, and the engine refuses it
+        // (claims_after_terminal) — exactly the race the lifecycle guards.
+        simulator.schedule_at(t0 + spread + delay, [&engine, sid = prep.sid, claim] {
+          (void)engine.submit_claim(sid, claim.claimant, claim.receipt);
+        });
+      }
+
+      if (!fs.bernoulli(bf.initiator_crash)) {
+        simulator.schedule_at(t0 + bf.close_after,
+                              [&engine, sid = prep.sid] { (void)engine.close(sid); });
+      }
+    }
+    simulator.schedule_at(deadline,
+                          [&engine, &simulator] { (void)engine.expire_due(simulator.now()); });
+    simulator.run_until(deadline + sim::minutes(1.0));
+    assert(engine.open_settlements() == 0 && "deadline sweep left a settlement open");
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+      outcomes.push_back(plans[i].session->finalize_settlement(bank, engine, ledger, sids[i]));
+    }
+  }
+
   std::vector<double> member_cost;  // NodeId-indexed, re-zeroed per pair
-  for (PairPlan& plan : plans) {
-    core::ConnectionSetSession& session = *plan.session;
-    const core::SettleOutcome outcome =
-        session.settle(bank, engine, ledger, overlay, settle_stream);
+  for (std::size_t pi = 0; pi < plans.size(); ++pi) {
+    core::ConnectionSetSession& session = *plans[pi].session;
+    const core::SettleOutcome& outcome = outcomes[pi];
+
+    switch (outcome.report.outcome) {
+      case payment::SettlementState::kClosed: ++result.settlements_closed; break;
+      case payment::SettlementState::kAbandoned: ++result.settlements_abandoned; break;
+      case payment::SettlementState::kExpired: ++result.settlements_expired; break;
+      default: break;  // non-terminal outcomes cannot reach a report
+    }
+    if (outcome.report.pro_rata) ++result.settlements_prorata;
+    result.settlement_escrow_milli += outcome.report.escrow_in;
+    result.settlement_paid_milli += outcome.report.paid_out;
+    result.settlement_refunded_milli += outcome.report.refunded;
 
     const auto set_size = static_cast<double>(outcome.forwarder_set_size);
     result.forwarder_set_size.add(set_size);
@@ -296,6 +404,48 @@ ScenarioResult ScenarioRunner::run() const {
 
   const payment::Amount money_after = bank.total_money() + bank.outstanding_coin_value();
   result.payment_conserved = money_before == money_after;
+
+  result.claims_submitted = engine.claims_accepted() + engine.claims_rejected();
+  result.claims_rejected = engine.claims_rejected();
+  result.claims_after_terminal = engine.claims_after_terminal();
+
+  if (bank_mode) {
+    // Reconcile the bank side against the node side. Journal replay must
+    // rebuild the bank's exact final state, and the journal's escrow-pay /
+    // escrow-refund flows must match the settlement reports to the
+    // milli-credit, per account.
+    payment::ReplayState replayed;
+    bool ok = audit.replay(replayed);
+    ok = ok && replayed.accounts.size() == bank.account_count();
+    for (payment::AccountId a = 0; ok && a < replayed.accounts.size(); ++a) {
+      ok = replayed.accounts[a] == bank.balance(a);
+    }
+    ok = ok && replayed.escrows.size() == bank.escrow_count();
+    for (payment::EscrowId e = 0; ok && e < replayed.escrows.size(); ++e) {
+      ok = replayed.escrows[e] == bank.escrow_balance(e);
+    }
+    ok = ok && replayed.outstanding == bank.outstanding_coin_value();
+
+    std::map<payment::AccountId, payment::Amount> audit_paid;
+    payment::Amount audit_paid_total = 0;
+    payment::Amount audit_refund_total = 0;
+    for (const payment::Transaction& tx : audit.transactions()) {
+      if (tx.kind == payment::TxKind::kEscrowPay) {
+        audit_paid[tx.account] += tx.amount;
+        audit_paid_total += tx.amount;
+      } else if (tx.kind == payment::TxKind::kEscrowRefund) {
+        audit_refund_total += tx.amount;
+      }
+    }
+    std::map<payment::AccountId, payment::Amount> report_paid;
+    for (const core::SettleOutcome& o : outcomes) {
+      for (const auto& [acct, amount] : o.report.payouts) report_paid[acct] += amount;
+    }
+    ok = ok && audit_paid == report_paid;
+    ok = ok && audit_paid_total == result.settlement_paid_milli;
+    ok = ok && audit_refund_total == result.settlement_refunded_milli;
+    result.settlement_reconciled = ok;
+  }
 
   return result;
 }

@@ -149,6 +149,27 @@ struct ScenarioResult {
   std::uint64_t engine_events_fired = 0;
   std::uint64_t engine_callback_heap_allocs = 0;
 
+  // --- Settlement-lifecycle outcomes (PR 5). Every pair terminalises in
+  // exactly one state; outside bank-fault mode every settlement closes
+  // cleanly and the claim/refund counters stay zero. Money totals are exact
+  // milli-credit integers so conservation is assertable to the last unit.
+  std::uint64_t settlements_closed = 0;     ///< full close by the initiator
+  std::uint64_t settlements_abandoned = 0;  ///< deadline/abandon with claims
+  std::uint64_t settlements_expired = 0;    ///< deadline with zero claims
+  std::uint64_t settlements_prorata = 0;    ///< abandoned with partial payout
+  std::uint64_t claims_submitted = 0;       ///< claims that reached the bank
+  std::uint64_t claims_lost = 0;            ///< lost/never-sent submissions
+  std::uint64_t claims_rejected = 0;        ///< rejected by verification
+  std::uint64_t claims_after_terminal = 0;  ///< raced past close/abandon
+  std::int64_t settlement_escrow_milli = 0;   ///< money in (escrow funding)
+  std::int64_t settlement_paid_milli = 0;     ///< money out to forwarders
+  std::int64_t settlement_refunded_milli = 0; ///< money back to initiators
+  /// Bank-fault mode: audit-journal replay matches the bank's final account/
+  /// escrow/outstanding state AND the journal's per-account escrow payouts
+  /// and refund totals match the settlement reports (bank side == node
+  /// side). Vacuously true outside bank-fault mode.
+  bool settlement_reconciled = true;
+
   /// Data-phase delivery ratio; 1.0 when no keepalive was ever sent (the
   /// fault-free synchronous path delivers by construction).
   [[nodiscard]] double delivery_ratio() const noexcept {

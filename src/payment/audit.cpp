@@ -44,6 +44,7 @@ bool AuditLog::replay(ReplayState& out) const {
         out.escrows.push_back(tx.amount);
         break;
       case TxKind::kEscrowPay:
+      case TxKind::kEscrowRefund:
         if (!account_ok(tx.account) || !escrow_ok(tx.escrow)) return false;
         if (out.escrows[tx.escrow] < tx.amount) return false;
         out.escrows[tx.escrow] -= tx.amount;
@@ -55,7 +56,8 @@ bool AuditLog::replay(ReplayState& out) const {
 }
 
 void AuditLog::print(std::ostream& os) const {
-  static const char* names[] = {"open", "withdraw", "deposit", "escrow-fund", "escrow-pay"};
+  static const char* names[] = {"open",        "withdraw",  "deposit",
+                                "escrow-fund", "escrow-pay", "escrow-refund"};
   for (const Transaction& tx : log_) {
     os << tx.seq << "  " << names[static_cast<std::size_t>(tx.kind)] << "  acct="
        << tx.account << " escrow=" << tx.escrow << " amount=" << to_credits(tx.amount)

@@ -25,7 +25,8 @@ enum class TxKind : std::uint8_t {
   kWithdraw,      ///< blind withdrawal: account -> outstanding coins
   kDeposit,       ///< coin deposit: outstanding coins -> account
   kEscrowFund,    ///< coins -> escrow
-  kEscrowPay,     ///< escrow -> account
+  kEscrowPay,     ///< escrow -> account (verified settlement claim)
+  kEscrowRefund,  ///< escrow -> account (unclaimed remainder / expiry refund)
 };
 
 struct Transaction {

@@ -115,6 +115,16 @@ bool Bank::escrow_pay(EscrowId id, AccountId to, Amount amount) {
   return true;
 }
 
+bool Bank::escrow_refund(EscrowId id, AccountId to, Amount amount) {
+  assert(amount >= 0);
+  Amount& bal = escrows_.at(id);
+  if (bal < amount) return false;
+  bal -= amount;
+  accounts_.at(to).balance += amount;
+  journal(TxKind::kEscrowRefund, to, id, amount);
+  return true;
+}
+
 crypto::u64 Bank::account_mac_key(AccountId id) const { return accounts_.at(id).mac_key; }
 
 net::NodeId Bank::account_owner(AccountId id) const { return accounts_.at(id).owner; }

@@ -74,10 +74,16 @@ class Bank {
   [[nodiscard]] std::optional<EscrowId> open_escrow(const std::vector<Coin>& funding);
 
   [[nodiscard]] Amount escrow_balance(EscrowId id) const;
+  [[nodiscard]] std::size_t escrow_count() const noexcept { return escrows_.size(); }
 
   /// Transfer from escrow to an account. Fails (returns false) on
   /// insufficient escrow balance; balances are unchanged on failure.
   bool escrow_pay(EscrowId id, AccountId to, Amount amount);
+
+  /// Same mechanics as escrow_pay, journaled as a refund (unclaimed
+  /// remainder at close, or the full escrow on expiry) so the audit log can
+  /// reconcile payouts against refunds per settlement outcome.
+  bool escrow_refund(EscrowId id, AccountId to, Amount amount);
 
   /// MAC key registered for an account (bank-internal verification helper).
   [[nodiscard]] crypto::u64 account_mac_key(AccountId id) const;

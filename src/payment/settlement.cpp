@@ -8,16 +8,19 @@ namespace p2panon::payment {
 
 SettlementId SettlementEngine::open(net::PairId pair, EscrowId escrow, SettlementTerms terms,
                                     const std::vector<PathRecord>& records,
-                                    AccountId refund_account) {
+                                    AccountId refund_account, sim::Time deadline) {
   assert(terms.forwarding_benefit >= 0 && terms.routing_benefit >= 0);
   Settlement s;
   s.pair = pair;
   s.escrow = escrow;
   s.terms = terms;
   s.refund_account = refund_account;
+  s.deadline = deadline;
 
   std::unordered_set<net::NodeId> distinct;
+  std::unordered_set<std::uint32_t> conns;
   for (const PathRecord& rec : records) {
+    conns.insert(rec.conn_index);
     net::NodeId pred = rec.entry;
     for (std::size_t i = 0; i < rec.forwarders.size(); ++i) {
       const net::NodeId fwd = rec.forwarders[i];
@@ -28,6 +31,7 @@ SettlementId SettlementEngine::open(net::PairId pair, EscrowId escrow, Settlemen
     }
   }
   s.set_size = distinct.size();
+  s.completed_connections = conns.size();
 
   const auto id = static_cast<SettlementId>(settlements_.size());
   settlements_.push_back(std::move(s));
@@ -38,14 +42,24 @@ ClaimResult SettlementEngine::submit_claim(SettlementId id, AccountId claimant,
                                            const ForwardReceipt& receipt) {
   if (id >= settlements_.size()) return ClaimResult::kUnknownSettlement;
   Settlement& s = settlements_[id];
-  if (s.report.has_value() || receipt.pair != s.pair) {
+  if (is_terminal(s.state)) {
+    // First-wins: money already moved; a late or replayed claim must see a
+    // hard terminal refusal, never a payout.
     ++s.rejected;
+    ++claims_rejected_;
+    ++claims_after_terminal_;
+    return ClaimResult::kNotOpen;
+  }
+  if (receipt.pair != s.pair) {
+    ++s.rejected;
+    ++claims_rejected_;
     return ClaimResult::kUnknownSettlement;
   }
   // The claimant must be the account bound to the forwarder named in the
   // receipt — you cannot redeem someone else's receipt.
   if (bank_.account_owner(claimant) != receipt.forwarder) {
     ++s.rejected;
+    ++claims_rejected_;
     return ClaimResult::kWrongClaimant;
   }
   // MAC must verify under the claimant's registered key.
@@ -54,6 +68,7 @@ ClaimResult SettlementEngine::submit_claim(SettlementId id, AccountId claimant,
   check.mac = 0;
   if (receipt_mac(key, check) != receipt.mac) {
     ++s.rejected;
+    ++claims_rejected_;
     return ClaimResult::kBadMac;
   }
   const auto hop = std::make_tuple(receipt.conn_index, receipt.forwarder, receipt.predecessor,
@@ -61,26 +76,45 @@ ClaimResult SettlementEngine::submit_claim(SettlementId id, AccountId claimant,
   auto valid_it = s.valid_hops.find(hop);
   if (valid_it == s.valid_hops.end()) {
     ++s.rejected;
+    ++claims_rejected_;
     return ClaimResult::kNotOnPath;  // over-claim
+  }
+  // A re-formed set settles under a fresh settlement with the same pair id;
+  // a receipt already redeemed under a sibling settlement is a replay even
+  // though this settlement has never seen it.
+  const auto redeemed_it = redeemed_.find(receipt.mac);
+  if (redeemed_it != redeemed_.end() && redeemed_it->second != id) {
+    ++s.rejected;
+    ++claims_rejected_;
+    ++cross_settlement_replays_;
+    return ClaimResult::kDuplicate;
   }
   std::size_t& used = s.seen_claims[hop];
   if (used >= valid_it->second) {
     ++s.rejected;
+    ++claims_rejected_;
     return ClaimResult::kDuplicate;  // replay beyond the hop's multiplicity
   }
   ++used;
   ++s.accepted_instances[claimant];
+  ++claims_accepted_;
+  redeemed_.emplace(receipt.mac, id);
+  if (s.state == SettlementState::kOpen) s.state = SettlementState::kClaiming;
   return ClaimResult::kAccepted;
 }
 
-const SettlementReport& SettlementEngine::close(SettlementId id) {
-  Settlement& s = settlements_.at(id);
-  if (s.report.has_value()) return *s.report;
+const SettlementReport& SettlementEngine::finalize(SettlementId id, SettlementState outcome) {
+  Settlement& s = settlements_[id];
+  assert(!is_terminal(s.state) && "finalize on a terminal settlement");
+  assert(is_terminal(outcome));
 
   SettlementReport report;
   report.escrow_in = bank_.escrow_balance(s.escrow);
   report.forwarder_set_size = s.set_size;
   report.rejected_claims = s.rejected;
+  report.outcome = outcome;
+  report.completed_connections = s.completed_connections;
+  report.pro_rata = outcome == SettlementState::kAbandoned && !s.accepted_instances.empty();
 
   // Deterministic payout order: ascending account id.
   std::vector<AccountId> claimants;
@@ -91,10 +125,12 @@ const SettlementReport& SettlementEngine::close(SettlementId id) {
   }
   std::sort(claimants.begin(), claimants.end());
 
-  // Routing benefit splits over the *recorded* forwarder-set size ||pi||;
-  // shares of forwarders that never claimed are refunded to the initiator,
-  // never redistributed (otherwise claimants would profit from suppressing
-  // other nodes' claims).
+  // Routing benefit splits over the *recorded* forwarder-set size ||pi|| —
+  // for an abandoned set that is the realized set of its completed
+  // connections, so the pro-rata share is P_r / ||pi_realized||. Shares of
+  // forwarders that never claimed are refunded to the initiator, never
+  // redistributed (otherwise claimants would profit from suppressing other
+  // nodes' claims).
   const std::vector<Amount> shares =
       s.set_size > 0 ? split_evenly(s.terms.routing_benefit, s.set_size) : std::vector<Amount>{};
 
@@ -114,17 +150,57 @@ const SettlementReport& SettlementEngine::close(SettlementId id) {
 
   const Amount leftover = bank_.escrow_balance(s.escrow);
   if (leftover > 0) {
-    const bool ok = bank_.escrow_pay(s.escrow, s.refund_account, leftover);
+    const bool ok = bank_.escrow_refund(s.escrow, s.refund_account, leftover);
     assert(ok);
     if (ok) report.refunded = leftover;
   }
 
+  s.state = outcome;
   s.report = std::move(report);
   return *s.report;
 }
 
+const SettlementReport& SettlementEngine::close(SettlementId id) {
+  Settlement& s = settlements_.at(id);
+  if (is_terminal(s.state)) return *s.report;  // first-wins
+  return finalize(id, SettlementState::kClosed);
+}
+
+const SettlementReport& SettlementEngine::abandon(SettlementId id) {
+  Settlement& s = settlements_.at(id);
+  if (is_terminal(s.state)) return *s.report;  // first-wins
+  return finalize(id, s.accepted_instances.empty() ? SettlementState::kExpired
+                                                   : SettlementState::kAbandoned);
+}
+
+std::size_t SettlementEngine::expire_due(sim::Time now) {
+  std::size_t terminalised = 0;
+  for (SettlementId id = 0; id < settlements_.size(); ++id) {
+    Settlement& s = settlements_[id];
+    if (is_terminal(s.state)) continue;  // first-wins
+    if (s.deadline < 0.0 || now < s.deadline) continue;
+    finalize(id, s.accepted_instances.empty() ? SettlementState::kExpired
+                                              : SettlementState::kAbandoned);
+    ++terminalised;
+  }
+  return terminalised;
+}
+
+SettlementState SettlementEngine::state(SettlementId id) const {
+  return settlements_.at(id).state;
+}
+
+sim::Time SettlementEngine::deadline(SettlementId id) const {
+  return settlements_.at(id).deadline;
+}
+
 bool SettlementEngine::is_closed(SettlementId id) const {
   return settlements_.at(id).report.has_value();
+}
+
+const SettlementReport* SettlementEngine::report(SettlementId id) const {
+  const Settlement& s = settlements_.at(id);
+  return s.report.has_value() ? &*s.report : nullptr;
 }
 
 std::size_t SettlementEngine::open_settlements() const noexcept {

@@ -1,4 +1,4 @@
-// Connection-set settlement (paper §2.2).
+// Connection-set settlement (paper §2.2) with a crash-tolerant lifecycle.
 //
 // After all k connections of a recurring set pi complete, the initiator's
 // escrow pays every forwarder  m * P_f + P_r / ||pi||  where m is its number
@@ -7,18 +7,37 @@
 //
 //   1. The initiator opens a settlement against a funded escrow, submitting
 //      the validated per-connection path records (recreated from the
-//      reverse-path receipt chains).
+//      reverse-path receipt chains). Records cover only connections whose
+//      completion the initiator confirmed — receipts for dead connections
+//      are excluded at the source rather than over-claimed.
 //   2. Forwarders submit claims: their account plus their receipts.
 //   3. The engine verifies each receipt's MAC under the claimant's
 //      registered key, rejects receipts that do not match the initiator's
-//      path records (over-claims), and dedupes replays.
-//   4. close() pays verified claims out of escrow and refunds the remainder
-//      to the initiator-designated (pseudonymous) refund account.
+//      path records (over-claims), and dedupes replays — both within one
+//      settlement and across settlements of the same connection set (a
+//      re-formed set must not pay one receipt twice).
+//   4. The settlement terminates exactly once (first-wins; replayed or
+//      racing bank messages are no-ops):
+//
+//        Open ──claim──> Claiming ──close()──────────> Closed
+//          │                │
+//          │                ├──abandon()/deadline────> Abandoned (pro-rata)
+//          └──deadline, zero verified claims────────> Expired  (full refund)
+//
+//      close() pays verified claims out of escrow and refunds the remainder
+//      to the initiator-designated (pseudonymous) refund account. abandon()
+//      — explicit, or implied by an expired deadline with verified claims —
+//      pays the same verified-claims math pro-rata over the *completed*
+//      connections the records describe (m counts completed instances only,
+//      the routing share splits over the realized ||pi||). An expired
+//      settlement with zero verified claims refunds the whole escrow.
 //
 // Cheating handled: forged MACs, over-claims (receipts for hops not on any
-// validated path), replayed receipts, claims against the wrong account, and
-// initiator payment refusal (impossible by construction — the escrow was
-// funded before any forwarding happened).
+// validated path), replayed receipts (same or sibling settlement), claims
+// against the wrong account, claims raced past close/abandon, and initiator
+// payment refusal (impossible by construction — the escrow was funded
+// before any forwarding happened). An initiator crash between funding and
+// close can delay forwarders' payment until the deadline, never void it.
 #pragma once
 
 #include <cstdint>
@@ -30,10 +49,32 @@
 
 #include "payment/bank.hpp"
 #include "payment/receipt.hpp"
+#include "sim/types.hpp"
 
 namespace p2panon::payment {
 
 using SettlementId = std::uint32_t;
+
+/// Settlements opened without a deadline never expire (the pre-fault
+/// synchronous pipeline closes them in the same step it opens them).
+inline constexpr sim::Time kNoSettlementDeadline = -1.0;
+
+/// Lifecycle of one settlement. Closed/Abandoned/Expired are terminal; every
+/// transition site is first-wins guarded (see tools/lint/check_invariants.py
+/// rule R5), so a replayed close, a racing abandon, or a late deadline sweep
+/// can never move money twice.
+enum class SettlementState : std::uint8_t {
+  kOpen,       ///< opened, no verified claim yet
+  kClaiming,   ///< at least one verified claim accepted
+  kClosed,     ///< initiator closed: full payout of verified claims
+  kAbandoned,  ///< initiator never closed: pro-rata payout of verified claims
+  kExpired,    ///< deadline passed with zero verified claims: full refund
+};
+
+[[nodiscard]] constexpr bool is_terminal(SettlementState s) noexcept {
+  return s == SettlementState::kClosed || s == SettlementState::kAbandoned ||
+         s == SettlementState::kExpired;
+}
 
 /// The initiator's validated record of one connection's path: the ordered
 /// forwarder list for pi^j (excluding initiator and responder), plus the
@@ -58,8 +99,9 @@ enum class ClaimResult {
   kBadMac,          ///< MAC does not verify under the claimant's key
   kWrongClaimant,   ///< receipt names a different forwarder than the account
   kNotOnPath,       ///< over-claim: hop absent from the validated records
-  kDuplicate,       ///< replayed receipt
+  kDuplicate,       ///< replayed receipt (same settlement or a sibling's)
   kUnknownSettlement,
+  kNotOpen,         ///< settlement already closed/abandoned/expired
 };
 
 struct SettlementReport {
@@ -68,7 +110,12 @@ struct SettlementReport {
   Amount refunded = 0;
   std::size_t accepted_claims = 0;
   std::size_t rejected_claims = 0;
-  std::size_t forwarder_set_size = 0;  ///< ||pi||
+  std::size_t forwarder_set_size = 0;  ///< ||pi|| over the settled records
+  SettlementState outcome = SettlementState::kClosed;
+  /// Abandoned with at least one verified claim: forwarders were paid over
+  /// the partial (completed-connections-only) record set.
+  bool pro_rata = false;
+  std::size_t completed_connections = 0;  ///< distinct conn_index in records
   /// Per-account payout, for auditing. Ordered so consumers that fold the
   /// payouts into floating-point sums iterate in ascending account order
   /// without sorting first.
@@ -83,10 +130,14 @@ class SettlementEngine {
   SettlementEngine& operator=(const SettlementEngine&) = delete;
 
   /// Open a settlement for connection-set `pair` against `escrow`. The path
-  /// records are the initiator's validated paths; `refund_account` receives
-  /// whatever the escrow does not pay out.
+  /// records are the initiator's validated paths (completed connections
+  /// only); `refund_account` receives whatever the escrow does not pay out.
+  /// A non-negative `deadline` arms the crash-tolerant lifecycle: once the
+  /// simulator clock reaches it, expire_due() terminalises the settlement
+  /// without the initiator.
   SettlementId open(net::PairId pair, EscrowId escrow, SettlementTerms terms,
-                    const std::vector<PathRecord>& records, AccountId refund_account);
+                    const std::vector<PathRecord>& records, AccountId refund_account,
+                    sim::Time deadline = kNoSettlementDeadline);
 
   /// Submit one receipt as a claim by `claimant`.
   ClaimResult submit_claim(SettlementId id, AccountId claimant, const ForwardReceipt& receipt);
@@ -94,14 +145,45 @@ class SettlementEngine {
   /// Pay all verified claims and refund the remainder. Each forwarder with
   /// at least one verified instance receives m*P_f plus an equal share of
   /// P_r across the *claimed* forwarder set (unclaimed shares are refunded).
-  /// Idempotent: second close returns the stored report.
+  /// Idempotent / first-wins: on an already-terminal settlement it returns
+  /// the stored report unchanged (no second payout, no second refund).
   const SettlementReport& close(SettlementId id);
 
+  /// Terminalise without the initiator (the bank learned it is gone): pay
+  /// the verified claims pro-rata over the completed records, refund the
+  /// rest. First-wins like close().
+  const SettlementReport& abandon(SettlementId id);
+
+  /// Deadline sweep, driven by the simulator clock: every non-terminal
+  /// settlement whose deadline is <= `now` is abandoned (verified claims
+  /// pending) or expired (zero verified claims — full refund). Returns the
+  /// number of settlements terminalised by this call; idempotent.
+  std::size_t expire_due(sim::Time now);
+
+  [[nodiscard]] SettlementState state(SettlementId id) const;
+  [[nodiscard]] sim::Time deadline(SettlementId id) const;
+  /// Terminal in any way (closed, abandoned, or expired).
   [[nodiscard]] bool is_closed(SettlementId id) const;
   [[nodiscard]] std::size_t open_settlements() const noexcept;
 
+  /// Report of a terminal settlement; nullptr while still open/claiming.
+  [[nodiscard]] const SettlementReport* report(SettlementId id) const;
+
   /// ||pi|| as recorded by the initiator (distinct forwarders across records).
   [[nodiscard]] std::size_t forwarder_set_size(SettlementId id) const;
+
+  // --- Engine-wide counters (for the chaos-sweep conservation audit).
+  [[nodiscard]] std::uint64_t claims_accepted() const noexcept { return claims_accepted_; }
+  [[nodiscard]] std::uint64_t claims_rejected() const noexcept { return claims_rejected_; }
+  /// Claims that arrived after close/abandon/expire — each one a would-be
+  /// double-spend the lifecycle refused.
+  [[nodiscard]] std::uint64_t claims_after_terminal() const noexcept {
+    return claims_after_terminal_;
+  }
+  /// Receipts replayed against a sibling settlement of the same set.
+  [[nodiscard]] std::uint64_t cross_settlement_replays() const noexcept {
+    return cross_settlement_replays_;
+  }
 
  private:
   struct Settlement {
@@ -109,12 +191,15 @@ class SettlementEngine {
     EscrowId escrow = 0;
     SettlementTerms terms;
     AccountId refund_account = kInvalidAccount;
+    SettlementState state = SettlementState::kOpen;
+    sim::Time deadline = kNoSettlementDeadline;
     /// (conn_index, forwarder, predecessor, successor) -> multiplicity on
     /// the validated paths (a node may occupy several positions on one path,
     /// and in degenerate cycles even with identical neighbours).
     std::map<std::tuple<std::uint32_t, net::NodeId, net::NodeId, net::NodeId>, std::size_t>
         valid_hops;
     std::size_t set_size = 0;  ///< distinct forwarders in records
+    std::size_t completed_connections = 0;  ///< distinct conn_index in records
     /// Accepted (deduped) instances per claimant account.
     std::unordered_map<AccountId, std::size_t> accepted_instances;
     /// Claims already accepted per hop tuple (replay guard, bounded by the
@@ -122,11 +207,22 @@ class SettlementEngine {
     std::map<std::tuple<std::uint32_t, net::NodeId, net::NodeId, net::NodeId>, std::size_t>
         seen_claims;
     std::size_t rejected = 0;
-    std::optional<SettlementReport> report;  ///< set on close
+    std::optional<SettlementReport> report;  ///< set on terminalisation
   };
 
+  /// The one place money moves: pays verified claims, refunds the rest,
+  /// stamps the terminal state. Callers must have first-wins-checked.
+  const SettlementReport& finalize(SettlementId id, SettlementState outcome);
+
   std::vector<Settlement> settlements_;
+  /// Receipt digest -> settlement that redeemed it (cross-settlement replay
+  /// guard for re-formed sets sharing a pair id).
+  std::unordered_map<crypto::u64, SettlementId> redeemed_;
   Bank& bank_;
+  std::uint64_t claims_accepted_ = 0;
+  std::uint64_t claims_rejected_ = 0;
+  std::uint64_t claims_after_terminal_ = 0;
+  std::uint64_t cross_settlement_replays_ = 0;
 };
 
 }  // namespace p2panon::payment

@@ -149,6 +149,39 @@ TEST(FaultInjector, CrashesAreSilentAndRecoveriesAnnounced) {
   EXPECT_TRUE(some_recorded_leave);
 }
 
+TEST(FaultInjector, CrashWithoutRecoveryIsPermanent) {
+  // crash_recovery_mean = 0 means "crashed for good": no recovery event is
+  // ever scheduled, the node never rejoins, and last_recovery_time stays -1.
+  sim::Simulator s;
+  net::Overlay o(stable_overlay(), s, sim::rng::Stream(6).child("o"));
+  FaultConfig cfg;
+  cfg.crash_rate_per_hour = 4.0;
+  cfg.crash_recovery_mean = 0.0;
+  FaultInjector f(cfg, o, sim::rng::Stream(6).child("f"));
+
+  o.start();
+  s.run_until(sim::hours(2.0));  // everyone joined
+
+  std::uint64_t online_notifications = 0;
+  o.add_churn_observer([&](NodeId, bool online, sim::Time) {
+    if (online) ++online_notifications;
+  });
+  f.start();
+  s.run_until(s.now() + sim::hours(12.0));
+
+  EXPECT_GT(f.crashes(), 0u);
+  EXPECT_EQ(online_notifications, 0u) << "a node crashed for good must never rejoin";
+  bool some_crashed = false;
+  for (NodeId v = 0; v < o.size(); ++v) {
+    EXPECT_DOUBLE_EQ(f.last_recovery_time(v), -1.0);
+    if (f.last_crash_time(v) >= 0.0) {
+      some_crashed = true;
+      EXPECT_FALSE(o.is_online(v)) << "node " << v << " recovered without a recovery path";
+    }
+  }
+  EXPECT_TRUE(some_crashed);
+}
+
 TEST(FaultInjector, ProbeFalseNegativesSuppressObservations) {
   sim::Simulator s;
   net::Overlay o(stable_overlay(), s, sim::rng::Stream(5).child("o"));

@@ -69,6 +69,24 @@ TEST(FaultScenario, SoakCompletesUnderCombinedFaults) {
   EXPECT_TRUE(r.payment_conserved);
 }
 
+TEST(FaultScenario, PermanentCrashesStillDetectedAndReformed) {
+  // crash_recovery_mean = 0: crashed nodes are gone for good. The keepalive
+  // layer must still *detect* the dead paths and re-form around the
+  // survivors, and the economics must survive the shrinking population.
+  ScenarioConfig cfg = soak_config(13);
+  cfg.fault.link_loss = 0.0;  // isolate the crash plane
+  cfg.fault.probe_false_negative = 0.0;
+  cfg.fault.crash_rate_per_hour = 3.0;
+  cfg.fault.crash_recovery_mean = 0.0;
+  const ScenarioResult r = ScenarioRunner(cfg).run();
+
+  EXPECT_GT(r.crashes, 0u);
+  EXPECT_GT(r.connections_completed, 0u);
+  EXPECT_GT(r.failures_detected, 0u)
+      << "permanently dead path members must trip keepalive timers";
+  EXPECT_TRUE(r.payment_conserved);
+}
+
 TEST(FaultScenario, DeterministicInSeed) {
   const ScenarioResult a = ScenarioRunner(soak_config(11)).run();
   const ScenarioResult b = ScenarioRunner(soak_config(11)).run();

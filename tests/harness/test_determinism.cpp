@@ -94,6 +94,20 @@ void expect_same_results(const ReplicatedResult& a, const ReplicatedResult& b) {
   EXPECT_EQ(a.total_engine_events_cancelled, b.total_engine_events_cancelled);
   EXPECT_EQ(a.total_engine_events_fired, b.total_engine_events_fired);
   EXPECT_EQ(a.total_engine_callback_heap_allocs, b.total_engine_callback_heap_allocs);
+  // Settlement-lifecycle outcomes: identical runs terminalise the same
+  // settlements the same way and move the same milli-credits.
+  EXPECT_EQ(a.total_settlements_closed, b.total_settlements_closed);
+  EXPECT_EQ(a.total_settlements_abandoned, b.total_settlements_abandoned);
+  EXPECT_EQ(a.total_settlements_expired, b.total_settlements_expired);
+  EXPECT_EQ(a.total_settlements_prorata, b.total_settlements_prorata);
+  EXPECT_EQ(a.total_claims_submitted, b.total_claims_submitted);
+  EXPECT_EQ(a.total_claims_lost, b.total_claims_lost);
+  EXPECT_EQ(a.total_claims_rejected, b.total_claims_rejected);
+  EXPECT_EQ(a.total_claims_after_terminal, b.total_claims_after_terminal);
+  EXPECT_EQ(a.total_settlement_escrow_milli, b.total_settlement_escrow_milli);
+  EXPECT_EQ(a.total_settlement_paid_milli, b.total_settlement_paid_milli);
+  EXPECT_EQ(a.total_settlement_refunded_milli, b.total_settlement_refunded_milli);
+  EXPECT_EQ(a.all_settlements_reconciled, b.all_settlements_reconciled);
 }
 
 ScenarioConfig faulty_stress_config(std::uint64_t seed = 23) {
@@ -106,6 +120,17 @@ ScenarioConfig faulty_stress_config(std::uint64_t seed = 23) {
   cfg.async_setup.attempt_deadline = sim::minutes(3.0);
   cfg.data_phase.duration = 60.0;
   cfg.data_phase.keepalive_interval = 10.0;
+  return cfg;
+}
+
+ScenarioConfig chaotic_settlement_config(std::uint64_t seed = 29) {
+  ScenarioConfig cfg = faulty_stress_config(seed);
+  cfg.fault.bank.claim_loss = 0.2;
+  cfg.fault.bank.claim_delay_mean = sim::minutes(4.0);
+  cfg.fault.bank.initiator_crash = 0.3;
+  cfg.fault.bank.forwarder_crash = 0.15;
+  cfg.fault.bank.claim_deadline = sim::minutes(20.0);
+  cfg.fault.bank.close_after = sim::minutes(8.0);
   return cfg;
 }
 
@@ -179,4 +204,55 @@ TEST(Determinism, FaultModeBitwiseIdenticalAcrossPoolSizes) {
     parallel::ThreadPool pool(threads);
     expect_same_results(serial, run_replicated(faulty_stress_config(), 4, &pool));
   }
+}
+
+TEST(Determinism, BankFaultKnobsOffAreBitwiseInert) {
+  // The lifecycle's *tuning* knobs (deadline, close delay, claim spread) are
+  // only consulted once some bank fault (or lifecycle=true) switches the
+  // settlement phase on; with the bank plane all-off they must not move a
+  // bit — message-fault mode or not.
+  const ReplicatedResult baseline = run_replicated(faulty_stress_config(), 3, nullptr);
+
+  ScenarioConfig tweaked = faulty_stress_config();
+  ASSERT_FALSE(tweaked.fault.bank.enabled());
+  tweaked.fault.bank.claim_deadline = sim::minutes(2.0);
+  tweaked.fault.bank.close_after = sim::minutes(1.0);
+  tweaked.fault.bank.claim_spread = sim::minutes(0.5);
+  expect_same_results(baseline, run_replicated(tweaked, 3, nullptr));
+}
+
+TEST(Determinism, BankFaultModeBitwiseIdenticalAcrossPoolSizes) {
+  // The settlement lifecycle (event-driven claims, crashes, deadline sweep,
+  // audit reconciliation) must honour the same pool-invisibility contract.
+  const ReplicatedResult serial = run_replicated(chaotic_settlement_config(), 4, nullptr);
+  EXPECT_GT(serial.total_settlements_closed + serial.total_settlements_abandoned +
+                serial.total_settlements_expired,
+            0u);
+  EXPECT_GT(serial.total_claims_lost, 0u) << "config must actually lose claims";
+  EXPECT_TRUE(serial.all_settlements_reconciled);
+  EXPECT_TRUE(serial.all_payments_conserved);
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    SCOPED_TRACE("pool size " + std::to_string(threads));
+    parallel::ThreadPool pool(threads);
+    expect_same_results(serial, run_replicated(chaotic_settlement_config(), 4, &pool));
+  }
+}
+
+TEST(Determinism, CleanLifecycleSettlesEverythingClosed) {
+  // lifecycle=true with every fault probability at zero: the event-driven
+  // phase runs, but every claim arrives and every initiator closes — all
+  // settlements must end Closed with nothing lost, abandoned, or expired.
+  ScenarioConfig cfg = stress_config();
+  cfg.fault.bank.lifecycle = true;
+  const ReplicatedResult r = run_replicated(cfg, 3, nullptr);
+  EXPECT_EQ(r.total_settlements_closed, 3u * cfg.pair_count);
+  EXPECT_EQ(r.total_settlements_abandoned, 0u);
+  EXPECT_EQ(r.total_settlements_expired, 0u);
+  EXPECT_EQ(r.total_claims_lost, 0u);
+  EXPECT_EQ(r.total_claims_after_terminal, 0u);
+  EXPECT_TRUE(r.all_settlements_reconciled);
+  EXPECT_TRUE(r.all_payments_conserved);
+  EXPECT_EQ(r.total_settlement_escrow_milli,
+            r.total_settlement_paid_milli + r.total_settlement_refunded_milli);
 }

@@ -160,7 +160,8 @@ TEST_F(SettlementTest, CloseIsIdempotent) {
 TEST_F(SettlementTest, ClaimAfterCloseRejected) {
   engine_.close(sid_);
   EXPECT_EQ(engine_.submit_claim(sid_, accounts_[1], receipt_for(1, 1, 0, 2)),
-            ClaimResult::kUnknownSettlement);
+            ClaimResult::kNotOpen);
+  EXPECT_EQ(engine_.claims_after_terminal(), 1u);
 }
 
 TEST_F(SettlementTest, RejectedClaimsCounted) {
@@ -211,4 +212,139 @@ TEST(SettlementRepeatedForwarder, NodeOnTwoPositionsOfOnePath) {
   // Node 1: 2 instances + one routing share (of 2).
   EXPECT_EQ(report.payouts.at(acct[1]), 2 * p_f + p_r / 2);
   EXPECT_EQ(report.payouts.at(acct[2]), p_f + p_r / 2);
+}
+
+// --- Crash-tolerant lifecycle (state machine, deadlines, replay guards). ---
+
+TEST_F(SettlementTest, StateMachineOpenClaimingClosed) {
+  EXPECT_EQ(engine_.state(sid_), SettlementState::kOpen);
+  EXPECT_EQ(engine_.open_settlements(), 1u);
+  EXPECT_EQ(engine_.report(sid_), nullptr);
+
+  engine_.submit_claim(sid_, accounts_[1], receipt_for(1, 1, 0, 2));
+  EXPECT_EQ(engine_.state(sid_), SettlementState::kClaiming);
+  EXPECT_FALSE(engine_.is_closed(sid_));
+
+  const SettlementReport& report = engine_.close(sid_);
+  EXPECT_EQ(engine_.state(sid_), SettlementState::kClosed);
+  EXPECT_EQ(report.outcome, SettlementState::kClosed);
+  EXPECT_FALSE(report.pro_rata);
+  EXPECT_EQ(report.completed_connections, 2u);
+  EXPECT_EQ(engine_.open_settlements(), 0u);
+  EXPECT_EQ(engine_.report(sid_), &report);
+}
+
+TEST_F(SettlementTest, AbandonWithClaimsPaysProRata) {
+  const Amount before = bank_.total_money() + bank_.outstanding_coin_value();
+  engine_.submit_claim(sid_, accounts_[1], receipt_for(1, 1, 0, 2));
+  const SettlementReport& report = engine_.abandon(sid_);
+
+  EXPECT_EQ(engine_.state(sid_), SettlementState::kAbandoned);
+  EXPECT_EQ(report.outcome, SettlementState::kAbandoned);
+  EXPECT_TRUE(report.pro_rata);
+  // The one verified instance pays m*P_f + its routing share; the rest of
+  // the escrow goes back to the initiator's refund account.
+  EXPECT_EQ(report.payouts.at(accounts_[1]), p_f_ + p_r_ / 3 + 1);
+  EXPECT_EQ(report.paid_out + report.refunded, report.escrow_in);
+  EXPECT_EQ(bank_.balance(refund_), report.refunded);
+  EXPECT_EQ(bank_.total_money() + bank_.outstanding_coin_value(), before);
+}
+
+TEST_F(SettlementTest, AbandonWithoutClaimsExpiresWithFullRefund) {
+  const SettlementReport& report = engine_.abandon(sid_);
+  EXPECT_EQ(engine_.state(sid_), SettlementState::kExpired);
+  EXPECT_EQ(report.outcome, SettlementState::kExpired);
+  EXPECT_FALSE(report.pro_rata);
+  EXPECT_EQ(report.paid_out, 0);
+  EXPECT_EQ(report.refunded, report.escrow_in);
+  EXPECT_EQ(bank_.balance(refund_), report.escrow_in);
+}
+
+TEST_F(SettlementTest, DoubleRefundImpossible) {
+  // Close pays and refunds once; a racing abandon (or a replayed close) must
+  // return the stored report without moving money again.
+  engine_.submit_claim(sid_, accounts_[1], receipt_for(1, 1, 0, 2));
+  const SettlementReport& first = engine_.close(sid_);
+  const Amount refund_after_close = bank_.balance(refund_);
+
+  const SettlementReport& raced = engine_.abandon(sid_);
+  EXPECT_EQ(&first, &raced);
+  EXPECT_EQ(engine_.state(sid_), SettlementState::kClosed);  // close won
+  EXPECT_EQ(bank_.balance(refund_), refund_after_close);
+  EXPECT_EQ(engine_.close(sid_).refunded, first.refunded);
+  EXPECT_EQ(bank_.balance(refund_), refund_after_close);
+}
+
+TEST_F(SettlementTest, ClaimAgainstAbandonedRejected) {
+  engine_.submit_claim(sid_, accounts_[1], receipt_for(1, 1, 0, 2));
+  engine_.abandon(sid_);
+  EXPECT_EQ(engine_.submit_claim(sid_, accounts_[2], receipt_for(2, 1, 1, 4)),
+            ClaimResult::kNotOpen);
+  EXPECT_EQ(engine_.claims_after_terminal(), 1u);
+}
+
+TEST_F(SettlementTest, NoDeadlineNeverExpires) {
+  EXPECT_EQ(engine_.deadline(sid_), kNoSettlementDeadline);
+  EXPECT_EQ(engine_.expire_due(1.0e12), 0u);
+  EXPECT_EQ(engine_.state(sid_), SettlementState::kOpen);
+}
+
+TEST_F(SettlementTest, ReplayedReceiptAcrossTwoSettlementsRejected) {
+  // The set re-forms: a sibling settlement for the same pair covers the same
+  // connection 1. A receipt redeemed under the first settlement is a replay
+  // against the second even though the second has never seen it.
+  const ForwardReceipt r = receipt_for(1, 1, 0, 2);
+  EXPECT_EQ(engine_.submit_claim(sid_, accounts_[1], r), ClaimResult::kAccepted);
+  engine_.close(sid_);
+
+  Wallet wallet(bank_, accounts_[0], rng::Stream(8).child("w2"));
+  auto coins = wallet.withdraw(2 * p_f_ + p_r_);
+  ASSERT_TRUE(coins.has_value());
+  auto escrow = bank_.open_escrow(*coins);
+  ASSERT_TRUE(escrow.has_value());
+  const SettlementId sibling =
+      engine_.open(kPair, *escrow, SettlementTerms{p_f_, p_r_}, {PathRecord{1, 0, 4, {1, 2}}},
+                   bank_.open_pseudonymous_account());
+
+  EXPECT_EQ(engine_.submit_claim(sibling, accounts_[1], r), ClaimResult::kDuplicate);
+  EXPECT_EQ(engine_.cross_settlement_replays(), 1u);
+  // An instance the first settlement never paid is still claimable here.
+  EXPECT_EQ(engine_.submit_claim(sibling, accounts_[2], receipt_for(2, 1, 1, 4)),
+            ClaimResult::kAccepted);
+}
+
+TEST(SettlementDeadline, ExpireDueSweepsOnlyPastDeadlines) {
+  Bank bank(rng::Stream(30).child("bank"));
+  SettlementEngine engine(bank);
+  std::vector<AccountId> acct;
+  for (NodeId n = 0; n < 4; ++n) acct.push_back(bank.open_account(n, from_credits(100.0), n + 1));
+  const Amount p_f = from_credits(5.0), p_r = from_credits(10.0);
+
+  auto open_one = [&](std::uint64_t wseed, p2panon::net::PairId pair, double deadline) {
+    Wallet wallet(bank, acct[0], rng::Stream(wseed).child("w"));
+    auto coins = wallet.withdraw(2 * p_f + p_r);
+    auto escrow = bank.open_escrow(*coins);
+    EXPECT_TRUE(escrow.has_value());
+    return engine.open(pair, *escrow, SettlementTerms{p_f, p_r},
+                       {PathRecord{1, 0, 3, {1, 2}}}, bank.open_pseudonymous_account(),
+                       deadline);
+  };
+  const SettlementId early = open_one(31, 5, 100.0);  // claims pending at expiry
+  const SettlementId silent = open_one(32, 6, 100.0);  // zero claims at expiry
+  const SettlementId late = open_one(33, 7, 500.0);
+
+  EXPECT_EQ(engine.submit_claim(
+                early, acct[1], make_receipt(bank.account_mac_key(acct[1]), 5, 1, 1, 0, 2)),
+            ClaimResult::kAccepted);
+
+  EXPECT_EQ(engine.expire_due(50.0), 0u);  // nothing due yet
+  EXPECT_EQ(engine.expire_due(100.0), 2u);
+  EXPECT_EQ(engine.state(early), SettlementState::kAbandoned);
+  EXPECT_TRUE(engine.report(early)->pro_rata);
+  EXPECT_EQ(engine.state(silent), SettlementState::kExpired);
+  EXPECT_EQ(engine.report(silent)->refunded, engine.report(silent)->escrow_in);
+  EXPECT_EQ(engine.state(late), SettlementState::kOpen);
+  EXPECT_EQ(engine.expire_due(100.0), 0u);  // idempotent
+  EXPECT_EQ(engine.expire_due(500.0), 1u);
+  EXPECT_EQ(engine.state(late), SettlementState::kExpired);
 }

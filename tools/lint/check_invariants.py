@@ -1,14 +1,15 @@
 #!/usr/bin/env python3
 """Project-specific invariant linter (stdlib only — runs anywhere Python 3.8+ does).
 
-Three rule families that clang-tidy cannot express, keyed to contracts this
+Rule families that clang-tidy cannot express, keyed to contracts this
 codebase actually depends on:
 
 R1 determinism
-    ``src/core``, ``src/sim``, ``src/net``, ``src/harness`` and ``src/fault``
-    must be bitwise-deterministic
+    ``src/core``, ``src/sim``, ``src/net``, ``src/harness``, ``src/fault``
+    and ``src/payment`` must be bitwise-deterministic
     in the scenario seed: every figure in EXPERIMENTS.md assumes that replaying
-    a seed replays the run. Any ambient-entropy source — ``rand()``,
+    a seed replays the run — including every bank-fault stream of the chaos
+    sweep. Any ambient-entropy source — ``rand()``,
     ``std::random_device``, wall-clock reads — silently breaks that, usually
     without failing a test. Such calls are banned in those trees; randomness
     must come from ``sim::rng::Stream`` and time from ``Simulator::now()``.
@@ -41,6 +42,17 @@ R4 finished guard
     opens with a finished guard. Waive with
     ``// lint-exempt(finished): <reason>`` on or above the call line.
 
+R5 settlement state transitions
+    The settlement lifecycle (``payment::SettlementEngine``) moves escrow
+    money exactly once per settlement, enforced by first-wins checks: a
+    terminal settlement (Closed/Abandoned/Expired) never transitions again.
+    A transition site added without that check re-terminalises on a replayed
+    close/abandon or a racing deadline sweep — a double payout the tests only
+    catch if a schedule happens to race. The rule: every assignment to a
+    settlement ``state`` inside a ``SettlementEngine`` member body must be
+    dominated by an ``is_terminal(...)`` check earlier in the same body.
+    Waive with ``// lint-exempt(settlement-state): <reason>`` above the site.
+
 Exit status: 0 when clean, 1 with one ``file:line: [rule] message`` per finding.
 """
 
@@ -57,7 +69,8 @@ from typing import Iterator, List, Optional, Tuple
 # R1 configuration
 # --------------------------------------------------------------------------
 
-DETERMINISM_DIRS = ("src/core", "src/sim", "src/net", "src/harness", "src/fault")
+DETERMINISM_DIRS = ("src/core", "src/sim", "src/net", "src/harness", "src/fault",
+                    "src/payment")
 
 # Patterns are matched against comment- and string-stripped source, so prose
 # like "initialised to rand(0, T)" in a doc comment never trips them.
@@ -358,6 +371,51 @@ def check_finished_guards(repo: pathlib.Path) -> List[str]:
 
 
 # --------------------------------------------------------------------------
+# R5 — settlement state transitions are first-wins guarded
+# --------------------------------------------------------------------------
+
+SETTLEMENT_FILE = "src/payment/settlement.cpp"
+SETTLEMENT_CLASS = "SettlementEngine"
+# An assignment to a settlement `state` field (s.state = ..., state = ...),
+# excluding comparisons. Matched against stripped text inside member bodies.
+STATE_ASSIGN_RE = re.compile(r"\bstate\s*=(?!=)")
+SETTLEMENT_EXEMPT_RE = re.compile(r"lint-exempt\(settlement-state\):\s*\S")
+
+
+def check_settlement_transitions(repo: pathlib.Path) -> List[str]:
+    """Every SettlementState transition site inside a SettlementEngine member
+    body must be dominated by a first-wins ``is_terminal(...)`` check earlier
+    in the same body — the guard that makes close/abandon/expiry idempotent
+    and keeps finalize() the single money-moving site."""
+    findings = []
+    path = repo / SETTLEMENT_FILE
+    if not path.is_file():
+        return [f"{SETTLEMENT_FILE}:1: [settlement-state] guarded file missing — "
+                f"update tools/lint if {SETTLEMENT_CLASS} moved"]
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    stripped = strip_comments_and_strings(raw)
+    raw_lines = raw.splitlines()
+    for name, start, end, _is_const in iter_method_definitions(stripped, SETTLEMENT_CLASS):
+        body = stripped[start:end]
+        for m in STATE_ASSIGN_RE.finditer(body):
+            if "is_terminal" in body[:m.start()]:
+                continue
+            lineno = stripped.count("\n", 0, start + m.start()) + 1
+            context = "\n".join(raw_lines[max(0, lineno - 2):lineno])
+            if SETTLEMENT_EXEMPT_RE.search(context):
+                continue
+            findings.append(
+                f"{SETTLEMENT_FILE}:{lineno}: [settlement-state] "
+                f"{SETTLEMENT_CLASS}::{name} assigns a settlement state without a "
+                f"preceding is_terminal() first-wins check in the same body; an "
+                f"unguarded transition can re-terminalise a settlement and move its "
+                f"escrow money twice. Check is_terminal first or annotate the site "
+                f"with // lint-exempt(settlement-state): <reason>"
+            )
+    return findings
+
+
+# --------------------------------------------------------------------------
 # R3 — no tracked build artifacts
 # --------------------------------------------------------------------------
 
@@ -401,6 +459,7 @@ def main() -> int:
     findings += check_determinism(repo)
     findings += check_epoch_contract(repo)
     findings += check_finished_guards(repo)
+    findings += check_settlement_transitions(repo)
     findings += check_tracked_artifacts(repo)
 
     for f in findings:
@@ -409,7 +468,7 @@ def main() -> int:
         print(f"\ncheck_invariants: {len(findings)} finding(s)", file=sys.stderr)
         return 1
     print("check_invariants: clean (determinism, epoch contract, finished guards, "
-          "tracked artifacts)")
+          "settlement transitions, tracked artifacts)")
     return 0
 
 
