@@ -7,7 +7,7 @@ namespace p2panon::core {
 bool CrowdsSession::path_alive(const net::Overlay& overlay) const {
   if (!have_path_) return false;
   for (std::size_t i = 1; i + 1 < current_.nodes.size(); ++i) {
-    const net::Node& n = overlay.node(current_.nodes[i]);
+    const net::NodeView n = overlay.node(current_.nodes[i]);
     if (!n.online || n.departed) return false;
   }
   return true;

@@ -1,0 +1,41 @@
+#include "core/shard_quality.hpp"
+
+#include <cassert>
+
+namespace p2panon::core {
+
+ShardedEdgeQuality::ShardedEdgeQuality(const net::NodeStateSoA& state,
+                                       const net::ShardPartition& partition,
+                                       const net::ShardedProbing& probing,
+                                       QualityWeights weights)
+    : state_(state),
+      partition_(partition),
+      probing_(probing),
+      weights_(weights),
+      attempts_(state.size() * state.degree, 0),
+      successes_(state.size() * state.degree, 0) {
+  assert(weights_.valid());
+}
+
+std::size_t ShardedEdgeQuality::pick_best(
+    net::NodeId s, std::span<const std::uint8_t> published_online) const {
+  const std::uint32_t home = partition_.shard_of(s);
+  const auto row = state_.neighbors_of(s);
+  std::size_t best = row.size();
+  double best_score = -1.0;
+  for (std::size_t slot = 0; slot < row.size(); ++slot) {
+    const net::NodeId u = row[slot];
+    const bool believed_alive = partition_.shard_of(u) == home
+                                    ? state_.appears_online(u)
+                                    : published_online[u] != 0;
+    if (!believed_alive) continue;
+    const double q = score(s, slot);
+    if (q > best_score) {  // strict: equal scores keep the lowest slot
+      best_score = q;
+      best = slot;
+    }
+  }
+  return best;
+}
+
+}  // namespace p2panon::core

@@ -65,6 +65,8 @@ ReplicatedResult run_replicated(const ScenarioConfig& base, std::size_t replicat
     agg.total_engine_events_cancelled += r.engine_events_cancelled;
     agg.total_engine_events_fired += r.engine_events_fired;
     agg.total_engine_callback_heap_allocs += r.engine_callback_heap_allocs;
+    agg.total_engine_cross_shard_messages += r.engine_cross_shard_messages;
+    agg.total_engine_window_barriers += r.engine_window_barriers;
     agg.total_settlements_closed += r.settlements_closed;
     agg.total_settlements_abandoned += r.settlements_abandoned;
     agg.total_settlements_expired += r.settlements_expired;

@@ -60,6 +60,8 @@ struct ReplicatedResult {
   std::uint64_t total_engine_events_cancelled = 0;
   std::uint64_t total_engine_events_fired = 0;
   std::uint64_t total_engine_callback_heap_allocs = 0;
+  std::uint64_t total_engine_cross_shard_messages = 0;
+  std::uint64_t total_engine_window_barriers = 0;
 
   // --- Settlement-lifecycle totals across replicates (see ScenarioResult).
   std::uint64_t total_settlements_closed = 0;

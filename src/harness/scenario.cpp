@@ -10,6 +10,7 @@
 #include "core/path.hpp"
 #include "core/suspicion.hpp"
 #include "payment/settlement.hpp"
+#include "sim/sharded.hpp"
 #include "sim/simulator.hpp"
 
 namespace p2panon::harness {
@@ -33,7 +34,26 @@ ScenarioResult ScenarioRunner::run() const {
   const ScenarioConfig& cfg = cfg_;
   sim::rng::Stream root(cfg.seed);
 
-  sim::Simulator simulator;
+  // Engine routing: the plain serial Simulator, or the sharded engine at
+  // K = 1 (whose windowed drive of shard 0 is order-preserving, hence
+  // bitwise identical — pinned by test_sharded_equivalence). All model code
+  // below holds `simulator`, the single shard's engine, either way.
+  std::optional<sim::ShardedSimulator> sharded_engine;
+  std::optional<sim::Simulator> serial_engine;
+  if (cfg.use_sharded_engine) {
+    sharded_engine.emplace(1u, cfg.engine_window, nullptr);
+  } else {
+    serial_engine.emplace();
+  }
+  sim::Simulator& simulator =
+      cfg.use_sharded_engine ? sharded_engine->shard(0) : *serial_engine;
+  const auto run_horizon = [&](sim::Time until) {
+    if (sharded_engine) {
+      sharded_engine->run_until(until);
+    } else {
+      simulator.run_until(until);
+    }
+  };
   net::Overlay overlay(cfg.overlay, simulator, root.child("overlay"));
   net::ProbingEstimator probing(overlay, cfg.probing, root.child("probing"));
   core::HistoryStore history(overlay.size(), cfg.history_capacity);
@@ -254,7 +274,7 @@ ScenarioResult ScenarioRunner::run() const {
   // phase (plus its re-formations) to play out.
   const sim::Time tail =
       fault_mode ? cfg.data_phase.duration + sim::minutes(10.0) : sim::minutes(1.0);
-  simulator.run_until(last_connection_at + tail);
+  run_horizon(last_connection_at + tail);
 
   // --- Settle every pair through the payment system.
   auto settle_stream = root.child("settle");
@@ -318,7 +338,7 @@ ScenarioResult ScenarioRunner::run() const {
     }
     simulator.schedule_at(deadline,
                           [&engine, &simulator] { (void)engine.expire_due(simulator.now()); });
-    simulator.run_until(deadline + sim::minutes(1.0));
+    run_horizon(deadline + sim::minutes(1.0));
     assert(engine.open_settlements() == 0 && "deadline sweep left a settlement open");
     for (std::size_t i = 0; i < plans.size(); ++i) {
       outcomes.push_back(plans[i].session->finalize_settlement(bank, engine, ledger, sids[i]));
@@ -390,6 +410,10 @@ ScenarioResult ScenarioRunner::run() const {
   result.engine_events_cancelled = queue_stats.cancelled;
   result.engine_events_fired = queue_stats.fired;
   result.engine_callback_heap_allocs = queue_stats.callback_heap_allocs;
+  if (sharded_engine) {
+    result.engine_cross_shard_messages = sharded_engine->stats().cross_shard_messages;
+    result.engine_window_barriers = sharded_engine->stats().window_barriers;
+  }
 
   result.connection_latency = latency;
   result.churn_events = overlay.churn_events();

@@ -87,6 +87,17 @@ struct ScenarioConfig {
   /// test_cache_equivalence); the switch exists for that proof and for
   /// before/after benchmarking.
   bool use_decision_cache = true;
+
+  /// Drive the replicate through the sharded engine at K = 1 instead of the
+  /// plain serial Simulator. Bitwise identical either way (the windowed
+  /// drive of one shard preserves event order; pinned by
+  /// test_sharded_equivalence) — the switch exists for that proof. The full
+  /// paper scenario shares one Overlay and one HistoryStore, so it only
+  /// runs single-sharded; K > 1 lives in the sharded scale scenario
+  /// (harness/sharded_scenario).
+  bool use_sharded_engine = false;
+  /// Window-synchronisation quantum when use_sharded_engine is set.
+  sim::Time engine_window = sim::minutes(5.0);
 };
 
 /// Everything the benches and EXPERIMENTS.md need from one replicate.
@@ -148,6 +159,12 @@ struct ScenarioResult {
   std::uint64_t engine_events_cancelled = 0;
   std::uint64_t engine_events_fired = 0;
   std::uint64_t engine_callback_heap_allocs = 0;
+  /// Sharded-engine counters: zero on the serial path; on the sharded path
+  /// cross-shard messages stay zero at K = 1 (everything is shard-local)
+  /// while window barriers count the windowed drive's synchronisation
+  /// points. Deterministic, so the determinism suite pins both.
+  std::uint64_t engine_cross_shard_messages = 0;
+  std::uint64_t engine_window_barriers = 0;
 
   // --- Settlement-lifecycle outcomes (PR 5). Every pair terminalises in
   // exactly one state; outside bank-fault mode every settlement closes

@@ -1,0 +1,127 @@
+// Sharded scale scenario: the windowed workload the sharded core exists for.
+//
+// One World holds the SoA overlay state, the shard-scoped probing and
+// edge-quality estimators, and the per-shard counters; its event handlers
+// run on the owning shard of the node they touch. The workload is the
+// cancel-heavy shape PR 4 optimised the queue for, at population scale:
+//
+//   * churn     — every node cycles join -> session -> leave -> gap ->
+//                 rejoin (with a final-departure coin), ground-truth
+//                 availability tracked per node;
+//   * probing   — every online node sweeps D(s) once per period through
+//                 ShardedProbing (live same-shard liveness, published
+//                 snapshot cross-shard);
+//   * traffic   — every online node launches connections at exponential
+//                 intervals: hop-by-hop forwarding over the best-scoring
+//                 neighbour edge (ShardedEdgeQuality), an ack racing an
+//                 ack timer at the initiator — the timer is cancelled on
+//                 ack, so cancels dominate at high delivery ratios;
+//   * claims    — each forwarded hop accrues a claim in the forwarder's
+//                 shard; claims settle in the serial barrier hook, the
+//                 batch point the contract/settlement phases map onto.
+//
+// Determinism contract: every random draw is a stateless child-stream
+// derivation keyed by {node, cycle} / {node, connection} — no shared
+// mutable RNG — so results are bitwise identical across thread-pool sizes
+// for fixed {seed, K, window}, and the model draws themselves do not depend
+// on K at all (only window-clamped cross-shard delivery times do). The
+// serial oracle (run_serial_oracle) executes the identical workload on a
+// plain sim::Simulator; a sharded run with K = 1 must match it bitwise
+// (digest-for-digest) — pinned by tests/harness/test_sharded_scenario.cpp.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/contract.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/types.hpp"
+
+namespace p2panon::parallel {
+class ThreadPool;
+}
+
+namespace p2panon::harness {
+
+struct ShardedScenarioConfig {
+  std::uint64_t seed = 1;
+  std::size_t node_count = 1000;
+  std::size_t degree = 8;
+  std::uint32_t shard_count = 4;
+  /// Window-synchronisation quantum W (seconds). Cross-shard messages are
+  /// delivered at the first window boundary after they are sent.
+  sim::Time window = 30.0;
+  sim::Time duration = sim::hours(1.0);
+
+  sim::Time probe_period = sim::minutes(5.0);
+  /// Nodes join uniformly over [0, join_window).
+  sim::Time join_window = sim::minutes(10.0);
+  sim::Time session_mean = sim::minutes(60.0);
+  sim::Time offline_gap_mean = sim::minutes(30.0);
+  double departure_probability = 0.05;
+
+  sim::Time connection_interval_mean = sim::minutes(2.0);
+  std::uint32_t path_hops = 3;
+  sim::Time hop_latency = 0.2;
+  /// Must comfortably exceed path_hops * hop_latency + 2 * window, so that
+  /// acks normally win the race and the timer is cancelled (the
+  /// cancel-heavy regime).
+  sim::Time ack_timeout = 90.0;
+
+  core::QualityWeights weights;
+};
+
+/// Model counters of one shard. Cache-line separated: shards bump their own
+/// block concurrently inside a window.
+struct alignas(64) ShardCounters {
+  std::uint64_t connections_launched = 0;
+  std::uint64_t connections_acked = 0;
+  std::uint64_t ack_timeouts = 0;
+  std::uint64_t no_candidate = 0;   ///< launches aborted: no live neighbour
+  std::uint64_t hops_forwarded = 0;
+  std::uint64_t churn_events = 0;
+  std::uint64_t departures = 0;
+  std::uint64_t claims_pending = 0; ///< accrued, not yet settled at a barrier
+  std::uint64_t claims_settled = 0;
+};
+
+struct ShardedScenarioResult {
+  // Model totals (sums over shards).
+  std::uint64_t connections_launched = 0;
+  std::uint64_t connections_acked = 0;
+  std::uint64_t ack_timeouts = 0;
+  std::uint64_t no_candidate = 0;
+  std::uint64_t hops_forwarded = 0;
+  std::uint64_t churn_events = 0;
+  std::uint64_t departures = 0;
+  std::uint64_t claims_settled = 0;
+  std::uint64_t probes = 0;
+
+  /// Engine counters — excluded from `digest` (the serial oracle has no
+  /// barriers; K = 1 equivalence is a statement about the *model*).
+  std::uint64_t cross_shard_messages = 0;
+  std::uint64_t window_barriers = 0;
+  std::uint64_t settlement_batches = 0;
+  sim::EventQueue::Stats engine;
+
+  /// FNV-1a over every per-shard model counter and every node's state and
+  /// availability bit pattern — the whole-run fingerprint the determinism
+  /// and K = 1 equivalence tests compare.
+  std::uint64_t digest = 0;
+
+  std::vector<ShardCounters> per_shard;
+};
+
+/// Run the sharded workload on K = cfg.shard_count shards under window
+/// synchronisation. `pool` may be nullptr (shards then run serially per
+/// window — same results, by the determinism contract).
+ShardedScenarioResult run_sharded_scenario(const ShardedScenarioConfig& cfg,
+                                           parallel::ThreadPool* pool);
+
+/// The bitwise oracle: the identical workload on one plain sim::Simulator
+/// (no windows, no mailbox, single shard). A sharded run with
+/// shard_count = 1 must reproduce this digest exactly.
+ShardedScenarioResult run_serial_oracle(const ShardedScenarioConfig& cfg);
+
+}  // namespace p2panon::harness

@@ -15,10 +15,9 @@ Overlay::Overlay(const OverlayConfig& cfg, sim::Simulator& simulator, sim::rng::
   assert(cfg.degree >= 1 && cfg.degree < cfg.node_count);
   assert(cfg.malicious_fraction >= 0.0 && cfg.malicious_fraction <= 1.0);
 
-  nodes_.resize(cfg.node_count);
+  state_.resize(cfg.node_count, cfg.degree);
   for (NodeId id = 0; id < cfg.node_count; ++id) {
-    nodes_[id].id = id;
-    nodes_[id].participation_cost = cfg.participation_cost;
+    state_.participation_cost[id] = cfg.participation_cost;
   }
 
   // Assign the malicious fraction uniformly at random.
@@ -26,18 +25,19 @@ Overlay::Overlay(const OverlayConfig& cfg, sim::Simulator& simulator, sim::rng::
   const auto mal_count =
       static_cast<std::size_t>(cfg.malicious_fraction * static_cast<double>(cfg.node_count) + 0.5);
   for (std::size_t idx : mal_stream.sample_indices(cfg.node_count, mal_count)) {
-    nodes_[idx].kind = NodeKind::kMalicious;
+    state_.kind[idx] = NodeKind::kMalicious;
   }
 
-  // Each node randomly selects d distinct neighbours (paper §3).
+  // Each node randomly selects d distinct neighbours (paper §3), written
+  // straight into the node's fixed-stride CSR row.
   auto nb_stream = stream.child("neighbors");
   for (NodeId id = 0; id < cfg.node_count; ++id) {
     auto picks = nb_stream.sample_indices(cfg.node_count - 1, cfg.degree);
-    nodes_[id].neighbors.reserve(cfg.degree);
-    for (std::size_t p : picks) {
+    auto row = state_.neighbors_of(id);
+    for (std::size_t slot = 0; slot < picks.size(); ++slot) {
       // Map [0, N-1) onto V \ {id}.
-      const auto neighbor = static_cast<NodeId>(p >= id ? p + 1 : p);
-      nodes_[id].neighbors.push_back(neighbor);
+      const std::size_t p = picks[slot];
+      row[slot] = static_cast<NodeId>(p >= id ? p + 1 : p);
     }
   }
 }
@@ -45,14 +45,14 @@ Overlay::Overlay(const OverlayConfig& cfg, sim::Simulator& simulator, sim::rng::
 void Overlay::start() {
   // Poisson join process: nodes enter the system one by one in a random
   // order, with exponential inter-arrival gaps.
-  std::vector<NodeId> order(nodes_.size());
-  for (NodeId id = 0; id < nodes_.size(); ++id) order[id] = id;
+  std::vector<NodeId> order(state_.size());
+  for (NodeId id = 0; id < state_.size(); ++id) order[id] = id;
   auto order_stream = stream_.child("join-order");
   order_stream.shuffle(order);
 
   sim::Time at = 0.0;
   for (NodeId id : order) {
-    if (cfg_.malicious_always_online && nodes_[id].is_malicious()) {
+    if (cfg_.malicious_always_online && state_.is_malicious(id)) {
       // Availability attackers are present from the very start and stay.
       sim_.schedule_at(0.0, [this, id] { do_join(id); });
       continue;
@@ -63,13 +63,12 @@ void Overlay::start() {
 }
 
 void Overlay::do_join(NodeId id) {
-  Node& n = nodes_.at(id);
-  if (n.departed || n.online || n.crashed) return;
-  n.online = true;
-  n.tracker.on_join(sim_.now());
+  if (state_.departed[id] != 0 || state_.online[id] != 0 || state_.crashed[id] != 0) return;
+  state_.online[id] = 1;
+  state_.tracker[id].on_join(sim_.now());
   ++churn_event_count_;
   notify_churn(id, true);
-  if (!(cfg_.malicious_always_online && n.is_malicious())) {
+  if (!(cfg_.malicious_always_online && state_.is_malicious(id))) {
     schedule_leave(id);
   }
 }
@@ -79,20 +78,19 @@ void Overlay::schedule_leave(NodeId id) {
   // Capture the session epoch: if the session ends abnormally (crash,
   // forced offline) before this fires, the epoch moves on and the stale
   // leave becomes a no-op instead of truncating a later session.
-  const std::uint64_t epoch = nodes_.at(id).leave_epoch;
+  const std::uint64_t epoch = state_.leave_epoch.at(id);
   sim_.schedule_in(session, [this, id, epoch] { do_leave(id, epoch); });
 }
 
 void Overlay::do_leave(NodeId id, std::uint64_t leave_epoch) {
-  Node& n = nodes_.at(id);
-  if (!n.online || n.leave_epoch != leave_epoch) return;
-  n.online = false;
-  n.tracker.on_leave(sim_.now());
+  if (state_.online[id] == 0 || state_.leave_epoch[id] != leave_epoch) return;
+  state_.online[id] = 0;
+  state_.tracker[id].on_leave(sim_.now());
   ++churn_event_count_;
   notify_churn(id, false);
 
   if (churn_.is_final_departure()) {
-    n.departed = true;
+    state_.departed[id] = 1;
     replace_departed_neighbor(id);
     return;
   }
@@ -101,66 +99,62 @@ void Overlay::do_leave(NodeId id, std::uint64_t leave_epoch) {
 }
 
 void Overlay::force_online(NodeId id) {
-  Node& n = nodes_.at(id);
-  if (n.online) return;
-  n.departed = false;
-  if (n.crashed) {
-    n.crashed = false;
-    ++n.leave_epoch;
+  if (state_.online.at(id) != 0) return;
+  state_.departed[id] = 0;
+  if (state_.crashed[id] != 0) {
+    state_.crashed[id] = 0;
+    ++state_.leave_epoch[id];
   }
-  n.online = true;
-  n.tracker.on_join(sim_.now());
+  state_.online[id] = 1;
+  state_.tracker[id].on_join(sim_.now());
   ++churn_event_count_;
   notify_churn(id, true);
   schedule_leave(id);
 }
 
 void Overlay::force_offline(NodeId id) {
-  Node& n = nodes_.at(id);
-  if (!n.online) return;
-  n.online = false;
-  ++n.leave_epoch;  // the pending natural leave belongs to a dead session
-  n.tracker.on_leave(sim_.now());
+  if (state_.online.at(id) == 0) return;
+  state_.online[id] = 0;
+  ++state_.leave_epoch[id];  // the pending natural leave belongs to a dead session
+  state_.tracker[id].on_leave(sim_.now());
   ++churn_event_count_;
   notify_churn(id, false);
 }
 
 bool Overlay::crash(NodeId id) {
-  Node& n = nodes_.at(id);
-  if (!n.online || n.departed) return false;
-  n.online = false;
-  n.crashed = true;
-  ++n.leave_epoch;  // invalidate the session's pending graceful leave
+  if (state_.online.at(id) == 0 || state_.departed[id] != 0) return false;
+  state_.online[id] = 0;
+  state_.crashed[id] = 1;
+  ++state_.leave_epoch[id];  // invalidate the session's pending graceful leave
   // Ground truth sees the downtime (availability, last_leave for the
   // time-to-detect metric) — but observers are NOT notified: that silence
   // is the entire point of a silent crash.
-  n.tracker.on_leave(sim_.now());
+  state_.tracker[id].on_leave(sim_.now());
   ++churn_event_count_;
   return true;
 }
 
 void Overlay::recover(NodeId id) {
-  Node& n = nodes_.at(id);
-  if (!n.crashed) return;
-  n.crashed = false;
-  ++n.leave_epoch;
-  if (n.departed || n.online) return;
-  n.online = true;
-  n.tracker.on_join(sim_.now());
+  if (state_.crashed.at(id) == 0) return;
+  state_.crashed[id] = 0;
+  ++state_.leave_epoch[id];
+  if (state_.departed[id] != 0 || state_.online[id] != 0) return;
+  state_.online[id] = 1;
+  state_.tracker[id].on_join(sim_.now());
   ++churn_event_count_;
   notify_churn(id, true);  // a recovery is an ordinary, visible (re)join
   schedule_leave(id);
 }
 
 void Overlay::replace_departed_neighbor(NodeId departed) {
-  for (Node& s : nodes_) {
-    if (s.id == departed) continue;
-    for (NodeId& nb : s.neighbors) {
+  for (NodeId s = 0; s < state_.size(); ++s) {
+    if (s == departed) continue;
+    for (NodeId& nb : state_.neighbors_of(s)) {
       if (nb == departed) {
-        const NodeId fresh = pick_replacement(s.id, departed);
+        const NodeId fresh = pick_replacement(s, departed);
         if (fresh == kInvalidNode) continue;  // nobody suitable; keep stale entry
         nb = fresh;
-        for (const auto& obs : neighbor_observers_) obs(s.id, departed, fresh, sim_.now());
+        for (const auto& obs : neighbor_observers_) obs(s, departed, fresh, sim_.now());
       }
     }
   }
@@ -169,13 +163,13 @@ void Overlay::replace_departed_neighbor(NodeId departed) {
 NodeId Overlay::pick_replacement(NodeId owner, NodeId departed) {
   // Candidates: any non-departed node that is not the owner, not the departed
   // neighbour, and not already in D(owner).
-  const Node& s = nodes_.at(owner);
+  const auto own_row = state_.neighbors_of(owner);
   std::vector<NodeId> candidates;
-  candidates.reserve(nodes_.size());
-  for (const Node& c : nodes_) {
-    if (c.id == owner || c.id == departed || c.departed) continue;
-    if (std::find(s.neighbors.begin(), s.neighbors.end(), c.id) != s.neighbors.end()) continue;
-    candidates.push_back(c.id);
+  candidates.reserve(state_.size());
+  for (NodeId c = 0; c < state_.size(); ++c) {
+    if (c == owner || c == departed || state_.departed[c] != 0) continue;
+    if (std::find(own_row.begin(), own_row.end(), c) != own_row.end()) continue;
+    candidates.push_back(c);
   }
   if (candidates.empty()) return kInvalidNode;
   auto pick_stream = stream_.child("replacement", (static_cast<std::uint64_t>(owner) << 32) ^
@@ -189,33 +183,33 @@ void Overlay::notify_churn(NodeId id, bool online) {
 
 std::vector<NodeId> Overlay::online_nodes() const {
   std::vector<NodeId> out;
-  out.reserve(nodes_.size());
-  for (const Node& n : nodes_) {
-    if (n.online) out.push_back(n.id);
+  out.reserve(state_.size());
+  for (NodeId id = 0; id < state_.size(); ++id) {
+    if (state_.online[id] != 0) out.push_back(id);
   }
   return out;
 }
 
 std::vector<NodeId> Overlay::online_neighbors(NodeId id) const {
   std::vector<NodeId> out;
-  for (NodeId nb : nodes_.at(id).neighbors) {
-    if (nodes_.at(nb).online) out.push_back(nb);
+  for (NodeId nb : state_.neighbors_of(id)) {
+    if (state_.online.at(nb) != 0) out.push_back(nb);
   }
   return out;
 }
 
 std::vector<NodeId> Overlay::good_nodes() const {
   std::vector<NodeId> out;
-  for (const Node& n : nodes_) {
-    if (n.is_good()) out.push_back(n.id);
+  for (NodeId id = 0; id < state_.size(); ++id) {
+    if (state_.is_good(id)) out.push_back(id);
   }
   return out;
 }
 
 std::vector<NodeId> Overlay::malicious_nodes() const {
   std::vector<NodeId> out;
-  for (const Node& n : nodes_) {
-    if (n.is_malicious()) out.push_back(n.id);
+  for (NodeId id = 0; id < state_.size(); ++id) {
+    if (state_.is_malicious(id)) out.push_back(id);
   }
   return out;
 }

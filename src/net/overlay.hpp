@@ -15,7 +15,7 @@
 #include "net/churn.hpp"
 #include "net/ids.hpp"
 #include "net/link_model.hpp"
-#include "net/node.hpp"
+#include "net/soa.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 
@@ -52,28 +52,39 @@ class Overlay {
   /// simulator.
   void start();
 
-  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
-  [[nodiscard]] const Node& node(NodeId id) const { return nodes_.at(id); }
-  [[nodiscard]] bool is_online(NodeId id) const { return nodes_.at(id).online; }
+  [[nodiscard]] std::size_t size() const noexcept { return state_.size(); }
+
+  /// Row snapshot across the SoA columns; fields as of the call, `tracker`
+  /// a live reference (see NodeView).
+  [[nodiscard]] NodeView node(NodeId id) const {
+    return NodeView{id,
+                    state_.kind.at(id),
+                    state_.online[id] != 0,
+                    state_.crashed[id] != 0,
+                    state_.departed[id] != 0,
+                    state_.participation_cost[id],
+                    state_.tracker[id]};
+  }
+  [[nodiscard]] bool is_online(NodeId id) const { return state_.online.at(id) != 0; }
 
   /// What the rest of the overlay *believes* about the node's liveness: a
   /// silently-crashed node still appears online (nobody was told), while a
   /// graceful leave is announced and visible immediately. Protocol code
   /// (candidate selection, routing) must use this instead of is_online();
   /// only physical message delivery and probes may consult ground truth.
-  [[nodiscard]] bool appears_online(NodeId id) const {
-    const Node& n = nodes_.at(id);
-    return n.online || n.crashed;
-  }
+  [[nodiscard]] bool appears_online(NodeId id) const { return state_.appears_online(id); }
   [[nodiscard]] std::span<const NodeId> neighbors(NodeId id) const {
-    return nodes_.at(id).neighbors;
+    return state_.neighbors_of(id);
   }
+
+  /// The columnar node state, for shard-local views and streaming sweeps.
+  [[nodiscard]] const NodeStateSoA& state() const noexcept { return state_; }
   [[nodiscard]] const LinkModel& links() const noexcept { return links_; }
   [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
 
   /// Ground-truth availability of a node at the current simulation time.
   [[nodiscard]] double true_availability(NodeId id) const {
-    return nodes_.at(id).tracker.availability(sim_.now());
+    return state_.tracker.at(id).availability(sim_.now());
   }
 
   /// All currently-online node ids, ascending.
@@ -131,7 +142,7 @@ class Overlay {
   sim::rng::Stream stream_;
   ChurnProcess churn_;
   LinkModel links_;
-  std::vector<Node> nodes_;
+  NodeStateSoA state_;
   std::vector<ChurnObserver> churn_observers_;
   std::vector<NeighborObserver> neighbor_observers_;
   std::uint64_t churn_event_count_ = 0;

@@ -1,0 +1,132 @@
+// Sharded discrete-event engine: K independent per-shard Simulators advanced
+// in lock-step time windows, with cross-shard effects exchanged only at
+// window boundaries (conservative parallel discrete-event simulation).
+//
+// Model contract
+// --------------
+//   - Every model entity (node, contract leg, probe loop) is owned by exactly
+//     one shard. Events touching only that shard's state are scheduled
+//     directly on its Simulator (`shard(s).schedule_*` or `post` with
+//     src == dst).
+//   - An effect on *another* shard must go through `post(src, dst, at, fn)`.
+//     The callback is buffered in the source shard's outbox and delivered at
+//     the first window boundary >= the send window, at time
+//     max(at, boundary). Shards therefore never observe mid-window state of
+//     their peers, which is what makes the windowed run race-free without
+//     any locking in model code.
+//   - Cross-shard *reads* must use state published at the previous barrier
+//     (see barrier hooks below), never live peer state.
+//
+// Determinism contract
+// --------------------
+//   - K = 1: `post` with src == dst == 0 degenerates to a plain local
+//     schedule_at and run_until is a chunked drive of the single Simulator —
+//     bitwise identical to running the serial engine directly (chunking
+//     run_until never reorders events).
+//   - K > 1: for a fixed {seed, K, window} the result is bitwise identical
+//     across thread-pool sizes, including the serial pool == nullptr path.
+//     Within a window shards share no mutable state; at the barrier the
+//     mailboxes are flushed serially in (source shard ascending, append
+//     order) — a deterministic merge.
+//
+// The thread pool is borrowed per window (submit + wait_idle). Do not run a
+// windowed ShardedSimulator from *inside* a task on the same pool: wait_idle
+// waits for all queued tasks and would deadlock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/types.hpp"
+
+namespace p2panon::parallel {
+class ThreadPool;
+}
+
+namespace p2panon::sim {
+
+class ShardedSimulator {
+ public:
+  using ShardId = std::uint32_t;
+
+  /// Counters over the sharded run (in addition to the per-shard
+  /// EventQueue::Stats reachable through shard(s).queue_stats()).
+  struct Stats {
+    std::uint64_t cross_shard_messages = 0;  ///< mailbox deliveries (src != dst)
+    std::uint64_t window_barriers = 0;       ///< barrier synchronisations executed
+  };
+
+  /// A hook run serially at every window barrier (after all shards reached
+  /// the boundary, before mailboxes flush). Used to publish cross-shard
+  /// snapshots and to drain model-level batch queues (claims, settlement).
+  using BarrierHook = std::function<void(Time boundary)>;
+
+  /// `shard_count` >= 1. `window` > 0 is the synchronisation quantum; the
+  /// window grid is anchored at t = 0. `pool` may be nullptr, in which case
+  /// shards run serially in shard order (still window-synchronised, same
+  /// results by the determinism contract).
+  ShardedSimulator(ShardId shard_count, Time window, parallel::ThreadPool* pool);
+  ~ShardedSimulator();
+
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  [[nodiscard]] ShardId shard_count() const noexcept {
+    return static_cast<ShardId>(shards_.size());
+  }
+  [[nodiscard]] Time window() const noexcept { return window_; }
+
+  /// The per-shard serial engine. Model code owned by shard `s` schedules
+  /// local events here and reads shard-local time via shard(s).now().
+  [[nodiscard]] Simulator& shard(ShardId s) noexcept { return *shards_[s]; }
+  [[nodiscard]] const Simulator& shard(ShardId s) const noexcept { return *shards_[s]; }
+
+  /// Schedule `fn` to run on shard `dst` at absolute time `at`, from code
+  /// currently executing on shard `src`. Local posts (src == dst) bypass the
+  /// mailbox entirely. Cross-shard posts are buffered in the src outbox —
+  /// safe to call concurrently from distinct shards — and delivered at the
+  /// next window barrier at time max(at, boundary).
+  void post(ShardId src, ShardId dst, Time at, EventFn fn);
+
+  /// Register a barrier hook (see BarrierHook). Hooks run serially in
+  /// registration order; they must not schedule cross-shard work directly
+  /// (use post from a shard, or schedule locally on any shard — the shard
+  /// clocks all equal the boundary while hooks run).
+  void add_barrier_hook(BarrierHook hook) { hooks_.push_back(std::move(hook)); }
+
+  /// Advance all shards to `until`, window by window. Events at exactly
+  /// `until` are executed; every shard's clock ends at `until`.
+  Time run_until(Time until);
+
+  /// Earliest pending event over all shards; kTimeInfinity when fully idle.
+  [[nodiscard]] Time next_event_time() const noexcept;
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Sum of shard(s).queue_stats() over all shards.
+  [[nodiscard]] EventQueue::Stats aggregate_queue_stats() const noexcept;
+
+ private:
+  struct Outgoing {
+    ShardId dst;
+    Time at;
+    EventFn fn;
+  };
+
+  void run_window(Time window_end);
+  void flush_mailboxes(Time boundary);
+
+  std::vector<std::unique_ptr<Simulator>> shards_;
+  // One outbox per *source* shard: within a window each shard appends only to
+  // its own, so cross-shard sends need no synchronisation.
+  std::vector<std::vector<Outgoing>> outbox_;
+  std::vector<BarrierHook> hooks_;
+  Time window_;
+  parallel::ThreadPool* pool_;
+  Stats stats_;
+};
+
+}  // namespace p2panon::sim

@@ -44,6 +44,10 @@ class Simulator {
   /// (== until if the horizon was hit with events still pending).
   Time run_until(Time until);
 
+  /// Time of the earliest pending event; kTimeInfinity when idle. The sharded
+  /// engine uses this to fast-forward over empty windows.
+  [[nodiscard]] Time next_event_time() const noexcept { return queue_.next_time(); }
+
   /// Run until the event set drains completely.
   Time run_to_completion();
 

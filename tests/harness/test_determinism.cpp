@@ -94,6 +94,8 @@ void expect_same_results(const ReplicatedResult& a, const ReplicatedResult& b) {
   EXPECT_EQ(a.total_engine_events_cancelled, b.total_engine_events_cancelled);
   EXPECT_EQ(a.total_engine_events_fired, b.total_engine_events_fired);
   EXPECT_EQ(a.total_engine_callback_heap_allocs, b.total_engine_callback_heap_allocs);
+  EXPECT_EQ(a.total_engine_cross_shard_messages, b.total_engine_cross_shard_messages);
+  EXPECT_EQ(a.total_engine_window_barriers, b.total_engine_window_barriers);
   // Settlement-lifecycle outcomes: identical runs terminalise the same
   // settlements the same way and move the same milli-credits.
   EXPECT_EQ(a.total_settlements_closed, b.total_settlements_closed);

@@ -1,0 +1,204 @@
+// Serial-vs-sharded (K = 1) bitwise equivalence for the full paper scenario.
+//
+// ScenarioConfig::use_sharded_engine drives the replicate through a
+// ShardedSimulator with one shard instead of the plain serial Simulator. The
+// windowed drive of a single shard must be the *same computation* — not one
+// bit of any metric may move, in any mode (paper-default decision stack,
+// fault mode with its ack-timer cancel storms, and bank-fault settlement
+// chaos). The serial sides of these configs are already pinned against
+// pre-change dumps by test_engine_equivalence / test_determinism, so bitwise
+// serial == sharded here transitively pins the sharded path too.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/replicate.hpp"
+#include "parallel/thread_pool.hpp"
+
+using namespace p2panon;
+using namespace p2panon::harness;
+
+namespace {
+
+// Same shape as test_engine_equivalence's pinned paper config (seed 97):
+// Model II depth 3, adversaries, bounded history.
+ScenarioConfig paper_config() {
+  ScenarioConfig cfg = paper_default_config(97);
+  cfg.good_strategy = core::StrategyKind::kUtilityModelII;
+  cfg.lookahead_depth = 3;
+  cfg.overlay.malicious_fraction = 0.1;
+  cfg.adversary.drop_probability = 0.2;
+  cfg.history_capacity = 64;
+  return cfg;
+}
+
+// Same shape as test_engine_equivalence's pinned fault config (seed 131):
+// ack timers armed and cancelled per hop per leg, keepalives, crashes.
+ScenarioConfig fault_config() {
+  ScenarioConfig cfg = paper_default_config(131);
+  cfg.overlay.node_count = 24;
+  cfg.overlay.degree = 4;
+  cfg.pair_count = 10;
+  cfg.connections_per_pair = 4;
+  cfg.warmup = sim::minutes(30.0);
+  cfg.pair_start_window = sim::minutes(45.0);
+  cfg.fault.link_loss = 0.05;
+  cfg.fault.delay_jitter = 0.3;
+  cfg.fault.crash_rate_per_hour = 5.0;
+  cfg.fault.crash_recovery_mean = sim::minutes(10.0);
+  cfg.fault.probe_false_negative = 0.1;
+  cfg.async_setup.attempt_deadline = sim::minutes(3.0);
+  cfg.data_phase.duration = 90.0;
+  cfg.data_phase.keepalive_interval = 10.0;
+  return cfg;
+}
+
+// Same shape as test_determinism's chaotic settlement config (seed 29):
+// bank-fault mode with lost/delayed claims, crashing initiators/forwarders.
+ScenarioConfig bank_fault_config() {
+  ScenarioConfig cfg = paper_default_config(29);
+  cfg.overlay.node_count = 15;
+  cfg.overlay.degree = 3;
+  cfg.overlay.malicious_fraction = 0.2;
+  cfg.pair_count = 6;
+  cfg.connections_per_pair = 4;
+  cfg.warmup = sim::minutes(20.0);
+  cfg.pair_start_window = sim::minutes(20.0);
+  cfg.fault.link_loss = 0.05;
+  cfg.fault.delay_jitter = 0.3;
+  cfg.fault.crash_rate_per_hour = 4.0;
+  cfg.fault.crash_recovery_mean = sim::minutes(10.0);
+  cfg.fault.probe_false_negative = 0.1;
+  cfg.async_setup.attempt_deadline = sim::minutes(3.0);
+  cfg.data_phase.duration = 60.0;
+  cfg.data_phase.keepalive_interval = 10.0;
+  cfg.fault.bank.claim_loss = 0.2;
+  cfg.fault.bank.claim_delay_mean = sim::minutes(4.0);
+  cfg.fault.bank.initiator_crash = 0.3;
+  cfg.fault.bank.forwarder_crash = 0.15;
+  cfg.fault.bank.claim_deadline = sim::minutes(20.0);
+  cfg.fault.bank.close_after = sim::minutes(8.0);
+  return cfg;
+}
+
+void expect_biteq(double a, double b, const char* what) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b))
+      << what << ": " << a << " vs " << b;
+}
+
+void expect_biteq(const std::vector<double>& a, const std::vector<double>& b,
+                  const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a[i]), std::bit_cast<std::uint64_t>(b[i]))
+        << what << "[" << i << "]: " << a[i] << " vs " << b[i];
+  }
+}
+
+/// serial = plain Simulator path, sharded = K = 1 windowed path. Everything
+/// must match bitwise except engine_window_barriers, which *counts the
+/// drive* (zero without windows, > 0 with them) rather than the model.
+void expect_serial_equals_sharded(const ReplicatedResult& serial,
+                                  const ReplicatedResult& sharded) {
+  expect_biteq(serial.good_payoff.mean(), sharded.good_payoff.mean(), "good_payoff");
+  expect_biteq(serial.member_payoff.mean(), sharded.member_payoff.mean(), "member_payoff");
+  expect_biteq(serial.forwarder_set_size.mean(), sharded.forwarder_set_size.mean(),
+               "forwarder_set_size");
+  expect_biteq(serial.avg_path_length.mean(), sharded.avg_path_length.mean(),
+               "avg_path_length");
+  expect_biteq(serial.path_quality.mean(), sharded.path_quality.mean(), "path_quality");
+  expect_biteq(serial.initiator_utility.mean(), sharded.initiator_utility.mean(),
+               "initiator_utility");
+  expect_biteq(serial.initiator_spend.mean(), sharded.initiator_spend.mean(),
+               "initiator_spend");
+  expect_biteq(serial.connection_latency.mean(), sharded.connection_latency.mean(),
+               "connection_latency");
+  expect_biteq(serial.routing_efficiency.mean(), sharded.routing_efficiency.mean(),
+               "routing_efficiency");
+  expect_biteq(serial.delivery_ratio.mean(), sharded.delivery_ratio.mean(),
+               "delivery_ratio");
+  expect_biteq(serial.setup_time.mean(), sharded.setup_time.mean(), "setup_time");
+  expect_biteq(serial.time_to_detect.mean(), sharded.time_to_detect.mean(),
+               "time_to_detect");
+  expect_biteq(serial.pooled_good_payoffs, sharded.pooled_good_payoffs,
+               "pooled_good_payoffs");
+  expect_biteq(serial.pooled_member_payoffs, sharded.pooled_member_payoffs,
+               "pooled_member_payoffs");
+
+  EXPECT_EQ(serial.total_reformations, sharded.total_reformations);
+  EXPECT_EQ(serial.total_churn_events, sharded.total_churn_events);
+  EXPECT_EQ(serial.all_payments_conserved, sharded.all_payments_conserved);
+  EXPECT_EQ(serial.total_connections_completed, sharded.total_connections_completed);
+  EXPECT_EQ(serial.total_connections_failed, sharded.total_connections_failed);
+  EXPECT_EQ(serial.total_setup_attempts, sharded.total_setup_attempts);
+  EXPECT_EQ(serial.total_ack_timeouts, sharded.total_ack_timeouts);
+  EXPECT_EQ(serial.total_crashes, sharded.total_crashes);
+  EXPECT_EQ(serial.total_messages_dropped, sharded.total_messages_dropped);
+  EXPECT_EQ(serial.total_keepalives_sent, sharded.total_keepalives_sent);
+  EXPECT_EQ(serial.total_keepalives_delivered, sharded.total_keepalives_delivered);
+
+  // The chunked windowed drive schedules, cancels, and fires the exact same
+  // events — the engine counters are part of the equivalence claim.
+  EXPECT_EQ(serial.total_engine_events_scheduled, sharded.total_engine_events_scheduled);
+  EXPECT_EQ(serial.total_engine_events_cancelled, sharded.total_engine_events_cancelled);
+  EXPECT_EQ(serial.total_engine_events_fired, sharded.total_engine_events_fired);
+  EXPECT_EQ(serial.total_engine_callback_heap_allocs,
+            sharded.total_engine_callback_heap_allocs);
+
+  EXPECT_EQ(serial.total_settlements_closed, sharded.total_settlements_closed);
+  EXPECT_EQ(serial.total_settlements_abandoned, sharded.total_settlements_abandoned);
+  EXPECT_EQ(serial.total_settlements_expired, sharded.total_settlements_expired);
+  EXPECT_EQ(serial.total_settlements_prorata, sharded.total_settlements_prorata);
+  EXPECT_EQ(serial.total_claims_submitted, sharded.total_claims_submitted);
+  EXPECT_EQ(serial.total_claims_lost, sharded.total_claims_lost);
+  EXPECT_EQ(serial.total_claims_rejected, sharded.total_claims_rejected);
+  EXPECT_EQ(serial.total_claims_after_terminal, sharded.total_claims_after_terminal);
+  EXPECT_EQ(serial.total_settlement_escrow_milli, sharded.total_settlement_escrow_milli);
+  EXPECT_EQ(serial.total_settlement_paid_milli, sharded.total_settlement_paid_milli);
+  EXPECT_EQ(serial.total_settlement_refunded_milli,
+            sharded.total_settlement_refunded_milli);
+  EXPECT_EQ(serial.all_settlements_reconciled, sharded.all_settlements_reconciled);
+
+  // Engine-path counters: at K = 1 nothing ever crosses a shard boundary,
+  // while the windowed drive must have actually synchronised.
+  EXPECT_EQ(serial.total_engine_cross_shard_messages, 0u);
+  EXPECT_EQ(sharded.total_engine_cross_shard_messages, 0u);
+  EXPECT_EQ(serial.total_engine_window_barriers, 0u);
+  EXPECT_GT(sharded.total_engine_window_barriers, 0u);
+}
+
+void run_mode(ScenarioConfig cfg, std::size_t replicates) {
+  cfg.use_sharded_engine = false;
+  const ReplicatedResult serial = run_replicated(cfg, replicates, nullptr);
+  cfg.use_sharded_engine = true;
+  const ReplicatedResult sharded = run_replicated(cfg, replicates, nullptr);
+  expect_serial_equals_sharded(serial, sharded);
+}
+
+}  // namespace
+
+TEST(ShardedEquivalence, PaperDefaultBitwiseIdentical) { run_mode(paper_config(), 2); }
+
+TEST(ShardedEquivalence, FaultModeBitwiseIdentical) { run_mode(fault_config(), 3); }
+
+TEST(ShardedEquivalence, BankFaultModeBitwiseIdentical) { run_mode(bank_fault_config(), 3); }
+
+TEST(ShardedEquivalence, HoldsAcrossThreadPoolSizesAndWindows) {
+  // The window size may change *when* run_until pauses, never *what* runs:
+  // any window, any pool, same bits.
+  ScenarioConfig cfg = fault_config();
+  cfg.use_sharded_engine = false;
+  const ReplicatedResult serial = run_replicated(cfg, 2, nullptr);
+
+  cfg.use_sharded_engine = true;
+  for (const double window_minutes : {0.5, 7.0}) {
+    cfg.engine_window = sim::minutes(window_minutes);
+    SCOPED_TRACE("window " + std::to_string(window_minutes) + " min");
+    parallel::ThreadPool pool(2);
+    expect_serial_equals_sharded(serial, run_replicated(cfg, 2, &pool));
+  }
+}

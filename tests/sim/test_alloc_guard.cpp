@@ -5,6 +5,7 @@
 // counting wrappers (binary-wide, but only the bracketed window is counted)
 // and asserts the count stays zero through a model-shaped workload.
 #include "sim/event_queue.hpp"
+#include "sim/sharded.hpp"
 
 #include <gtest/gtest.h>
 
@@ -125,6 +126,56 @@ TEST(EventQueueAllocGuard, SteadyStateSchedulesWithoutAllocating) {
       << "steady-state schedule/cancel/pop performed heap allocations";
   EXPECT_EQ(q.stats().callback_heap_allocs, 0u);
   EXPECT_GT(fired, 0u);
+}
+
+// The same guarantee for the windowed sharded drive: after warm-up, per-shard
+// queues, outboxes, and mailbox flushes all run on retained capacity — zero
+// heap traffic per shard per window. Serial shard loop (pool == nullptr):
+// ThreadPool::submit wraps tasks in std::function and is the one documented
+// O(K)-per-window allocation site, so it is exactly what this guard excludes.
+TEST(ShardedAllocGuard, SteadyStateWindowedRunDoesNotAllocate) {
+  constexpr std::uint32_t kShards = 4;
+  p2panon::sim::ShardedSimulator engine(kShards, 10.0, nullptr);
+
+  // One hopping chain per shard. Each tick arms a long timer and cancels it
+  // shortly after (the cancel-heavy shape), then hands the chain to the next
+  // shard through the mailbox — constant event population, constant
+  // cross-shard rate, so warm-up reaches every steady-state capacity peak.
+  struct Ticker {
+    p2panon::sim::ShardedSimulator* engine;
+    std::uint64_t fired = 0;
+    void tick(std::uint32_t shard) {
+      ++fired;
+      const double now = engine->shard(shard).now();
+      const auto doomed = engine->shard(shard).schedule_at(now + 50.0, [] {});
+      engine->shard(shard).schedule_at(now + 1.0, [this, shard, doomed] {
+        engine->shard(shard).cancel(doomed);
+      });
+      const std::uint32_t peer = (shard + 1) % kShards;
+      engine->post(shard, peer, now + 1.0, [this, peer] { tick(peer); });
+    }
+  } ticker{&engine};
+  for (std::uint32_t s = 0; s < kShards; ++s) {
+    engine.post(s, s, static_cast<double>(s) * 0.25, [&ticker, s] { ticker.tick(s); });
+  }
+
+  // Warm-up: grows every queue, slot map, and outbox to its periodic peak.
+  engine.run_until(200.0);
+  ASSERT_GT(ticker.fired, 0u);
+  const std::uint64_t warm_fired = ticker.fired;
+
+  // Counted pass: same periodic regime, zero allocations allowed. No gtest
+  // assertions inside the window (they allocate).
+  g_allocations.store(0);
+  g_counting.store(true);
+  engine.run_until(400.0);
+  g_counting.store(false);
+
+  EXPECT_EQ(g_allocations.load(), 0u)
+      << "steady-state sharded windowed run performed heap allocations";
+  EXPECT_GT(ticker.fired, warm_fired);
+  EXPECT_GT(engine.stats().cross_shard_messages, 0u);
+  EXPECT_EQ(engine.aggregate_queue_stats().callback_heap_allocs, 0u);
 }
 
 }  // namespace

@@ -53,6 +53,20 @@ R5 settlement state transitions
     dominated by an ``is_terminal(...)`` check earlier in the same body.
     Waive with ``// lint-exempt(settlement-state): <reason>`` above the site.
 
+R6 mailbox discipline
+    The sharded engine's race-freedom rests on one rule: within a window a
+    shard may only schedule onto *its own* Simulator; any effect on another
+    shard must go through ``ShardedSimulator::post`` so it is buffered and
+    delivered at the window barrier. ``shard(x).schedule_*`` from model code
+    compiles fine either way and is bitwise-correct at K = 1, so a direct
+    cross-shard schedule is exactly the bug no test at K = 1 can see — and at
+    K > 1 it is a data race on the peer's event queue. The rule: in ``src/``
+    and ``bench/``, any ``shard(...).schedule_in/at`` call site must carry
+    ``// lint-exempt(cross-shard): <reason>`` on or above the line affirming
+    the target shard is the caller's own. (Engine internals index
+    ``shards_[...]`` directly and model code routes through owner-checked
+    helpers, so a clean tree has zero such sites.)
+
 Exit status: 0 when clean, 1 with one ``file:line: [rule] message`` per finding.
 """
 
@@ -114,6 +128,15 @@ EPOCH_GUARDS = [
         "files": ("src/core/suspicion.hpp", "src/core/suspicion.cpp"),
         "state": ("counts_",),
         "epoch": re.compile(r"(\+\+\s*epoch_|epoch_\s*(\[[^]]*\]\s*)?(\+\+|\+=|=))"),
+    },
+    {
+        # The sharded probing estimator publishes per-node epochs consumed by
+        # ShardedEdgeQuality / ShardDecisionScratch — same contract, SoA form.
+        "cls": "ShardedProbing",
+        "files": ("src/net/sharded_probing.hpp", "src/net/sharded_probing.cpp"),
+        "state": ("session_time_", "avail_total_"),
+        "epoch": re.compile(
+            r"(\+\+\s*probe_epoch_|probe_epoch_\s*(\[[^]]*\]\s*)?(\+\+|\+=|=))"),
     },
 ]
 
@@ -416,6 +439,44 @@ def check_settlement_transitions(repo: pathlib.Path) -> List[str]:
 
 
 # --------------------------------------------------------------------------
+# R6 — cross-shard scheduling must go through the window mailbox
+# --------------------------------------------------------------------------
+
+SHARD_SCHEDULE_DIRS = ("src", "bench")
+SHARD_SCHEDULE_RE = re.compile(r"\bshard\s*\([^()]*\)\s*\.\s*schedule_(?:in|at)\s*\(")
+CROSS_SHARD_EXEMPT_RE = re.compile(r"lint-exempt\(cross-shard\):\s*\S")
+
+
+def check_shard_mailbox_discipline(repo: pathlib.Path) -> List[str]:
+    """Flag every ``shard(...).schedule_in/at`` call in src/ and bench/: the
+    compiler cannot tell a shard-local schedule from a cross-shard one, and
+    only the former is legal inside a window (the latter is a data race at
+    K > 1 that K = 1 tests cannot catch). Route cross-shard effects through
+    ``ShardedSimulator::post``; affirm genuinely shard-local sites with
+    ``// lint-exempt(cross-shard): <reason>``."""
+    findings = []
+    for path in iter_source_files(repo, SHARD_SCHEDULE_DIRS):
+        raw = path.read_text(encoding="utf-8", errors="replace")
+        stripped = strip_comments_and_strings(raw)
+        raw_lines = raw.splitlines()
+        for m in SHARD_SCHEDULE_RE.finditer(stripped):
+            lineno = stripped.count("\n", 0, m.start()) + 1
+            context = "\n".join(raw_lines[max(0, lineno - 2):lineno])
+            if CROSS_SHARD_EXEMPT_RE.search(context):
+                continue
+            rel = path.relative_to(repo)
+            findings.append(
+                f"{rel}:{lineno}: [cross-shard] direct shard(...).schedule_* "
+                f"bypasses the window mailbox; a cross-shard target races the "
+                f"peer's event queue at K > 1 (and no K = 1 test can see it). "
+                f"Use ShardedSimulator::post(src, dst, at, fn), or annotate a "
+                f"provably shard-local site with "
+                f"// lint-exempt(cross-shard): <reason>"
+            )
+    return findings
+
+
+# --------------------------------------------------------------------------
 # R3 — no tracked build artifacts
 # --------------------------------------------------------------------------
 
@@ -460,6 +521,7 @@ def main() -> int:
     findings += check_epoch_contract(repo)
     findings += check_finished_guards(repo)
     findings += check_settlement_transitions(repo)
+    findings += check_shard_mailbox_discipline(repo)
     findings += check_tracked_artifacts(repo)
 
     for f in findings:
@@ -468,7 +530,7 @@ def main() -> int:
         print(f"\ncheck_invariants: {len(findings)} finding(s)", file=sys.stderr)
         return 1
     print("check_invariants: clean (determinism, epoch contract, finished guards, "
-          "settlement transitions, tracked artifacts)")
+          "settlement transitions, shard mailbox discipline, tracked artifacts)")
     return 0
 
 
