@@ -1,0 +1,67 @@
+// analyzer-fixture: path=src/core/fixture_d1_flag.cpp
+// D1 must-flag corpus: every annotated loop iterates an unordered container
+// with an order-sensitive body, so its observable result depends on the
+// stdlib's hash-bucket order.
+#include <cstdint>
+#include <iostream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+struct Digest {
+  std::uint64_t h = 0;
+  void add(std::uint64_t v) { h = h * 31 + v; }
+};
+
+class Model {
+ public:
+  std::vector<int> order_of_arrival() const {
+    std::vector<int> out;
+    for (int id : members_) {  // MUST-FLAG(D1)
+      out.push_back(id);
+    }
+    return out;
+  }
+
+  void print_members() const {
+    for (int id : members_) {  // MUST-FLAG(D1)
+      std::cout << id << "\n";
+    }
+  }
+
+  int find_first_above(int limit) const {
+    for (const auto& [id, score] : scores_) {  // MUST-FLAG(D1)
+      if (score > limit) return id;
+    }
+    return -1;
+  }
+
+  void fold_into_digest(Digest& d) const {
+    for (const auto& [id, score] : scores_) {  // MUST-FLAG(D1)
+      d.add(static_cast<std::uint64_t>(id) * 1000003ULL + static_cast<std::uint64_t>(score));
+    }
+  }
+
+  void remember_last_seen() {
+    for (int id : members_) {  // MUST-FLAG(D1)
+      last_seen_ = id;
+    }
+  }
+
+  std::vector<int> iterator_collect() const {
+    std::vector<int> out;
+    for (auto it = members_.begin(); it != members_.end(); ++it) {  // MUST-FLAG(D1)
+      out.push_back(*it);
+    }
+    return out;
+  }
+
+ private:
+  std::unordered_set<int> members_;
+  std::unordered_map<int, int> scores_;
+  int last_seen_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,50 @@
+// analyzer-fixture: path=src/core/fixture_d2_flag.cpp
+// D2 must-flag corpus: ambient entropy, wall/monotonic clocks in model code,
+// thread identity, and keying/hashing by raw pointer value.
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <random>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct Peer {
+  int id = 0;
+};
+
+inline std::uint64_t ambient_seed() {
+  std::random_device rd;  // MUST-FLAG(D2)
+  return rd();
+}
+
+inline bool wall_clock_decision() {
+  const auto mono = std::chrono::steady_clock::now();  // MUST-FLAG(D2)
+  const auto wall = std::chrono::system_clock::now();  // MUST-FLAG(D2)
+  return mono.time_since_epoch() < wall.time_since_epoch();
+}
+
+inline std::size_t thread_keyed_bucket() {
+  const auto tid = std::this_thread::get_id();  // MUST-FLAG(D2)
+  return std::hash<std::thread::id>{}(tid) % 7;
+}
+
+struct PointerKeyed {
+  std::unordered_map<Peer*, int> scores;    // MUST-FLAG(D2)
+  std::map<Peer*, int> ordered_by_address;  // MUST-FLAG(D2)
+  std::unordered_set<const Peer*> seen;     // MUST-FLAG(D2)
+};
+
+inline std::size_t hash_by_address(Peer* p) {
+  return std::hash<Peer*>{}(p);  // MUST-FLAG(D2)
+}
+
+inline std::uint64_t key_from_address(Peer* p) {
+  return reinterpret_cast<std::uintptr_t>(p);  // MUST-FLAG(D2)
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// analyzer-fixture: path=src/parallel/fixture_d2_pool.cpp
+// D2 must-pass: the thread-pool plumbing may read monotonic time (idle
+// wait bookkeeping); it never feeds model state.
+#include <chrono>
+
+namespace fixture {
+
+inline long pool_idle_ns() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// analyzer-fixture: path=src/core/fixture_d3_flag.cpp
+// D3 must-flag corpus: raw engine / distribution construction outside
+// src/sim/rng.* in functions that take no sim::rng::Stream& parameter —
+// draws here cannot be traced to a seeded child stream.
+#include <cstdint>
+#include <random>
+
+namespace fixture {
+
+inline double undisciplined_draw(std::uint64_t seed) {
+  std::mt19937_64 gen(seed);                              // MUST-FLAG(D3)
+  std::uniform_real_distribution<double> dist(0.0, 1.0);  // MUST-FLAG(D3)
+  return dist(gen);
+}
+
+struct NoisyAgent {
+  std::minstd_rand engine;  // MUST-FLAG(D3)
+};
+
+}  // namespace fixture

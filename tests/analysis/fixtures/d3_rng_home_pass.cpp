@@ -1,0 +1,13 @@
+// analyzer-fixture: path=src/sim/rng.cpp
+// D3 must-pass: src/sim/rng.* is the one module allowed to own raw engines —
+// it is where the seeded Stream abstraction itself lives.
+#include <random>
+
+namespace fixture {
+
+inline unsigned long reference_engine_draw(unsigned long seed) {
+  std::mt19937 gen(seed);
+  return gen();
+}
+
+}  // namespace fixture

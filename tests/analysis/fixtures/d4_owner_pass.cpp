@@ -1,0 +1,25 @@
+// analyzer-fixture: path=src/net/overlay.cpp
+// D4 must-pass: the overlay IS the owning module for NodeStateSoA — its
+// session bookkeeping writes columns directly by design.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct NodeStateSoA {
+  std::vector<std::uint8_t> online;
+  std::vector<std::uint64_t> leave_epoch;
+};
+
+class Overlay {
+ public:
+  void leave(std::uint32_t id) {
+    state_.online[id] = 0;
+    ++state_.leave_epoch[id];
+  }
+
+ private:
+  NodeStateSoA state_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Fixture-based regression tests for tools/analysis/determinism_analyzer.py.
+
+Every ``// MUST-FLAG(Dx)`` annotation in tests/analysis/fixtures/*.cpp names
+one line the analyzer must report under rule Dx; every unannotated line must
+stay silent. The comparison is exact in both directions, so a rule that stops
+firing AND a rule that starts over-reporting both fail the suite.
+
+The builtin backend is always exercised. The libclang backend runs as a
+second case when python3-clang + libclang are importable (as in CI); it must
+produce the *same* finding set — the backends share scope rules and
+classifiers by construction, and this test is what keeps them aligned.
+
+Fixtures carry an ``// analyzer-fixture: path=...`` header that assigns each
+file a virtual repo path, which is how scope rules (owner modules, bench
+timing, the rng home) are exercised from the tests tree.
+
+Runs under plain unittest (stdlib only): ``python3 test_determinism_analyzer.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+ANALYZER = REPO / "tools" / "analysis" / "determinism_analyzer.py"
+FIXTURES = pathlib.Path(__file__).resolve().parent / "fixtures"
+
+MUST_FLAG_RE = re.compile(r"MUST-FLAG\((D\d)\)")
+
+
+def expected_findings() -> set:
+    exp = set()
+    for f in sorted(FIXTURES.glob("*.cpp")):
+        for lineno, line in enumerate(f.read_text().splitlines(), 1):
+            m = MUST_FLAG_RE.search(line)
+            if m:
+                exp.add((m.group(1), f.name, lineno))
+    return exp
+
+
+def run_analyzer(backend: str):
+    with tempfile.TemporaryDirectory() as td:
+        out = pathlib.Path(td) / "report.json"
+        proc = subprocess.run(
+            [sys.executable, str(ANALYZER), "--repo", str(REPO),
+             "--fixtures", str(FIXTURES), "--backend", backend,
+             "--json", str(out), "--quiet"],
+            capture_output=True, text=True, timeout=300,
+        )
+        report = json.loads(out.read_text()) if out.is_file() else None
+        return proc, report
+
+
+def libclang_available() -> bool:
+    try:
+        import clang.cindex  # type: ignore  # noqa: F401
+        clang.cindex.Index.create()
+        return True
+    except Exception:
+        return False
+
+
+class DeterminismAnalyzerFixtures(unittest.TestCase):
+    maxDiff = None
+
+    def _check_backend(self, backend: str) -> None:
+        proc, report = run_analyzer(backend)
+        self.assertIsNotNone(report, f"no JSON report produced:\n{proc.stderr}")
+        self.assertEqual(report["backend"], backend,
+                         f"requested backend not used:\n{proc.stderr}")
+        got = {(f["rule"], f["file"], f["line"]) for f in report["findings"]}
+        exp = expected_findings()
+        self.assertTrue(exp, "fixture corpus has no MUST-FLAG annotations")
+        missing = exp - got
+        spurious = got - exp
+        self.assertFalse(missing,
+                         f"[{backend}] must-flag cases did not fire: {sorted(missing)}")
+        self.assertFalse(spurious,
+                         f"[{backend}] must-pass lines were flagged: {sorted(spurious)}")
+        self.assertEqual(proc.returncode, 1,
+                         "analyzer must exit 1 when findings exist")
+
+    def test_builtin_backend(self) -> None:
+        self._check_backend("builtin")
+
+    def test_libclang_backend(self) -> None:
+        if not libclang_available():
+            self.skipTest("python3-clang / libclang not available in this container")
+        self._check_backend("libclang")
+
+    def test_every_rule_has_flag_and_pass_coverage(self) -> None:
+        exp = expected_findings()
+        rules_flagged = {r for r, _f, _l in exp}
+        self.assertEqual(rules_flagged, {"D1", "D2", "D3", "D4"},
+                         "each rule family needs at least one must-flag case")
+        all_files = {p.name for p in FIXTURES.glob("*.cpp")}
+        flagged_files = {f for _r, f, _l in exp}
+        self.assertTrue(all_files - flagged_files,
+                        "corpus needs pure must-pass files too")
+
+    def test_suppression_hygiene(self) -> None:
+        """Suppressions without justification and stale entries are findings."""
+        sys.path.insert(0, str(ANALYZER.parent))
+        try:
+            import determinism_analyzer as da
+        finally:
+            sys.path.pop(0)
+        with tempfile.TemporaryDirectory() as td:
+            sup = pathlib.Path(td) / "suppressions.txt"
+            sup.write_text(
+                "# comment\n"
+                "D1 src/core/foo.cpp:10 # justified: integer histogram fold\n"
+                "D2 src/core/bar.cpp:20\n"          # missing justification
+                "BOGUS src/core/baz.cpp # nope\n"   # unknown rule
+            )
+            sups, problems = da.load_suppressions(sup)
+            self.assertEqual(len(sups), 1)
+            self.assertEqual(len(problems), 2)
+            kinds = "\n".join(p.message for p in problems)
+            self.assertIn("no justification", kinds)
+            self.assertIn("malformed", kinds)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -1,0 +1,1365 @@
+#!/usr/bin/env python3
+"""Semantic determinism analyzer for the sharded simulation core.
+
+Four rule families the regex invariant linter (tools/lint/check_invariants.py,
+rules R1-R6) structurally cannot express, because they require resolving
+*types* and *enclosing contexts* rather than matching tokens:
+
+D1 unordered-iteration order sensitivity
+    Iterating a ``std::unordered_map`` / ``std::unordered_set`` is
+    implementation-defined order. That order is stable for one stdlib build,
+    which is exactly why no test catches it: results change when the stdlib,
+    platform, or hash seed changes, breaking the bitwise reproducibility every
+    figure in EXPERIMENTS.md assumes. The rule flags any iteration over an
+    unordered container whose loop body is *order-sensitive*: it appends to a
+    sequence, streams output, early-exits, calls a side-effecting function, or
+    performs a last-writer-wins assignment. Order-insensitive folds
+    (commutative ``+=`` / ``|=`` counters, ``x = std::max(x, ...)``,
+    re-keyed inserts into another associative container) and the
+    collect-then-sort idiom (push keys into a local vector that is
+    ``std::sort``-ed afterwards) pass.
+
+D2 banned determinism sources, resolved semantically
+    ``std::random_device`` (ambient entropy), ``std::chrono::system_clock`` /
+    ``steady_clock`` / ``high_resolution_clock`` outside ``src/parallel`` and
+    bench timing, ``std::this_thread::get_id`` / ``pthread_self`` (thread
+    identity leaks scheduling), and *keying or hashing by raw pointer value*
+    (``unordered_map<T*, ...>``, ``std::map<T*, ...>`` — address order,
+    ``std::hash<T*>``, ``reinterpret_cast<uintptr_t>`` of a pointer): heap
+    addresses differ run to run, so any pointer-keyed structure is a hidden
+    entropy source even when iteration looks deterministic.
+
+D3 RNG discipline
+    Every ``std::*_distribution`` construction and every raw engine
+    instantiation (``std::mt19937`` and friends) must either live in
+    ``src/sim/rng.*`` or occur inside a function taking a ``sim::rng::Stream&``
+    parameter — so every draw provably traces to a seeded, splittable child
+    stream and replaying a seed replays the run.
+
+D4 shard-ownership discipline (semantic generalisation of regex rule R6)
+    Direct writes to ``net::NodeStateSoA`` columns (``online[i] = ...``,
+    ``tracker[i].on_join(...)``, column ``.assign``/``.clear``) are only legal
+    from the owning module (``src/net/overlay.*``, ``src/net/soa.hpp``), from
+    a function that *derives ownership* of the written index via
+    ``shard_of(...)`` before the write, or inside a window-barrier callback
+    (a lambda registered through ``add_barrier_hook``). Anything else is a
+    write to peer-shard state that is bitwise-correct at K = 1 and a data
+    race at K > 1 — the exact bug class no K = 1 test can see. The same
+    ownership test applies to ``shard(x).schedule_*`` call sites.
+
+Backends
+    ``--backend libclang`` drives python3-clang off the CMake
+    ``compile_commands.json`` and resolves container/engine types through the
+    AST. ``--backend builtin`` is a dependency-free structural analyzer (a
+    C++ lexer + brace-tree scanner with declared-type tracking) that runs in
+    any container. ``--backend auto`` (default) prefers libclang and falls
+    back to builtin — the two share the scope rules, the order-sensitivity
+    classifier, the ownership-context checks, and the reporting layer, so a
+    finding means the same thing under either.
+
+Suppressions
+    ``tools/analysis/suppressions.txt`` carries per-finding waivers; every
+    entry must name a rule, a file (optionally ``:line``) and a justification
+    after ``#``. Entries without justification and entries that no longer
+    match any finding are themselves findings — the suppression file cannot
+    rot silently.
+
+Exit status: 0 clean, 1 findings, 2 configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import pathlib
+import re
+import sys
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+RULE_IDS = ("D1", "D2", "D3", "D4")
+
+# Directories analysed (repo-relative). tests/ are deliberately out of scope:
+# they may use ad-hoc RNGs and wall clocks to exercise code.
+SCOPE_DIRS = ("src", "bench", "examples")
+
+# D2: clocks are legitimate in the thread-pool plumbing and in bench timing
+# loops (they time the host, not the simulation).
+CLOCK_ALLOWED_PREFIXES = ("src/parallel/", "bench/")
+
+# D3: the one module allowed to own raw engines/distributions.
+RNG_HOME_PREFIX = "src/sim/rng."
+
+# D4: modules that own NodeStateSoA mutation outright.
+SOA_OWNER_FILES = ("src/net/overlay.cpp", "src/net/overlay.hpp", "src/net/soa.hpp")
+
+UNORDERED_RE = r"unordered_(?:map|set|multimap|multiset)"
+
+RAW_ENGINE_NAMES = (
+    "mt19937", "mt19937_64", "minstd_rand", "minstd_rand0",
+    "default_random_engine", "ranlux24", "ranlux48", "ranlux24_base",
+    "ranlux48_base", "knuth_b", "mersenne_twister_engine",
+    "linear_congruential_engine", "subtract_with_carry_engine",
+    "discard_block_engine", "independent_bits_engine", "shuffle_order_engine",
+)
+
+FIXTURE_PATH_RE = re.compile(r"analyzer-fixture:\s*path=(\S+)")
+
+
+@dataclasses.dataclass
+class Finding:
+    rule: str
+    file: str           # real path, repo-relative (or fixture-relative)
+    line: int
+    message: str
+    suppressed: bool = False
+
+    def key(self) -> Tuple[str, str, int]:
+        return (self.rule, self.file, self.line)
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: [{self.rule}] {self.message}"
+
+
+# --------------------------------------------------------------------------
+# Lexical groundwork (shared by both backends)
+# --------------------------------------------------------------------------
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank comments and string/char literals, preserving line structure so
+    offsets map to the original file. Understands //, /* */, "...", '...'."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(" " * (j - i))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def match_fwd(text: str, open_idx: int, open_ch: str, close_ch: str) -> int:
+    """Index one past the matching close for the opener at open_idx."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == open_ch:
+            depth += 1
+        elif text[i] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def match_angle(text: str, open_idx: int) -> int:
+    """One past the matching ``>`` for ``<`` at open_idx. Tolerates ``>>``
+    closing two levels; only sound after a known template name."""
+    depth = 0
+    i = open_idx
+    while i < len(text):
+        c = text[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif c in ";{}":
+            break  # not a template argument list after all
+        i += 1
+    return len(text)
+
+
+def first_template_arg(text: str, lt_idx: int) -> str:
+    """Text of the first template argument of the list opening at lt_idx."""
+    end = match_angle(text, lt_idx)
+    depth = 0
+    for i in range(lt_idx, end):
+        c = text[i]
+        if c in "<([":
+            depth += 1
+        elif c in ">)]":
+            depth -= 1
+        elif c == "," and depth == 1:
+            return text[lt_idx + 1:i].strip()
+    return text[lt_idx + 1:end - 1].strip()
+
+
+def line_of(text: str, idx: int) -> int:
+    return text.count("\n", 0, idx) + 1
+
+
+# --------------------------------------------------------------------------
+# Structural scan: a brace tree with function / lambda classification
+# --------------------------------------------------------------------------
+
+CONTROL_KEYWORDS = {"if", "for", "while", "switch", "catch"}
+TYPE_KEYWORDS = {"struct", "class", "union", "enum"}
+QUALIFIER_WORDS = {"const", "noexcept", "override", "final", "mutable", "volatile",
+                   "&", "&&", "try"}
+
+
+@dataclasses.dataclass
+class Block:
+    start: int                 # index of '{'
+    end: int                   # one past matching '}'
+    kind: str                  # 'function' | 'lambda' | 'type' | 'namespace' | 'control' | 'other'
+    name: str = ""             # function name when kind == 'function'
+    params: str = ""           # parameter list text for function/lambda
+    parent_call: str = ""      # for lambdas: callee the lambda is an argument of
+    header_start: int = 0
+
+
+def _skip_ws_back(s: str, i: int) -> int:
+    while i >= 0 and s[i] in " \t\r\n":
+        i -= 1
+    return i
+
+
+def _word_back(s: str, i: int) -> Tuple[str, int]:
+    """Word ending at index i (inclusive); returns (word, start_index)."""
+    j = i
+    while j >= 0 and (s[j].isalnum() or s[j] in "_~"):
+        j -= 1
+    return s[j + 1:i + 1], j + 1
+
+
+def _match_paren_back(s: str, close_idx: int) -> int:
+    """Index of the '(' matching the ')' at close_idx, or -1."""
+    depth = 0
+    for i in range(close_idx, -1, -1):
+        if s[i] == ")":
+            depth += 1
+        elif s[i] == "(":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def _enclosing_call_name(s: str, idx: int) -> str:
+    """Name of the innermost pending call enclosing position idx (the
+    identifier before the nearest unclosed '(' scanning backwards)."""
+    depth = 0
+    i = idx - 1
+    while i >= 0:
+        c = s[i]
+        if c == ")":
+            depth += 1
+        elif c == "(":
+            if depth == 0:
+                j = _skip_ws_back(s, i - 1)
+                word, _ = _word_back(s, j)
+                return word
+            depth -= 1
+        elif c in ";{}" and depth == 0:
+            break
+        i -= 1
+    return ""
+
+
+def classify_brace(s: str, i: int) -> Block:
+    """Classify the '{' at index i by looking backwards at its header."""
+    end = match_fwd(s, i, "{", "}")
+    j = _skip_ws_back(s, i - 1)
+    if j < 0:
+        return Block(i, end, "other")
+
+    # Walk back over trailing qualifiers / trailing-return-type to find the
+    # parameter list of a function header, tolerating a ctor init list.
+    k = j
+    hops = 0
+    while k >= 0 and hops < 40:
+        hops += 1
+        c = s[k]
+        if c == ")":
+            op = _match_paren_back(s, k)
+            if op <= 0:
+                break
+            # Constructor init list: "...) : member_(x), other_(y) {" — the
+            # ')' we found belongs to an initializer. Scan further back for
+            # a ': ' preceded by ')' at depth 0 and restart from there.
+            pre = _skip_ws_back(s, op - 1)
+            word, wstart = _word_back(s, pre)
+            if word in CONTROL_KEYWORDS:
+                return Block(i, end, "control", header_start=wstart)
+            if word == "":
+                if pre >= 0 and s[pre] == "]":
+                    # "](...)" — lambda with parameter list.
+                    lam_params = s[op + 1:k]
+                    return Block(i, end, "lambda", params=lam_params,
+                                 parent_call=_enclosing_call_name(s, _find_lambda_open(s, pre)),
+                                 header_start=pre)
+                if pre >= 0 and s[pre] in ",(":
+                    # init list element — keep scanning back.
+                    k = _skip_ws_back(s, op - 1)
+                    continue
+                break
+            # Possible init-list member "member_(x)": check for ':' further
+            # back at this level that itself follows a ')'.
+            colon = _find_init_colon(s, wstart - 1)
+            if colon is not None:
+                k = colon
+                continue
+            if word in TYPE_KEYWORDS or word == "namespace":
+                return Block(i, end, "type" if word != "namespace" else "namespace",
+                             header_start=wstart)
+            return Block(i, end, "function", name=word, params=s[op + 1:k],
+                         header_start=wstart)
+        if c == "]":
+            # "] {" or "] mutable {" — captureless-param lambda.
+            return Block(i, end, "lambda",
+                         parent_call=_enclosing_call_name(s, _find_lambda_open(s, k)),
+                         header_start=k)
+        word, wstart = _word_back(s, k)
+        if word in QUALIFIER_WORDS or word == "":
+            if word == "":
+                if c in "&*>":
+                    k -= 1
+                    continue
+                if c == ":":  # could be init-list ':' or base-class ':'
+                    k = _skip_ws_back(s, k - 1)
+                    continue
+                break
+            k = _skip_ws_back(s, wstart - 1)
+            continue
+        if word in CONTROL_KEYWORDS or word in {"else", "do", "try"}:
+            return Block(i, end, "control", header_start=wstart)
+        if word == "namespace":
+            return Block(i, end, "namespace", header_start=wstart)
+        if word in TYPE_KEYWORDS:
+            return Block(i, end, "type", header_start=wstart)
+        # identifier before '{' — class name, enum name, or init. Look one
+        # more word back for struct/class/namespace.
+        prev = _skip_ws_back(s, wstart - 1)
+        pword, pstart = _word_back(s, prev)
+        if pword == "namespace":
+            return Block(i, end, "namespace", header_start=pstart)
+        if pword in TYPE_KEYWORDS:
+            return Block(i, end, "type", header_start=pstart)
+        return Block(i, end, "other", header_start=wstart)
+    return Block(i, end, "other", header_start=max(j, 0))
+
+
+def _find_lambda_open(s: str, close_bracket: int) -> int:
+    """Index of the '[' matching the ']' at close_bracket."""
+    depth = 0
+    for i in range(close_bracket, -1, -1):
+        if s[i] == "]":
+            depth += 1
+        elif s[i] == "[":
+            depth -= 1
+            if depth == 0:
+                return i
+    return close_bracket
+
+
+def _find_init_colon(s: str, idx: int) -> Optional[int]:
+    """Scan back from idx for the ':' starting a ctor init list; return the
+    index of the ')' that precedes it (to resume header scanning)."""
+    depth = 0
+    i = idx
+    while i >= 0:
+        c = s[i]
+        if c in ")}]":
+            depth += 1
+        elif c in "({[":
+            depth -= 1
+            if depth < 0:
+                return None
+        elif depth == 0:
+            if c == ";":
+                return None
+            if c == ":":
+                if i > 0 and s[i - 1] == ":":  # '::' qualifier
+                    i -= 2
+                    continue
+                j = _skip_ws_back(s, i - 1)
+                if j >= 0 and s[j] == ")":
+                    return j
+                return None
+        i -= 1
+    return None
+
+
+def build_blocks(s: str) -> List[Block]:
+    blocks = []
+    i = 0
+    while True:
+        i = s.find("{", i)
+        if i == -1:
+            break
+        blocks.append(classify_brace(s, i))
+        i += 1
+    return blocks
+
+
+def enclosing_function(blocks: List[Block], pos: int) -> Optional[Block]:
+    """Innermost function or lambda block containing pos."""
+    best = None
+    for b in blocks:
+        if b.kind in ("function", "lambda") and b.start < pos < b.end:
+            if best is None or b.start > best.start:
+                best = b
+    return best
+
+
+def enclosing_chain(blocks: List[Block], pos: int) -> List[Block]:
+    """All function/lambda blocks containing pos, outermost first."""
+    chain = [b for b in blocks
+             if b.kind in ("function", "lambda") and b.start < pos < b.end]
+    chain.sort(key=lambda b: b.start)
+    return chain
+
+
+# --------------------------------------------------------------------------
+# Project symbol table (declared-type tracking, shared by both backends)
+# --------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class Symbols:
+    unordered_vars: Set[str] = dataclasses.field(default_factory=set)
+    unordered_getters: Set[str] = dataclasses.field(default_factory=set)
+    map_like_vars: Set[str] = dataclasses.field(default_factory=set)
+    soa_vars: Set[str] = dataclasses.field(default_factory=set)
+    soa_columns: Set[str] = dataclasses.field(default_factory=set)
+
+
+UNORDERED_DECL_RE = re.compile(rf"(?:std\s*::\s*)?\b{UNORDERED_RE}\s*<")
+MAP_DECL_RE = re.compile(r"(?:std\s*::\s*)?\b(?:map|set|multimap|multiset|flat_hash_map|FlatHash\w*)\s*<")
+SOA_DECL_RE = re.compile(r"(?:net\s*::\s*)?\bNodeStateSoA\s*([&*]?)\s*(\w+)\s*[;={(,)]")
+SOA_STRUCT_RE = re.compile(r"\bstruct\s+NodeStateSoA\b")
+COLUMN_RE = re.compile(r"std\s*::\s*vector\s*<[^;]*?>\s+(\w+)\s*;")
+
+
+def _decl_name_after(text: str, end_of_type: int) -> Optional[str]:
+    """Variable name following a container type spelling ending at
+    end_of_type. Handles ``Type name;``, ``Type& name``, ``Type name = ...``,
+    ``Type name{...}`` and skips function return types (``Type name(...) ...``
+    is accepted only when it looks like a declaration, which we approximate
+    by rejecting names followed by a parameter-ish list containing types)."""
+    m = re.match(r"\s*(?:const\s+)?([&*]\s*)?(\w+)\s*([;={[(,)]|$)", text[end_of_type:end_of_type + 160])
+    if not m:
+        return None
+    return m.group(2)
+
+
+def collect_symbols(stripped_by_file: Dict[str, str]) -> Symbols:
+    sym = Symbols()
+    for _path, s in stripped_by_file.items():
+        for m in UNORDERED_DECL_RE.finditer(s):
+            close = match_angle(s, m.end() - 1)
+            # getter returning a (const) unordered ref: "...>& name() const"
+            g = re.match(r"\s*&\s*(\w+)\s*\(\s*\)\s*const", s[close:close + 120])
+            if g:
+                sym.unordered_getters.add(g.group(1))
+                continue
+            name = _decl_name_after(s, close)
+            if name and not name[0].isdigit():
+                sym.unordered_vars.add(name)
+                sym.map_like_vars.add(name)
+        for m in MAP_DECL_RE.finditer(s):
+            close = match_angle(s, m.end() - 1)
+            name = _decl_name_after(s, close)
+            if name and not name[0].isdigit():
+                sym.map_like_vars.add(name)
+        for m in SOA_DECL_RE.finditer(s):
+            sym.soa_vars.add(m.group(2))
+        for m in SOA_STRUCT_RE.finditer(s):
+            brace = s.find("{", m.end())
+            if brace == -1:
+                continue
+            body = s[brace:match_fwd(s, brace, "{", "}")]
+            for c in COLUMN_RE.finditer(body):
+                sym.soa_columns.add(c.group(1))
+    # Keywords / common false positives never count as container variables.
+    sym.unordered_vars.discard("if")
+    sym.map_like_vars.discard("if")
+    return sym
+
+
+# --------------------------------------------------------------------------
+# D1 order-sensitivity classifier (shared by both backends)
+# --------------------------------------------------------------------------
+
+SORT_RE_TMPL = r"\b(?:std\s*::\s*)?(?:stable_)?sort\s*\([^;]*\b{var}\b"
+
+
+def split_statements(body: str) -> Iterator[str]:
+    """Yield simple statements of a loop body, descending into nested control
+    blocks. Control headers (``if (...)`` etc.) are dropped — their
+    conditions are reads; ``break``/``return`` are caught separately."""
+    i, n = 0, len(body)
+    while i < n:
+        c = body[i]
+        if c in " \t\r\n;":
+            i += 1
+            continue
+        if c == "{":
+            end = match_fwd(body, i, "{", "}")
+            yield from split_statements(body[i + 1:end - 1])
+            i = end
+            continue
+        m = re.match(r"(if|for|while|switch|else\s+if|else|do)\b", body[i:])
+        if m:
+            i += m.end()
+            # skip the optional (...) header
+            j = i
+            while j < n and body[j] in " \t\r\n":
+                j += 1
+            if j < n and body[j] == "(":
+                i = match_fwd(body, j, "(", ")")
+            continue
+        # plain statement: up to ';' at depth 0 (or an opening '{' of a
+        # nested lambda body, which we include wholesale)
+        depth = 0
+        j = i
+        while j < n:
+            ch = body[j]
+            if ch in "([{":
+                depth += 1
+            elif ch in ")]}":
+                depth -= 1
+            elif ch == ";" and depth == 0:
+                break
+            j += 1
+        yield body[i:j].strip()
+        i = j + 1
+
+
+# The separator between type and name must be real whitespace or a ref/ptr
+# sigil — otherwise `last_seen_ = id` backtracks into type `last_seen`,
+# name `_`, and a member assignment masquerades as a local declaration.
+DECL_STMT_RE = re.compile(
+    r"^(?:const\s+)?(?:auto|[A-Za-z_][\w:]*(?:\s*<[^=;]*>)?)"
+    r"(?:\s+[&*]?|\s*[&*])\s*"
+    r"(?:\[\s*[\w,\s]+\s*\]|\w+)\s*(?:[;={(]|$)")
+LOCAL_NAME_RE = re.compile(
+    r"^(?:const\s+)?(?:auto|[A-Za-z_][\w:]*(?:\s*<[^=;]*>)?)"
+    r"(?:\s+[&*]?|\s*[&*])\s*(\w+)")
+MAX_FOLD_RE = re.compile(
+    r"^([\w.\->\[\]]+)\s*=\s*(?:std\s*::\s*)?(?:max|min)\s*\(\s*\1\s*,")
+VOID_CAST_RE = re.compile(r"^\(\s*void\s*\)")
+INCDEC_RE = re.compile(r"^(?:\+\+|--)\s*[\w.\->\[\]]+$|^[\w.\->\[\]]+\s*(?:\+\+|--)$")
+COMPOUND_RE = re.compile(r"^([\w.\->\[\]()]+?)\s*(?:\+=|-=|\*=|/=|\|=|&=|\^=)(?!=)")
+APPEND_RE = re.compile(r"^(\w+)\s*\.\s*(?:push_back|emplace_back)\s*\(")
+MAP_SINK_RE = re.compile(r"^(\w+)\s*(?:\[[^\]]*\]\s*=(?!=)|\.\s*(?:insert|emplace|try_emplace|erase)\s*\()")
+PLAIN_ASSIGN_RE = re.compile(r"^([\w.\->\[\]]+)\s*=(?!=)")
+CALL_STMT_RE = re.compile(r"^[\w.\->:\[\]]+\s*\(")
+
+
+def loop_locals(decl_text: str) -> Set[str]:
+    """Names bound by the range-for declaration (handles structured
+    bindings)."""
+    names: Set[str] = set()
+    b = re.search(r"\[([\w,\s]+)\]", decl_text)
+    if b:
+        names.update(x.strip() for x in b.group(1).split(",") if x.strip())
+        return names
+    m = re.search(r"(\w+)\s*$", decl_text)
+    if m:
+        names.add(m.group(1))
+    return names
+
+
+def classify_order_sensitivity(decl_text: str, body: str, after: str,
+                               sym: Symbols) -> Optional[str]:
+    """Return None if the loop body is provably order-insensitive, else a
+    human-readable reason why iteration order leaks into results."""
+    if re.search(r"\breturn\b", body):
+        return "returns from inside the iteration (first match depends on hash order)"
+    if re.search(r"\bbreak\b", body):
+        return "breaks out of the iteration (early exit depends on hash order)"
+    if "<<" in body or ">>" in body:
+        return "streams output (or shifts into a digest) in iteration order"
+
+    locals_: Set[str] = set(loop_locals(decl_text))
+    for stmt in split_statements(body):
+        if not stmt or VOID_CAST_RE.match(stmt):
+            continue
+        if stmt.startswith("continue"):
+            continue
+        if INCDEC_RE.match(stmt):
+            continue
+        if MAX_FOLD_RE.match(stmt):
+            continue
+        if COMPOUND_RE.match(stmt):
+            continue  # commutative-fold accumulation
+        m = APPEND_RE.match(stmt)
+        if m:
+            var = m.group(1)
+            if re.search(SORT_RE_TMPL.format(var=re.escape(var)), after):
+                continue  # collect-then-sort idiom
+            return (f"appends to `{var}` in iteration order and never sorts it; "
+                    f"sort the collected keys (collect-then-sort) or iterate a "
+                    f"deterministic container")
+        m = MAP_SINK_RE.match(stmt)
+        if m and (m.group(1) in sym.map_like_vars or m.group(1) in locals_):
+            continue  # re-keyed insert into an associative container
+        if DECL_STMT_RE.match(stmt) and not CALL_STMT_RE.match(stmt):
+            lm = LOCAL_NAME_RE.match(stmt)
+            if lm:
+                locals_.add(lm.group(1))
+            continue
+        m = PLAIN_ASSIGN_RE.match(stmt)
+        if m:
+            base = m.group(1).split(".")[0].split("->")[0].split("[")[0]
+            if base in locals_:
+                continue
+            return (f"plain assignment to `{m.group(1)}` is last-writer-wins "
+                    f"under hash order")
+        if CALL_STMT_RE.match(stmt):
+            return (f"side-effect-only call `{stmt.split('(')[0].strip()}(...)` "
+                    f"executes in iteration order")
+        return f"statement `{stmt[:48]}` is not a recognised order-insensitive fold"
+    return None
+
+
+def d1_message(reason: str) -> str:
+    return (f"iteration over an unordered container is implementation-defined "
+            f"order and {reason}; results will differ across stdlib builds, "
+            f"breaking bitwise reproducibility. Iterate sorted keys, switch "
+            f"the container, or make the fold commutative")
+
+
+# --------------------------------------------------------------------------
+# Ownership-context checks for D4 (shared by both backends)
+# --------------------------------------------------------------------------
+
+
+def in_owner_context(stripped: str, blocks: List[Block], pos: int) -> bool:
+    """True when the write at ``pos`` is inside a context that establishes
+    shard ownership: the enclosing function derives the shard via
+    ``shard_of(...)`` before the write, or the write sits in a lambda
+    registered as a window-barrier hook."""
+    chain = enclosing_chain(blocks, pos)
+    for b in chain:
+        if b.kind == "lambda" and b.parent_call == "add_barrier_hook":
+            return True
+    fn = chain[-1] if chain else None
+    if fn is not None and "shard_of" in stripped[fn.start:pos]:
+        return True
+    # Ownership derived in the outer function that the lambda was defined in
+    # also counts (the lambda inherits the derivation lexically).
+    for b in chain[:-1]:
+        if "shard_of" in stripped[b.start:pos]:
+            return True
+    return False
+
+
+# --------------------------------------------------------------------------
+# Source model
+# --------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class SourceFile:
+    real: str            # path as reported in findings
+    scope: str           # path used for scope decisions (fixture virtual path)
+    raw: str
+    stripped: str
+    blocks: List[Block] = dataclasses.field(default_factory=list)
+
+    def in_scope(self) -> bool:
+        return any(self.scope == d or self.scope.startswith(d + "/") for d in SCOPE_DIRS)
+
+
+def load_source(repo: pathlib.Path, path: pathlib.Path,
+                rel_to: pathlib.Path) -> SourceFile:
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    real = str(path.relative_to(rel_to))
+    scope = real
+    head = "\n".join(raw.splitlines()[:5])
+    m = FIXTURE_PATH_RE.search(head)
+    if m:
+        scope = m.group(1)
+    stripped = strip_comments_and_strings(raw)
+    sf = SourceFile(real=real, scope=scope, raw=raw, stripped=stripped)
+    sf.blocks = build_blocks(stripped)
+    return sf
+
+
+# --------------------------------------------------------------------------
+# Builtin backend rule passes
+# --------------------------------------------------------------------------
+
+FOR_RE = re.compile(r"\bfor\s*\(")
+BEGIN_ITER_RE = re.compile(r"=\s*(\w+)\s*\.\s*begin\s*\(\s*\)")
+
+
+def find_range_for(sf: SourceFile, sym: Symbols) -> Iterator[Tuple[int, str, str, str]]:
+    """Yield (pos, decl_text, range_expr, body) for every range-for whose
+    range expression resolves to an unordered container, plus iterator loops
+    seeded from ``x.begin()`` on one."""
+    s = sf.stripped
+    for m in FOR_RE.finditer(s):
+        op = m.end() - 1
+        close = match_fwd(s, op, "(", ")")
+        header = s[op + 1:close - 1]
+        # split at ':' at depth 0 → range-for
+        depth = 0
+        colon = -1
+        for i, ch in enumerate(header):
+            if ch in "<([{":
+                depth += 1
+            elif ch in ">)]}":
+                depth -= 1
+            elif ch == ":" and depth == 0:
+                if i + 1 < len(header) and header[i + 1] == ":":
+                    continue
+                if i > 0 and header[i - 1] == ":":
+                    continue
+                colon = i
+                break
+        body_start = close
+        while body_start < len(s) and s[body_start] in " \t\r\n":
+            body_start += 1
+        if body_start < len(s) and s[body_start] == "{":
+            body = s[body_start + 1:match_fwd(s, body_start, "{", "}") - 1]
+        else:
+            semi = s.find(";", body_start)
+            body = s[body_start:semi if semi != -1 else len(s)]
+        if colon >= 0:
+            decl, rng = header[:colon], header[colon + 1:].strip()
+            base = None
+            g = re.search(r"(\w+)\s*\(\s*\)\s*$", rng)
+            if g and g.group(1) in sym.unordered_getters:
+                base = g.group(1)
+            else:
+                im = re.search(r"([A-Za-z_]\w*)\s*$", rng)
+                if im and im.group(1) in sym.unordered_vars:
+                    base = im.group(1)
+            if base is not None:
+                yield m.start(), decl, rng, body
+        else:
+            im = BEGIN_ITER_RE.search(header)
+            if im and im.group(1) in sym.unordered_vars:
+                yield m.start(), "it", header, body
+
+
+def rule_d1(sf: SourceFile, sym: Symbols) -> List[Finding]:
+    findings = []
+    s = sf.stripped
+    for pos, decl, _rng, body in find_range_for(sf, sym):
+        fn = enclosing_function(sf.blocks, pos)
+        after = s[pos + len(body):fn.end] if fn else s[pos + len(body):]
+        reason = classify_order_sensitivity(decl, body, after, sym)
+        if reason is not None:
+            findings.append(Finding("D1", sf.real, line_of(s, pos), d1_message(reason)))
+    return findings
+
+
+D2_SIMPLE = [
+    (re.compile(r"\b(?:std\s*::\s*)?random_device\b"), None,
+     "std::random_device is ambient entropy; derive a sim::rng::Stream child instead"),
+    (re.compile(r"\b(?:system_clock|steady_clock|high_resolution_clock)\s*::"), "clock",
+     "wall/monotonic clock read; simulation time must come from Simulator::now()"),
+    (re.compile(r"\bclock_gettime\s*\(|\bgettimeofday\s*\("), "clock",
+     "raw OS clock read; simulation time must come from Simulator::now()"),
+    (re.compile(r"\bthis_thread\s*::\s*get_id\b|\bpthread_self\s*\("), None,
+     "thread identity leaks the host schedule into model-visible state"),
+    (re.compile(r"\bstd\s*::\s*hash\s*<[^>]*\*\s*>"), None,
+     "std::hash over a raw pointer hashes the allocation address (differs every run)"),
+    (re.compile(r"\breinterpret_cast\s*<\s*(?:std\s*::\s*)?u?intptr_t\s*>"), None,
+     "pointer-to-integer cast exposes the allocation address as a value"),
+]
+
+KEYED_CONTAINER_RE = re.compile(
+    r"\b(?:std\s*::\s*)?((?:unordered_)?(?:map|set|multimap|multiset))\s*<")
+
+
+def rule_d2(sf: SourceFile, sym: Symbols) -> List[Finding]:
+    del sym
+    findings = []
+    s = sf.stripped
+    clock_ok = any(sf.scope.startswith(p) for p in CLOCK_ALLOWED_PREFIXES)
+    for pat, cls, msg in D2_SIMPLE:
+        if cls == "clock" and clock_ok:
+            continue
+        for m in pat.finditer(s):
+            findings.append(Finding("D2", sf.real, line_of(s, m.start()), msg))
+    for m in KEYED_CONTAINER_RE.finditer(s):
+        arg = first_template_arg(s, m.end() - 1)
+        if arg.endswith("*"):
+            findings.append(Finding(
+                "D2", sf.real, line_of(s, m.start()),
+                f"{m.group(1)} keyed by raw pointer `{arg}`: address order/hash "
+                f"differs across runs; key by a stable id instead"))
+    return findings
+
+
+D3_RE = re.compile(
+    r"\b(?:std\s*::\s*)?(\w+_distribution|" + "|".join(RAW_ENGINE_NAMES) + r")\b")
+STREAM_PARAM_RE = re.compile(r"(?:\brng\s*::\s*)?\bStream\s*[&*]")
+
+
+def rule_d3(sf: SourceFile, sym: Symbols) -> List[Finding]:
+    del sym
+    if sf.scope.startswith(RNG_HOME_PREFIX):
+        return []
+    findings = []
+    s = sf.stripped
+    for m in D3_RE.finditer(s):
+        fn = enclosing_function(sf.blocks, m.start())
+        if fn is not None:
+            chain = enclosing_chain(sf.blocks, m.start())
+            if any(STREAM_PARAM_RE.search(b.params or "") for b in chain):
+                continue
+        findings.append(Finding(
+            "D3", sf.real, line_of(s, m.start()),
+            f"`{m.group(1)}` constructed outside src/sim/rng.* in a function "
+            f"without a sim::rng::Stream& parameter; draws here cannot be "
+            f"traced to a seeded child stream"))
+    return findings
+
+
+COLUMN_MUTATORS = {"on_join", "on_leave"}
+COLUMN_METHOD_WRITES = {"assign", "clear", "resize", "push_back", "emplace_back",
+                        "pop_back", "swap", "erase", "insert"}
+ASSIGN_AFTER_RE = re.compile(r"^\s*(?:=(?!=)|\+=|-=|\*=|/=|\|=|&=|\^=|\+\+|--)")
+SHARD_SCHED_RE = re.compile(r"\bshard\s*\(([^()]*)\)\s*\.\s*schedule_(?:in|at)\s*\(")
+CROSS_SHARD_EXEMPT_RE = re.compile(r"lint-exempt\(cross-shard\):\s*\S")
+
+
+def rule_d4(sf: SourceFile, sym: Symbols) -> List[Finding]:
+    if sf.scope in SOA_OWNER_FILES:
+        return []
+    findings = []
+    s = sf.stripped
+    if sym.soa_vars and sym.soa_columns:
+        var_alt = "|".join(re.escape(v) for v in sorted(sym.soa_vars))
+        col_alt = "|".join(re.escape(c) for c in sorted(sym.soa_columns))
+        access_re = re.compile(
+            rf"\b({var_alt})\s*(?:\.|->)\s*({col_alt})\s*([\[.])")
+        for m in access_re.finditer(s):
+            col = m.group(2)
+            write = False
+            if m.group(3) == "[":
+                close = match_fwd(s, m.end() - 1, "[", "]")
+                tail = s[close:close + 40]
+                if ASSIGN_AFTER_RE.match(tail):
+                    write = True
+                else:
+                    mm = re.match(r"^\s*\.\s*(\w+)\s*\(", tail)
+                    if mm and mm.group(1) in COLUMN_MUTATORS:
+                        write = True
+                pre = _skip_ws_back(s, m.start() - 1)
+                if pre >= 1 and s[pre - 1:pre + 1] in ("++", "--"):
+                    write = True
+            else:
+                mm = re.match(r"^\s*(\w+)\s*\(", s[m.end():m.end() + 40])
+                if mm and mm.group(1) in COLUMN_METHOD_WRITES:
+                    write = True
+            if not write:
+                continue
+            if in_owner_context(s, sf.blocks, m.start()):
+                continue
+            findings.append(Finding(
+                "D4", sf.real, line_of(s, m.start()),
+                f"write to NodeStateSoA column `{col}` outside the owning "
+                f"module, with no shard ownership derived (shard_of) in the "
+                f"enclosing function and not inside a window-barrier callback; "
+                f"at K > 1 this races the owning shard. Route through the "
+                f"owner or a barrier hook"))
+    raw_lines = sf.raw.splitlines()
+    for m in SHARD_SCHED_RE.finditer(s):
+        lineno = line_of(s, m.start())
+        context = "\n".join(raw_lines[max(0, lineno - 2):lineno])
+        if CROSS_SHARD_EXEMPT_RE.search(context):
+            continue
+        fn = enclosing_function(sf.blocks, m.start())
+        arg = m.group(1).strip()
+        if fn is not None and arg:
+            base = re.split(r"[.\->\[\s]", arg)[0]
+            derived = re.search(
+                rf"\b{re.escape(base)}\s*=\s*[^;]*shard_of\s*\(", s[fn.start:m.start()])
+            if derived:
+                continue
+        findings.append(Finding(
+            "D4", sf.real, line_of(s, m.start()),
+            f"shard({arg or '...'}).schedule_* where `{arg or '?'}` is not "
+            f"derived via shard_of(...) in the enclosing function; a "
+            f"cross-shard schedule races the peer's event queue at K > 1. "
+            f"Use ShardedSimulator::post or derive ownership first"))
+    return findings
+
+
+BUILTIN_RULES = (rule_d1, rule_d2, rule_d3, rule_d4)
+
+
+def run_builtin(sources: List[SourceFile], sym: Symbols) -> List[Finding]:
+    findings: List[Finding] = []
+    for sf in sources:
+        if not sf.in_scope():
+            continue
+        for rule in BUILTIN_RULES:
+            findings.extend(rule(sf, sym))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# libclang backend
+# --------------------------------------------------------------------------
+
+
+class BackendUnavailable(RuntimeError):
+    pass
+
+
+class LibclangBackend:
+    """AST-deepened detection via python3-clang. Runs the shared lexical
+    passes first (so its findings are a strict superset of the builtin
+    backend's), then adds AST-resolved extras the lexer cannot see: ranges
+    reached through ``auto&`` aliases, typedef'd engines/distributions,
+    pointer-keyed containers hidden behind aliases, and NodeStateSoA member
+    writes resolved through the semantic parent rather than the spelt
+    variable name. The order-sensitivity classifier and ownership-context
+    checks are shared, applied to cursor extents."""
+
+    def __init__(self, build_dir: Optional[pathlib.Path]):
+        try:
+            import clang.cindex as ci  # type: ignore
+        except ImportError as e:
+            raise BackendUnavailable(f"python3-clang not importable: {e}") from e
+        self.ci = ci
+        if ci.Config.loaded is False:
+            for lib in self._candidate_libs():
+                try:
+                    ci.Config.set_library_file(str(lib))
+                    break
+                except Exception:  # pragma: no cover - defensive
+                    continue
+        try:
+            self.index = ci.Index.create()
+        except Exception as e:
+            raise BackendUnavailable(f"libclang unavailable: {e}") from e
+        self.cdb = None
+        if build_dir is not None and (build_dir / "compile_commands.json").is_file():
+            try:
+                self.cdb = ci.CompilationDatabase.fromDirectory(str(build_dir))
+            except Exception:
+                self.cdb = None
+
+    @staticmethod
+    def _candidate_libs() -> List[pathlib.Path]:
+        out = []
+        import glob
+        import subprocess
+        try:
+            libdir = subprocess.run(["llvm-config", "--libdir"], capture_output=True,
+                                    text=True, timeout=30).stdout.strip()
+            if libdir:
+                out += [pathlib.Path(p) for p in glob.glob(f"{libdir}/libclang*.so*")]
+        except Exception:
+            pass
+        for pat in ("/usr/lib/llvm-*/lib/libclang.so*",
+                    "/usr/lib/x86_64-linux-gnu/libclang-*.so*",
+                    "/usr/lib/libclang.so*"):
+            out += [pathlib.Path(p) for p in glob.glob(pat)]
+        return [p for p in out if "cpp" not in p.name]
+
+    def _args_for(self, path: str) -> List[str]:
+        if self.cdb is not None:
+            cmds = self.cdb.getCompileCommands(path)
+            if cmds:
+                args = list(cmds[0].arguments)[1:]
+                # Drop the output/input clauses; keep -I/-D/-std et al.
+                cleaned, skip = [], False
+                for a in args:
+                    if skip:
+                        skip = False
+                        continue
+                    if a in ("-o", "-c"):
+                        skip = a == "-o"
+                        continue
+                    if a == path or a.endswith(path):
+                        continue
+                    cleaned.append(a)
+                return cleaned
+        return ["-std=c++20", "-xc++"]
+
+    def analyze(self, sources: List[SourceFile], sym: Symbols,
+                root: pathlib.Path) -> List[Finding]:
+        by_real = {str((root / sf.real).resolve()): sf for sf in sources}
+        findings: List[Finding] = list(run_builtin(sources, sym))
+        seen: Set[Tuple[str, str, int]] = {f.key() for f in findings}
+        tus = [p for p, sf in by_real.items()
+               if sf.in_scope() and p.endswith((".cpp", ".cc"))]
+        for tu_path in tus:
+            try:
+                tu = self.index.parse(tu_path, args=self._args_for(tu_path))
+            except Exception as e:
+                raise BackendUnavailable(f"parse failed for {tu_path}: {e}") from e
+            for cur in tu.cursor.walk_preorder():
+                loc = cur.location
+                if loc.file is None:
+                    continue
+                sf = by_real.get(str(pathlib.Path(loc.file.name).resolve()))
+                if sf is None or not sf.in_scope():
+                    continue
+                for f in self._visit(cur, sf, sym):
+                    if f.key() not in seen:
+                        seen.add(f.key())
+                        findings.append(f)
+        return findings
+
+    # -- cursor dispatch ---------------------------------------------------
+
+    def _visit(self, cur, sf: SourceFile, sym: Symbols) -> List[Finding]:
+        ci = self.ci
+        k = cur.kind
+        out: List[Finding] = []
+        if k == ci.CursorKind.CXX_FOR_RANGE_STMT:
+            out += self._d1_range_for(cur, sf, sym)
+        elif k in (ci.CursorKind.VAR_DECL, ci.CursorKind.FIELD_DECL):
+            out += self._d2_d3_types(cur, sf)
+        if k in (ci.CursorKind.BINARY_OPERATOR,
+                 ci.CursorKind.COMPOUND_ASSIGNMENT_OPERATOR,
+                 ci.CursorKind.UNARY_OPERATOR, ci.CursorKind.CALL_EXPR):
+            out += self._d4_writes(cur, sf, sym)
+        return out
+
+    def _offset(self, cur) -> int:
+        return cur.extent.start.offset
+
+    def _d1_range_for(self, cur, sf: SourceFile, sym: Symbols) -> List[Finding]:
+        children = list(cur.get_children())
+        if not children:
+            return []
+        rng_type = ""
+        for ch in children:
+            t = ch.type.get_canonical().spelling if ch.type else ""
+            if "unordered_map" in t or "unordered_set" in t:
+                rng_type = t
+                break
+        if not rng_type:
+            return []
+        pos = self._offset(cur)
+        s = sf.stripped
+        # Reuse the lexical extraction anchored at the cursor position.
+        for lpos, decl, _rng, body in find_range_for(sf, sym):
+            if abs(lpos - pos) > 4:
+                continue
+            fn = enclosing_function(sf.blocks, lpos)
+            after = s[lpos + len(body):fn.end] if fn else ""
+            reason = classify_order_sensitivity(decl, body, after, sym)
+            if reason is not None:
+                return [Finding("D1", sf.real, line_of(s, lpos), d1_message(reason))]
+            return []
+        # AST saw an unordered iteration the lexical pass could not resolve
+        # (e.g. a container reached through auto&): classify its body text.
+        body_cur = children[-1]
+        body = sf.raw[body_cur.extent.start.offset:body_cur.extent.end.offset]
+        reason = classify_order_sensitivity("it", strip_comments_and_strings(body),
+                                            "", sym)
+        if reason is not None:
+            return [Finding("D1", sf.real, cur.location.line, d1_message(reason))]
+        return []
+
+    def _d2_d3_types(self, cur, sf: SourceFile) -> List[Finding]:
+        """AST-only extras for declarations whose *canonical* type reveals a
+        banned construct the spelt source hides behind an alias."""
+        t = cur.type.get_canonical().spelling if cur.type else ""
+        out: List[Finding] = []
+        line = cur.location.line
+        m = re.search(r"(unordered_)?(map|set|multimap|multiset)<([^,>]*\*)\s*[,>]", t)
+        if m:
+            out.append(Finding("D2", sf.real, line,
+                               f"container keyed by raw pointer `{m.group(3).strip()}`: "
+                               f"address order/hash differs across runs; key by a "
+                               f"stable id instead"))
+        if not sf.scope.startswith(RNG_HOME_PREFIX):
+            if re.search(r"_distribution<", t) or any(
+                    re.search(rf"\b{e}\b", t) for e in RAW_ENGINE_NAMES):
+                if not self._has_stream_param(cur):
+                    out.append(Finding(
+                        "D3", sf.real, line,
+                        f"`{t.split('<')[0].split('::')[-1]}` constructed outside "
+                        f"src/sim/rng.* in a function without a sim::rng::Stream& "
+                        f"parameter; draws here cannot be traced to a seeded "
+                        f"child stream"))
+        return out
+
+    def _has_stream_param(self, cur) -> bool:
+        ci = self.ci
+        p = cur.semantic_parent
+        while p is not None and p.kind != ci.CursorKind.TRANSLATION_UNIT:
+            if p.kind in (ci.CursorKind.FUNCTION_DECL, ci.CursorKind.CXX_METHOD,
+                          ci.CursorKind.LAMBDA_EXPR, ci.CursorKind.CONSTRUCTOR):
+                for arg in p.get_arguments():
+                    at = arg.type.get_canonical().spelling if arg.type else ""
+                    if "rng::Stream" in at:
+                        return True
+            p = p.semantic_parent
+        return False
+
+    def _d4_writes(self, cur, sf: SourceFile, sym: Symbols) -> List[Finding]:
+        if sf.scope in SOA_OWNER_FILES:
+            return []
+        ci = self.ci
+        lhs = None
+        if cur.kind in (ci.CursorKind.BINARY_OPERATOR,
+                        ci.CursorKind.COMPOUND_ASSIGNMENT_OPERATOR):
+            children = list(cur.get_children())
+            if len(children) == 2:
+                toks = [t.spelling for t in cur.get_tokens()]
+                if cur.kind == ci.CursorKind.BINARY_OPERATOR and "=" not in toks:
+                    return []
+                lhs = children[0]
+        elif cur.kind == ci.CursorKind.UNARY_OPERATOR:
+            toks = [t.spelling for t in cur.get_tokens()]
+            if "++" not in toks and "--" not in toks:
+                return []
+            children = list(cur.get_children())
+            lhs = children[0] if children else None
+        elif cur.kind == ci.CursorKind.CALL_EXPR:
+            name = cur.spelling or ""
+            if name not in COLUMN_MUTATORS | COLUMN_METHOD_WRITES:
+                return []
+            children = list(cur.get_children())
+            lhs = children[0] if children else None
+        if lhs is None:
+            return []
+        col = self._soa_field_in(lhs, sym)
+        if col is None:
+            return []
+        pos = cur.extent.start.offset
+        if in_owner_context(sf.stripped, sf.blocks, pos):
+            return []
+        return [Finding(
+            "D4", sf.real, cur.location.line,
+            f"write to NodeStateSoA column `{col}` outside the owning module, "
+            f"with no shard ownership derived (shard_of) in the enclosing "
+            f"function and not inside a window-barrier callback; at K > 1 "
+            f"this races the owning shard. Route through the owner or a "
+            f"barrier hook")]
+
+    def _soa_field_in(self, cur, sym: Symbols) -> Optional[str]:
+        ci = self.ci
+        for c in [cur] + list(cur.walk_preorder()):
+            if c.kind == ci.CursorKind.MEMBER_REF_EXPR and c.spelling in sym.soa_columns:
+                ref = c.referenced
+                parent = ref.semantic_parent if ref is not None else None
+                if parent is not None and parent.spelling == "NodeStateSoA":
+                    return c.spelling
+        return None
+
+
+# --------------------------------------------------------------------------
+# Suppressions
+# --------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class Suppression:
+    rule: str
+    path: str
+    line: Optional[int]
+    justification: str
+    source_line: int
+    used: bool = False
+
+    def matches(self, f: Finding) -> bool:
+        if self.rule != f.rule or self.path != f.file:
+            return False
+        return self.line is None or self.line == f.line
+
+
+def load_suppressions(path: pathlib.Path) -> Tuple[List[Suppression], List[Finding]]:
+    sups: List[Suppression] = []
+    problems: List[Finding] = []
+    if not path.is_file():
+        return sups, problems
+    rel = path.name
+    for lineno, raw in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        body, _, just = line.partition("#")
+        just = just.strip()
+        parts = body.split()
+        if len(parts) != 2 or parts[0] not in RULE_IDS:
+            problems.append(Finding(
+                "SUPPRESSIONS", rel, lineno,
+                f"malformed entry `{line[:60]}`; expected `<rule> <path>[:line] "
+                f"# justification`"))
+            continue
+        if not just:
+            problems.append(Finding(
+                "SUPPRESSIONS", rel, lineno,
+                f"suppression `{body.strip()}` has no justification; every "
+                f"waiver must explain why the finding is acceptable"))
+            continue
+        target = parts[1]
+        fline: Optional[int] = None
+        if ":" in target:
+            target, _, ln = target.rpartition(":")
+            try:
+                fline = int(ln)
+            except ValueError:
+                problems.append(Finding("SUPPRESSIONS", rel, lineno,
+                                        f"bad line number in `{parts[1]}`"))
+                continue
+        sups.append(Suppression(parts[0], target, fline, just, lineno))
+    return sups, problems
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+
+def gather_files(root: pathlib.Path, fixtures: Optional[pathlib.Path]) -> List[pathlib.Path]:
+    if fixtures is not None:
+        return sorted(p for ext in ("*.cpp", "*.cc", "*.hpp", "*.h")
+                      for p in fixtures.rglob(ext))
+    out: List[pathlib.Path] = []
+    for d in SCOPE_DIRS:
+        base = root / d
+        if not base.is_dir():
+            continue
+        for ext in ("*.cpp", "*.cc", "*.hpp", "*.h"):
+            out.extend(base.rglob(ext))
+    return sorted(out)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--repo", type=pathlib.Path,
+                    default=pathlib.Path(__file__).resolve().parents[2])
+    ap.add_argument("--build-dir", type=pathlib.Path, default=None,
+                    help="build tree with compile_commands.json (libclang backend)")
+    ap.add_argument("--backend", choices=("auto", "libclang", "builtin"),
+                    default="auto")
+    ap.add_argument("--fixtures", type=pathlib.Path, default=None,
+                    help="analyze a fixture directory instead of the repo "
+                         "(suppressions are not applied)")
+    ap.add_argument("--suppressions", type=pathlib.Path, default=None,
+                    help="suppression file (default: tools/analysis/suppressions.txt)")
+    ap.add_argument("--json", type=pathlib.Path, default=None,
+                    help="write a machine-readable report here")
+    ap.add_argument("--quiet", action="store_true")
+    args = ap.parse_args()
+
+    repo = args.repo.resolve()
+    fixtures = args.fixtures.resolve() if args.fixtures else None
+    rel_root = fixtures if fixtures is not None else repo
+    paths = gather_files(repo, fixtures)
+    if not paths:
+        print("determinism_analyzer: no source files found", file=sys.stderr)
+        return 2
+
+    sources = [load_source(repo, p, rel_root) for p in paths]
+    sym = collect_symbols({sf.real: sf.stripped for sf in sources})
+    if fixtures is not None:
+        # Fixture scope paths stand in for real modules; also fold in the real
+        # SoA schema when present so D4 fixtures match production columns.
+        soa = repo / "src/net/soa.hpp"
+        if soa.is_file():
+            extra = collect_symbols({"src/net/soa.hpp":
+                                     strip_comments_and_strings(soa.read_text())})
+            sym.soa_columns |= extra.soa_columns
+            sym.soa_vars |= extra.soa_vars
+
+    backend_used = "builtin"
+    findings: Optional[List[Finding]] = None
+    build_dir = args.build_dir
+    if build_dir is None and (repo / "build" / "compile_commands.json").is_file():
+        build_dir = repo / "build"
+    if args.backend in ("auto", "libclang"):
+        try:
+            lc = LibclangBackend(build_dir)
+            findings = lc.analyze(sources, sym, rel_root)
+            backend_used = "libclang"
+        except BackendUnavailable as e:
+            if args.backend == "libclang":
+                print(f"determinism_analyzer: libclang backend required but "
+                      f"unavailable: {e}", file=sys.stderr)
+                return 2
+            print(f"determinism_analyzer: libclang unavailable ({e}); "
+                  f"falling back to builtin backend", file=sys.stderr)
+        except Exception as e:  # pragma: no cover - defensive fallback
+            if args.backend == "libclang":
+                raise
+            print(f"determinism_analyzer: libclang backend failed ({e}); "
+                  f"falling back to builtin backend", file=sys.stderr)
+    if findings is None:
+        findings = run_builtin(sources, sym)
+    unique: Dict[Tuple[str, str, int], Finding] = {}
+    for f in findings:
+        unique.setdefault(f.key(), f)
+    findings = sorted(unique.values(), key=lambda f: (f.file, f.line, f.rule))
+
+    sup_path = args.suppressions
+    if sup_path is None:
+        sup_path = repo / "tools" / "analysis" / "suppressions.txt"
+    sups: List[Suppression] = []
+    extra: List[Finding] = []
+    if fixtures is None:
+        sups, extra = load_suppressions(sup_path)
+        for f in findings:
+            for sp in sups:
+                if sp.matches(f):
+                    sp.used = True
+                    f.suppressed = True
+                    break
+        for sp in sups:
+            if not sp.used:
+                extra.append(Finding(
+                    "SUPPRESSIONS", sup_path.name, sp.source_line,
+                    f"stale suppression `{sp.rule} {sp.path}"
+                    f"{':' + str(sp.line) if sp.line else ''}` matches no "
+                    f"finding; delete it"))
+
+    active = [f for f in findings if not f.suppressed] + extra
+    if not args.quiet:
+        for f in active:
+            print(f.render())
+
+    if args.json is not None:
+        report = {
+            "backend": backend_used,
+            "files_analyzed": len(sources),
+            "rules": list(RULE_IDS),
+            "findings": [dataclasses.asdict(f) for f in findings],
+            "suppression_problems": [dataclasses.asdict(f) for f in extra],
+            "suppressions_used": sum(1 for s in sups if s.used),
+        }
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(report, indent=2) + "\n")
+
+    if active:
+        print(f"\ndeterminism_analyzer[{backend_used}]: {len(active)} finding(s) "
+              f"across {len(sources)} file(s)", file=sys.stderr)
+        return 1
+    suppressed = sum(1 for f in findings if f.suppressed)
+    print(f"determinism_analyzer[{backend_used}]: clean "
+          f"({len(sources)} files, rules D1-D4, {suppressed} suppressed)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -508,29 +508,52 @@ def check_tracked_artifacts(repo: pathlib.Path) -> List[str]:
 # --------------------------------------------------------------------------
 
 
+# Rule registry: the stable R-ids the docstring documents, in run order.
+# tests/analysis/test_invariant_linter.py drives each rule against synthetic
+# trees through --rules, so ids are part of the tool's interface.
+RULES = {
+    "R1": ("determinism", check_determinism),
+    "R2": ("epoch contract", check_epoch_contract),
+    "R3": ("tracked artifacts", check_tracked_artifacts),
+    "R4": ("finished guards", check_finished_guards),
+    "R5": ("settlement transitions", check_settlement_transitions),
+    "R6": ("shard mailbox discipline", check_shard_mailbox_discipline),
+}
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--repo", type=pathlib.Path,
                     default=pathlib.Path(__file__).resolve().parents[2],
                     help="repository root (default: two levels above this script)")
+    ap.add_argument("--rules", default="all",
+                    help="comma-separated rule ids to run (e.g. R1,R6); "
+                         "default: all of " + ",".join(RULES))
     args = ap.parse_args()
     repo = args.repo.resolve()
 
+    if args.rules == "all":
+        selected = list(RULES)
+    else:
+        selected = [r.strip().upper() for r in args.rules.split(",") if r.strip()]
+        unknown = [r for r in selected if r not in RULES]
+        if unknown:
+            print(f"check_invariants: unknown rule id(s) {','.join(unknown)}; "
+                  f"known: {','.join(RULES)}", file=sys.stderr)
+            return 2
+
     findings = []
-    findings += check_determinism(repo)
-    findings += check_epoch_contract(repo)
-    findings += check_finished_guards(repo)
-    findings += check_settlement_transitions(repo)
-    findings += check_shard_mailbox_discipline(repo)
-    findings += check_tracked_artifacts(repo)
+    for rid in RULES:
+        if rid in selected:
+            findings += RULES[rid][1](repo)
 
     for f in findings:
         print(f)
     if findings:
         print(f"\ncheck_invariants: {len(findings)} finding(s)", file=sys.stderr)
         return 1
-    print("check_invariants: clean (determinism, epoch contract, finished guards, "
-          "settlement transitions, shard mailbox discipline, tracked artifacts)")
+    print("check_invariants: clean ("
+          + ", ".join(RULES[r][0] for r in RULES if r in selected) + ")")
     return 0
 
 

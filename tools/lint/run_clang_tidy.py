@@ -9,8 +9,11 @@ process per CPU, and fails if any diagnostic is emitted — the project
 
 Wired up as the ``lint.clang-tidy`` ctest test whenever a clang-tidy binary is
 found at configure time; containers without clang-tidy simply don't register
-the test (the invariant linter still runs). This script is also usable
-directly:
+the test (the invariant linter still runs). In CI the missing-binary case must
+fail loudly instead: ``--require-binary`` (defaulted on whenever ``$CI`` is
+set) exits 2 when the binary is absent, so an image that silently dropped
+clang-tidy can never produce a green-by-vacancy lint job. This script is also
+usable directly:
 
     tools/lint/run_clang_tidy.py --build-dir build [--clang-tidy clang-tidy-18]
 """
@@ -23,6 +26,7 @@ import json
 import os
 import pathlib
 import re
+import shutil
 import subprocess
 import sys
 
@@ -56,7 +60,29 @@ def main() -> int:
     ap.add_argument("--repo", type=pathlib.Path,
                     default=pathlib.Path(__file__).resolve().parents[2])
     ap.add_argument("--jobs", type=int, default=os.cpu_count() or 1)
+    ap.add_argument("--require-binary", action="store_true",
+                    default=os.environ.get("CI", "") != "",
+                    help="fail (exit 2) when the clang-tidy binary is absent "
+                         "instead of the per-TU FileNotFoundError spray; "
+                         "default ON when $CI is set, so a CI image that "
+                         "silently dropped clang-tidy turns the lint job red "
+                         "rather than green-by-vacancy")
+    ap.add_argument("--no-require-binary", dest="require_binary",
+                    action="store_false",
+                    help="opposite of --require-binary")
     args = ap.parse_args()
+
+    if shutil.which(args.clang_tidy) is None:
+        msg = (f"run_clang_tidy: clang-tidy binary {args.clang_tidy!r} not on "
+               f"PATH")
+        if args.require_binary:
+            print(msg + " and --require-binary is in effect (default under "
+                        "CI); install clang-tidy or pass an explicit "
+                        "--clang-tidy name", file=sys.stderr)
+            return 2
+        print(msg + "; skipping (pass --require-binary to make this fatal)",
+              file=sys.stderr)
+        return 0
 
     ccdb = args.build_dir / "compile_commands.json"
     if not ccdb.is_file():
