@@ -4,18 +4,38 @@
 // anonymity quality *under churn*. This sweep varies the median session time
 // (60 min is the paper's setting, after Saroiu et al.) and reports how the
 // forwarder set, path quality and payoffs respond under Utility Model I.
+//
+// Supports the shared sweep options (--adaptive / --eps / --checkpoint,
+// DESIGN.md §3.12): fixed mode runs P2PANON_REPLICATES per cell exactly as
+// before; adaptive mode raises the cap 4x and stops each cell once the
+// anytime intervals on ||pi|| and path quality are within ±eps. Per-cell
+// used/planned counts land in BENCH_abl_churn.json (atomic write).
+#include <sstream>
+
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace p2panon;
   using namespace p2panon::bench;
 
+  const harness::AdaptiveConfig adaptive = parse_sweep_options(argc, argv, 0.05);
+  const std::size_t planned =
+      adaptive.adaptive ? replicate_count() * 4 : replicate_count();
+
   harness::print_banner(std::cout, "Ablation: churn",
                         "Median session time sweep, Utility Model I vs random, f = 0.2 (" +
-                            std::to_string(replicate_count()) + " replicates)");
+                            std::to_string(planned) + " replicate cap)");
+
+  const std::vector<harness::TrackedScenarioMetric> tracked = {
+      {"forwarder_set_size", &harness::ReplicatedResult::forwarder_set_size, 0.0, true},
+      {"path_quality", &harness::ReplicatedResult::path_quality, 0.0, true},
+  };
 
   harness::TextTable table({"median session (min)", "strategy", "avg ||pi||",
-                            "path quality Q(pi)", "avg member payoff", "churn events"});
+                            "path quality Q(pi)", "avg member payoff", "churn events",
+                            "reps"});
+  std::ostringstream cells_json;
+  bool first_cell = true;
   for (double median_min : {15.0, 30.0, 60.0, 120.0, 240.0}) {
     for (auto kind : {core::StrategyKind::kRandom, core::StrategyKind::kUtilityModelI}) {
       harness::ScenarioConfig cfg = paper_config(0.2, kind);
@@ -27,15 +47,32 @@ int main() {
           std::max(sim::hours(24.0), 8.0 * cfg.overlay.churn.session_median *
                                          cfg.overlay.churn.session_median /
                                          cfg.overlay.churn.session_min);
-      const auto r = run(cfg);
+      std::ostringstream key;
+      key << "m" << harness::fmt(median_min, 0) << "-" << core::strategy_name(kind);
+      const harness::AdaptiveReplicatedResult res = harness::run_replicated_adaptive(
+          cfg, planned, adaptive, tracked, &shared_pool(), key.str());
+      const harness::ReplicatedResult& r = res.result;
+      const std::size_t used = std::max<std::size_t>(res.outcome.replicates_used, 1);
       table.add_row({harness::fmt(median_min, 0), std::string(core::strategy_name(kind)),
                      harness::fmt(r.forwarder_set_size.mean()),
                      harness::fmt(r.path_quality.mean(), 3),
                      harness::fmt(r.member_payoff.mean()),
-                     std::to_string(r.total_churn_events / replicate_count())});
+                     std::to_string(r.total_churn_events / used),
+                     std::to_string(res.outcome.replicates_used) + "/" +
+                         std::to_string(res.outcome.replicates_planned)});
+      cells_json << (first_cell ? "" : ",") << "\n    {\"cell\": \"" << key.str()
+                 << "\", \"forwarder_set\": " << r.forwarder_set_size.mean()
+                 << ", \"path_quality\": " << r.path_quality.mean() << ", "
+                 << adaptive_json_fields(res.outcome) << "}";
+      first_cell = false;
     }
   }
   emit(table, "abl_churn");
+  std::ostringstream json;
+  json << "{\n  \"adaptive\": " << (adaptive.adaptive ? "true" : "false")
+       << ",\n  \"eps\": " << adaptive.eps << ",\n  \"cells\": [" << cells_json.str()
+       << "\n  ]\n}\n";
+  write_bench_json("BENCH_abl_churn.json", json.str());
   std::cout << "\nReading: heavier churn (shorter sessions) inflates ||pi|| for both "
                "strategies, but utility routing retains a clear advantage — the "
                "paper's claim that anonymity quality is maintained under churn.\n";

@@ -67,10 +67,11 @@ Series run_series(core::StrategyKind kind, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace p2panon;
   using namespace p2panon::bench;
 
+  const harness::AdaptiveConfig adaptive = parse_sweep_options(argc, argv, 0.25);
   harness::print_banner(std::cout, "Attack: anonymity over time",
                         "Intersection-attacker anonymity (bits) and ||pi|| over the life "
                         "of one 40-connection recurring set, f = 0.2 (single replicate "
@@ -90,20 +91,45 @@ int main() {
   emit(table, "attack_anonymity_over_time");
 
   // Time-weighted summary: average anonymity enjoyed across the whole set.
+  using Kind = harness::MetricSpec::Kind;
+  harness::AdaptiveRunner runner(adaptive, {
+                                               {"tw_anonymity_bits", Kind::kMean, 0.0, false, 0.0},
+                                               {"final_pi", Kind::kMean, 0.5, false, 0.0},
+                                           });
   harness::TextTable summary({"strategy", "time-weighted anonymity (bits)",
-                              "final ||pi||"});
+                              "final ||pi||", "reps"});
+  std::ostringstream cells_json;
+  bool first_cell = true;
   for (auto kind : {core::StrategyKind::kRandom, core::StrategyKind::kUtilityModelI}) {
-    metrics::Accumulator bits, set;
-    for (std::size_t r = 0; r < replicate_count(); ++r) {
-      const Series s = run_series(kind, base_seed() + r);
-      bits.add(s.anonymity_bits.time_weighted_mean(sim::minutes(60.0), s.end));
-      set.add(s.forwarder_set.points().back().value);
-    }
-    summary.add_row({std::string(core::strategy_name(kind)), harness::fmt(bits.mean(), 2),
-                     harness::fmt(set.mean(), 1)});
+    std::uint64_t fp =
+        harness::fnv1a_bytes(harness::fnv1a_init(), "attack_anonymity_over_time");
+    fp = harness::fnv1a_mix(fp, base_seed());
+    fp = harness::fnv1a_mix(fp, static_cast<std::uint64_t>(kind));
+    const harness::AdaptiveCellResult cell = runner.run_cell(
+        std::string(core::strategy_name(kind)), fp, replicate_count(), [&](std::size_t r) {
+          const Series s = run_series(kind, base_seed() + r);
+          return std::vector<double>{
+              s.anonymity_bits.time_weighted_mean(sim::minutes(60.0), s.end),
+              s.forwarder_set.points().back().value};
+        });
+    summary.add_row({std::string(core::strategy_name(kind)),
+                     harness::fmt(cell.metrics[0].mean(), 2),
+                     harness::fmt(cell.metrics[1].mean(), 1),
+                     std::to_string(cell.outcome.replicates_used) + "/" +
+                         std::to_string(cell.outcome.replicates_planned)});
+    cells_json << (first_cell ? "" : ",") << "\n    {\"strategy\": \""
+               << core::strategy_name(kind)
+               << "\", \"tw_anonymity_bits\": " << cell.metrics[0].mean() << ", "
+               << adaptive_json_fields(cell.outcome) << "}";
+    first_cell = false;
   }
   std::cout << '\n';
   emit(summary, "attack_anonymity_over_time_summary");
+  std::ostringstream json;
+  json << "{\n  \"adaptive\": " << (adaptive.adaptive ? "true" : "false")
+       << ",\n  \"eps\": " << adaptive.eps << ",\n  \"cells\": [" << cells_json.str()
+       << "\n  ]\n}\n";
+  write_bench_json("BENCH_attack_anonymity_over_time.json", json.str());
   std::cout << "\nReading: anonymity decays stepwise with each fresh-forwarder "
                "recruitment; utility routing stops recruiting early, so its curve "
                "plateaus while random routing keeps stepping down — the time-domain "

@@ -68,30 +68,55 @@ double malicious_capture_fraction(double w_a, bool always_online, std::uint64_t 
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace p2panon;
   using namespace p2panon::bench;
 
+  const harness::AdaptiveConfig adaptive = parse_sweep_options(argc, argv, 0.02);
   const std::size_t replicates = replicate_count();
   harness::print_banner(std::cout, "Attack: availability",
                         "Fraction of forwarding instances captured by malicious nodes "
                         "(f = 0.2) vs availability weight w_a, with and without the "
                         "always-online availability attack (" +
-                            std::to_string(replicates) + " replicates)");
+                            std::to_string(replicates) + " replicate cap)");
 
-  harness::TextTable table(
-      {"w_a", "capture, honest uptime", "capture, availability attack", "attack gain"});
+  using Kind = harness::MetricSpec::Kind;
+  harness::AdaptiveRunner runner(adaptive, {
+                                               {"capture_honest", Kind::kMean, 0.0, false, 0.0},
+                                               {"capture_attacked", Kind::kMean, 0.0, false, 0.0},
+                                           });
+
+  harness::TextTable table({"w_a", "capture, honest uptime", "capture, availability attack",
+                            "attack gain", "reps"});
+  std::ostringstream cells_json;
+  bool first_cell = true;
   for (double w_a : {0.0, 0.25, 0.5, 0.75, 1.0}) {
-    metrics::Accumulator honest, attacked;
-    for (std::size_t r = 0; r < replicates; ++r) {
-      honest.add(malicious_capture_fraction(w_a, false, base_seed() + r));
-      attacked.add(malicious_capture_fraction(w_a, true, base_seed() + r));
-    }
-    table.add_row({harness::fmt(w_a, 2), harness::fmt(honest.mean(), 3),
-                   harness::fmt(attacked.mean(), 3),
-                   harness::fmt(attacked.mean() - honest.mean(), 3)});
+    std::uint64_t fp = harness::fnv1a_bytes(harness::fnv1a_init(), "attack_availability");
+    fp = harness::fnv1a_mix(fp, base_seed());
+    fp = harness::fnv1a_double(fp, w_a);
+    const std::string key = "wa" + harness::fmt(w_a, 2);
+    const harness::AdaptiveCellResult cell =
+        runner.run_cell(key, fp, replicates, [&](std::size_t r) {
+          return std::vector<double>{malicious_capture_fraction(w_a, false, base_seed() + r),
+                                     malicious_capture_fraction(w_a, true, base_seed() + r)};
+        });
+    table.add_row({harness::fmt(w_a, 2), harness::fmt(cell.metrics[0].mean(), 3),
+                   harness::fmt(cell.metrics[1].mean(), 3),
+                   harness::fmt(cell.metrics[1].mean() - cell.metrics[0].mean(), 3),
+                   std::to_string(cell.outcome.replicates_used) + "/" +
+                       std::to_string(cell.outcome.replicates_planned)});
+    cells_json << (first_cell ? "" : ",") << "\n    {\"cell\": \"" << key
+               << "\", \"attack_gain\": "
+               << cell.metrics[1].mean() - cell.metrics[0].mean() << ", "
+               << adaptive_json_fields(cell.outcome) << "}";
+    first_cell = false;
   }
   emit(table, "attack_availability");
+  std::ostringstream json;
+  json << "{\n  \"adaptive\": " << (adaptive.adaptive ? "true" : "false")
+       << ",\n  \"eps\": " << adaptive.eps << ",\n  \"cells\": [" << cells_json.str()
+       << "\n  ]\n}\n";
+  write_bench_json("BENCH_attack_availability.json", json.str());
   std::cout << "\nReading: the capture gain from staying always-online grows with the "
                "availability weight w_a — quantifying the paper's §5 availability "
                "attack and the w_s/w_a trade-off that mitigates it.\n";

@@ -87,36 +87,62 @@ AttackOutcome run_attack(core::StrategyKind kind, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace p2panon;
   using namespace p2panon::bench;
 
+  // ±0.25 bits on the anonymity mean is the default adaptive target; the
+  // observation/candidate columns ride along at the same eps.
+  const harness::AdaptiveConfig adaptive = parse_sweep_options(argc, argv, 0.25);
   const std::size_t replicates = std::max<std::size_t>(replicate_count() * 4, 16);
   harness::print_banner(std::cout, "Attack: intersection",
                         "Passive-logging intersection attack on one recurring connection "
                         "(observations only at visible path reformations; " +
-                            std::to_string(replicates) + " replicates)");
+                            std::to_string(replicates) + " replicate cap)");
+
+  using Kind = harness::MetricSpec::Kind;
+  harness::AdaptiveRunner runner(adaptive, {
+                                               {"observations", Kind::kMean, 0.0, true, 0.0},
+                                               {"candidates", Kind::kMean, 0.0, true, 0.0},
+                                               {"entropy_bits", Kind::kMean, 0.0, false, 0.0},
+                                               {"identified", Kind::kSum, 0.0, false, 0.0},
+                                           });
 
   harness::TextTable table({"strategy", "avg observations", "avg candidates left",
-                            "avg anonymity (bits)", "identified (%)"});
+                            "avg anonymity (bits)", "identified (%)", "reps"});
+  std::ostringstream cells_json;
+  bool first_cell = true;
   for (auto kind : {core::StrategyKind::kRandom, core::StrategyKind::kUtilityModelI,
                     core::StrategyKind::kUtilityModelII}) {
-    metrics::Accumulator obs, cand, bits;
-    std::size_t identified = 0;
-    for (std::size_t r = 0; r < replicates; ++r) {
-      const AttackOutcome out = run_attack(kind, base_seed() + r);
-      obs.add(out.observations);
-      cand.add(out.remaining_candidates);
-      bits.add(out.entropy_bits);
-      identified += out.identified ? 1 : 0;
-    }
-    table.add_row({std::string(core::strategy_name(kind)), harness::fmt(obs.mean()),
-                   harness::fmt(cand.mean()), harness::fmt(bits.mean()),
-                   harness::fmt(100.0 * static_cast<double>(identified) /
-                                    static_cast<double>(replicates),
-                                1)});
+    std::uint64_t fp = harness::fnv1a_bytes(harness::fnv1a_init(), "attack_intersection");
+    fp = harness::fnv1a_mix(fp, base_seed());
+    fp = harness::fnv1a_mix(fp, static_cast<std::uint64_t>(kind));
+    const harness::AdaptiveCellResult cell = runner.run_cell(
+        std::string(core::strategy_name(kind)), fp, replicates,
+        [&](std::size_t r) {
+          const AttackOutcome out = run_attack(kind, base_seed() + r);
+          return std::vector<double>{out.observations, out.remaining_candidates,
+                                     out.entropy_bits, out.identified ? 1.0 : 0.0};
+        });
+    const double used = static_cast<double>(cell.outcome.replicates_used);
+    table.add_row({std::string(core::strategy_name(kind)),
+                   harness::fmt(cell.metrics[0].mean()), harness::fmt(cell.metrics[1].mean()),
+                   harness::fmt(cell.metrics[2].mean()),
+                   harness::fmt(used > 0.0 ? 100.0 * cell.sums[3] / used : 0.0, 1),
+                   std::to_string(cell.outcome.replicates_used) + "/" +
+                       std::to_string(cell.outcome.replicates_planned)});
+    cells_json << (first_cell ? "" : ",") << "\n    {\"strategy\": \""
+               << core::strategy_name(kind)
+               << "\", \"entropy_bits\": " << cell.metrics[2].mean() << ", "
+               << adaptive_json_fields(cell.outcome) << "}";
+    first_cell = false;
   }
   emit(table, "attack_intersection");
+  std::ostringstream json;
+  json << "{\n  \"adaptive\": " << (adaptive.adaptive ? "true" : "false")
+       << ",\n  \"eps\": " << adaptive.eps << ",\n  \"cells\": [" << cells_json.str()
+       << "\n  ]\n}\n";
+  write_bench_json("BENCH_attack_intersection.json", json.str());
   std::cout << "\nReading: utility routing re-forms paths far less often, so the "
                "intersection attacker gets fewer snapshots and the initiator retains "
                "more anonymity bits — the paper's motivation for minimising ||pi|| "

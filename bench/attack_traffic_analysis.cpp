@@ -73,34 +73,59 @@ Outcome run_attack(core::StrategyKind kind, double f, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace p2panon;
   using namespace p2panon::bench;
 
+  const harness::AdaptiveConfig adaptive = parse_sweep_options(argc, argv, 0.02);
   const std::size_t replicates = replicate_count();
   harness::print_banner(std::cout, "Attack: traffic analysis",
                         "End-to-end correlation rate (both path ends compromised) and the "
                         "largest cid-linked per-pair profile; 30 pairs x 20 connections (" +
-                            std::to_string(replicates) + " replicates)");
+                            std::to_string(replicates) + " replicate cap)");
+
+  using Kind = harness::MetricSpec::Kind;
+  harness::AdaptiveRunner runner(adaptive, {
+                                               {"e2e_rate", Kind::kMean, 0.0, false, 0.0},
+                                               {"largest_profile", Kind::kMean, 1.0, false, 0.0},
+                                               {"baseline", Kind::kMean, 0.0, false, 0.0},
+                                           });
 
   harness::TextTable table({"f", "strategy", "e2e rate", "uniform (f^2)",
-                            "largest linked profile (of 20)"});
+                            "largest linked profile (of 20)", "reps"});
+  std::ostringstream cells_json;
+  bool first_cell = true;
   for (double f : {0.1, 0.2, 0.3}) {
     for (auto kind : {core::StrategyKind::kRandom, core::StrategyKind::kUtilityModelI}) {
-      metrics::Accumulator rate, profile;
-      double baseline = 0.0;
-      for (std::size_t r = 0; r < replicates; ++r) {
-        const Outcome out = run_attack(kind, f, base_seed() + r);
-        rate.add(out.e2e_rate);
-        profile.add(out.largest_profile);
-        baseline = out.baseline;
-      }
+      std::uint64_t fp = harness::fnv1a_bytes(harness::fnv1a_init(), "attack_traffic_analysis");
+      fp = harness::fnv1a_mix(fp, base_seed());
+      fp = harness::fnv1a_mix(fp, static_cast<std::uint64_t>(kind));
+      fp = harness::fnv1a_double(fp, f);
+      std::ostringstream key;
+      key << "f" << harness::fmt(f, 1) << "-" << core::strategy_name(kind);
+      const harness::AdaptiveCellResult cell = runner.run_cell(
+          key.str(), fp, replicates, [&](std::size_t r) {
+            const Outcome out = run_attack(kind, f, base_seed() + r);
+            return std::vector<double>{out.e2e_rate, out.largest_profile, out.baseline};
+          });
       table.add_row({harness::fmt(f, 1), std::string(core::strategy_name(kind)),
-                     harness::fmt(rate.mean(), 3), harness::fmt(baseline, 3),
-                     harness::fmt(profile.mean(), 1)});
+                     harness::fmt(cell.metrics[0].mean(), 3),
+                     harness::fmt(cell.metrics[2].mean(), 3),
+                     harness::fmt(cell.metrics[1].mean(), 1),
+                     std::to_string(cell.outcome.replicates_used) + "/" +
+                         std::to_string(cell.outcome.replicates_planned)});
+      cells_json << (first_cell ? "" : ",") << "\n    {\"cell\": \"" << key.str()
+                 << "\", \"e2e_rate\": " << cell.metrics[0].mean() << ", "
+                 << adaptive_json_fields(cell.outcome) << "}";
+      first_cell = false;
     }
   }
   emit(table, "attack_traffic_analysis");
+  std::ostringstream json;
+  json << "{\n  \"adaptive\": " << (adaptive.adaptive ? "true" : "false")
+       << ",\n  \"eps\": " << adaptive.eps << ",\n  \"cells\": [" << cells_json.str()
+       << "\n  ]\n}\n";
+  write_bench_json("BENCH_attack_traffic_analysis.json", json.str());
   std::cout << "\nReading: both strategies exceed the f^2 baseline because "
                "single-forwarder paths (probability 1-p_forward) make one node both "
                "ends at once (rate ~ (1-p)f + p*f^2). Utility routing is *worse* here: "

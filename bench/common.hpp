@@ -10,15 +10,22 @@
 //   P2PANON_SEED        base seed (default 1)
 //   P2PANON_THREADS     thread-pool size (default: hardware concurrency)
 //   P2PANON_CSV_DIR     if set, every printed table is also written there
-//                       as <name>.csv for external plotting
+//                       as <name>.csv for external plotting; BENCH_*.json
+//                       artifacts and checkpoints resolve there too
+//   P2PANON_ADAPTIVE    "1" = sequential stopping on (same as --adaptive)
+//   P2PANON_EPS         ±eps stopping target (same as --eps)
+//   P2PANON_CHECKPOINT  checkpoint path (same as --checkpoint)
 #pragma once
 
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
+#include "harness/adaptive.hpp"
+#include "harness/checkpoint.hpp"
 #include "harness/replicate.hpp"
 #include "harness/scenario.hpp"
 #include "harness/table.hpp"
@@ -56,15 +63,65 @@ inline harness::ReplicatedResult run(const harness::ScenarioConfig& cfg) {
 }
 
 /// Print the table to stdout and, when P2PANON_CSV_DIR is set, also write
-/// it to <dir>/<name>.csv.
+/// it to <dir>/<name>.csv (atomically — a crash mid-emit never leaves a
+/// truncated CSV behind).
 inline void emit(const harness::TextTable& table, const std::string& name) {
   table.print(std::cout);
   if (const char* dir = std::getenv("P2PANON_CSV_DIR")) {
-    std::error_code ec;
-    std::filesystem::create_directories(dir, ec);
-    std::ofstream out(std::filesystem::path(dir) / (name + ".csv"));
-    if (out) table.print_csv(out);
+    std::ostringstream csv;
+    table.print_csv(csv);
+    (void)harness::atomic_write_file(std::filesystem::path(dir) / (name + ".csv"), csv.str());
   }
+}
+
+/// Directory results artifacts (BENCH_*.json, checkpoints) land in:
+/// P2PANON_CSV_DIR when set, else the current directory.
+inline std::filesystem::path artifact_dir() {
+  if (const char* dir = std::getenv("P2PANON_CSV_DIR")) return dir;
+  return ".";
+}
+
+/// Resolve a checkpoint path: absolute stays as-is, relative lands in
+/// artifact_dir() next to the sweep's other artifacts.
+inline std::filesystem::path resolve_checkpoint(const std::string& path) {
+  const std::filesystem::path p(path);
+  return p.is_absolute() ? p : artifact_dir() / p;
+}
+
+/// The single sanctioned way to write a BENCH_*.json artifact: atomic
+/// write-temp-then-rename via harness::atomic_write_file, into
+/// artifact_dir(). Returns the final path (empty on failure).
+inline std::filesystem::path write_bench_json(const std::string& name,
+                                              const std::string& payload) {
+  const std::filesystem::path path = artifact_dir() / name;
+  if (!harness::atomic_write_file(path, payload)) {
+    std::cerr << "warning: failed to write " << path << "\n";
+    return {};
+  }
+  std::cout << "wrote " << path.string() << "\n";
+  return path;
+}
+
+/// Parse the shared adaptive-replication flags (--adaptive, --eps,
+/// --checkpoint, --kill-after-batch + env fallbacks) and resolve a relative
+/// checkpoint path against artifact_dir().
+inline harness::AdaptiveConfig parse_sweep_options(int& argc, char** argv,
+                                                   double default_eps = 0.05) {
+  harness::AdaptiveConfig cfg = harness::parse_adaptive_flags(argc, argv, default_eps);
+  if (!cfg.checkpoint.empty()) cfg.checkpoint = resolve_checkpoint(cfg.checkpoint).string();
+  return cfg;
+}
+
+/// JSON fragment reporting what the stopping layer did for one sweep (or
+/// one cell): replicates-used vs replicates-planned plus the stop/resume
+/// flags. Embed inside an enclosing object.
+inline std::string adaptive_json_fields(const harness::AdaptiveOutcome& o) {
+  std::ostringstream out;
+  out << "\"replicates_planned\": " << o.replicates_planned
+      << ", \"replicates_used\": " << o.replicates_used << ", \"batches\": " << o.batches
+      << ", \"stopped_early\": " << (o.stopped_early ? "true" : "false")
+      << ", \"resumed\": " << (o.resumed ? "true" : "false");
+  return out.str();
 }
 
 }  // namespace p2panon::bench

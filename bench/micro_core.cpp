@@ -20,11 +20,13 @@
 #include <iostream>
 #include <iterator>
 #include <map>
+#include <sstream>
 #include <tuple>
 #include <unordered_map>
 #include <utility>
 
 #include "core/decision_scratch.hpp"
+#include "harness/checkpoint.hpp"
 #include "core/edge_quality.hpp"
 #include "core/incentive.hpp"
 #include "core/routing.hpp"
@@ -554,11 +556,7 @@ void emit_decision_stack_json() {
     if (!ec) dir = csv_dir;
   }
   const std::filesystem::path out_path = dir / "BENCH_decision_stack.json";
-  std::ofstream out(out_path);
-  if (!out) {
-    std::cerr << "BENCH_decision_stack.json: cannot open " << out_path << "\n";
-    return;
-  }
+  std::ostringstream out;
   out << "{\n  \"benchmarks\": [\n";
   const BeforeAfter rows[] = {selectivity, edge, decision};
   for (std::size_t i = 0; i < std::size(rows); ++i) {
@@ -568,6 +566,10 @@ void emit_decision_stack_json() {
         << (i + 1 < std::size(rows) ? ",\n" : "\n");
   }
   out << "  ]\n}\n";
+  if (!harness::atomic_write_file(out_path, out.str())) {
+    std::cerr << "BENCH_decision_stack.json: cannot write " << out_path << "\n";
+    return;
+  }
   std::cout << "decision-stack before/after (also in " << out_path.string() << "):\n";
   for (const BeforeAfter& r : rows) {
     std::cout << "  " << r.name << ": " << r.before_ns << " ns -> " << r.after_ns

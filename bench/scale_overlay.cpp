@@ -31,12 +31,17 @@
 // --sharded-smoke runs only the N = 10^5, K = 4 sharded point twice and
 // asserts completion, determinism (digest-for-digest), claim conservation
 // and zero heap fallbacks — no timing gates, so it cannot flake under a
-// loaded CI box (the `scale-smoke-sharded` ctest entry). Environment:
+// loaded CI box (the `scale-smoke-sharded` ctest entry); --adaptive raises
+// the part-1 replicate cap 4x and stops each point once its connection-
+// latency interval is within ±eps (relative); --checkpoint makes the
+// expensive part-3 grid crash-recoverable point by point (finished points
+// are replayed from the checkpoint instead of re-run). Environment:
 //   P2PANON_SCALE_MAX_N        largest part-1/2 sweep point (default 5000)
 //   P2PANON_SCALE_REPLICATES   replicates per part-1 point (default 2)
 //   P2PANON_SHARDED_MAX_N      largest sharded sweep point (default 100000)
 //   P2PANON_SHARDED_DURATION_MIN  simulated minutes per point (default 20)
-// plus the usual P2PANON_SEED / P2PANON_THREADS / P2PANON_CSV_DIR.
+// plus the usual P2PANON_SEED / P2PANON_THREADS / P2PANON_CSV_DIR and the
+// adaptive knobs P2PANON_ADAPTIVE / P2PANON_EPS / P2PANON_CHECKPOINT.
 #include <sys/resource.h>
 
 #include <algorithm>
@@ -46,11 +51,13 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common.hpp"
+#include "harness/checkpoint.hpp"
 #include "harness/sharded_scenario.hpp"
 #include "legacy_event_queue.hpp"
 #include "sim/event_queue.hpp"
@@ -116,16 +123,27 @@ struct SweepRow {
   std::uint64_t completed = 0;
 };
 
-SweepRow run_sweep_point(const SweepPoint& p, bool fault_mode, std::size_t replicates) {
+SweepRow run_sweep_point(const SweepPoint& p, bool fault_mode, std::size_t replicates,
+                         const harness::AdaptiveConfig& adaptive) {
   const harness::ScenarioConfig cfg = scaled_config(p, fault_mode);
+  // Adaptive mode: connection latency (relative ±eps) decides when a point
+  // has enough replicates; the cap is 4x the configured count. Checkpointing
+  // stays off for part 1 (points are cheap relative to part 3).
+  const std::vector<harness::TrackedScenarioMetric> tracked = {
+      {"connection_latency", &harness::ReplicatedResult::connection_latency, 0.0, true},
+  };
+  harness::AdaptiveConfig point_cfg = adaptive;
+  point_cfg.checkpoint.clear();
+  const std::size_t planned = adaptive.adaptive ? replicates * 4 : replicates;
   const auto start = std::chrono::steady_clock::now();
-  const harness::ReplicatedResult r =
-      harness::run_replicated(cfg, replicates, &bench::shared_pool());
+  const harness::AdaptiveReplicatedResult res = harness::run_replicated_adaptive(
+      cfg, planned, point_cfg, tracked, &bench::shared_pool());
+  const harness::ReplicatedResult& r = res.result;
   const auto elapsed = std::chrono::steady_clock::now() - start;
   SweepRow row;
   row.n = p.n;
   row.mode = fault_mode ? "fault" : "sync";
-  row.replicates = replicates;
+  row.replicates = res.outcome.replicates_used;
   row.wall_ms = std::chrono::duration<double, std::milli>(elapsed).count();
   row.scheduled = r.total_engine_events_scheduled;
   row.cancelled = r.total_engine_events_cancelled;
@@ -324,18 +342,7 @@ namespace {
 
 void write_json(const std::vector<SweepRow>& sweep,
                 const std::vector<BeforeAfter>& pairs) {
-  std::filesystem::path dir = std::filesystem::current_path();
-  if (const char* csv_dir = std::getenv("P2PANON_CSV_DIR")) {
-    std::error_code ec;
-    std::filesystem::create_directories(csv_dir, ec);
-    if (!ec) dir = csv_dir;
-  }
-  const std::filesystem::path out_path = dir / "BENCH_sim_engine.json";
-  std::ofstream out(out_path);
-  if (!out) {
-    std::cerr << "BENCH_sim_engine.json: cannot open " << out_path << "\n";
-    return;
-  }
+  std::ostringstream out;
   out << "{\n  \"sweep\": [\n";
   for (std::size_t i = 0; i < sweep.size(); ++i) {
     const SweepRow& r = sweep[i];
@@ -357,26 +364,11 @@ void write_json(const std::vector<SweepRow>& sweep,
         << (i + 1 < pairs.size() ? ",\n" : "\n");
   }
   out << "  ]\n}\n";
-  std::cout << "wrote " << out_path.string() << "\n";
-}
-
-std::filesystem::path output_dir() {
-  std::filesystem::path dir = std::filesystem::current_path();
-  if (const char* csv_dir = std::getenv("P2PANON_CSV_DIR")) {
-    std::error_code ec;
-    std::filesystem::create_directories(csv_dir, ec);
-    if (!ec) dir = csv_dir;
-  }
-  return dir;
+  bench::write_bench_json("BENCH_sim_engine.json", out.str());
 }
 
 void write_sharded_json(const std::vector<ShardedRow>& rows) {
-  const std::filesystem::path out_path = output_dir() / "BENCH_scale_overlay.json";
-  std::ofstream out(out_path);
-  if (!out) {
-    std::cerr << "BENCH_scale_overlay.json: cannot open " << out_path << "\n";
-    return;
-  }
+  std::ostringstream out;
   out << "{\n  \"threads\": " << std::thread::hardware_concurrency()
       << ",\n  \"sharded_sweep\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -405,7 +397,117 @@ void write_sharded_json(const std::vector<ShardedRow>& rows) {
     out << "]}" << (i + 1 < rows.size() ? ",\n" : "\n");
   }
   out << "  ]\n}\n";
-  std::cout << "wrote " << out_path.string() << "\n";
+  bench::write_bench_json("BENCH_scale_overlay.json", out.str());
+}
+
+// --- Part-3 checkpointing: one Checkpoint record set per sharded point ----
+// Wall-clock fields are checkpointed too (bit-exact, via encode_double):
+// a resumed sweep reports the timing the point actually ran with, not a
+// re-measure of a skipped run.
+
+std::string sharded_point_prefix(std::size_t n, std::uint32_t shards, double window) {
+  std::ostringstream key;
+  key << "sh." << n << "-" << shards << "-" << window << ".";
+  return key.str();
+}
+
+std::uint64_t sharded_point_fp(const harness::ShardedScenarioConfig& cfg) {
+  std::uint64_t h = harness::fnv1a_bytes(harness::fnv1a_init(), "scale_overlay.sharded");
+  h = harness::fnv1a_mix(h, cfg.seed);
+  h = harness::fnv1a_mix(h, cfg.node_count);
+  h = harness::fnv1a_mix(h, cfg.degree);
+  h = harness::fnv1a_mix(h, cfg.shard_count);
+  h = harness::fnv1a_double(h, cfg.window);
+  h = harness::fnv1a_double(h, cfg.duration);
+  return h;
+}
+
+void store_sharded_row(harness::Checkpoint& ckpt, const std::string& prefix,
+                       std::uint64_t fp, const ShardedRow& row) {
+  using harness::encode_double;
+  using harness::encode_u64;
+  ckpt.set(prefix + "fp", encode_u64(fp));
+  ckpt.set(prefix + "wall_ms", encode_double(row.wall_ms));
+  ckpt.set(prefix + "events_per_sec", encode_double(row.events_per_sec));
+  ckpt.set(prefix + "cancel_ratio", encode_double(row.cancel_ratio));
+  ckpt.set(prefix + "peak_rss_mib", encode_double(row.peak_rss_mib));
+  ckpt.set(prefix + "fired", encode_u64(row.fired));
+  ckpt.set(prefix + "heap_allocs", encode_u64(row.heap_allocs));
+  ckpt.set(prefix + "cross_shard", encode_u64(row.cross_shard_messages));
+  ckpt.set(prefix + "barriers", encode_u64(row.window_barriers));
+  ckpt.set(prefix + "digest", encode_u64(row.digest));
+  ckpt.set(prefix + "claims_conserved", row.claims_conserved ? "1" : "0");
+  ckpt.set(prefix + "shards.count", encode_u64(row.per_shard.size()));
+  for (std::size_t s = 0; s < row.per_shard.size(); ++s) {
+    const harness::ShardCounters& c = row.per_shard[s];
+    std::ostringstream val;
+    val << encode_u64(c.connections_launched) << " " << encode_u64(c.connections_acked) << " "
+        << encode_u64(c.ack_timeouts) << " " << encode_u64(c.hops_forwarded) << " "
+        << encode_u64(c.churn_events) << " " << encode_u64(c.claims_settled);
+    ckpt.set(prefix + "shard." + std::to_string(s), val.str());
+  }
+}
+
+bool load_sharded_row(const harness::Checkpoint& ckpt, const std::string& prefix,
+                      std::uint64_t fp, const harness::ShardedScenarioConfig& cfg,
+                      ShardedRow& row) {
+  using harness::decode_double;
+  using harness::decode_u64;
+  const auto get = [&](const char* key) { return ckpt.find(prefix + key); };
+  const std::string* stored_fp = get("fp");
+  if (stored_fp == nullptr || decode_u64(*stored_fp) != fp) return false;
+  const auto get_d = [&](const char* key, double& out) {
+    const std::string* v = get(key);
+    const auto x = v != nullptr ? decode_double(*v) : std::nullopt;
+    if (!x) return false;
+    out = *x;
+    return true;
+  };
+  const auto get_u = [&](const char* key, std::uint64_t& out) {
+    const std::string* v = get(key);
+    const auto x = v != nullptr ? decode_u64(*v) : std::nullopt;
+    if (!x) return false;
+    out = *x;
+    return true;
+  };
+  row.n = cfg.node_count;
+  row.shards = cfg.shard_count;
+  row.window = cfg.window;
+  if (!get_d("wall_ms", row.wall_ms) || !get_d("events_per_sec", row.events_per_sec) ||
+      !get_d("cancel_ratio", row.cancel_ratio) || !get_d("peak_rss_mib", row.peak_rss_mib) ||
+      !get_u("fired", row.fired) || !get_u("heap_allocs", row.heap_allocs) ||
+      !get_u("cross_shard", row.cross_shard_messages) ||
+      !get_u("barriers", row.window_barriers) || !get_u("digest", row.digest)) {
+    return false;
+  }
+  const std::string* conserved = get("claims_conserved");
+  if (conserved == nullptr || (*conserved != "0" && *conserved != "1")) return false;
+  row.claims_conserved = (*conserved == "1");
+  std::uint64_t shard_count = 0;
+  if (!get_u("shards.count", shard_count)) return false;
+  row.per_shard.assign(static_cast<std::size_t>(shard_count), {});
+  for (std::size_t s = 0; s < row.per_shard.size(); ++s) {
+    const std::string* v = ckpt.find(prefix + "shard." + std::to_string(s));
+    if (v == nullptr) return false;
+    std::istringstream in(*v);
+    std::string launched, acked, timeouts, hops, churn, claims;
+    if (!(in >> launched >> acked >> timeouts >> hops >> churn >> claims)) return false;
+    const auto l = decode_u64(launched);
+    const auto a = decode_u64(acked);
+    const auto t = decode_u64(timeouts);
+    const auto hp = decode_u64(hops);
+    const auto ch = decode_u64(churn);
+    const auto cl = decode_u64(claims);
+    if (!l || !a || !t || !hp || !ch || !cl) return false;
+    harness::ShardCounters& c = row.per_shard[s];
+    c.connections_launched = *l;
+    c.connections_acked = *a;
+    c.ack_timeouts = *t;
+    c.hops_forwarded = *hp;
+    c.churn_events = *ch;
+    c.claims_settled = *cl;
+  }
+  return true;
 }
 
 /// Model-invariant gates on one sharded point (never timing — they must hold
@@ -434,6 +536,7 @@ int check_sharded_row(const ShardedRow& row) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const harness::AdaptiveConfig adaptive = bench::parse_sweep_options(argc, argv, 0.05);
   bool smoke = false;
   bool sharded_smoke = false;
   for (int i = 1; i < argc; ++i) {
@@ -467,7 +570,7 @@ int main(int argc, char** argv) {
   for (const SweepPoint& p : kSweep) {
     if (smoke ? p.n != 1000 : p.n > max_n) continue;
     for (const bool fault_mode : {false, true}) {
-      const SweepRow row = run_sweep_point(p, fault_mode, replicates);
+      const SweepRow row = run_sweep_point(p, fault_mode, replicates, adaptive);
       std::cout << "sweep n=" << row.n << " mode=" << row.mode << ": " << row.wall_ms
                 << " ms, scheduled=" << row.scheduled << " cancelled=" << row.cancelled
                 << " fired=" << row.fired << " heap_allocs=" << row.heap_allocs
@@ -495,6 +598,34 @@ int main(int argc, char** argv) {
   if (!smoke) {
     const std::size_t sharded_max_n = env_size("P2PANON_SHARDED_MAX_N", 100'000);
     std::vector<ShardedRow> sharded_rows;
+
+    // Crash recovery for the expensive grid: finished points are replayed
+    // from the checkpoint; only missing points run.
+    const bool use_ckpt = !adaptive.checkpoint.empty();
+    harness::Checkpoint ckpt;
+    if (use_ckpt) {
+      if (auto loaded = harness::Checkpoint::load(adaptive.checkpoint)) {
+        ckpt = std::move(*loaded);
+      }
+    }
+    auto sharded_point = [&](const harness::ShardedScenarioConfig& cfg) {
+      const std::string prefix =
+          sharded_point_prefix(cfg.node_count, cfg.shard_count, cfg.window);
+      const std::uint64_t fp = sharded_point_fp(cfg);
+      ShardedRow row;
+      if (use_ckpt && load_sharded_row(ckpt, prefix, fp, cfg, row)) {
+        std::cout << "sharded n=" << row.n << " K=" << row.shards << " W=" << row.window
+                  << ": replayed from checkpoint\n";
+        return row;
+      }
+      row = run_sharded_point(cfg);
+      if (use_ckpt) {
+        store_sharded_row(ckpt, prefix, fp, row);
+        (void)ckpt.save(adaptive.checkpoint);
+      }
+      return row;
+    };
+
     for (const std::size_t n : {std::size_t{10'000}, std::size_t{100'000},
                                 std::size_t{1'000'000}}) {
       if (n > sharded_max_n) continue;
@@ -513,14 +644,14 @@ int main(int argc, char** argv) {
 
       double k8_eps = 0.0;
       for (const std::uint32_t shards : {1u, 2u, 4u, 8u}) {
-        const ShardedRow row = run_sharded_point(sharded_config(n, shards, 30.0));
+        const ShardedRow row = sharded_point(sharded_config(n, shards, 30.0));
         print_sharded_row(row);
         rc |= check_sharded_row(row);
         if (shards == 8) k8_eps = row.events_per_sec;
         sharded_rows.push_back(row);
       }
       for (const double window : {10.0, 120.0}) {
-        const ShardedRow row = run_sharded_point(sharded_config(n, 4, window));
+        const ShardedRow row = sharded_point(sharded_config(n, 4, window));
         print_sharded_row(row);
         rc |= check_sharded_row(row);
         sharded_rows.push_back(row);

@@ -1,0 +1,107 @@
+// Tiny two-cell adaptive sweep: the kill-and-resume smoke gate's workload.
+//
+// Runs a miniature malicious-fraction sweep through run_replicated_adaptive
+// and writes every final aggregate as its IEEE-754 bit pattern, so two runs
+// of this binary can be compared byte-for-byte. The tier-1 gate
+// (tests/harness/adaptive_smoke.py) runs it once uninterrupted, then again
+// with --checkpoint and --kill-after-batch 1 — crashing after every single
+// checkpoint save and restarting until the sweep completes — and asserts the
+// two BENCH_adaptive_sweep.json files are identical. That is the
+// checkpoint/resume invariance claim of DESIGN.md §3.12, end to end.
+//
+// Usage: adaptive_sweep [seed] [replicates] [--adaptive] [--eps X]
+//                       [--checkpoint PATH] [--kill-after-batch N]
+#include <sstream>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace p2panon;
+
+harness::ScenarioConfig smoke_config(double f, std::uint64_t seed) {
+  harness::ScenarioConfig cfg = harness::paper_default_config(seed);
+  cfg.overlay.node_count = 15;
+  cfg.overlay.degree = 3;
+  cfg.overlay.malicious_fraction = f;
+  cfg.pair_count = 4;
+  cfg.connections_per_pair = 4;
+  cfg.warmup = sim::minutes(20.0);
+  cfg.pair_start_window = sim::minutes(20.0);
+  return cfg;
+}
+
+std::string acc_bits(const metrics::Accumulator& acc) {
+  const auto raw = acc.raw();
+  std::ostringstream os;
+  os << "\"" << harness::encode_u64(raw.n) << " " << harness::encode_u64(raw.mean_bits)
+     << " " << harness::encode_u64(raw.m2_bits) << " " << harness::encode_u64(raw.min_bits)
+     << " " << harness::encode_u64(raw.max_bits) << "\"";
+  return os.str();
+}
+
+std::uint64_t pooled_digest(const harness::ReplicatedResult& r) {
+  std::uint64_t h = harness::fnv1a_init();
+  for (const double x : r.pooled_good_payoffs) h = harness::fnv1a_double(h, x);
+  for (const double x : r.pooled_member_payoffs) h = harness::fnv1a_double(h, x);
+  return h;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace p2panon;
+  using namespace p2panon::bench;
+
+  const harness::AdaptiveConfig adaptive = parse_sweep_options(argc, argv, 0.05);
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : base_seed();
+  const std::size_t replicates =
+      argc > 2 ? static_cast<std::size_t>(std::strtoull(argv[2], nullptr, 10)) : 6;
+
+  harness::print_banner(std::cout, "Adaptive sweep smoke workload",
+                        "Two tiny cells, bit-pattern JSON output (seed " +
+                            std::to_string(seed) + ", " + std::to_string(replicates) +
+                            " replicates)");
+
+  const std::vector<harness::TrackedScenarioMetric> tracked = {
+      {"good_payoff", &harness::ReplicatedResult::good_payoff, 0.0, true},
+  };
+
+  std::ostringstream cells_json;
+  bool first = true;
+  for (const double f : {0.1, 0.2}) {
+    harness::ScenarioConfig cfg = smoke_config(f, seed);
+    const std::string key = "f" + harness::fmt(f, 2);
+    const harness::AdaptiveReplicatedResult res =
+        harness::run_replicated_adaptive(cfg, replicates, adaptive, tracked, nullptr, key);
+    const harness::ReplicatedResult& r = res.result;
+    std::cout << "cell " << key << ": " << res.outcome.replicates_used << "/"
+              << res.outcome.replicates_planned << " replicates"
+              << (res.outcome.resumed ? " (resumed)" : "")
+              << (res.outcome.stopped_early ? " (stopped early)" : "") << "\n";
+    // Only numerical state goes into the byte-compared artifact; run-shape
+    // flags like `resumed` legitimately differ between a clean run and a
+    // kill-and-resume run with identical numbers.
+    cells_json << (first ? "" : ",") << "\n    {\"cell\": \"" << key << "\""
+               << ", \"used\": " << res.outcome.replicates_used
+               << ", \"planned\": " << res.outcome.replicates_planned
+               << ", \"good_payoff\": " << acc_bits(r.good_payoff)
+               << ", \"member_payoff\": " << acc_bits(r.member_payoff)
+               << ", \"forwarder_set\": " << acc_bits(r.forwarder_set_size)
+               << ", \"path_quality\": " << acc_bits(r.path_quality)
+               << ", \"delivery_ratio\": " << acc_bits(r.delivery_ratio)
+               << ", \"pooled_digest\": \"" << harness::encode_u64(pooled_digest(r)) << "\""
+               << ", \"reformations\": " << r.total_reformations
+               << ", \"churn_events\": " << r.total_churn_events
+               << ", \"escrow_milli\": " << r.total_settlement_escrow_milli
+               << ", \"conserved\": " << (r.all_payments_conserved ? "true" : "false")
+               << "}";
+    first = false;
+  }
+
+  std::ostringstream json;
+  json << "{\n  \"seed\": " << seed << ",\n  \"cells\": [" << cells_json.str()
+       << "\n  ]\n}\n";
+  write_bench_json("BENCH_adaptive_sweep.json", json.str());
+  return 0;
+}

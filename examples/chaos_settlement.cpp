@@ -18,16 +18,29 @@
 // Any violated invariant names the schedule (its seed reproduces the run
 // bit for bit) and exits non-zero, so the ctest `chaos` label is a gate.
 //
-//   ./chaos_settlement [seed] [schedules]     (default 42, 200)
+//   ./chaos_settlement [seed] [schedules] [--adaptive] [--eps X]
+//                      [--checkpoint PATH] (default 42, 200)
 //
-// Summary counters are written to BENCH_chaos_settlement.json (in
-// $P2PANON_CSV_DIR when set, else the cwd).
+// The sweep runs through harness::AdaptiveRunner (DESIGN.md §3.12):
+//  * --checkpoint persists the sweep state after every batch, so a killed
+//    sweep resumes where it stopped and finishes with numerically identical
+//    aggregates (relative paths land in $P2PANON_CSV_DIR);
+//  * --adaptive stops the sweep once the anytime interval on the
+//    closed-settlement share is within ±eps AND the Hoeffding lower bound
+//    on the invariant pass rate clears its threshold — `schedules` stays
+//    the hard cap, and any observed violation still aborts immediately.
+//
+// Summary counters are written atomically to BENCH_chaos_settlement.json
+// (in $P2PANON_CSV_DIR when set, else the cwd), including schedules-used
+// vs schedules-planned.
 #include <cstdint>
 #include <cstdlib>
-#include <filesystem>
-#include <fstream>
 #include <iostream>
+#include <sstream>
 
+#include "common.hpp"
+#include "harness/adaptive.hpp"
+#include "harness/checkpoint.hpp"
 #include "harness/scenario.hpp"
 #include "sim/rng.hpp"
 
@@ -76,61 +89,54 @@ harness::ScenarioConfig schedule_config(std::uint64_t seed, std::uint64_t index)
   return cfg;
 }
 
-struct Tally {
-  std::uint64_t schedules = 0;
-  std::uint64_t closed = 0;
-  std::uint64_t abandoned = 0;
-  std::uint64_t expired = 0;
-  std::uint64_t prorata = 0;
-  std::uint64_t claims_submitted = 0;
-  std::uint64_t claims_lost = 0;
-  std::uint64_t claims_rejected = 0;
-  std::uint64_t claims_after_terminal = 0;
-  std::int64_t escrow_milli = 0;
-  std::int64_t paid_milli = 0;
-  std::int64_t refunded_milli = 0;
+// The AdaptiveRunner metric columns, in order. The first two gate early
+// stopping; the kSum counters are exact totals for the JSON artifact.
+enum Column : std::size_t {
+  kInvariants = 0,  // pass-rate gate (always 1.0 — violations abort)
+  kClosedShare,     // mean gate: closed settlements / pairs per schedule
+  kClosed,
+  kAbandoned,
+  kExpired,
+  kProrata,
+  kClaimsSubmitted,
+  kClaimsLost,
+  kClaimsRejected,
+  kClaimsAfterTerminal,
+  kEscrowMilli,
+  kPaidMilli,
+  kRefundedMilli,
+  kColumnCount,
 };
 
-void write_json(const Tally& t) {
-  std::filesystem::path dir = std::filesystem::current_path();
-  if (const char* csv_dir = std::getenv("P2PANON_CSV_DIR")) {
-    std::error_code ec;
-    std::filesystem::create_directories(csv_dir, ec);
-    if (!ec) dir = csv_dir;
+std::vector<harness::MetricSpec> chaos_specs() {
+  using Kind = harness::MetricSpec::Kind;
+  std::vector<harness::MetricSpec> specs(kColumnCount);
+  // An anytime-valid >= 80% lower bound on the invariant pass rate is
+  // certifiable within a few hundred schedules; a single observed violation
+  // aborts the whole sweep regardless, so the observed rate is always 1.
+  specs[kInvariants] = {"invariants", Kind::kPassRate, 0.0, false, 0.8};
+  specs[kClosedShare] = {"closed_share", Kind::kMean, 0.0, false, 0.0};
+  const char* sums[] = {"closed",         "abandoned",      "expired",
+                        "prorata",        "claims_submitted", "claims_lost",
+                        "claims_rejected", "claims_after_terminal", "escrow_milli",
+                        "paid_milli",     "refunded_milli"};
+  for (std::size_t i = 0; i < std::size(sums); ++i) {
+    specs[kClosed + i] = {sums[i], Kind::kSum, 0.0, false, 0.0};
   }
-  const std::filesystem::path out_path = dir / "BENCH_chaos_settlement.json";
-  std::ofstream out(out_path);
-  if (!out) {
-    std::cerr << "BENCH_chaos_settlement.json: cannot open " << out_path << "\n";
-    return;
-  }
-  out << "{\n"
-      << "  \"schedules\": " << t.schedules << ",\n"
-      << "  \"settlements_closed\": " << t.closed << ",\n"
-      << "  \"settlements_abandoned\": " << t.abandoned << ",\n"
-      << "  \"settlements_expired\": " << t.expired << ",\n"
-      << "  \"settlements_prorata\": " << t.prorata << ",\n"
-      << "  \"claims_submitted\": " << t.claims_submitted << ",\n"
-      << "  \"claims_lost\": " << t.claims_lost << ",\n"
-      << "  \"claims_rejected\": " << t.claims_rejected << ",\n"
-      << "  \"claims_after_terminal\": " << t.claims_after_terminal << ",\n"
-      << "  \"escrow_milli\": " << t.escrow_milli << ",\n"
-      << "  \"paid_milli\": " << t.paid_milli << ",\n"
-      << "  \"refunded_milli\": " << t.refunded_milli << ",\n"
-      << "  \"conserved\": true,\n"
-      << "  \"reconciled\": true\n"
-      << "}\n";
-  std::cout << "wrote " << out_path.string() << "\n";
+  return specs;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Chaotic schedules have high across-schedule variance (closed-share
+  // s ~ 0.3): ±0.1 cannot close within the 200-schedule cap, ±0.12
+  // certifies at 128 schedules (seed 42). Override with --eps.
+  harness::AdaptiveConfig adaptive = bench::parse_sweep_options(argc, argv, 0.12);
   const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
   const std::uint64_t schedules = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 200;
 
-  Tally tally;
-  for (std::uint64_t i = 0; i < schedules; ++i) {
+  auto run_schedule = [&](std::size_t i) {
     const harness::ScenarioConfig cfg = schedule_config(seed, i);
     const harness::ScenarioResult r = harness::ScenarioRunner(cfg).run();
     auto fail = [&](const char* what) {
@@ -150,26 +156,65 @@ int main(int argc, char** argv) {
       fail("C5: expired settlements must refund");
     }
 
-    tally.schedules += 1;
-    tally.closed += r.settlements_closed;
-    tally.abandoned += r.settlements_abandoned;
-    tally.expired += r.settlements_expired;
-    tally.prorata += r.settlements_prorata;
-    tally.claims_submitted += r.claims_submitted;
-    tally.claims_lost += r.claims_lost;
-    tally.claims_rejected += r.claims_rejected;
-    tally.claims_after_terminal += r.claims_after_terminal;
-    tally.escrow_milli += r.settlement_escrow_milli;
-    tally.paid_milli += r.settlement_paid_milli;
-    tally.refunded_milli += r.settlement_refunded_milli;
-  }
+    std::vector<double> row(kColumnCount, 0.0);
+    row[kInvariants] = 1.0;  // reaching here means every invariant held
+    row[kClosedShare] =
+        static_cast<double>(r.settlements_closed) / static_cast<double>(cfg.pair_count);
+    row[kClosed] = static_cast<double>(r.settlements_closed);
+    row[kAbandoned] = static_cast<double>(r.settlements_abandoned);
+    row[kExpired] = static_cast<double>(r.settlements_expired);
+    row[kProrata] = static_cast<double>(r.settlements_prorata);
+    row[kClaimsSubmitted] = static_cast<double>(r.claims_submitted);
+    row[kClaimsLost] = static_cast<double>(r.claims_lost);
+    row[kClaimsRejected] = static_cast<double>(r.claims_rejected);
+    row[kClaimsAfterTerminal] = static_cast<double>(r.claims_after_terminal);
+    row[kEscrowMilli] = static_cast<double>(r.settlement_escrow_milli);
+    row[kPaidMilli] = static_cast<double>(r.settlement_paid_milli);
+    row[kRefundedMilli] = static_cast<double>(r.settlement_refunded_milli);
+    return row;
+  };
 
-  std::cout << "chaos settlement sweep: " << tally.schedules << " schedules, "
-            << tally.closed << " closed / " << tally.abandoned << " abandoned ("
-            << tally.prorata << " pro-rata) / " << tally.expired << " expired; "
-            << tally.claims_submitted << " claims (" << tally.claims_lost << " lost, "
-            << tally.claims_rejected << " rejected, " << tally.claims_after_terminal
+  // Schedules run serially (a violation must abort deterministically at the
+  // first failing schedule index).
+  harness::AdaptiveRunner runner(adaptive, chaos_specs());
+  std::uint64_t fp = harness::fnv1a_bytes(harness::fnv1a_init(), "chaos_settlement");
+  fp = harness::fnv1a_mix(fp, seed);
+  const harness::AdaptiveCellResult cell =
+      runner.run_cell("sweep", fp, schedules, run_schedule, nullptr);
+
+  const auto total = [&](Column c) {
+    return static_cast<std::int64_t>(cell.sums[c]);
+  };
+  std::cout << "chaos settlement sweep: " << cell.outcome.replicates_used << "/"
+            << cell.outcome.replicates_planned << " schedules"
+            << (cell.outcome.stopped_early ? " (stopped early)" : "")
+            << (cell.outcome.resumed ? " (resumed)" : "") << ", " << total(kClosed)
+            << " closed / " << total(kAbandoned) << " abandoned (" << total(kProrata)
+            << " pro-rata) / " << total(kExpired) << " expired; " << total(kClaimsSubmitted)
+            << " claims (" << total(kClaimsLost) << " lost, " << total(kClaimsRejected)
+            << " rejected, " << total(kClaimsAfterTerminal)
             << " after-terminal); all invariants held\n";
-  write_json(tally);
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"schedules\": " << cell.outcome.replicates_used << ",\n"
+       << "  \"settlements_closed\": " << total(kClosed) << ",\n"
+       << "  \"settlements_abandoned\": " << total(kAbandoned) << ",\n"
+       << "  \"settlements_expired\": " << total(kExpired) << ",\n"
+       << "  \"settlements_prorata\": " << total(kProrata) << ",\n"
+       << "  \"claims_submitted\": " << total(kClaimsSubmitted) << ",\n"
+       << "  \"claims_lost\": " << total(kClaimsLost) << ",\n"
+       << "  \"claims_rejected\": " << total(kClaimsRejected) << ",\n"
+       << "  \"claims_after_terminal\": " << total(kClaimsAfterTerminal) << ",\n"
+       << "  \"escrow_milli\": " << total(kEscrowMilli) << ",\n"
+       << "  \"paid_milli\": " << total(kPaidMilli) << ",\n"
+       << "  \"refunded_milli\": " << total(kRefundedMilli) << ",\n"
+       << "  \"conserved\": true,\n"
+       << "  \"reconciled\": true,\n"
+       << "  \"adaptive\": " << (adaptive.adaptive ? "true" : "false") << ",\n"
+       << "  \"eps\": " << adaptive.eps << ",\n"
+       << "  " << bench::adaptive_json_fields(cell.outcome) << "\n"
+       << "}\n";
+  bench::write_bench_json("BENCH_chaos_settlement.json", json.str());
   return 0;
 }

@@ -12,11 +12,20 @@
 //   failed     setups that exhausted their attempt budget
 //   att/conn   mean setup attempts per launched connection
 //   ttd        mean time-to-detect a path failure (s), with sample count
+//   reps       replicates used / planned (adaptive stopping, DESIGN.md §3.12)
 //
-//   ./fault_matrix [seed]
+//   ./fault_matrix [seed] [--adaptive] [--eps X] [--checkpoint PATH]
+//
+// Fixed mode runs 3 replicates per cell (unchanged default). --adaptive
+// raises the per-cell cap to 24 and stops each cell as soon as the anytime
+// interval on its delivery ratio is within ±eps. --checkpoint makes the
+// 3x3 grid crash-recoverable cell by cell. Per-cell used/planned counts are
+// written atomically to BENCH_fault_matrix.json.
 #include <cstdlib>
 #include <iostream>
+#include <sstream>
 
+#include "common.hpp"
 #include "harness/replicate.hpp"
 #include "harness/scenario.hpp"
 #include "harness/table.hpp"
@@ -50,21 +59,34 @@ harness::ScenarioConfig cell_config(std::uint64_t seed, double loss, double cras
 }  // namespace
 
 int main(int argc, char** argv) {
+  harness::AdaptiveConfig adaptive = bench::parse_sweep_options(argc, argv, 0.02);
   const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
-  constexpr std::size_t kReplicates = 3;
+  // Fixed mode keeps the historical 3 replicates; adaptive mode plans up to
+  // 24 per cell and lets the stopping rule spend them only where the
+  // delivery ratio is noisy.
+  const std::size_t planned = adaptive.adaptive ? 24 : 3;
 
   const double losses[] = {0.0, 0.02, 0.05};
   const double crash_rates[] = {0.0, 1.0, 4.0};
 
+  const std::vector<harness::TrackedScenarioMetric> tracked = {
+      {"delivery_ratio", &harness::ReplicatedResult::delivery_ratio, 0.0, false},
+  };
+
   harness::print_banner(std::cout, "fault matrix",
                         "link loss x silent crash rate, pfn=0.05, jitter=0.2");
 
-  harness::TextTable table(
-      {"loss", "crash/h", "delivery", "reform", "failed", "att/conn", "ttd(s)", "ttd n"});
+  harness::TextTable table({"loss", "crash/h", "delivery", "reform", "failed", "att/conn",
+                            "ttd(s)", "ttd n", "reps"});
+  std::ostringstream cells_json;
+  bool first_cell = true;
   for (const double loss : losses) {
     for (const double rate : crash_rates) {
-      const auto agg =
-          harness::run_replicated(cell_config(seed, loss, rate), kReplicates);
+      std::ostringstream key;
+      key << "loss" << harness::fmt(loss, 2) << "-crash" << harness::fmt(rate, 0);
+      const harness::AdaptiveReplicatedResult adaptive_result = harness::run_replicated_adaptive(
+          cell_config(seed, loss, rate), planned, adaptive, tracked, nullptr, key.str());
+      const harness::ReplicatedResult& agg = adaptive_result.result;
       const double launched = static_cast<double>(agg.total_connections_completed +
                                                   agg.total_connections_failed);
       table.add_row({harness::fmt(loss, 2), harness::fmt(rate, 0),
@@ -76,14 +98,28 @@ int main(int argc, char** argv) {
                                       : 0.0,
                                   2),
                      harness::fmt(agg.time_to_detect.mean(), 1),
-                     std::to_string(agg.time_to_detect.count())});
+                     std::to_string(agg.time_to_detect.count()),
+                     std::to_string(adaptive_result.outcome.replicates_used) + "/" +
+                         std::to_string(adaptive_result.outcome.replicates_planned)});
       if (!agg.all_payments_conserved) {
         std::cerr << "payment conservation violated at loss=" << loss << " rate=" << rate
                   << "\n";
         return 1;
       }
+      cells_json << (first_cell ? "" : ",") << "\n    {\"cell\": \"" << key.str()
+                 << "\", \"delivery\": " << agg.delivery_ratio.mean() << ", "
+                 << bench::adaptive_json_fields(adaptive_result.outcome) << "}";
+      first_cell = false;
     }
   }
   table.print(std::cout);
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"adaptive\": " << (adaptive.adaptive ? "true" : "false") << ",\n"
+       << "  \"eps\": " << adaptive.eps << ",\n"
+       << "  \"cells\": [" << cells_json.str() << "\n  ]\n"
+       << "}\n";
+  bench::write_bench_json("BENCH_fault_matrix.json", json.str());
   return 0;
 }

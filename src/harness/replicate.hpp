@@ -8,8 +8,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
+#include "harness/adaptive.hpp"
 #include "harness/scenario.hpp"
 #include "metrics/stats.hpp"
 #include "parallel/thread_pool.hpp"
@@ -92,5 +95,47 @@ struct ReplicatedResult {
 /// `pool` may be nullptr for serial execution.
 [[nodiscard]] ReplicatedResult run_replicated(const ScenarioConfig& base, std::size_t replicates,
                                               parallel::ThreadPool* pool = nullptr);
+
+// --- Adaptive sequential stopping over full scenario replicates ------------
+// (see adaptive.hpp for the generic per-sample runner and DESIGN.md §3.12
+// for the stopping math).
+
+/// One stopping target inside a ReplicatedResult: a pointer-to-member
+/// selecting which across-replicate accumulator the anytime interval is
+/// computed on. `eps <= 0` falls back to AdaptiveConfig::eps; `relative`
+/// makes eps a fraction of |mean|.
+struct TrackedScenarioMetric {
+  std::string name;
+  metrics::Accumulator ReplicatedResult::* accumulator = nullptr;
+  double eps = 0.0;
+  bool relative = false;
+};
+
+struct AdaptiveReplicatedResult {
+  ReplicatedResult result;
+  AdaptiveOutcome outcome;
+  /// Anytime confidence intervals for the tracked metrics at the final peek
+  /// (same order as `tracked`) — the ±eps claim the early stop rests on.
+  std::vector<metrics::ConfidenceInterval> intervals;
+};
+
+/// FNV-1a fingerprint over every scenario knob that changes replicate
+/// results. A checkpoint written under a different fingerprint is discarded
+/// on resume, never silently merged.
+[[nodiscard]] std::uint64_t config_fingerprint(const ScenarioConfig& cfg) noexcept;
+
+/// run_replicated with a sequential-stopping layer on top.
+///
+/// With `adaptive.adaptive` off and no checkpoint path, this is exactly
+/// run_replicated(base, planned, pool) — same replicates, same fold order,
+/// bitwise-identical aggregates. With adaptivity on, replication stops at
+/// the first batch boundary where every tracked metric's anytime interval
+/// is within ±eps (planned stays the hard cap). With a checkpoint path set,
+/// the full ReplicatedResult state is persisted after every batch and a
+/// killed run resumes bit-exactly.
+[[nodiscard]] AdaptiveReplicatedResult run_replicated_adaptive(
+    const ScenarioConfig& base, std::size_t planned, const AdaptiveConfig& adaptive,
+    const std::vector<TrackedScenarioMetric>& tracked, parallel::ThreadPool* pool = nullptr,
+    const std::string& cell_key = "cell");
 
 }  // namespace p2panon::harness

@@ -1,6 +1,7 @@
 #include "metrics/stats.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 #include <limits>
@@ -35,6 +36,26 @@ void Accumulator::merge(const Accumulator& other) noexcept {
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
   n_ += other.n_;
+}
+
+Accumulator::Raw Accumulator::raw() const noexcept {
+  Raw r;
+  r.n = n_;
+  r.mean_bits = std::bit_cast<std::uint64_t>(mean_);
+  r.m2_bits = std::bit_cast<std::uint64_t>(m2_);
+  r.min_bits = std::bit_cast<std::uint64_t>(min_);
+  r.max_bits = std::bit_cast<std::uint64_t>(max_);
+  return r;
+}
+
+Accumulator Accumulator::from_raw(const Raw& raw) noexcept {
+  Accumulator a;
+  a.n_ = static_cast<std::size_t>(raw.n);
+  a.mean_ = std::bit_cast<double>(raw.mean_bits);
+  a.m2_ = std::bit_cast<double>(raw.m2_bits);
+  a.min_ = std::bit_cast<double>(raw.min_bits);
+  a.max_ = std::bit_cast<double>(raw.max_bits);
+  return a;
 }
 
 double Accumulator::variance() const noexcept {
@@ -105,6 +126,36 @@ ConfidenceInterval confidence_interval(const Accumulator& acc, double confidence
     ci.half_width = t_critical(confidence, acc.count() - 1) * acc.stderr_mean();
   }
   return ci;
+}
+
+std::size_t hoeffding_plan(double range, double eps, double delta) noexcept {
+  if (eps <= 0.0) return std::numeric_limits<std::size_t>::max();
+  if (range <= 0.0) return 1;  // degenerate support: one sample pins the mean
+  delta = std::clamp(delta, 1.0e-12, 0.5);
+  const double n = range * range * std::log(2.0 / delta) / (2.0 * eps * eps);
+  return static_cast<std::size_t>(std::ceil(std::max(1.0, n)));
+}
+
+double alpha_spend(double alpha, std::size_t peek) noexcept {
+  if (peek == 0) peek = 1;
+  const double k = static_cast<double>(peek);
+  return alpha / (k * (k + 1.0));
+}
+
+ConfidenceInterval anytime_interval(const Accumulator& acc, double alpha, std::size_t peek,
+                                    std::size_t metrics) noexcept {
+  const double delta =
+      std::clamp(alpha_spend(alpha, peek) / static_cast<double>(std::max<std::size_t>(metrics, 1)),
+                 1.0e-12, 0.5);
+  return confidence_interval(acc, 1.0 - delta);
+}
+
+double pass_rate_lower_bound(std::size_t passes, std::size_t trials, double delta) noexcept {
+  if (trials == 0) return 0.0;
+  delta = std::clamp(delta, 1.0e-12, 0.5);
+  const double n = static_cast<double>(trials);
+  const double hat = static_cast<double>(passes) / n;
+  return std::clamp(hat - std::sqrt(std::log(1.0 / delta) / (2.0 * n)), 0.0, 1.0);
 }
 
 EmpiricalDistribution::EmpiricalDistribution(std::vector<double> samples)

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -10,10 +11,24 @@ namespace p2panon::metrics {
 /// Welford streaming accumulator: numerically stable mean/variance.
 class Accumulator {
  public:
+  /// Bit-exact serialisable state: every double as its IEEE-754 bit
+  /// pattern, so a checkpointed accumulator resumes bitwise-identically
+  /// (the property the harness's kill-and-resume invariance rests on).
+  struct Raw {
+    std::uint64_t n = 0;
+    std::uint64_t mean_bits = 0;
+    std::uint64_t m2_bits = 0;
+    std::uint64_t min_bits = 0;
+    std::uint64_t max_bits = 0;
+  };
+
   void add(double x) noexcept;
 
   /// Merge another accumulator (Chan et al. parallel combination).
   void merge(const Accumulator& other) noexcept;
+
+  [[nodiscard]] Raw raw() const noexcept;
+  [[nodiscard]] static Accumulator from_raw(const Raw& raw) noexcept;
 
   [[nodiscard]] std::size_t count() const noexcept { return n_; }
   [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
@@ -50,6 +65,33 @@ struct ConfidenceInterval {
 };
 [[nodiscard]] ConfidenceInterval confidence_interval(const Accumulator& acc,
                                                      double confidence = 0.95) noexcept;
+
+// --- Sequential stopping (adaptive replication; see DESIGN.md §3.12) -------
+
+/// Hoeffding run planning: the smallest n for which the mean of n i.i.d.
+/// samples with range R is within ±eps of its expectation with probability
+/// at least 1 - delta:  n = ceil(R² ln(2/delta) / (2 eps²)).
+[[nodiscard]] std::size_t hoeffding_plan(double range, double eps, double delta) noexcept;
+
+/// Alpha-spending schedule: the error budget spent at the k-th peek
+/// (1-indexed) is alpha / (k (k+1)); the telescoping sum over every k is
+/// exactly alpha, so a union bound across all peeks keeps the *anytime*
+/// error level at alpha no matter how often the harness looks.
+[[nodiscard]] double alpha_spend(double alpha, std::size_t peek) noexcept;
+
+/// Anytime confidence interval at the k-th peek: the Student-t interval at
+/// level alpha_spend(alpha, peek) / metrics — alpha split across peeks by
+/// the spending schedule and across `metrics` simultaneous targets by a
+/// union bound. Valid to act on after *every* batch.
+[[nodiscard]] ConfidenceInterval anytime_interval(const Accumulator& acc, double alpha,
+                                                  std::size_t peek,
+                                                  std::size_t metrics = 1) noexcept;
+
+/// One-sided Hoeffding lower confidence bound on a Bernoulli pass rate
+/// after `trials` observations with `passes` successes:
+/// p̂ - sqrt(ln(1/delta) / (2 trials)), clamped to [0, 1].
+[[nodiscard]] double pass_rate_lower_bound(std::size_t passes, std::size_t trials,
+                                           double delta) noexcept;
 
 /// Empirical distribution over a batch of samples: CDF evaluation,
 /// percentiles, and fixed-grid CDF series for figure reproduction.

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Regression tests for tools/lint/check_invariants.py (rules R1-R6).
+"""Regression tests for tools/lint/check_invariants.py (rules R1-R7).
 
 Each test materialises a minimal synthetic repo tree in a tempdir containing
 one violating site and one conforming site for a single rule, then runs the
@@ -206,6 +206,56 @@ class InvariantLinterRules(unittest.TestCase):
             proc = run_linter(root, "R6")
             self.assert_findings(proc, "cross-shard", 1)
             self.assertIn("src/model.cpp:4:", proc.stdout)
+
+    # --- R7 -------------------------------------------------------------
+
+    def test_r7_flags_direct_bench_artifact_ofstream(self) -> None:
+        with make_tree({
+            "bench/report.cpp": """\
+                #include <fstream>
+                void write_report() {
+                  std::ofstream out("BENCH_report.json");
+                  out << "{}";
+                }
+            """,
+        }) as root:
+            proc = run_linter(root, "R7")
+            self.assert_findings(proc, "atomic-write", 1)
+            self.assertIn("bench/report.cpp:3:", proc.stdout)
+
+    def test_r7_honours_exemption_and_ignores_unrelated_streams(self) -> None:
+        with make_tree({
+            "src/harness/writer.cpp": """\
+                #include <fstream>
+                bool atomic_write(const char* ckpt_path) {
+                  // lint-exempt(atomic-write): this IS the atomic helper's temp write leg
+                  std::ofstream out(ckpt_path);
+                  return bool(out);
+                }
+            """,
+            "src/harness/log.cpp": """\
+                #include <fstream>
+                void append_log() {
+                  std::ofstream out("debug.log");  // not a results artifact
+                  out << "hello";
+                }
+            """,
+        }) as root:
+            self.assert_findings(run_linter(root, "R7"), "atomic-write", 0)
+
+    def test_r7_comment_mentions_do_not_trip_the_context_match(self) -> None:
+        with make_tree({
+            "examples/notes.cpp": """\
+                #include <fstream>
+                // This log sits next to prose about the checkpoint design and the
+                // BENCH_sweep.json artifact, but writes neither.
+                void trace() {
+                  std::ofstream out("trace.txt");
+                  out << "x";
+                }
+            """,
+        }) as root:
+            self.assert_findings(run_linter(root, "R7"), "atomic-write", 0)
 
     # --- CLI ------------------------------------------------------------
 

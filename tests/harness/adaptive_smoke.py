@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Kill-and-resume smoke gate for the adaptive replication harness.
+
+Drives the ``adaptive_sweep`` example three ways and asserts the
+checkpoint/resume invariance claim of DESIGN.md §3.12:
+
+1. **Baseline** — one uninterrupted run, no checkpointing at all.
+2. **Torture loop** — the same sweep with ``--checkpoint`` and
+   ``--kill-after-batch 1``: the process dies (``_Exit(9)``, a SIGKILL
+   stand-in) immediately after *every* checkpoint save and is restarted
+   until a run finally completes by replaying finished cells from the
+   checkpoint. This exercises a crash at every single batch boundary.
+3. **Byte comparison** — the BENCH_adaptive_sweep.json written by the
+   surviving run must equal the baseline's byte-for-byte (all aggregates
+   are serialised as IEEE-754 bit patterns, so "equal" means bit-exact).
+
+Registered as the tier-1 ``adaptive.smoke`` ctest (examples/CMakeLists.txt).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+SEED = "977"
+# 10 replicates vs the default min_batch of 8 forces a 8 + 2 batch split, so
+# at least one injected crash lands mid-cell (partial accumulator state) and
+# the resume path is exercised beyond whole-cell replay.
+REPLICATES = "10"
+MAX_RESTARTS = 50
+KILL_EXIT_CODE = 9
+
+
+def run(binary: Path, outdir: Path, extra: list[str]) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["P2PANON_CSV_DIR"] = str(outdir)
+    # The gate must control its own knobs even under a customised CI env.
+    for var in ("P2PANON_ADAPTIVE", "P2PANON_CHECKPOINT", "P2PANON_KILL_AFTER_BATCH",
+                "P2PANON_EPS"):
+        env.pop(var, None)
+    return subprocess.run(
+        [str(binary), SEED, REPLICATES, *extra],
+        env=env, capture_output=True, text=True, timeout=240, check=False)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary", required=True, type=Path,
+                        help="path to the adaptive_sweep example binary")
+    parser.add_argument("--workdir", required=True, type=Path,
+                        help="scratch directory (recreated on every run)")
+    args = parser.parse_args()
+
+    if args.workdir.exists():
+        shutil.rmtree(args.workdir)
+    baseline_dir = args.workdir / "baseline"
+    resumed_dir = args.workdir / "resumed"
+    baseline_dir.mkdir(parents=True)
+    resumed_dir.mkdir(parents=True)
+
+    # 1. Uninterrupted baseline, no checkpoint plane involved at all.
+    clean = run(args.binary, baseline_dir, [])
+    if clean.returncode != 0:
+        print(clean.stdout, clean.stderr, sep="\n")
+        print("FAIL: baseline run did not complete")
+        return 1
+    baseline = (baseline_dir / "BENCH_adaptive_sweep.json").read_bytes()
+
+    # 2. Crash after every checkpoint save; restart until a run survives.
+    ckpt = resumed_dir / "sweep.ckpt"
+    crashes = 0
+    last = None
+    for _ in range(MAX_RESTARTS):
+        last = run(args.binary, resumed_dir,
+                   ["--checkpoint", str(ckpt), "--kill-after-batch", "1"])
+        if last.returncode == KILL_EXIT_CODE:
+            crashes += 1
+            if not ckpt.exists():
+                print("FAIL: killed run left no checkpoint behind")
+                return 1
+            continue
+        break
+    else:
+        print(f"FAIL: no run completed within {MAX_RESTARTS} restarts")
+        return 1
+
+    if last.returncode != 0:
+        print(last.stdout, last.stderr, sep="\n")
+        print(f"FAIL: resumed run exited with {last.returncode}")
+        return 1
+    if crashes == 0:
+        print("FAIL: the kill hook never fired; the gate exercised nothing")
+        return 1
+    if "(resumed)" not in last.stdout:
+        print(last.stdout)
+        print("FAIL: surviving run did not resume from the checkpoint")
+        return 1
+
+    # 3. The surviving run's aggregates must be bit-exact vs the baseline.
+    resumed = (resumed_dir / "BENCH_adaptive_sweep.json").read_bytes()
+    if resumed != baseline:
+        print("FAIL: resumed aggregates differ from the uninterrupted run")
+        print("--- baseline ---")
+        print(baseline.decode(errors="replace"))
+        print("--- resumed ---")
+        print(resumed.decode(errors="replace"))
+        return 1
+
+    print(f"PASS: {crashes} injected crashes, resumed output bit-identical to baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -248,3 +248,141 @@ TEST(Histogram, BinEdges) {
   EXPECT_DOUBLE_EQ(h.bin_lo(3), 17.5);
   EXPECT_DOUBLE_EQ(h.bin_hi(3), 20.0);
 }
+
+// ---------------------------------------------------------------------------
+// Merge edge cases and the bit-exact Raw codec (checkpoint/resume relies on
+// serialise -> deserialise -> merge equalling a direct merge bit-for-bit).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void expect_raw_eq(const Accumulator& a, const Accumulator& b) {
+  const auto ra = a.raw();
+  const auto rb = b.raw();
+  EXPECT_EQ(ra.n, rb.n);
+  EXPECT_EQ(ra.mean_bits, rb.mean_bits);
+  EXPECT_EQ(ra.m2_bits, rb.m2_bits);
+  EXPECT_EQ(ra.min_bits, rb.min_bits);
+  EXPECT_EQ(ra.max_bits, rb.max_bits);
+}
+
+}  // namespace
+
+TEST(AccumulatorMerge, EmptyIntoEmptyStaysEmpty) {
+  Accumulator a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(AccumulatorMerge, NonemptyIntoEmptyEqualsSource) {
+  Accumulator src;
+  for (double x : {-3.0, 7.0, 11.5}) src.add(x);
+  Accumulator dst;
+  dst.merge(src);
+  expect_raw_eq(dst, src);
+}
+
+TEST(AccumulatorMerge, SingleSampleEachSideMatchesSequential) {
+  Accumulator a, b, seq;
+  a.add(2.0);
+  b.add(8.0);
+  seq.add(2.0);
+  seq.add(8.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), seq.mean());
+  EXPECT_DOUBLE_EQ(a.variance(), seq.variance());
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 8.0);
+}
+
+TEST(AccumulatorMerge, SingleSampleConfidenceIntervalDegenerate) {
+  Accumulator one;
+  one.add(4.25);
+  const auto ci = confidence_interval(one);
+  EXPECT_DOUBLE_EQ(ci.mean, 4.25);
+  EXPECT_DOUBLE_EQ(ci.half_width, 0.0);  // n < 2: no spread estimate
+  EXPECT_TRUE(ci.contains(4.25));
+}
+
+TEST(AccumulatorRaw, RoundTripIsBitExact) {
+  Accumulator a;
+  for (int i = 0; i < 23; ++i) a.add(std::sin(i * 0.9) * 1e3 + 1.0 / 3.0);
+  const Accumulator back = Accumulator::from_raw(a.raw());
+  expect_raw_eq(back, a);
+  EXPECT_EQ(back.count(), a.count());
+  EXPECT_DOUBLE_EQ(back.mean(), a.mean());
+  EXPECT_DOUBLE_EQ(back.variance(), a.variance());
+}
+
+TEST(AccumulatorRaw, EmptyRoundTripStaysEmpty) {
+  const Accumulator back = Accumulator::from_raw(Accumulator{}.raw());
+  EXPECT_EQ(back.count(), 0u);
+  EXPECT_DOUBLE_EQ(back.stderr_mean(), 0.0);
+}
+
+TEST(AccumulatorRaw, DeserialisedMergeEqualsDirectMergeBitForBit) {
+  Accumulator left, right;
+  for (int i = 0; i < 40; ++i) {
+    const double x = std::cos(i * 0.31) * 7.0 + i * 0.01;
+    (i % 3 == 0 ? left : right).add(x);
+  }
+  // Direct merge of the live accumulators...
+  Accumulator direct = left;
+  direct.merge(right);
+  // ...vs merge after a serialise -> deserialise round trip of both sides.
+  Accumulator thawed = Accumulator::from_raw(left.raw());
+  thawed.merge(Accumulator::from_raw(right.raw()));
+  expect_raw_eq(thawed, direct);
+}
+
+// ---------------------------------------------------------------------------
+// Sequential-stopping arithmetic (DESIGN.md §3.12).
+// ---------------------------------------------------------------------------
+
+TEST(SequentialStopping, HoeffdingPlanMatchesClosedForm) {
+  // n = ceil(R^2 ln(2/delta) / (2 eps^2)); R=1, eps=0.1, delta=0.05 -> 185.
+  EXPECT_EQ(hoeffding_plan(1.0, 0.1, 0.05), 185u);
+  // Quadratic in range and in 1/eps.
+  EXPECT_EQ(hoeffding_plan(2.0, 0.1, 0.05), 738u);
+  EXPECT_GT(hoeffding_plan(1.0, 0.01, 0.05), 50u * hoeffding_plan(1.0, 0.1, 0.05));
+  // Tighter delta only grows the plan.
+  EXPECT_GE(hoeffding_plan(1.0, 0.1, 0.01), hoeffding_plan(1.0, 0.1, 0.05));
+}
+
+TEST(SequentialStopping, AlphaSpendingTelescopesToAlpha) {
+  EXPECT_DOUBLE_EQ(alpha_spend(0.05, 1), 0.025);  // alpha / (1*2)
+  double total = 0.0;
+  for (std::size_t k = 1; k <= 2000; ++k) total += alpha_spend(0.05, k);
+  // sum_{k<=N} alpha/(k(k+1)) = alpha N/(N+1) -> alpha from below.
+  EXPECT_LT(total, 0.05);
+  EXPECT_NEAR(total, 0.05, 0.05 / 2000.0);
+}
+
+TEST(SequentialStopping, AnytimeIntervalWidensWithPeeksAndMetrics) {
+  Accumulator acc;
+  for (int i = 0; i < 30; ++i) acc.add(std::sin(i * 1.3));
+  const double base = anytime_interval(acc, 0.05, 1, 1).half_width;
+  EXPECT_GT(base, 0.0);
+  // Later peeks spend less alpha; more simultaneous metrics split it further.
+  EXPECT_GT(anytime_interval(acc, 0.05, 5, 1).half_width, base);
+  EXPECT_GT(anytime_interval(acc, 0.05, 1, 4).half_width, base);
+  // And it is never tighter than the plain 1-alpha t interval.
+  EXPECT_GE(base, confidence_interval(acc, 0.95).half_width);
+}
+
+TEST(SequentialStopping, PassRateLowerBoundBehaviour) {
+  // Too few trials: clamped to zero.
+  EXPECT_DOUBLE_EQ(pass_rate_lower_bound(1, 1, 0.05), 0.0);
+  // All-pass records tighten toward 1 as trials grow.
+  const double at_100 = pass_rate_lower_bound(100, 100, 0.05);
+  const double at_1000 = pass_rate_lower_bound(1000, 1000, 0.05);
+  EXPECT_GT(at_1000, at_100);
+  EXPECT_NEAR(at_1000, 1.0 - std::sqrt(std::log(20.0) / 2000.0), 1e-12);
+  // Failures push the bound down by exactly the empirical gap.
+  EXPECT_NEAR(pass_rate_lower_bound(900, 1000, 0.05), at_1000 - 0.1, 1e-12);
+}

@@ -53,6 +53,18 @@ R5 settlement state transitions
     dominated by an ``is_terminal(...)`` check earlier in the same body.
     Waive with ``// lint-exempt(settlement-state): <reason>`` above the site.
 
+R7 atomic artifacts
+    Crash tolerance of the results plane (DESIGN.md §3.12) rests on every
+    BENCH_*.json / CSV / checkpoint artifact reaching disk through
+    ``harness::atomic_write_file`` (write temp + rename): a direct
+    ``std::ofstream`` onto such a path can be torn by a crash mid-write,
+    and a torn checkpoint silently restarts a sweep while a torn BENCH
+    file poisons downstream plots. The rule: in ``src/``, ``bench/`` and
+    ``examples/``, an ``ofstream`` whose nearby code mentions a results
+    artifact (``BENCH_``, ``.ckpt``, checkpoint paths) must carry
+    ``// lint-exempt(atomic-write): <reason>`` — the only legitimate
+    holder is the atomic helper's own temp-file write leg.
+
 R6 mailbox discipline
     The sharded engine's race-freedom rests on one rule: within a window a
     shard may only schedule onto *its own* Simulator; any effect on another
@@ -147,9 +159,10 @@ EXEMPT_RE = re.compile(r"lint-exempt\(epoch\):\s*\S")
 # --------------------------------------------------------------------------
 
 
-def strip_comments_and_strings(text: str) -> str:
-    """Replace comments and string/char literals with spaces, preserving
-    line structure so reported line numbers stay valid."""
+def strip_comments_and_strings(text: str, keep_strings: bool = False) -> str:
+    """Replace comments and (unless ``keep_strings``) string/char literals
+    with spaces, preserving line structure so reported line numbers stay
+    valid. R7 keeps literals: artifact names live inside them."""
     out = []
     i, n = 0, len(text)
     while i < n:
@@ -171,7 +184,7 @@ def strip_comments_and_strings(text: str) -> str:
             while j < n and text[j] != quote:
                 j += 2 if text[j] == "\\" else 1
             j = min(j + 1, n)
-            out.append(" " * (j - i))
+            out.append(text[i:j] if keep_strings else " " * (j - i))
             i = j
         else:
             out.append(c)
@@ -477,6 +490,54 @@ def check_shard_mailbox_discipline(repo: pathlib.Path) -> List[str]:
 
 
 # --------------------------------------------------------------------------
+# R7 — results artifacts go through the atomic write helper
+# --------------------------------------------------------------------------
+
+ATOMIC_WRITE_DIRS = ("src", "bench", "examples")
+OFSTREAM_RE = re.compile(r"\bofstream\b")
+# Artifact-ish context near the stream: a BENCH json name, a checkpoint
+# path/variable, or a .ckpt file. Matched on comment-stripped text with
+# string literals PRESERVED (the artifact name usually lives in a literal).
+ARTIFACT_CONTEXT_RE = re.compile(r"BENCH_|\.ckpt\b|[Cc]heckpoint|ckpt_path")
+ATOMIC_EXEMPT_RE = re.compile(r"lint-exempt\(atomic-write\):\s*\S")
+ATOMIC_CONTEXT_LINES = 12
+
+
+def check_atomic_artifact_writes(repo: pathlib.Path) -> List[str]:
+    """Flag ``ofstream`` uses whose surrounding ±12 lines mention a results
+    artifact (BENCH_*.json, checkpoints): those bytes must go through
+    ``harness::atomic_write_file`` so a crash can never leave a torn file.
+    The helper's own temp-file write leg carries the exemption marker."""
+    findings = []
+    for path in iter_source_files(repo, ATOMIC_WRITE_DIRS):
+        raw = path.read_text(encoding="utf-8", errors="replace")
+        code = strip_comments_and_strings(raw, keep_strings=True)
+        code_lines = code.splitlines()
+        raw_lines = raw.splitlines()
+        for lineno, line in enumerate(code_lines, start=1):
+            if not OFSTREAM_RE.search(line):
+                continue
+            lo = max(0, lineno - 1 - ATOMIC_CONTEXT_LINES)
+            hi = min(len(code_lines), lineno + ATOMIC_CONTEXT_LINES)
+            window = "\n".join(code_lines[lo:hi])
+            if not ARTIFACT_CONTEXT_RE.search(window):
+                continue
+            context = "\n".join(raw_lines[max(0, lineno - 3):lineno])
+            if ATOMIC_EXEMPT_RE.search(context):
+                continue
+            rel = path.relative_to(repo)
+            findings.append(
+                f"{rel}:{lineno}: [atomic-write] direct ofstream near a results "
+                f"artifact (BENCH_*.json / checkpoint); a crash mid-write leaves a "
+                f"torn file that poisons resume or downstream plots. Route the bytes "
+                f"through harness::atomic_write_file (bench::write_bench_json / "
+                f"Checkpoint::save), or annotate the write leg with "
+                f"// lint-exempt(atomic-write): <reason>"
+            )
+    return findings
+
+
+# --------------------------------------------------------------------------
 # R3 — no tracked build artifacts
 # --------------------------------------------------------------------------
 
@@ -518,6 +579,7 @@ RULES = {
     "R4": ("finished guards", check_finished_guards),
     "R5": ("settlement transitions", check_settlement_transitions),
     "R6": ("shard mailbox discipline", check_shard_mailbox_discipline),
+    "R7": ("atomic artifact writes", check_atomic_artifact_writes),
 }
 
 
