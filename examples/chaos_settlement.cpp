@@ -30,18 +30,31 @@
 //    on the invariant pass rate clears its threshold — `schedules` stays
 //    the hard cap, and any observed violation still aborts immediately.
 //
+// Phase 2 — the sharded settlement plane under the same chaos: randomized
+// open / aggregated-claim / close / expire schedules driven directly against
+// payment::ShardedSettlementPlane at B in {2, 3, 4} bank partitions, with
+// lost aggregates, forged aggregate MACs and skipped closes. After every
+// schedule the reconciliation pass asserts C1-C5 *per bank partition* (each
+// partition is an independent money universe: conserved, all settlements
+// terminal, escrows drained, journal replay + payouts match, expired
+// refunds) AND globally after the merge (merged conservation, no receipt
+// redeemed by two partitions). Any violation names the schedule and exits
+// non-zero.
+//
 // Summary counters are written atomically to BENCH_chaos_settlement.json
 // (in $P2PANON_CSV_DIR when set, else the cwd), including schedules-used
-// vs schedules-planned.
+// vs schedules-planned for both phases.
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
+#include <vector>
 
 #include "common.hpp"
 #include "harness/adaptive.hpp"
 #include "harness/checkpoint.hpp"
 #include "harness/scenario.hpp"
+#include "payment/sharded_settlement.hpp"
 #include "sim/rng.hpp"
 
 namespace {
@@ -126,6 +139,152 @@ std::vector<harness::MetricSpec> chaos_specs() {
   return specs;
 }
 
+// --- Phase 2: the sharded settlement plane under chaos ---------------------
+
+enum PlaneColumn : std::size_t {
+  kPlaneInvariants = 0,  // pass-rate gate (violations abort)
+  kPlaneClosedShare,
+  kPlaneClosed,
+  kPlaneAbandoned,
+  kPlaneExpired,
+  kPlaneProrata,
+  kPlaneAggregates,
+  kPlaneAggregatesRefused,
+  kPlaneReceipts,
+  kPlaneEscrowMilli,
+  kPlanePaidMilli,
+  kPlaneRefundedMilli,
+  kPlaneColumnCount,
+};
+
+std::vector<harness::MetricSpec> plane_specs() {
+  using Kind = harness::MetricSpec::Kind;
+  std::vector<harness::MetricSpec> specs(kPlaneColumnCount);
+  specs[kPlaneInvariants] = {"plane_invariants", Kind::kPassRate, 0.0, false, 0.8};
+  specs[kPlaneClosedShare] = {"plane_closed_share", Kind::kMean, 0.0, false, 0.0};
+  const char* sums[] = {"closed",     "abandoned", "expired",      "prorata",
+                        "aggregates", "refused",   "receipts",     "escrow_milli",
+                        "paid_milli", "refunded_milli"};
+  for (std::size_t i = 0; i < std::size(sums); ++i) {
+    specs[kPlaneClosed + i] = {sums[i], Kind::kSum, 0.0, false, 0.0};
+  }
+  return specs;
+}
+
+/// One randomized schedule against the plane itself: B in {2, 3, 4} bank
+/// partitions, a dozen settlements with random paths, lost aggregates,
+/// forged aggregate MACs, skipped closes, then the deadline sweep and the
+/// merge reconciliation. Asserts C1-C5 per bank partition AND globally.
+std::vector<double> run_plane_schedule(std::uint64_t seed, std::size_t index) {
+  using namespace p2panon::payment;
+  sim::rng::Stream draw = sim::rng::Stream(seed).child("plane-schedule", index);
+  const std::uint32_t partitions = 2 + static_cast<std::uint32_t>(index % 3);
+  constexpr std::size_t kNodes = 12;
+  constexpr std::size_t kSettlements = 12;
+  const Amount p_f = from_credits(10.0);
+  const Amount p_r = from_credits(20.0);
+
+  ShardedSettlementPlane plane(partitions, kNodes, from_credits(1000.0),
+                               sim::rng::Stream(seed).child("plane-bank", index));
+  auto fail = [&](const char* what, std::uint32_t part) {
+    std::cerr << "plane schedule " << index << " (seed " << seed << ", B = " << partitions
+              << "): " << what;
+    if (part != UINT32_MAX) std::cerr << " in partition " << part;
+    std::cerr << "\n";
+    std::exit(1);
+  };
+
+  std::uint64_t closed = 0;
+  for (std::size_t s = 0; s < kSettlements; ++s) {
+    const auto key = static_cast<SettlementKey>(index * 1000 + s);
+    const auto pair = static_cast<net::PairId>(s);
+    const auto initiator = static_cast<net::NodeId>(draw.uniform_int(0, kNodes - 1));
+    const auto responder = static_cast<net::NodeId>((initiator + 1) % kNodes);
+
+    // 1-3 connections, each through 1-3 distinct forwarders.
+    std::vector<PathRecord> records;
+    std::vector<std::pair<net::NodeId, ForwardReceipt>> receipts;
+    const auto conns = static_cast<std::uint32_t>(draw.uniform_int(1, 3));
+    std::size_t instances = 0;
+    for (std::uint32_t j = 0; j < conns; ++j) {
+      const std::size_t hops = static_cast<std::size_t>(draw.uniform_int(1, 3));
+      std::vector<net::NodeId> path{initiator};
+      for (const std::size_t pick : draw.sample_indices(kNodes - 2, hops)) {
+        // Map picks onto nodes \ {initiator, responder}.
+        auto v = static_cast<net::NodeId>(pick);
+        if (v >= std::min(initiator, responder)) ++v;
+        if (v >= std::max(initiator, responder)) ++v;
+        path.push_back(v);
+      }
+      path.push_back(responder);
+      records.push_back(PathRecord{j, initiator, responder,
+                                   {path.begin() + 1, path.end() - 1}});
+      for (std::size_t h = 1; h + 1 < path.size(); ++h) {
+        receipts.emplace_back(path[h], make_receipt(plane.mac_key_of(path[h]), pair, j,
+                                                    path[h], path[h - 1], path[h + 1]));
+        ++instances;
+      }
+    }
+
+    const Amount escrow = static_cast<Amount>(instances) * p_f + p_r;
+    const auto handle = plane.open_settlement(key, pair, initiator, escrow,
+                                              SettlementTerms{p_f, p_r}, records,
+                                              /*deadline=*/100.0);
+    if (!handle.has_value()) fail("open_settlement refused a funded escrow", UINT32_MAX);
+
+    // Aggregate per forwarder; lose ~30%, forge ~10% of aggregate MACs.
+    for (net::NodeId fwd = 0; fwd < kNodes; ++fwd) {
+      AggregatedClaim claim;
+      claim.claimant = plane.account_of(fwd);
+      claim.epoch = 0;
+      for (const auto& [f, r] : receipts) {
+        if (f == fwd) claim.receipts.push_back(r);
+      }
+      if (claim.receipts.empty() || draw.bernoulli(0.3)) continue;
+      seal_aggregated_claim(plane.mac_key_of(fwd), key, claim);
+      if (draw.bernoulli(0.1)) claim.aggregate_mac ^= 1;  // forged: refused whole
+      (void)plane.submit_aggregated_claim(key, *handle, claim);
+    }
+    if (draw.bernoulli(0.6)) {
+      plane.close_settlement(*handle);
+      ++closed;
+    }
+  }
+  (void)plane.expire_due(1000.0);
+
+  const PlaneReconciliation rec = plane.reconcile();
+  for (std::uint32_t b = 0; b < partitions; ++b) {
+    const PartitionAudit& a = rec.partitions[b];
+    if (!a.conserved) fail("C1: money + coins not conserved", b);
+    if (!a.all_terminal) fail("C2: a settlement never terminalised", b);
+    if (!a.escrows_drained) fail("C3: escrow in != payouts + refunds", b);
+    if (!a.replay_ok || !a.payouts_match) fail("C4: journal does not reconcile", b);
+    if (!a.expired_refunded) fail("C5: an expired settlement kept money", b);
+  }
+  if (!rec.global_conserved) fail("C1 (global): merged balances not conserved", UINT32_MAX);
+  if (rec.cross_partition_replays != 0) {
+    fail("C4 (global): a receipt was redeemed by two partitions", UINT32_MAX);
+  }
+  if (rec.expired > 0 && closed == kSettlements) {
+    fail("C5 (global): expiries reported on an all-closed schedule", UINT32_MAX);
+  }
+
+  std::vector<double> row(kPlaneColumnCount, 0.0);
+  row[kPlaneInvariants] = 1.0;
+  row[kPlaneClosedShare] = static_cast<double>(rec.closed) / kSettlements;
+  row[kPlaneClosed] = static_cast<double>(rec.closed);
+  row[kPlaneAbandoned] = static_cast<double>(rec.abandoned);
+  row[kPlaneExpired] = static_cast<double>(rec.expired);
+  row[kPlaneProrata] = static_cast<double>(rec.prorata);
+  row[kPlaneAggregates] = static_cast<double>(plane.aggregates_submitted());
+  row[kPlaneAggregatesRefused] = static_cast<double>(plane.aggregates_refused());
+  row[kPlaneReceipts] = static_cast<double>(plane.receipts_batched());
+  row[kPlaneEscrowMilli] = static_cast<double>(rec.escrow_milli);
+  row[kPlanePaidMilli] = static_cast<double>(rec.paid_milli);
+  row[kPlaneRefundedMilli] = static_cast<double>(rec.refunded_milli);
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -195,6 +354,25 @@ int main(int argc, char** argv) {
             << " rejected, " << total(kClaimsAfterTerminal)
             << " after-terminal); all invariants held\n";
 
+  // Phase 2: the sharded settlement plane under its own chaos schedules.
+  harness::AdaptiveRunner plane_runner(adaptive, plane_specs());
+  std::uint64_t plane_fp = harness::fnv1a_bytes(harness::fnv1a_init(), "chaos_plane");
+  plane_fp = harness::fnv1a_mix(plane_fp, seed);
+  const harness::AdaptiveCellResult plane_cell = plane_runner.run_cell(
+      "plane", plane_fp, schedules, [&](std::size_t i) { return run_plane_schedule(seed, i); },
+      nullptr);
+  const auto plane_total = [&](PlaneColumn c) {
+    return static_cast<std::int64_t>(plane_cell.sums[c]);
+  };
+  std::cout << "chaos plane sweep: " << plane_cell.outcome.replicates_used << "/"
+            << plane_cell.outcome.replicates_planned << " schedules (B in {2, 3, 4}), "
+            << plane_total(kPlaneClosed) << " closed / " << plane_total(kPlaneAbandoned)
+            << " abandoned (" << plane_total(kPlaneProrata) << " pro-rata) / "
+            << plane_total(kPlaneExpired) << " expired; " << plane_total(kPlaneAggregates)
+            << " aggregates (" << plane_total(kPlaneAggregatesRefused) << " refused) over "
+            << plane_total(kPlaneReceipts)
+            << " receipts; C1-C5 held in every partition and globally\n";
+
   std::ostringstream json;
   json << "{\n"
        << "  \"schedules\": " << cell.outcome.replicates_used << ",\n"
@@ -213,7 +391,22 @@ int main(int argc, char** argv) {
        << "  \"reconciled\": true,\n"
        << "  \"adaptive\": " << (adaptive.adaptive ? "true" : "false") << ",\n"
        << "  \"eps\": " << adaptive.eps << ",\n"
-       << "  " << bench::adaptive_json_fields(cell.outcome) << "\n"
+       << "  " << bench::adaptive_json_fields(cell.outcome) << ",\n"
+       << "  \"plane\": {\n"
+       << "    \"schedules\": " << plane_cell.outcome.replicates_used << ",\n"
+       << "    \"settlements_closed\": " << plane_total(kPlaneClosed) << ",\n"
+       << "    \"settlements_abandoned\": " << plane_total(kPlaneAbandoned) << ",\n"
+       << "    \"settlements_expired\": " << plane_total(kPlaneExpired) << ",\n"
+       << "    \"settlements_prorata\": " << plane_total(kPlaneProrata) << ",\n"
+       << "    \"aggregates_submitted\": " << plane_total(kPlaneAggregates) << ",\n"
+       << "    \"aggregates_refused\": " << plane_total(kPlaneAggregatesRefused) << ",\n"
+       << "    \"receipts_batched\": " << plane_total(kPlaneReceipts) << ",\n"
+       << "    \"escrow_milli\": " << plane_total(kPlaneEscrowMilli) << ",\n"
+       << "    \"paid_milli\": " << plane_total(kPlanePaidMilli) << ",\n"
+       << "    \"refunded_milli\": " << plane_total(kPlaneRefundedMilli) << ",\n"
+       << "    \"conserved_per_partition_and_globally\": true,\n"
+       << "    " << bench::adaptive_json_fields(plane_cell.outcome) << "\n"
+       << "  }\n"
        << "}\n";
   bench::write_bench_json("BENCH_chaos_settlement.json", json.str());
   return 0;

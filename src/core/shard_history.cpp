@@ -1,0 +1,51 @@
+#include "core/shard_history.hpp"
+
+#include <cassert>
+
+namespace p2panon::core {
+
+ShardedHistory::ShardedHistory(const net::ShardPartition& partition)
+    : partition_(&partition),
+      counts_(partition.shard_count()),
+      entries_(partition.shard_count(), 0) {}
+
+std::size_t ShardedHistory::count(net::NodeId node, net::PairId pair, net::NodeId predecessor,
+                                  net::NodeId successor) const {
+  const PackedFlatMap<std::uint32_t>& index = counts_[partition_->shard_of(node)];
+  const std::uint32_t* c = index.find(edge_key(node, pair, predecessor, successor));
+  return c == nullptr ? 0 : *c;
+}
+
+std::size_t ShardedHistory::position_count(net::NodeId node, net::PairId pair,
+                                           net::NodeId predecessor) const {
+  const PackedFlatMap<std::uint32_t>& index = counts_[partition_->shard_of(node)];
+  const std::uint32_t* d = index.find(position_key(node, pair, predecessor));
+  return d == nullptr ? 0 : *d;
+}
+
+double ShardedHistory::selectivity(net::NodeId node, net::PairId pair, net::NodeId predecessor,
+                                   net::NodeId successor, std::uint32_t k) const {
+  if (k <= 1) return 0.0;
+  const std::size_t c = count(node, pair, predecessor, successor);
+  return static_cast<double>(c) / static_cast<double>(k - 1);
+}
+
+std::size_t ShardedHistory::total_entries() const noexcept {
+  std::size_t n = 0;
+  for (const std::size_t e : entries_) n += e;
+  return n;
+}
+
+void ShardedHistory::fold(std::span<const HistoryDelta> deltas) {
+  for (const HistoryDelta& d : deltas) {
+    assert(d.successor != net::kInvalidNode && "position-key sentinel used as successor");
+    const std::uint32_t shard = partition_->shard_of(d.node);
+    PackedFlatMap<std::uint32_t>& index = counts_[shard];
+    ++index.get_or_insert(edge_key(d.node, d.pair, d.predecessor, d.successor));
+    ++index.get_or_insert(position_key(d.node, d.pair, d.predecessor));
+    ++entries_[shard];
+  }
+  ++epoch_;
+}
+
+}  // namespace p2panon::core

@@ -1,0 +1,709 @@
+#include "harness/paper_sharded.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/shard_history.hpp"
+#include "net/link_model.hpp"
+#include "net/sharded_probing.hpp"
+#include "net/soa.hpp"
+#include "payment/money.hpp"
+#include "payment/receipt.hpp"
+#include "payment/sharded_settlement.hpp"
+#include "sim/rng.hpp"
+#include "sim/sharded.hpp"
+
+namespace p2panon::harness {
+
+namespace {
+
+using net::NodeId;
+using payment::Amount;
+
+/// FNV-1a 64 over 8-byte words (same shape as the scale scenario's).
+struct Fingerprint {
+  std::uint64_t h = 1469598103934665603ULL;
+  void add(std::uint64_t x) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (i * 8)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  }
+  void add_double(double d) noexcept { add(std::bit_cast<std::uint64_t>(d)); }
+};
+
+struct alignas(64) PaperShardCounters {
+  std::uint64_t churn_events = 0;
+  std::uint64_t departures = 0;
+  std::uint64_t connections_launched = 0;
+  std::uint64_t connections_completed = 0;
+  std::uint64_t connections_failed = 0;  ///< initiator/responder down or hop lost
+  std::uint64_t no_candidate = 0;        ///< walk steps with no eligible successor
+  std::uint64_t hops_recorded = 0;       ///< forwarder instances on completed paths
+  /// Data-plane deliveries. Cross-shard hops are delivered at window-clamped
+  /// times and may still be in flight at the horizon, so this counter is
+  /// window-dependent and MUST stay out of the digest.
+  std::uint64_t hops_delivered = 0;
+};
+
+/// One (I, R) pair's lifecycle, owned by the initiator's shard.
+struct PairState {
+  NodeId initiator = net::kInvalidNode;
+  NodeId responder = net::kInvalidNode;
+  Amount p_f = 0;  ///< forwarding benefit per instance, milli-credits
+  Amount p_r = 0;  ///< routing benefit, milli-credits
+  std::uint32_t launched = 0;
+  std::uint32_t completed = 0;
+  std::uint64_t instances = 0;  ///< total forwarder instances across records
+  std::vector<payment::PathRecord> records;
+  /// (forwarder, view epoch) -> receipts accrued — the forwarder-epoch
+  /// aggregation unit. Ordered so claim ops are enqueued deterministically.
+  std::map<std::pair<NodeId, std::uint32_t>, std::vector<payment::ForwardReceipt>> aggregates;
+  double length_sum = 0.0;   ///< sum of forwarder-path lengths L over completed
+  double latency_sum = 0.0;  ///< sum of end-to-end path latencies (seconds)
+  sim::Time deadline = payment::kNoSettlementDeadline;
+
+  payment::SettlementHandle handle;
+  bool opened = false;
+  bool close_skipped = false;  ///< bank-fault initiator crash: deadline decides
+  std::uint64_t claims_lost = 0;
+};
+
+/// One deferred settlement-plane operation, drained at the next barrier.
+struct SettleOp {
+  enum class Kind : std::uint8_t { kOpen, kClaim, kClose };
+  Kind kind = Kind::kOpen;
+  std::uint32_t pair = 0;
+  payment::AggregatedClaim claim;  ///< kClaim only
+};
+
+class PaperWorld {
+ public:
+  PaperWorld(const ScenarioConfig& cfg, sim::ShardedSimulator& engine)
+      : cfg_(cfg),
+        engine_(engine),
+        node_count_(cfg.overlay.node_count),
+        degree_(cfg.overlay.degree),
+        partition_(cfg.overlay.node_count, engine.shard_count()),
+        stream_(sim::rng::Stream(cfg.seed).child("paper-sharded")),
+        links_(cfg.overlay.link, cfg.seed),
+        history_(partition_),
+        plane_(cfg.bank_partitions != 0 ? cfg.bank_partitions : engine.shard_count(),
+               cfg.overlay.node_count, payment::from_credits(cfg.initial_balance_credits),
+               stream_.child("plane")),
+        counters_(partition_.shard_count()),
+        history_buf_(partition_.shard_count()),
+        settle_buf_(partition_.shard_count()) {
+    assert(node_count_ >= 4);
+    assert(degree_ >= 1 && degree_ < node_count_);
+    state_.resize(node_count_, degree_);
+    probing_ = std::make_unique<net::ShardedProbing>(state_, partition_, cfg.probing.period,
+                                                     stream_.child("probing"));
+
+    // Same neighbour-selection idiom as the scale scenario: one shared
+    // stream, nodes in id order, picks mapped onto V \ {id}.
+    auto nb_stream = stream_.child("neighbors");
+    for (NodeId id = 0; id < node_count_; ++id) {
+      auto picks = nb_stream.sample_indices(node_count_ - 1, degree_);
+      auto row = state_.neighbors_of(id);
+      for (std::size_t slot = 0; slot < picks.size(); ++slot) {
+        const std::size_t p = picks[slot];
+        row[slot] = static_cast<NodeId>(p >= id ? p + 1 : p);
+      }
+    }
+
+    published_.assign(node_count_, 0);
+    avail_snap_.assign(node_count_ * degree_, 0.0);
+    churn_cycle_.assign(node_count_, 0);
+
+    // View-refresh interval R, snapped to a whole number of windows so every
+    // refresh lands on a window boundary for ANY window that divides R.
+    const sim::Time window = engine.window();
+    const sim::Time requested = cfg.view_refresh > 0.0 ? cfg.view_refresh : window;
+    const auto multiple = static_cast<std::uint64_t>(
+        std::max<long long>(1, std::llround(requested / window)));
+    refresh_interval_ = static_cast<sim::Time>(multiple) * window;
+    half_window_ = window * 0.5;
+    next_refresh_ = refresh_interval_;
+
+    // Bounded-Pareto session shape for the configured median (truncation
+    // shifts the median, so the shape is solved, not closed-form).
+    session_shape_ = sim::rng::bounded_pareto_shape_for_median(
+        cfg.overlay.churn.session_min, cfg.overlay.churn.session_max,
+        cfg.overlay.churn.session_median);
+
+    build_pairs();
+  }
+
+  /// Horizon: past every launch plus the settlement tail, snapped up to a
+  /// whole number of refresh intervals (so runs with different windows
+  /// execute the same refresh boundaries).
+  [[nodiscard]] sim::Time duration() const noexcept { return duration_; }
+
+  void seed_events() {
+    for (NodeId id = 0; id < node_count_; ++id) {
+      const sim::Time at = stream_.child("join", id).uniform(0.0, cfg_.warmup);
+      const std::uint32_t s = partition_.shard_of(id);
+      engine_.post(s, s, at, [this, id] { do_join(id); });
+    }
+    for (std::uint32_t p = 0; p < pairs_.size(); ++p) {
+      const std::uint32_t s = owner_shard(p);
+      engine_.post(s, s, launch_times_[p][0], [this, p] { launch(p, 0); });
+    }
+    // Barrier heartbeats: the engine fast-forwards over empty windows, so a
+    // refresh boundary inside a quiet stretch would otherwise be skipped and
+    // caught up late — after events past the boundary already ran. A no-op
+    // event just before each refresh time forces the barrier to fire at it.
+    const auto beats = static_cast<std::uint64_t>(duration_ / refresh_interval_);
+    for (std::uint64_t q = 1; q <= beats; ++q) {
+      const sim::Time at = static_cast<sim::Time>(q) * refresh_interval_ - 1.0e-7;
+      engine_.post(0, 0, at, [] {});
+    }
+  }
+
+  /// Serial barrier hook: refresh the merged read views at refresh
+  /// boundaries, then drain every shard's settlement buffer into the plane.
+  void on_barrier(sim::Time boundary) {
+    while (next_refresh_ <= boundary + half_window_) {
+      refresh_views();
+      next_refresh_ += refresh_interval_;
+    }
+    drain_settlements();
+  }
+
+  [[nodiscard]] ScenarioResult finish() {
+    drain_settlements();  // pairs completed after the final barrier
+    plane_.expire_due(duration_ + 1.0);
+    const payment::PlaneReconciliation rec = plane_.reconcile();
+    return build_result(rec);
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t owner_shard(std::uint32_t pair) const noexcept {
+    return partition_.shard_of(pairs_[pair].initiator);
+  }
+  [[nodiscard]] sim::Simulator& local_sim(std::uint32_t s) { return engine_.shard(s); }
+  [[nodiscard]] std::uint64_t key_of(std::uint32_t pair, std::uint64_t n) const noexcept {
+    return (static_cast<std::uint64_t>(pair) << 32) | n;
+  }
+
+  void build_pairs() {
+    const auto pair_count = static_cast<std::uint32_t>(cfg_.pair_count);
+    pairs_.resize(pair_count);
+    launch_times_.resize(pair_count);
+    sim::Time horizon = 0.0;
+    for (std::uint32_t p = 0; p < pair_count; ++p) {
+      PairState& st = pairs_[p];
+      auto id_stream = stream_.child("pair-ids", p);
+      st.initiator = static_cast<NodeId>(id_stream.uniform_int(0, node_count_ - 1));
+      do {
+        st.responder = cfg_.responder_zipf > 0.0
+                           ? static_cast<NodeId>(id_stream.zipf(node_count_, cfg_.responder_zipf))
+                           : static_cast<NodeId>(id_stream.uniform_int(0, node_count_ - 1));
+      } while (st.responder == st.initiator);
+      const double pf_credits = stream_.child("pf", p).uniform(cfg_.p_f_lo, cfg_.p_f_hi);
+      st.p_f = payment::from_credits(pf_credits);
+      st.p_r = payment::from_credits(cfg_.tau * pf_credits);
+
+      auto& times = launch_times_[p];
+      times.reserve(cfg_.connections_per_pair);
+      sim::Time t = cfg_.warmup + stream_.child("pair-start", p).uniform(0.0, cfg_.pair_start_window);
+      const double rate = 1.0 / cfg_.connection_interval_mean;
+      for (std::uint32_t j = 0; j < cfg_.connections_per_pair; ++j) {
+        times.push_back(t);
+        t += stream_.child("conn-gap", key_of(p, j)).exponential(rate);
+      }
+      horizon = std::max(horizon, times.back());
+    }
+    // Tail: claim deadline plus an hour of slack for the data-plane echo,
+    // then snap UP to a refresh boundary.
+    const sim::Time tail = horizon + cfg_.fault.bank.claim_deadline + sim::hours(1.0);
+    duration_ = std::ceil(tail / refresh_interval_) * refresh_interval_;
+  }
+
+  // ---- churn & probing (same-shard events; scale-scenario idiom) ---------
+
+  void do_join(NodeId id) {
+    if (state_.departed[id] != 0 || state_.online[id] != 0) return;
+    const std::uint32_t s = partition_.shard_of(id);
+    const sim::Time now = local_sim(s).now();
+    state_.online[id] = 1;
+    state_.tracker[id].on_join(now);
+    ++counters_[s].churn_events;
+
+    post_probe(id, now + cfg_.probing.period);
+
+    const std::uint64_t cycle = churn_cycle_[id];
+    const net::ChurnConfig& churn = cfg_.overlay.churn;
+    const sim::Time session =
+        stream_.child("session", key_of_node(id, cycle))
+            .bounded_pareto(session_shape_, churn.session_min, churn.session_max);
+    engine_.post(s, s, now + session, [this, id, cycle] { do_leave(id, cycle); });
+  }
+
+  void do_leave(NodeId id, std::uint64_t cycle) {
+    if (state_.online[id] == 0 || churn_cycle_[id] != cycle) return;
+    const std::uint32_t s = partition_.shard_of(id);
+    const sim::Time now = local_sim(s).now();
+    state_.online[id] = 0;
+    state_.tracker[id].on_leave(now);
+    ++counters_[s].churn_events;
+    ++churn_cycle_[id];
+
+    const std::uint64_t next_cycle = churn_cycle_[id];
+    if (stream_.child("depart", key_of_node(id, next_cycle)).next_double() <
+        cfg_.overlay.churn.departure_probability) {
+      state_.departed[id] = 1;
+      ++counters_[s].departures;
+      return;
+    }
+    const sim::Time gap = stream_.child("gap", key_of_node(id, next_cycle))
+                              .exponential(1.0 / cfg_.overlay.churn.offline_gap_mean);
+    engine_.post(s, s, now + gap, [this, id] { do_join(id); });
+  }
+
+  void post_probe(NodeId id, sim::Time at) {
+    const std::uint32_t s = partition_.shard_of(id);
+    engine_.post(s, s, at, [this, id] { probe_tick(id); });
+  }
+
+  void probe_tick(NodeId id) {
+    if (state_.online[id] == 0) return;  // suspended; do_join restarts it
+    const std::uint32_t s = partition_.shard_of(id);
+    probing_->probe(id, published_);
+    post_probe(id, local_sim(s).now() + cfg_.probing.period);
+  }
+
+  [[nodiscard]] std::uint64_t key_of_node(NodeId id, std::uint64_t n) const noexcept {
+    return (static_cast<std::uint64_t>(id) << 32) | n;
+  }
+
+  // ---- connections --------------------------------------------------------
+
+  /// Launch connection j of pair p on the owner shard. The whole path is
+  /// constructed here from epoch snapshots only (published liveness,
+  /// availability snapshot, folded history), so the outcome is identical
+  /// for any K, pool size, and window dividing the refresh interval. The
+  /// data-plane echo (hop posts across shards) carries no digested state.
+  void launch(std::uint32_t p, std::uint32_t j) {
+    PairState& st = pairs_[p];
+    const std::uint32_t s = owner_shard(p);
+    const sim::Time now = local_sim(s).now();
+    ++st.launched;
+    ++counters_[s].connections_launched;
+
+    if (j + 1 < cfg_.connections_per_pair) {
+      engine_.post(s, s, launch_times_[p][j + 1], [this, p, j] { launch(p, j + 1); });
+    }
+
+    // Initiator liveness is a live same-shard read (the pair runs on its
+    // shard); the responder is checked against the published snapshot.
+    if (state_.online[st.initiator] == 0 || state_.departed[st.initiator] != 0 ||
+        published_[st.responder] == 0) {
+      ++counters_[s].connections_failed;
+      finish_if_last(p, j, now);
+      return;
+    }
+
+    auto conn_stream = stream_.child("conn", key_of(p, j));
+
+    // Crowds-style length: one forwarder, then continue with p_forward up
+    // to the TTL.
+    std::uint32_t want = 1;
+    while (want < cfg_.ttl_hops && conn_stream.bernoulli(cfg_.p_forward)) ++want;
+
+    // Greedy walk over epoch snapshots: score w_s * sigma + w_a * alpha,
+    // candidates filtered by published liveness; deterministic tie-break on
+    // slot order. A dead end delivers early (Crowds hands the payload to
+    // the responder when no eligible successor remains).
+    std::vector<NodeId> path;
+    path.reserve(want + 2);
+    path.push_back(st.initiator);
+    NodeId prev = net::kInvalidNode;
+    const std::uint32_t k = j + 1;  // 1-based connection index for sigma
+    for (std::uint32_t hop = 0; hop < want; ++hop) {
+      const NodeId cur = path.back();
+      auto row = state_.neighbors_of(cur);
+      double best_score = -1.0;
+      NodeId best = net::kInvalidNode;
+      for (std::size_t slot = 0; slot < row.size(); ++slot) {
+        const NodeId v = row[slot];
+        if (published_[v] == 0 || v == prev || v == st.initiator || v == st.responder) continue;
+        const double sigma = history_.selectivity(cur, p, prev, v, k);
+        const double alpha = avail_snap_[cur * degree_ + slot];
+        const double score =
+            cfg_.weights.w_selectivity * sigma + cfg_.weights.w_availability * alpha;
+        if (score > best_score) {
+          best_score = score;
+          best = v;
+        }
+      }
+      if (best == net::kInvalidNode) {
+        ++counters_[s].no_candidate;
+        break;
+      }
+      prev = cur;
+      path.push_back(best);
+    }
+    path.push_back(st.responder);
+
+    // Fault plane: each edge of the path is an independent keyed loss draw;
+    // any lost edge fails the connection (no record, no receipts).
+    std::size_t delivered_edges = path.size() - 1;
+    if (cfg_.fault.link_loss > 0.0) {
+      for (std::size_t e = 0; e + 1 < path.size(); ++e) {
+        if (conn_stream.bernoulli(cfg_.fault.link_loss)) {
+          delivered_edges = e;
+          break;
+        }
+      }
+    }
+    post_data_plane(p, path, s, now, delivered_edges);
+    if (delivered_edges < path.size() - 1) {
+      ++counters_[s].connections_failed;
+      finish_if_last(p, j, now);
+      return;
+    }
+
+    // Completed: record the path, buffer the history writes for the next
+    // epoch fold, and accrue each forwarder's receipt into its
+    // (forwarder, epoch) aggregate.
+    payment::PathRecord record;
+    record.conn_index = j;
+    record.entry = st.initiator;
+    record.exit = st.responder;
+    record.forwarders.assign(path.begin() + 1, path.end() - 1);
+    const auto epoch = static_cast<std::uint32_t>(now / refresh_interval_);
+    for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+      history_buf_[s].push_back(
+          core::HistoryDelta{path[i], static_cast<net::PairId>(p), path[i - 1], path[i + 1]});
+      st.aggregates[{path[i], epoch}].push_back(payment::make_receipt(
+          plane_.mac_key_of(path[i]), static_cast<net::PairId>(p), j, path[i], path[i - 1],
+          path[i + 1]));
+      ++counters_[s].hops_recorded;
+    }
+    st.instances += record.forwarders.size();
+    st.length_sum += static_cast<double>(record.forwarders.size());
+    st.latency_sum += links_.path_latency(path);
+    st.records.push_back(std::move(record));
+    ++st.completed;
+    ++counters_[s].connections_completed;
+    finish_if_last(p, j, now);
+  }
+
+  /// After the pair's last launch, enqueue its settlement ops — open,
+  /// aggregated claims, close — as one contiguous FIFO run in the owner
+  /// shard's buffer. The serial barrier hook applies them to the plane.
+  void finish_if_last(std::uint32_t p, std::uint32_t j, sim::Time now) {
+    if (j + 1 != cfg_.connections_per_pair) return;
+    PairState& st = pairs_[p];
+    if (st.records.empty()) return;  // nothing to settle; outcome code 0
+
+    const std::uint32_t s = owner_shard(p);
+    st.deadline = now + cfg_.fault.bank.claim_deadline;
+    settle_buf_[s].push_back(SettleOp{SettleOp::Kind::kOpen, p, {}});
+
+    auto fault_stream = stream_.child("bank-fault", p);
+    const bool bank_faults = cfg_.fault.bank.enabled();
+    NodeId crashed_forwarder = net::kInvalidNode;
+    for (auto& [fwd_epoch, receipts] : st.aggregates) {
+      const auto& [fwd, epoch] = fwd_epoch;
+      if (bank_faults) {
+        if (fwd != crashed_forwarder && cfg_.fault.bank.forwarder_crash > 0.0 &&
+            fault_stream.bernoulli(cfg_.fault.bank.forwarder_crash)) {
+          crashed_forwarder = fwd;
+        }
+        if (fwd == crashed_forwarder ||
+            (cfg_.fault.bank.claim_loss > 0.0 &&
+             fault_stream.bernoulli(cfg_.fault.bank.claim_loss))) {
+          st.claims_lost += receipts.size();
+          continue;
+        }
+      }
+      payment::AggregatedClaim claim;
+      claim.claimant = plane_.account_of(fwd);
+      claim.epoch = epoch;
+      claim.receipts = std::move(receipts);
+      payment::seal_aggregated_claim(plane_.mac_key_of(fwd), p, claim);
+      settle_buf_[s].push_back(SettleOp{SettleOp::Kind::kClaim, p, std::move(claim)});
+    }
+    st.aggregates.clear();
+
+    st.close_skipped = bank_faults && cfg_.fault.bank.initiator_crash > 0.0 &&
+                       fault_stream.bernoulli(cfg_.fault.bank.initiator_crash);
+    if (!st.close_skipped) {
+      settle_buf_[s].push_back(SettleOp{SettleOp::Kind::kClose, p, {}});
+    }
+  }
+
+  /// Data-plane echo: one post per delivered edge, landing on the receiving
+  /// node's shard, plus an ack back to the initiator's shard. Engine load
+  /// and cross-shard traffic only — never touches digested state.
+  void post_data_plane(std::uint32_t p, const std::vector<NodeId>& path, std::uint32_t src,
+                       sim::Time now, std::size_t delivered_edges) {
+    sim::Time at = now;
+    for (std::size_t e = 0; e < delivered_edges; ++e) {
+      at += links_.transfer_time(path[e], path[e + 1]);
+      const std::uint32_t dst = partition_.shard_of(path[e + 1]);
+      engine_.post(src, dst, at, [this, dst] { ++counters_[dst].hops_delivered; });
+    }
+    if (delivered_edges == path.size() - 1) {
+      const std::uint32_t home = owner_shard(p);
+      engine_.post(src, home, at + links_.transfer_time(path.front(), path.back()),
+                   [this, home] { ++counters_[home].hops_delivered; });
+    }
+  }
+
+  // ---- barrier work -------------------------------------------------------
+
+  /// Epoch boundary: fold the buffered history writes shard-ascending, then
+  /// republish liveness and the per-edge availability snapshot.
+  void refresh_views() {
+    for (std::uint32_t s = 0; s < partition_.shard_count(); ++s) {
+      history_.fold(history_buf_[s]);
+      history_buf_[s].clear();
+    }
+    for (NodeId id = 0; id < node_count_; ++id) {
+      published_[id] = state_.appears_online(id) ? 1 : 0;
+      for (std::size_t slot = 0; slot < degree_; ++slot) {
+        avail_snap_[id * degree_ + slot] = probing_->availability(id, slot);
+      }
+    }
+  }
+
+  /// Apply every buffered settlement op, source shard ascending, FIFO
+  /// within a shard — each pair's open -> claims -> close run is contiguous,
+  /// so per-pair outcomes are independent of how barriers batch the ops.
+  void drain_settlements() {
+    for (std::uint32_t s = 0; s < partition_.shard_count(); ++s) {
+      for (SettleOp& op : settle_buf_[s]) {
+        PairState& st = pairs_[op.pair];
+        switch (op.kind) {
+          case SettleOp::Kind::kOpen: {
+            const Amount escrow =
+                static_cast<Amount>(st.instances) * st.p_f + st.p_r;
+            auto handle = plane_.open_settlement(
+                op.pair, static_cast<net::PairId>(op.pair), st.initiator, escrow,
+                payment::SettlementTerms{st.p_f, st.p_r}, st.records, st.deadline);
+            assert(handle.has_value() && "initial balances must cover every escrow");
+            if (handle.has_value()) {
+              st.handle = *handle;
+              st.opened = true;
+              st.records.clear();  // copied into the engine's valid-hops index
+              st.records.shrink_to_fit();
+            }
+            break;
+          }
+          case SettleOp::Kind::kClaim:
+            if (st.opened) plane_.submit_aggregated_claim(op.pair, st.handle, op.claim);
+            break;
+          case SettleOp::Kind::kClose:
+            if (st.opened) plane_.close_settlement(st.handle);
+            break;
+        }
+      }
+      settle_buf_[s].clear();
+    }
+    ++settlement_batches_;
+  }
+
+  // ---- result -------------------------------------------------------------
+
+  [[nodiscard]] ScenarioResult build_result(const payment::PlaneReconciliation& rec) {
+    ScenarioResult r;
+    for (const PaperShardCounters& c : counters_) {
+      r.churn_events += c.churn_events;
+      r.connections_completed += c.connections_completed;
+      r.connections_failed += c.connections_failed;
+    }
+    r.probes = probing_->probes_performed();
+    r.sim_end_time = duration_;
+
+    for (std::uint32_t p = 0; p < pairs_.size(); ++p) {
+      const PairState& st = pairs_[p];
+      if (!st.opened) continue;
+      const payment::SettlementReport* report =
+          plane_.partition_view(st.handle.partition).engine.report(st.handle.id);
+      assert(report != nullptr && "expire_due terminalises every open settlement");
+      if (report == nullptr) continue;
+      r.forwarder_set_size.add(static_cast<double>(report->forwarder_set_size));
+      if (st.completed > 0) {
+        const double avg_len = st.length_sum / st.completed;
+        r.avg_path_length.add(avg_len);
+        r.connection_latency.add(st.latency_sum / st.completed);
+        if (report->forwarder_set_size > 0) {
+          r.path_quality.add(avg_len / static_cast<double>(report->forwarder_set_size));
+        }
+      }
+      r.initiator_spend.add(payment::to_credits(report->paid_out));
+      for (const auto& [acct, paid] : report->payouts) {
+        (void)acct;
+        const double payoff =
+            payment::to_credits(paid) - cfg_.overlay.participation_cost;
+        r.member_payoff.add(payoff);
+        r.member_payoff_samples.push_back(payoff);
+      }
+      r.claims_lost += st.claims_lost;
+    }
+    if (r.forwarder_set_size.count() > 0 && r.forwarder_set_size.mean() > 0.0) {
+      r.routing_efficiency = r.member_payoff.mean() / r.forwarder_set_size.mean();
+    }
+
+    r.settlements_closed = rec.closed;
+    r.settlements_abandoned = rec.abandoned;
+    r.settlements_expired = rec.expired;
+    r.settlements_prorata = rec.prorata;
+    r.claims_submitted = rec.claims_accepted + rec.claims_rejected;
+    r.claims_rejected = rec.claims_rejected;
+    r.claims_after_terminal = rec.claims_after_terminal;
+    r.settlement_escrow_milli = rec.escrow_milli;
+    r.settlement_paid_milli = rec.paid_milli;
+    r.settlement_refunded_milli = rec.refunded_milli;
+    r.total_paid_credits = payment::to_credits(rec.paid_milli);
+    bool conserved = rec.global_conserved;
+    for (const payment::PartitionAudit& part : rec.partitions) conserved &= part.conserved;
+    r.payment_conserved = conserved;
+    r.settlement_reconciled = rec.ok();
+
+    const sim::EventQueue::Stats engine_stats = engine_.aggregate_queue_stats();
+    r.engine_events_scheduled = engine_stats.scheduled;
+    r.engine_events_cancelled = engine_stats.cancelled;
+    r.engine_events_fired = engine_stats.fired;
+    r.engine_callback_heap_allocs = engine_stats.callback_heap_allocs;
+    r.engine_cross_shard_messages = engine_.stats().cross_shard_messages;
+    r.engine_window_barriers = engine_.stats().window_barriers;
+
+    r.sharded_digest = digest(rec);
+    return r;
+  }
+
+  /// Order-invariant end-state fingerprint. Covered: per-pair settlement
+  /// outcomes, per-node churn/probing end state, folded history totals,
+  /// merged per-account balance deltas, per-shard model counters, plane
+  /// money totals. Excluded by design: hops_delivered and every cross-shard
+  /// engine counter (window-dependent), escrow/settlement/audit-seq ids and
+  /// coin signatures (op-order-dependent), history/probing epoch counters
+  /// driven by barrier cadence.
+  [[nodiscard]] std::uint64_t digest(const payment::PlaneReconciliation& rec) const {
+    Fingerprint f;
+    for (std::uint32_t p = 0; p < pairs_.size(); ++p) {
+      const PairState& st = pairs_[p];
+      std::uint64_t outcome = 0;
+      std::uint64_t escrow = 0;
+      std::uint64_t paid = 0;
+      std::uint64_t refunded = 0;
+      std::uint64_t accepted = 0;
+      std::uint64_t set_size = 0;
+      if (st.opened) {
+        const payment::SettlementReport* report =
+            plane_.partition_view(st.handle.partition).engine.report(st.handle.id);
+        if (report != nullptr) {
+          switch (report->outcome) {
+            case payment::SettlementState::kClosed: outcome = 1; break;
+            case payment::SettlementState::kAbandoned: outcome = 2; break;
+            case payment::SettlementState::kExpired: outcome = 3; break;
+            default: outcome = 4; break;
+          }
+          escrow = static_cast<std::uint64_t>(report->escrow_in);
+          paid = static_cast<std::uint64_t>(report->paid_out);
+          refunded = static_cast<std::uint64_t>(report->refunded);
+          accepted = report->accepted_claims;
+          set_size = report->forwarder_set_size;
+        }
+      }
+      f.add(outcome | (static_cast<std::uint64_t>(st.completed) << 8) |
+            (static_cast<std::uint64_t>(st.launched) << 24) |
+            (static_cast<std::uint64_t>(st.close_skipped) << 40));
+      f.add(escrow);
+      f.add(paid);
+      f.add(refunded);
+      f.add(accepted | (set_size << 32));
+      f.add(st.claims_lost);
+      f.add_double(st.length_sum);
+      f.add_double(st.latency_sum);
+    }
+    for (NodeId id = 0; id < node_count_; ++id) {
+      f.add(state_.online[id] | (static_cast<std::uint64_t>(state_.departed[id]) << 8) |
+            (static_cast<std::uint64_t>(churn_cycle_[id]) << 16));
+      f.add_double(state_.tracker[id].availability(duration_));
+      for (std::size_t slot = 0; slot < degree_; ++slot) {
+        f.add_double(probing_->observed_session_time(id, slot));
+      }
+      const Amount delta =
+          plane_.merged_balance(static_cast<payment::AccountId>(id)) -
+          payment::from_credits(cfg_.initial_balance_credits);
+      f.add(static_cast<std::uint64_t>(delta));
+    }
+    f.add(history_.total_entries());
+    for (std::uint32_t s = 0; s < partition_.shard_count(); ++s) {
+      f.add(history_.entries_in_shard(s));
+      const PaperShardCounters& c = counters_[s];
+      f.add(c.churn_events);
+      f.add(c.departures);
+      f.add(c.connections_launched);
+      f.add(c.connections_completed);
+      f.add(c.connections_failed);
+      f.add(c.no_candidate);
+      f.add(c.hops_recorded);
+    }
+    f.add(static_cast<std::uint64_t>(rec.escrow_milli));
+    f.add(static_cast<std::uint64_t>(rec.paid_milli));
+    f.add(static_cast<std::uint64_t>(rec.refunded_milli));
+    f.add(rec.closed | (rec.abandoned << 16) | (rec.expired << 32) | (rec.prorata << 48));
+    f.add(rec.claims_accepted);
+    f.add(rec.claims_rejected);
+    return f.h;
+  }
+
+  const ScenarioConfig& cfg_;
+  sim::ShardedSimulator& engine_;
+  std::size_t node_count_;
+  std::size_t degree_;
+  net::NodeStateSoA state_;
+  net::ShardPartition partition_;
+  sim::rng::Stream stream_;
+  net::LinkModel links_;
+  core::ShardedHistory history_;
+  payment::ShardedSettlementPlane plane_;
+  std::unique_ptr<net::ShardedProbing> probing_;
+  std::vector<PaperShardCounters> counters_;
+
+  // Barrier-merged read views (mutated only in refresh_views).
+  std::vector<std::uint8_t> published_;
+  std::vector<double> avail_snap_;
+
+  // Per-shard write buffers (each shard appends only to its own).
+  std::vector<std::vector<core::HistoryDelta>> history_buf_;
+  std::vector<std::vector<SettleOp>> settle_buf_;
+
+  std::vector<std::uint64_t> churn_cycle_;
+  std::vector<PairState> pairs_;
+  std::vector<std::vector<sim::Time>> launch_times_;
+
+  double session_shape_ = 1.0;
+  sim::Time refresh_interval_ = 0.0;
+  sim::Time half_window_ = 0.0;
+  sim::Time next_refresh_ = 0.0;
+  sim::Time duration_ = 0.0;
+  std::uint64_t settlement_batches_ = 0;
+};
+
+}  // namespace
+
+ScenarioResult run_paper_scenario_sharded(const ScenarioConfig& cfg, parallel::ThreadPool* pool) {
+  assert(cfg.engine_shards >= 1);
+  sim::ShardedSimulator engine(cfg.engine_shards, cfg.engine_window, pool);
+  PaperWorld world(cfg, engine);
+  engine.add_barrier_hook([&world](sim::Time boundary) { world.on_barrier(boundary); });
+  world.seed_events();
+  engine.run_until(world.duration());
+  return world.finish();
+}
+
+}  // namespace p2panon::harness

@@ -9,6 +9,7 @@
 #include "core/edge_quality.hpp"
 #include "core/path.hpp"
 #include "core/suspicion.hpp"
+#include "harness/paper_sharded.hpp"
 #include "payment/settlement.hpp"
 #include "sim/sharded.hpp"
 #include "sim/simulator.hpp"
@@ -32,6 +33,7 @@ ScenarioConfig paper_default_config(std::uint64_t seed) {
 
 ScenarioResult ScenarioRunner::run() const {
   const ScenarioConfig& cfg = cfg_;
+  if (cfg.engine_shards > 1) return run_paper_scenario_sharded(cfg, nullptr);
   sim::rng::Stream root(cfg.seed);
 
   // Engine routing: the plain serial Simulator, or the sharded engine at

@@ -98,6 +98,28 @@ struct ScenarioConfig {
   bool use_sharded_engine = false;
   /// Window-synchronisation quantum when use_sharded_engine is set.
   sim::Time engine_window = sim::minutes(5.0);
+
+  /// Engine shards for the full paper scenario. 1 (default) keeps today's
+  /// path — serial, or the windowed K = 1 drive above, both bitwise-pinned
+  /// to each other. > 1 routes the replicate through the windowed sharded
+  /// paper runner (harness/paper_sharded.hpp): node-partitioned
+  /// history/probing state behind barrier-merged read views, pair
+  /// settlement batched through the window-barrier hook onto the sharded
+  /// settlement plane. K > 1 is a different (windowed) workload than the
+  /// serial scenario — its contract is pool-size- and window-invariance of
+  /// ScenarioResult::sharded_digest, not bitwise equality with K = 1.
+  std::uint32_t engine_shards = 1;
+  /// Bank partitions of the sharded settlement plane (K > 1 only);
+  /// 0 = one per engine shard.
+  std::uint32_t bank_partitions = 0;
+  /// View-refresh interval R (K > 1 only): the barrier-merged read views
+  /// (published liveness, availability snapshot, folded history) refresh
+  /// every round(R / engine_window) window barriers — R is snapped to a
+  /// whole number of windows. 0 = refresh at every barrier. Fixing R while
+  /// varying the window is what makes the K > 1 digest window-invariant:
+  /// runs whose windows both divide R refresh identical views at identical
+  /// absolute times.
+  sim::Time view_refresh = 0.0;
 };
 
 /// Everything the benches and EXPERIMENTS.md need from one replicate.
@@ -186,6 +208,14 @@ struct ScenarioResult {
   /// and refund totals match the settlement reports (bank side == node
   /// side). Vacuously true outside bank-fault mode.
   bool settlement_reconciled = true;
+
+  /// K > 1 model fingerprint (zero on the serial / K = 1 paths): FNV-1a over
+  /// the sharded paper runner's order-invariant end state — per-pair
+  /// settlement outcomes, merged per-account balance deltas, per-shard model
+  /// counters, probing/history end state. Bitwise-stable across thread-pool
+  /// sizes and window lengths for fixed {seed, K}; pinned by
+  /// tests/harness/test_paper_sharded.cpp.
+  std::uint64_t sharded_digest = 0;
 
   /// Data-phase delivery ratio; 1.0 when no keepalive was ever sent (the
   /// fault-free synchronous path delivers by construction).

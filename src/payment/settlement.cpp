@@ -40,6 +40,40 @@ SettlementId SettlementEngine::open(net::PairId pair, EscrowId escrow, Settlemen
 
 ClaimResult SettlementEngine::submit_claim(SettlementId id, AccountId claimant,
                                            const ForwardReceipt& receipt) {
+  const crypto::u64 key = bank_.account_mac_key(claimant);
+  ForwardReceipt check = receipt;
+  check.mac = 0;
+  return submit_checked(id, claimant, bank_.account_owner(claimant), receipt,
+                        receipt_mac(key, check) == receipt.mac);
+}
+
+SettlementEngine::ClaimBatchResult SettlementEngine::submit_claim_batch(
+    SettlementId id, AccountId claimant, std::span<const ForwardReceipt> receipts) {
+  // Batched MAC verification: one key fetch, one streaming pass over the
+  // whole batch, no ledger state touched until every verdict is in.
+  const crypto::u64 key = bank_.account_mac_key(claimant);
+  const net::NodeId owner = bank_.account_owner(claimant);
+  mac_scratch_.assign(receipts.size(), 0);
+  for (std::size_t i = 0; i < receipts.size(); ++i) {
+    ForwardReceipt check = receipts[i];
+    check.mac = 0;
+    mac_scratch_[i] = receipt_mac(key, check) == receipts[i].mac ? 1 : 0;
+  }
+  ClaimBatchResult out;
+  for (std::size_t i = 0; i < receipts.size(); ++i) {
+    const ClaimResult r = submit_checked(id, claimant, owner, receipts[i], mac_scratch_[i] != 0);
+    if (r == ClaimResult::kAccepted) {
+      ++out.accepted;
+    } else {
+      ++out.rejected;
+    }
+  }
+  return out;
+}
+
+ClaimResult SettlementEngine::submit_checked(SettlementId id, AccountId claimant,
+                                             net::NodeId claimant_owner,
+                                             const ForwardReceipt& receipt, bool mac_ok) {
   if (id >= settlements_.size()) return ClaimResult::kUnknownSettlement;
   Settlement& s = settlements_[id];
   if (is_terminal(s.state)) {
@@ -57,16 +91,13 @@ ClaimResult SettlementEngine::submit_claim(SettlementId id, AccountId claimant,
   }
   // The claimant must be the account bound to the forwarder named in the
   // receipt — you cannot redeem someone else's receipt.
-  if (bank_.account_owner(claimant) != receipt.forwarder) {
+  if (claimant_owner != receipt.forwarder) {
     ++s.rejected;
     ++claims_rejected_;
     return ClaimResult::kWrongClaimant;
   }
   // MAC must verify under the claimant's registered key.
-  const crypto::u64 key = bank_.account_mac_key(claimant);
-  ForwardReceipt check = receipt;
-  check.mac = 0;
-  if (receipt_mac(key, check) != receipt.mac) {
+  if (!mac_ok) {
     ++s.rejected;
     ++claims_rejected_;
     return ClaimResult::kBadMac;
@@ -213,6 +244,17 @@ std::size_t SettlementEngine::open_settlements() const noexcept {
 
 std::size_t SettlementEngine::forwarder_set_size(SettlementId id) const {
   return settlements_.at(id).set_size;
+}
+
+std::vector<crypto::u64> SettlementEngine::redeemed_macs() const {
+  std::vector<crypto::u64> macs;
+  macs.reserve(redeemed_.size());
+  for (const auto& [mac, id] : redeemed_) {
+    (void)id;
+    macs.push_back(mac);
+  }
+  std::sort(macs.begin(), macs.end());
+  return macs;
 }
 
 }  // namespace p2panon::payment

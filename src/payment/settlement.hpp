@@ -44,6 +44,7 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -142,6 +143,23 @@ class SettlementEngine {
   /// Submit one receipt as a claim by `claimant`.
   ClaimResult submit_claim(SettlementId id, AccountId claimant, const ForwardReceipt& receipt);
 
+  struct ClaimBatchResult {
+    std::size_t accepted = 0;
+    std::size_t rejected = 0;
+  };
+
+  /// Batched claim submission: one claimant redeems many receipts against
+  /// one settlement. The claimant's registered key and owner are fetched
+  /// once and every receipt's MAC is verified in a single streaming pass
+  /// before any ledger state is touched; the verified receipts then flow
+  /// through the normal path-validation/replay machinery. The outcome is
+  /// identical to submitting each receipt through submit_claim in order
+  /// (pinned by tests/payment/test_sharded_settlement.cpp) — the batch form
+  /// exists so a sharded settlement plane can amortise verification over
+  /// forwarder-epoch aggregates instead of paying it per claim.
+  ClaimBatchResult submit_claim_batch(SettlementId id, AccountId claimant,
+                                      std::span<const ForwardReceipt> receipts);
+
   /// Pay all verified claims and refund the remainder. Each forwarder with
   /// at least one verified instance receives m*P_f plus an equal share of
   /// P_r across the *claimed* forwarder set (unclaimed shares are refunded).
@@ -171,6 +189,15 @@ class SettlementEngine {
 
   /// ||pi|| as recorded by the initiator (distinct forwarders across records).
   [[nodiscard]] std::size_t forwarder_set_size(SettlementId id) const;
+
+  /// Number of settlements ever opened (terminal or not).
+  [[nodiscard]] std::size_t settlement_count() const noexcept { return settlements_.size(); }
+
+  /// Sorted copy of every receipt digest this engine has redeemed. Sorted so
+  /// consumers never observe the hash map's iteration order; used by the
+  /// sharded plane's merge reconciliation to assert that no receipt was
+  /// redeemed by two bank partitions.
+  [[nodiscard]] std::vector<crypto::u64> redeemed_macs() const;
 
   // --- Engine-wide counters (for the chaos-sweep conservation audit).
   [[nodiscard]] std::uint64_t claims_accepted() const noexcept { return claims_accepted_; }
@@ -214,7 +241,16 @@ class SettlementEngine {
   /// stamps the terminal state. Callers must have first-wins-checked.
   const SettlementReport& finalize(SettlementId id, SettlementState outcome);
 
+  /// Shared claim path with the claimant's owner identity and MAC verdict
+  /// precomputed (submit_claim computes them inline; submit_claim_batch
+  /// hoists them out of the per-receipt loop).
+  ClaimResult submit_checked(SettlementId id, AccountId claimant, net::NodeId claimant_owner,
+                             const ForwardReceipt& receipt, bool mac_ok);
+
   std::vector<Settlement> settlements_;
+  /// Per-receipt MAC verdicts of the current batch (reused across batches so
+  /// steady-state batch submission does not allocate).
+  std::vector<std::uint8_t> mac_scratch_;
   /// Receipt digest -> settlement that redeemed it (cross-settlement replay
   /// guard for re-formed sets sharing a pair id).
   std::unordered_map<crypto::u64, SettlementId> redeemed_;

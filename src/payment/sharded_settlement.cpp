@@ -1,0 +1,242 @@
+#include "payment/sharded_settlement.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace p2panon::payment {
+
+crypto::u64 aggregated_claim_mac(crypto::u64 key, SettlementKey settlement,
+                                 const AggregatedClaim& claim) noexcept {
+  // Chained toy MAC: the key sandwiches a digest fold over the batch
+  // identity (settlement, claimant, epoch, count) and every receipt field,
+  // including the per-receipt MACs — reordering, dropping, or splicing a
+  // receipt changes the aggregate.
+  crypto::u64 h = crypto::digest({key, settlement, claim.claimant, claim.epoch,
+                                  static_cast<crypto::u64>(claim.receipts.size())});
+  for (const ForwardReceipt& r : claim.receipts) {
+    h = crypto::digest({h, r.pair, r.conn_index, r.forwarder, r.predecessor, r.successor, r.mac});
+  }
+  return crypto::digest({h, key});
+}
+
+void seal_aggregated_claim(crypto::u64 key, SettlementKey settlement, AggregatedClaim& claim) {
+  claim.aggregate_mac = 0;
+  claim.aggregate_mac = aggregated_claim_mac(key, settlement, claim);
+}
+
+ShardedSettlementPlane::ShardedSettlementPlane(std::uint32_t partition_count,
+                                               std::size_t node_count, Amount initial_balance,
+                                               sim::rng::Stream stream)
+    : stream_(stream), node_count_(node_count), initial_balance_(initial_balance) {
+  assert(partition_count > 0);
+  mac_keys_.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    mac_keys_.push_back(stream_.child("mac-key", i).next_u64());
+  }
+  parts_.reserve(partition_count);
+  for (std::uint32_t b = 0; b < partition_count; ++b) {
+    auto part = std::make_unique<BankPartition>(stream_.child("bank", b));
+    // Identical open order in every partition, so node i is account i
+    // everywhere and the merged view can fold balances by account id.
+    for (std::size_t i = 0; i < node_count; ++i) {
+      const AccountId acct =
+          part->bank.open_account(static_cast<net::NodeId>(i), initial_balance, mac_keys_[i]);
+      assert(acct == static_cast<AccountId>(i));
+      (void)acct;
+    }
+    part->initial_total = part->bank.total_money() + part->bank.outstanding_coin_value();
+    parts_.push_back(std::move(part));
+  }
+}
+
+std::uint32_t ShardedSettlementPlane::partition_of(SettlementKey key) const noexcept {
+  return static_cast<std::uint32_t>(sim::rng::mix64(key) % parts_.size());
+}
+
+std::optional<SettlementHandle> ShardedSettlementPlane::open_settlement(
+    SettlementKey key, net::PairId pair, net::NodeId initiator, Amount escrow_amount,
+    SettlementTerms terms, const std::vector<PathRecord>& records, sim::Time deadline) {
+  const std::uint32_t b = partition_of(key);
+  BankPartition& part = *parts_[b];
+  const AccountId acct = account_of(initiator);
+  // Wallet randomness keyed by the settlement, not by arrival order: the
+  // coin blinding of settlement X is the same whether it funds first or
+  // last, which keeps the plane's money flow order-invariant.
+  Wallet wallet(part.bank, acct, stream_.child("wallet", key));
+  std::optional<std::vector<Coin>> coins = wallet.withdraw(escrow_amount);
+  if (!coins.has_value()) return std::nullopt;
+  std::optional<EscrowId> escrow = part.bank.open_escrow(*coins);
+  assert(escrow.has_value() && "freshly withdrawn coins must fund an escrow");
+  if (!escrow.has_value()) return std::nullopt;
+  const SettlementId id = part.engine.open(pair, *escrow, terms, records, acct, deadline);
+  return SettlementHandle{b, id, *escrow};
+}
+
+ClaimBatchOutcome ShardedSettlementPlane::submit_aggregated_claim(SettlementKey key,
+                                                                  const SettlementHandle& handle,
+                                                                  const AggregatedClaim& claim) {
+  ++aggregates_;
+  ClaimBatchOutcome out;
+  BankPartition& part = *parts_[handle.partition];
+  AggregatedClaim check = claim;
+  check.aggregate_mac = 0;
+  const crypto::u64 expected =
+      aggregated_claim_mac(part.bank.account_mac_key(claim.claimant), key, check);
+  if (expected != claim.aggregate_mac) {
+    // Reject-all: a tampered batch never reaches the engine, so none of its
+    // receipts can probe the redeemed-MAC map.
+    ++aggregates_refused_;
+    out.aggregate_mac_ok = false;
+    out.rejected = claim.receipts.size();
+    return out;
+  }
+  receipts_batched_ += claim.receipts.size();
+  const SettlementEngine::ClaimBatchResult r =
+      part.engine.submit_claim_batch(handle.id, claim.claimant, claim.receipts);
+  out.accepted = r.accepted;
+  out.rejected = r.rejected;
+  return out;
+}
+
+const SettlementReport& ShardedSettlementPlane::close_settlement(const SettlementHandle& handle) {
+  return parts_[handle.partition]->engine.close(handle.id);
+}
+
+std::size_t ShardedSettlementPlane::expire_due(sim::Time now) {
+  std::size_t terminalised = 0;
+  for (auto& part : parts_) terminalised += part->engine.expire_due(now);
+  return terminalised;
+}
+
+bool ShardedSettlementPlane::partition_conserved(std::uint32_t b) const {
+  const BankPartition& part = *parts_[b];
+  return part.bank.total_money() + part.bank.outstanding_coin_value() == part.initial_total;
+}
+
+Amount ShardedSettlementPlane::merged_balance(AccountId account) const {
+  Amount merged = initial_balance_;
+  for (const auto& part : parts_) merged += part->bank.balance(account) - initial_balance_;
+  return merged;
+}
+
+Amount ShardedSettlementPlane::total_money() const {
+  Amount total = 0;
+  for (const auto& part : parts_) {
+    total += part->bank.total_money() + part->bank.outstanding_coin_value();
+  }
+  return total;
+}
+
+PlaneReconciliation ShardedSettlementPlane::reconcile() const {
+  PlaneReconciliation rec;
+  rec.partitions.reserve(parts_.size());
+
+  Amount initial_sum = 0;
+  std::vector<crypto::u64> all_macs;
+
+  for (const auto& part_ptr : parts_) {
+    const BankPartition& part = *part_ptr;
+    PartitionAudit audit;
+
+    // Journal replay must land on the bank's exact balances.
+    ReplayState replayed;
+    audit.replay_ok = part.audit.replay(replayed);
+    if (audit.replay_ok) {
+      if (replayed.accounts.size() != part.bank.account_count() ||
+          replayed.outstanding != part.bank.outstanding_coin_value()) {
+        audit.replay_ok = false;
+      }
+      for (AccountId a = 0; audit.replay_ok && a < replayed.accounts.size(); ++a) {
+        if (replayed.accounts[a] != part.bank.balance(a)) audit.replay_ok = false;
+      }
+      for (EscrowId e = 0; audit.replay_ok && e < replayed.escrows.size(); ++e) {
+        if (replayed.escrows[e] != part.bank.escrow_balance(e)) audit.replay_ok = false;
+      }
+    }
+
+    audit.conserved =
+        part.bank.total_money() + part.bank.outstanding_coin_value() == part.initial_total;
+
+    // Per-account escrow payouts in the journal vs what the reports claim
+    // was paid (the journal is the ground truth the reports must match).
+    std::map<AccountId, Amount> journal_payouts;
+    for (const Transaction& tx : part.audit.transactions()) {
+      if (tx.kind == TxKind::kEscrowPay) journal_payouts[tx.account] += tx.amount;
+    }
+    std::map<AccountId, Amount> report_payouts;
+
+    audit.all_terminal = true;
+    audit.escrows_drained = true;
+    audit.expired_refunded = true;
+    for (SettlementId id = 0; id < part.engine.settlement_count(); ++id) {
+      const SettlementReport* report = part.engine.report(id);
+      if (report == nullptr) {
+        audit.all_terminal = false;
+        continue;
+      }
+      if (report->escrow_in != report->paid_out + report->refunded) audit.escrows_drained = false;
+      switch (report->outcome) {
+        case SettlementState::kClosed:
+          ++audit.closed;
+          break;
+        case SettlementState::kAbandoned:
+          ++audit.abandoned;
+          break;
+        case SettlementState::kExpired:
+          ++audit.expired;
+          if (report->paid_out != 0 || report->refunded != report->escrow_in) {
+            audit.expired_refunded = false;
+          }
+          break;
+        default:
+          audit.all_terminal = false;
+          break;
+      }
+      if (report->pro_rata) ++audit.prorata;
+      audit.escrow_milli += report->escrow_in;
+      audit.paid_milli += report->paid_out;
+      audit.refunded_milli += report->refunded;
+      for (const auto& [acct, paid] : report->payouts) report_payouts[acct] += paid;
+    }
+    // Every escrow drained on the bank side too (terminal settlements leave
+    // nothing behind; the check is vacuous while settlements remain open).
+    if (audit.all_terminal) {
+      for (EscrowId e = 0; e < part.bank.escrow_count(); ++e) {
+        if (part.bank.escrow_balance(e) != 0) audit.escrows_drained = false;
+      }
+    }
+    audit.payouts_match = journal_payouts == report_payouts;
+
+    rec.escrow_milli += audit.escrow_milli;
+    rec.paid_milli += audit.paid_milli;
+    rec.refunded_milli += audit.refunded_milli;
+    rec.closed += audit.closed;
+    rec.abandoned += audit.abandoned;
+    rec.expired += audit.expired;
+    rec.prorata += audit.prorata;
+    rec.claims_accepted += part.engine.claims_accepted();
+    rec.claims_rejected += part.engine.claims_rejected();
+    rec.claims_after_terminal += part.engine.claims_after_terminal();
+    initial_sum += part.initial_total;
+
+    // Each engine's redeemed set is internally unique (map keys); collect
+    // the sorted per-partition sets for the global uniqueness merge.
+    std::vector<crypto::u64> macs = part.engine.redeemed_macs();
+    all_macs.insert(all_macs.end(), macs.begin(), macs.end());
+
+    rec.partitions.push_back(audit);
+  }
+
+  rec.global_conserved = total_money() == initial_sum;
+
+  // Deterministic merge: any digest redeemed by two partitions shows up as
+  // an adjacent duplicate in the sorted union.
+  std::sort(all_macs.begin(), all_macs.end());
+  for (std::size_t i = 1; i < all_macs.size(); ++i) {
+    if (all_macs[i] == all_macs[i - 1]) ++rec.cross_partition_replays;
+  }
+  return rec;
+}
+
+}  // namespace p2panon::payment

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Regression tests for tools/lint/check_invariants.py (rules R1-R7).
+"""Regression tests for tools/lint/check_invariants.py (rules R1-R8).
 
 Each test materialises a minimal synthetic repo tree in a tempdir containing
 one violating site and one conforming site for a single rule, then runs the
@@ -30,6 +30,7 @@ EPOCH_GUARD_FILES = (
     "src/net/probing.hpp", "src/net/probing.cpp",
     "src/core/suspicion.hpp", "src/core/suspicion.cpp",
     "src/net/sharded_probing.hpp", "src/net/sharded_probing.cpp",
+    "src/core/shard_history.hpp", "src/core/shard_history.cpp",
 )
 
 
@@ -256,6 +257,51 @@ class InvariantLinterRules(unittest.TestCase):
             """,
         }) as root:
             self.assert_findings(run_linter(root, "R7"), "atomic-write", 0)
+
+    # --- R8 -------------------------------------------------------------
+
+    def test_r8_flags_direct_partition_mutation(self) -> None:
+        with make_tree({
+            "src/model.cpp": """\
+                struct Engine { void submit_claim(int); };
+                struct Bank { void transfer(int, int, long); };
+                struct Part { Engine engine; Bank bank; };
+                struct Plane {
+                  Part& partition(unsigned);
+                  const Part& partition_view(unsigned) const;
+                };
+                void bad(Plane& plane) {
+                  plane.partition(2).engine.submit_claim(7);
+                  plane.partition(0).bank.transfer(1, 2, 100);
+                }
+                void affirmed(Plane& plane) {
+                  // lint-exempt(bank-partition): negative test drives a replay
+                  plane.partition(1).engine.submit_claim(7);
+                }
+                void reads(const Plane& plane) {
+                  (void)plane.partition_view(2).engine;  // routed read accessor
+                }
+            """,
+        }) as root:
+            proc = run_linter(root, "R8")
+            self.assert_findings(proc, "bank-partition", 2)
+            self.assertIn("src/model.cpp:9:", proc.stdout)
+            self.assertIn("src/model.cpp:10:", proc.stdout)
+
+    def test_r8_ignores_tests_dir_and_comment_mentions(self) -> None:
+        with make_tree({
+            "tests/payment/test_replay.cpp": """\
+                struct Engine { void submit_claim(int); };
+                struct Part { Engine engine; };
+                Part& partition(unsigned);
+                void drive() { partition(1).engine.submit_claim(9); }
+            """,
+            "src/notes.cpp": """\
+                // prose: partition(b).engine.submit_claim(...) is forbidden here
+                int x;
+            """,
+        }) as root:
+            self.assert_findings(run_linter(root, "R8"), "bank-partition", 0)
 
     # --- CLI ------------------------------------------------------------
 

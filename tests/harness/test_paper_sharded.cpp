@@ -1,0 +1,165 @@
+// Sharded full-paper-scenario contracts (src/harness/paper_sharded.*):
+// engine_shards = 1 keeps the serial path untouched (bitwise, digest zero),
+// K > 1 runs are bitwise deterministic across thread-pool sizes AND across
+// window lengths dividing the view-refresh interval, and a K = 4 run with
+// bank faults terminalises every settlement with exact conservation in
+// every bank partition and globally.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "harness/paper_sharded.hpp"
+#include "harness/scenario.hpp"
+#include "parallel/thread_pool.hpp"
+
+using namespace p2panon;
+using namespace p2panon::harness;
+
+namespace {
+
+/// Paper shape shrunk for test wall-clock: same knobs, fewer pairs.
+ScenarioConfig small_config(std::uint64_t seed = 5) {
+  ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.overlay.node_count = 24;
+  cfg.overlay.degree = 4;
+  cfg.pair_count = 12;
+  cfg.connections_per_pair = 5;
+  cfg.warmup = sim::minutes(10.0);
+  cfg.pair_start_window = sim::minutes(20.0);
+  cfg.connection_interval_mean = sim::minutes(2.0);
+  cfg.engine_window = 60.0;
+  cfg.view_refresh = 300.0;
+  return cfg;
+}
+
+void expect_same_run(const ScenarioResult& a, const ScenarioResult& b) {
+  EXPECT_EQ(a.sharded_digest, b.sharded_digest);
+  EXPECT_EQ(a.churn_events, b.churn_events);
+  EXPECT_EQ(a.probes, b.probes);
+  EXPECT_EQ(a.connections_completed, b.connections_completed);
+  EXPECT_EQ(a.connections_failed, b.connections_failed);
+  EXPECT_EQ(a.settlements_closed, b.settlements_closed);
+  EXPECT_EQ(a.settlements_abandoned, b.settlements_abandoned);
+  EXPECT_EQ(a.settlements_expired, b.settlements_expired);
+  EXPECT_EQ(a.claims_submitted, b.claims_submitted);
+  EXPECT_EQ(a.claims_rejected, b.claims_rejected);
+  EXPECT_EQ(a.settlement_escrow_milli, b.settlement_escrow_milli);
+  EXPECT_EQ(a.settlement_paid_milli, b.settlement_paid_milli);
+  EXPECT_EQ(a.settlement_refunded_milli, b.settlement_refunded_milli);
+}
+
+}  // namespace
+
+TEST(PaperSharded, SerialPathUntouchedAtOneShard) {
+  // engine_shards = 1 must not perturb the existing serial scenario:
+  // bit-identical aggregates and a zero sharded digest.
+  ScenarioConfig plain = paper_default_config(3);
+  plain.pair_count = 6;
+  plain.connections_per_pair = 4;
+  ScenarioConfig routed = plain;
+  routed.engine_shards = 1;
+
+  const ScenarioResult a = ScenarioRunner(plain).run();
+  const ScenarioResult b = ScenarioRunner(routed).run();
+  EXPECT_EQ(a.sharded_digest, 0u);
+  EXPECT_EQ(b.sharded_digest, 0u);
+  EXPECT_EQ(a.connections_completed, b.connections_completed);
+  EXPECT_EQ(a.total_paid_credits, b.total_paid_credits);
+  EXPECT_EQ(a.churn_events, b.churn_events);
+  EXPECT_EQ(a.engine_events_fired, b.engine_events_fired);
+}
+
+TEST(PaperSharded, RunnerRoutesAutomaticallyAboveOneShard) {
+  ScenarioConfig cfg = small_config();
+  cfg.engine_shards = 2;
+  const ScenarioResult direct = run_paper_scenario_sharded(cfg, nullptr);
+  const ScenarioResult routed = ScenarioRunner(cfg).run();
+  EXPECT_NE(direct.sharded_digest, 0u);
+  expect_same_run(direct, routed);
+}
+
+TEST(PaperSharded, DigestInvariantAcrossThreadPools) {
+  for (const std::uint32_t shards : {2u, 4u}) {
+    ScenarioConfig cfg = small_config();
+    cfg.engine_shards = shards;
+
+    const ScenarioResult serial = run_paper_scenario_sharded(cfg, nullptr);
+    parallel::ThreadPool one(1);
+    const ScenarioResult p1 = run_paper_scenario_sharded(cfg, &one);
+    parallel::ThreadPool four(4);
+    const ScenarioResult p4 = run_paper_scenario_sharded(cfg, &four);
+
+    EXPECT_NE(serial.sharded_digest, 0u);
+    expect_same_run(serial, p1);
+    expect_same_run(serial, p4);
+  }
+}
+
+TEST(PaperSharded, DigestInvariantAcrossWindowsDividingRefresh) {
+  // Fixed view-refresh interval R = 300 s; any window dividing R refreshes
+  // the merged views at the same absolute times, so the model's end state
+  // is identical window for window.
+  ScenarioConfig base = small_config();
+  base.engine_shards = 4;
+  base.view_refresh = 300.0;
+
+  base.engine_window = 300.0;
+  const ScenarioResult w300 = run_paper_scenario_sharded(base, nullptr);
+  base.engine_window = 150.0;
+  const ScenarioResult w150 = run_paper_scenario_sharded(base, nullptr);
+  base.engine_window = 60.0;
+  const ScenarioResult w60 = run_paper_scenario_sharded(base, nullptr);
+
+  EXPECT_NE(w300.sharded_digest, 0u);
+  expect_same_run(w300, w150);
+  expect_same_run(w300, w60);
+}
+
+TEST(PaperSharded, DigestVariesWithSeed) {
+  ScenarioConfig cfg = small_config(5);
+  cfg.engine_shards = 2;
+  const ScenarioResult a = run_paper_scenario_sharded(cfg, nullptr);
+  cfg.seed = 6;
+  const ScenarioResult b = run_paper_scenario_sharded(cfg, nullptr);
+  EXPECT_NE(a.sharded_digest, b.sharded_digest);
+}
+
+TEST(PaperSharded, ConservesAndReconcilesAtFourShards) {
+  ScenarioConfig cfg = small_config();
+  cfg.engine_shards = 4;
+  const ScenarioResult r = run_paper_scenario_sharded(cfg, nullptr);
+
+  EXPECT_TRUE(r.payment_conserved);
+  EXPECT_TRUE(r.settlement_reconciled);
+  EXPECT_GT(r.connections_completed, 0u);
+  EXPECT_GT(r.settlements_closed, 0u);
+  EXPECT_GT(r.claims_submitted, 0u);
+  EXPECT_EQ(r.claims_rejected, 0u);
+  EXPECT_EQ(r.settlement_escrow_milli, r.settlement_paid_milli + r.settlement_refunded_milli);
+  EXPECT_GT(r.engine_window_barriers, 0u);
+}
+
+TEST(PaperSharded, FaultModeReconcilesAtFourShards) {
+  // Link loss plus the full bank-fault plane: lost claims, crashed
+  // initiators (deadline abandons/expires), crashed forwarders. Money must
+  // still conserve exactly in every partition and globally.
+  ScenarioConfig cfg = small_config(9);
+  cfg.engine_shards = 4;
+  cfg.bank_partitions = 3;  // deliberately != K
+  cfg.fault.link_loss = 0.05;
+  cfg.fault.bank.lifecycle = true;
+  cfg.fault.bank.claim_loss = 0.2;
+  cfg.fault.bank.initiator_crash = 0.3;
+  cfg.fault.bank.forwarder_crash = 0.1;
+
+  const ScenarioResult r = run_paper_scenario_sharded(cfg, nullptr);
+  EXPECT_TRUE(r.payment_conserved);
+  EXPECT_TRUE(r.settlement_reconciled);
+  EXPECT_GT(r.settlements_closed + r.settlements_abandoned + r.settlements_expired, 0u);
+  EXPECT_EQ(r.settlement_escrow_milli, r.settlement_paid_milli + r.settlement_refunded_milli);
+
+  // Determinism holds under faults too.
+  const ScenarioResult again = run_paper_scenario_sharded(cfg, nullptr);
+  expect_same_run(r, again);
+}

@@ -79,6 +79,21 @@ R6 mailbox discipline
     ``shards_[...]`` directly and model code routes through owner-checked
     helpers, so a clean tree has zero such sites.)
 
+R8 bank-partition ownership
+    The sharded settlement plane (``payment::ShardedSettlementPlane``) routes
+    every settlement to one bank partition by settlement key; the engine's
+    replay protection and the batched MAC verification only see traffic that
+    arrives through the plane's routed entry points (open_settlement /
+    submit_aggregated_claim / close_settlement / expire_due). Model or bench
+    code that reaches into ``partition(b).engine`` / ``partition(b).bank``
+    directly bypasses both — a receipt redeemed that way is invisible to the
+    owning engine's redeemed-MAC map and only the merge reconciliation can
+    catch it. The rule: in ``src/``, ``bench/`` and ``examples/``, any
+    ``partition(...).engine.*(...)`` or ``partition(...).bank.*(...)`` call
+    must carry ``// lint-exempt(bank-partition): <reason>`` on or above the
+    line (read-only access belongs on ``partition_view(...)``, which the
+    rule deliberately does not match).
+
 Exit status: 0 when clean, 1 with one ``file:line: [rule] message`` per finding.
 """
 
@@ -149,6 +164,14 @@ EPOCH_GUARDS = [
         "state": ("session_time_", "avail_total_"),
         "epoch": re.compile(
             r"(\+\+\s*probe_epoch_|probe_epoch_\s*(\[[^]]*\]\s*)?(\+\+|\+=|=))"),
+    },
+    {
+        # The barrier-merged history view: folds publish a new epoch that
+        # selectivity consumers may key caches on — same contract again.
+        "cls": "ShardedHistory",
+        "files": ("src/core/shard_history.hpp", "src/core/shard_history.cpp"),
+        "state": ("counts_", "entries_"),
+        "epoch": re.compile(r"(\+\+\s*epoch_|epoch_\s*(\[[^]]*\]\s*)?(\+\+|\+=|=))"),
     },
 ]
 
@@ -538,6 +561,51 @@ def check_atomic_artifact_writes(repo: pathlib.Path) -> List[str]:
 
 
 # --------------------------------------------------------------------------
+# R8 — bank-partition mutations go through the plane's routed entry points
+# --------------------------------------------------------------------------
+
+BANK_PARTITION_DIRS = ("src", "bench", "examples")
+# partition(b).engine.method( / partition(b).bank.method( — deliberately does
+# NOT match the read-only partition_view(b) accessor.
+BANK_PARTITION_RE = re.compile(
+    r"\bpartition\s*\([^()]*\)\s*\.\s*(?:engine|bank)\s*\.\s*\w+\s*\(")
+BANK_PARTITION_EXEMPT_RE = re.compile(r"lint-exempt\(bank-partition\):\s*\S")
+
+
+def check_bank_partition_ownership(repo: pathlib.Path) -> List[str]:
+    """Flag every direct ``partition(...).engine/bank`` access in src/,
+    bench/ and examples/: mutations through the escape hatch bypass the
+    plane's settlement-key routing, its aggregate-MAC verification and the
+    owning engine's replay map, so only the merge reconciliation could catch
+    the damage. Route mutations through the plane's entry points; reads
+    belong on ``partition_view(...)``; affirm deliberate sites (negative
+    tests, reconciliation tooling) with
+    ``// lint-exempt(bank-partition): <reason>``."""
+    findings = []
+    for path in iter_source_files(repo, BANK_PARTITION_DIRS):
+        raw = path.read_text(encoding="utf-8", errors="replace")
+        stripped = strip_comments_and_strings(raw)
+        raw_lines = raw.splitlines()
+        for m in BANK_PARTITION_RE.finditer(stripped):
+            lineno = stripped.count("\n", 0, m.start()) + 1
+            context = "\n".join(raw_lines[max(0, lineno - 2):lineno])
+            if BANK_PARTITION_EXEMPT_RE.search(context):
+                continue
+            rel = path.relative_to(repo)
+            findings.append(
+                f"{rel}:{lineno}: [bank-partition] direct partition(...).engine/"
+                f"bank access bypasses the settlement plane's routed entry points "
+                f"(key routing, aggregate-MAC verification, the owning engine's "
+                f"replay map); a receipt redeemed this way is invisible until the "
+                f"merge reconciliation. Use open_settlement / "
+                f"submit_aggregated_claim / close_settlement / expire_due (reads: "
+                f"partition_view), or annotate the site with "
+                f"// lint-exempt(bank-partition): <reason>"
+            )
+    return findings
+
+
+# --------------------------------------------------------------------------
 # R3 — no tracked build artifacts
 # --------------------------------------------------------------------------
 
@@ -580,6 +648,7 @@ RULES = {
     "R5": ("settlement transitions", check_settlement_transitions),
     "R6": ("shard mailbox discipline", check_shard_mailbox_discipline),
     "R7": ("atomic artifact writes", check_atomic_artifact_writes),
+    "R8": ("bank-partition ownership", check_bank_partition_ownership),
 }
 
 
