@@ -43,6 +43,10 @@ namespace p2panon::fault {
 class FaultInjector;
 }
 
+namespace p2panon::transport {
+class SimTransport;
+}
+
 namespace p2panon::core {
 
 class SuspicionTracker;
@@ -81,18 +85,23 @@ class AsyncConnectionRunner {
   using Callback = std::function<void(const AsyncResult&)>;
 
   /// `faults` (optional) injects loss/delay on every leg and ack;
-  /// `suspicion` (optional) learns from ack timeouts and confirmed paths.
-  /// Both must outlive the runner.
+  /// `suspicion` (optional) learns from ack timeouts and confirmed paths;
+  /// `transport` (optional) carries legs/acks/nacks as codec-verified wire
+  /// frames through the SimTransport backend (bitwise-identical delivery —
+  /// same draws, same schedule — plus frame accounting). All must outlive
+  /// the runner.
   AsyncConnectionRunner(sim::Simulator& simulator, const net::Overlay& overlay,
                         const PathBuilder& builder, AsyncConfig cfg = {},
                         fault::FaultInjector* faults = nullptr,
-                        SuspicionTracker* suspicion = nullptr) noexcept
+                        SuspicionTracker* suspicion = nullptr,
+                        transport::SimTransport* transport = nullptr) noexcept
       : sim_(simulator),
         overlay_(overlay),
         builder_(builder),
         cfg_(cfg),
         faults_(faults),
-        suspicion_(suspicion) {}
+        suspicion_(suspicion),
+        transport_(transport) {}
 
   /// Begin establishing connection `conn_index` of `pair` from `initiator`
   /// to `responder`. The callback fires (once) when the reverse-path
@@ -133,6 +142,7 @@ class AsyncConnectionRunner {
   AsyncConfig cfg_;
   fault::FaultInjector* faults_;
   SuspicionTracker* suspicion_;
+  transport::SimTransport* transport_;
 };
 
 }  // namespace p2panon::core

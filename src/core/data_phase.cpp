@@ -4,8 +4,11 @@
 #include <utility>
 
 #include "fault/fault.hpp"
+#include "transport/sim_transport.hpp"
 
 namespace p2panon::core {
+
+namespace wire = transport::wire;
 
 struct DataPhaseRunner::Pending {
   net::PairId pair;
@@ -78,10 +81,7 @@ void DataPhaseRunner::relay(std::shared_ptr<Pending> p, std::uint32_t gen, std::
   const std::size_t to_index = echo ? index - 1 : index + 1;
   const net::NodeId from = nodes[index];
   const net::NodeId to = nodes[to_index];
-  if (faults_ != nullptr && faults_->drop_message(from, to)) return;  // timer covers it
-  sim::Time flight = overlay_.links().transfer_time(from, to);
-  if (faults_ != nullptr) flight += faults_->extra_delay(from, to);
-  sim_.schedule_in(flight, [this, p = std::move(p), gen, seq, to_index, echo] {
+  auto deliver = [this, p, gen, seq, to_index, echo] {
     if (p->finished || gen != p->gen || seq != p->seq) return;
     if (to_index == 0) {
       // Echo made it back to the initiator: the path is alive.
@@ -100,7 +100,23 @@ void DataPhaseRunner::relay(std::shared_ptr<Pending> p, std::uint32_t gen, std::
     if (!overlay_.is_online(p->path.nodes[to_index])) return;
     const bool at_responder = !echo && to_index == p->path.nodes.size() - 1;
     relay(p, gen, seq, to_index, at_responder ? true : echo);
-  });
+  };
+  if (transport_ != nullptr) {
+    // Same draws, same schedule, same capture as the branch below; the hop
+    // additionally round-trips through the wire codec.
+    const wire::DataMsg msg{p->pair,
+                            p->conn_index,
+                            gen,
+                            seq,
+                            static_cast<std::uint32_t>(to_index),
+                            static_cast<std::uint8_t>(echo)};
+    (void)transport_->send(from, to, msg, std::move(deliver));  // false: timer covers it
+    return;
+  }
+  if (faults_ != nullptr && faults_->drop_message(from, to)) return;  // timer covers it
+  sim::Time flight = overlay_.links().transfer_time(from, to);
+  if (faults_ != nullptr) flight += faults_->extra_delay(from, to);
+  sim_.schedule_in(flight, std::move(deliver));
 }
 
 void DataPhaseRunner::on_timeout(std::shared_ptr<Pending> p, std::uint32_t /*gen*/,

@@ -62,11 +62,19 @@ class DataPhaseRunner {
 
   /// `faults` (optional) applies loss/delay to keepalive hops just like the
   /// setup legs. Re-formation goes through `runner`, so it inherits that
-  /// runner's fault injector and suspicion tracker.
+  /// runner's fault injector and suspicion tracker. `transport` (optional)
+  /// carries keepalive hops as codec-verified wire frames (SimTransport,
+  /// bitwise-identical delivery).
   DataPhaseRunner(sim::Simulator& simulator, const net::Overlay& overlay,
                   AsyncConnectionRunner& runner, DataPhaseConfig cfg = {},
-                  fault::FaultInjector* faults = nullptr) noexcept
-      : sim_(simulator), overlay_(overlay), runner_(runner), cfg_(cfg), faults_(faults) {}
+                  fault::FaultInjector* faults = nullptr,
+                  transport::SimTransport* transport = nullptr) noexcept
+      : sim_(simulator),
+        overlay_(overlay),
+        runner_(runner),
+        cfg_(cfg),
+        faults_(faults),
+        transport_(transport) {}
 
   /// Run the data phase of connection `conn_index` of `pair` over the
   /// just-established `path`. The callback fires once, when the phase ends
@@ -92,6 +100,7 @@ class DataPhaseRunner {
   AsyncConnectionRunner& runner_;
   DataPhaseConfig cfg_;
   fault::FaultInjector* faults_;
+  transport::SimTransport* transport_;
 };
 
 }  // namespace p2panon::core

@@ -68,6 +68,14 @@ void accumulate_result(ReplicatedResult& agg, const ScenarioResult& r) {
   agg.total_settlement_paid_milli += r.settlement_paid_milli;
   agg.total_settlement_refunded_milli += r.settlement_refunded_milli;
   agg.all_settlements_reconciled = agg.all_settlements_reconciled && r.settlement_reconciled;
+  agg.total_transport_frames_sent += r.transport_frames_sent;
+  agg.total_transport_frames_delivered += r.transport_frames_delivered;
+  agg.total_transport_frames_dropped += r.transport_frames_dropped;
+  agg.total_transport_frames_rejected += r.transport_frames_rejected;
+  agg.total_transport_reconnects += r.transport_reconnects;
+  agg.total_transport_backoff_retries += r.transport_backoff_retries;
+  agg.total_transport_heartbeat_timeouts += r.transport_heartbeat_timeouts;
+  agg.total_transport_deadline_expiries += r.transport_deadline_expiries;
 }
 
 // --- Bit-exact ReplicatedResult <-> Checkpoint codec -----------------------
@@ -123,6 +131,16 @@ constexpr U64Field kU64Fields[] = {
     {"total_claims_lost", &ReplicatedResult::total_claims_lost},
     {"total_claims_rejected", &ReplicatedResult::total_claims_rejected},
     {"total_claims_after_terminal", &ReplicatedResult::total_claims_after_terminal},
+    {"total_transport_frames_sent", &ReplicatedResult::total_transport_frames_sent},
+    {"total_transport_frames_delivered", &ReplicatedResult::total_transport_frames_delivered},
+    {"total_transport_frames_dropped", &ReplicatedResult::total_transport_frames_dropped},
+    {"total_transport_frames_rejected", &ReplicatedResult::total_transport_frames_rejected},
+    {"total_transport_reconnects", &ReplicatedResult::total_transport_reconnects},
+    {"total_transport_backoff_retries", &ReplicatedResult::total_transport_backoff_retries},
+    {"total_transport_heartbeat_timeouts",
+     &ReplicatedResult::total_transport_heartbeat_timeouts},
+    {"total_transport_deadline_expiries",
+     &ReplicatedResult::total_transport_deadline_expiries},
 };
 
 struct I64Field {
@@ -335,6 +353,7 @@ std::uint64_t config_fingerprint(const ScenarioConfig& cfg) noexcept {
   mix_u(cfg.use_decision_cache ? 1 : 0);
   mix_u(cfg.use_sharded_engine ? 1 : 0);
   mix_d(cfg.engine_window);
+  mix_u(static_cast<std::uint64_t>(cfg.transport));
   return h;
 }
 

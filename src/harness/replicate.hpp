@@ -80,6 +80,16 @@ struct ReplicatedResult {
   std::int64_t total_settlement_refunded_milli = 0;
   bool all_settlements_reconciled = true;
 
+  // --- Transport-plane totals across replicates (see ScenarioResult).
+  std::uint64_t total_transport_frames_sent = 0;
+  std::uint64_t total_transport_frames_delivered = 0;
+  std::uint64_t total_transport_frames_dropped = 0;
+  std::uint64_t total_transport_frames_rejected = 0;
+  std::uint64_t total_transport_reconnects = 0;
+  std::uint64_t total_transport_backoff_retries = 0;
+  std::uint64_t total_transport_heartbeat_timeouts = 0;
+  std::uint64_t total_transport_deadline_expiries = 0;
+
   [[nodiscard]] metrics::ConfidenceInterval good_payoff_ci(double confidence = 0.95) const {
     return metrics::confidence_interval(good_payoff, confidence);
   }

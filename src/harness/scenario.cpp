@@ -13,6 +13,7 @@
 #include "payment/settlement.hpp"
 #include "sim/sharded.hpp"
 #include "sim/simulator.hpp"
+#include "transport/sim_transport.hpp"
 
 namespace p2panon::harness {
 
@@ -75,6 +76,15 @@ ScenarioResult ScenarioRunner::run() const {
     });
   }
 
+  // Transport plane (kSim): legs/acks/keepalives and bank-fault claim/close
+  // messages travel as codec-verified wire frames. Delivery is
+  // bitwise-identical to kDirect — SimTransport reproduces the exact
+  // drop/delay draws and schedule calls the runners would make inline.
+  std::optional<transport::SimTransport> transport;
+  if (cfg.transport == TransportBackend::kSim) {
+    transport.emplace(simulator, overlay, faults ? &*faults : nullptr);
+  }
+
   core::EdgeQualityEvaluator quality(probing, history, cfg.weights,
                                      suspicion ? &*suspicion : nullptr);
   core::DecisionResources resources;  // one edge cache + memo arena per replicate
@@ -85,9 +95,10 @@ ScenarioResult ScenarioRunner::run() const {
   std::optional<core::AsyncConnectionRunner> setup_runner;
   std::optional<core::DataPhaseRunner> data_runner;
   if (fault_mode) {
-    setup_runner.emplace(simulator, overlay, builder, cfg.async_setup, &*faults,
-                         &*suspicion);
-    data_runner.emplace(simulator, overlay, *setup_runner, cfg.data_phase, &*faults);
+    setup_runner.emplace(simulator, overlay, builder, cfg.async_setup, &*faults, &*suspicion,
+                         transport ? &*transport : nullptr);
+    data_runner.emplace(simulator, overlay, *setup_runner, cfg.data_phase, &*faults,
+                        transport ? &*transport : nullptr);
   }
 
   // Bank-fault mode (orthogonal to message/liveness faults): settlement runs
@@ -293,6 +304,18 @@ ScenarioResult ScenarioRunner::run() const {
     // and the deadline sweep terminalises whatever is left on its own —
     // abandoning with a pro-rata payout, or expiring with a full refund.
     const fault::BankFaultConfig& bf = cfg.fault.bank;
+    if (transport) {
+      // The bank's message plane: claims and closes arrive as wire frames
+      // and dispatch synchronously inside their scheduled events, so event
+      // ordering (and every digest) matches the direct calls exactly.
+      transport->set_bank_handler([&engine](const transport::wire::WireMessage& m) {
+        if (const auto* c = std::get_if<transport::wire::ClaimMsg>(&m)) {
+          (void)engine.submit_claim(c->sid, c->claimant, c->receipt);
+        } else if (const auto* cl = std::get_if<transport::wire::CloseMsg>(&m)) {
+          (void)engine.close(cl->sid);
+        }
+      });
+    }
     auto bank_fault_stream = root.child("bank-faults");
     const sim::Time t0 = simulator.now();
     const sim::Time deadline = t0 + bf.claim_deadline;
@@ -328,14 +351,30 @@ ScenarioResult ScenarioRunner::run() const {
         // A delay past the deadline is not special-cased: the claim arrives,
         // the settlement is already terminal, and the engine refuses it
         // (claims_after_terminal) — exactly the race the lifecycle guards.
-        simulator.schedule_at(t0 + spread + delay, [&engine, sid = prep.sid, claim] {
-          (void)engine.submit_claim(sid, claim.claimant, claim.receipt);
-        });
+        if (transport) {
+          simulator.schedule_at(
+              t0 + spread + delay,
+              [tp = &*transport,
+               m = transport::wire::ClaimMsg{prep.sid, claim.claimant, claim.receipt}] {
+                tp->post_to_bank(m);
+              });
+        } else {
+          simulator.schedule_at(t0 + spread + delay, [&engine, sid = prep.sid, claim] {
+            (void)engine.submit_claim(sid, claim.claimant, claim.receipt);
+          });
+        }
       }
 
       if (!fs.bernoulli(bf.initiator_crash)) {
-        simulator.schedule_at(t0 + bf.close_after,
-                              [&engine, sid = prep.sid] { (void)engine.close(sid); });
+        if (transport) {
+          simulator.schedule_at(t0 + bf.close_after,
+                                [tp = &*transport, m = transport::wire::CloseMsg{prep.sid}] {
+                                  tp->post_to_bank(m);
+                                });
+        } else {
+          simulator.schedule_at(t0 + bf.close_after,
+                                [&engine, sid = prep.sid] { (void)engine.close(sid); });
+        }
       }
     }
     simulator.schedule_at(deadline,
@@ -415,6 +454,17 @@ ScenarioResult ScenarioRunner::run() const {
   if (sharded_engine) {
     result.engine_cross_shard_messages = sharded_engine->stats().cross_shard_messages;
     result.engine_window_barriers = sharded_engine->stats().window_barriers;
+  }
+  if (transport) {
+    const transport::TransportCounters& tc = transport->counters();
+    result.transport_frames_sent = tc.frames_sent;
+    result.transport_frames_delivered = tc.frames_delivered;
+    result.transport_frames_dropped = tc.frames_dropped;
+    result.transport_frames_rejected = tc.frames_rejected;
+    result.transport_reconnects = tc.reconnects;
+    result.transport_backoff_retries = tc.backoff_retries;
+    result.transport_heartbeat_timeouts = tc.heartbeat_timeouts;
+    result.transport_deadline_expiries = tc.deadline_expiries;
   }
 
   result.connection_latency = latency;

@@ -23,6 +23,19 @@
 
 namespace p2panon::harness {
 
+/// Which carrier moves fault-mode legs/acks/keepalives and bank-fault
+/// claim/close traffic.
+enum class TransportBackend : std::uint8_t {
+  /// Legacy direct in-sim delivery: the runners schedule continuations
+  /// themselves, nothing is framed.
+  kDirect = 0,
+  /// transport::SimTransport: identical delivery (same draws, same
+  /// schedule — pinned bitwise against kDirect by
+  /// tests/harness/test_transport_equivalence.cpp), with every message
+  /// additionally round-tripped through the wire codec and counted.
+  kSim = 1,
+};
+
 struct ScenarioConfig {
   std::uint64_t seed = 1;
 
@@ -120,6 +133,12 @@ struct ScenarioConfig {
   /// runs whose windows both divide R refresh identical views at identical
   /// absolute times.
   sim::Time view_refresh = 0.0;
+
+  /// Transport backend for fault/bank-fault message traffic. kSim (default)
+  /// is bitwise-identical to kDirect in every result field except the
+  /// transport_* counters; the K > 1 sharded paper runner ignores this knob
+  /// (its messaging is the window mailbox, not per-hop frames).
+  TransportBackend transport = TransportBackend::kSim;
 };
 
 /// Everything the benches and EXPERIMENTS.md need from one replicate.
@@ -208,6 +227,21 @@ struct ScenarioResult {
   /// and refund totals match the settlement reports (bank side == node
   /// side). Vacuously true outside bank-fault mode.
   bool settlement_reconciled = true;
+
+  // --- Transport-plane counters (zero under kDirect and outside fault/
+  // bank-fault modes — the synchronous path sends no messages). Under kSim
+  // these count codec-verified frames; deterministic, pinned by the
+  // determinism suite alongside the engine counters. The TCP-only rows
+  // (reconnects, backoff, heartbeats, deadlines) stay zero in-sim and are
+  // populated by the multi-process chaos driver's processes instead.
+  std::uint64_t transport_frames_sent = 0;
+  std::uint64_t transport_frames_delivered = 0;
+  std::uint64_t transport_frames_dropped = 0;
+  std::uint64_t transport_frames_rejected = 0;
+  std::uint64_t transport_reconnects = 0;
+  std::uint64_t transport_backoff_retries = 0;
+  std::uint64_t transport_heartbeat_timeouts = 0;
+  std::uint64_t transport_deadline_expiries = 0;
 
   /// K > 1 model fingerprint (zero on the serial / K = 1 paths): FNV-1a over
   /// the sharded paper runner's order-invariant end state — per-pair

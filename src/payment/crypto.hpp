@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <initializer_list>
 #include <optional>
+#include <span>
 
 #include "sim/rng.hpp"
 
@@ -55,9 +56,13 @@ using u64 = std::uint64_t;
 /// Next prime >= n (n must leave room below 2^63).
 [[nodiscard]] u64 next_prime(u64 n) noexcept;
 
-/// FNV-1a over a sequence of 64-bit words; the digest/MAC primitive.
-[[nodiscard]] constexpr u64 digest(std::initializer_list<u64> words) noexcept {
-  u64 h = 0xCBF29CE484222325ULL;
+inline constexpr u64 kFnvInit = 0xCBF29CE484222325ULL;
+
+/// Continue an FNV-1a fold from state `h` over more 64-bit words. digest()
+/// below is digest_more(kFnvInit, words) — callers that fold a canonical
+/// field enumeration (e.g. receipt_words()) chain through this so the byte
+/// stream is identical to one flat digest({...}) call.
+[[nodiscard]] constexpr u64 digest_more(u64 h, std::span<const u64> words) noexcept {
   for (u64 w : words) {
     for (int i = 0; i < 8; ++i) {
       h ^= (w >> (8 * i)) & 0xFF;
@@ -67,12 +72,21 @@ using u64 = std::uint64_t;
   return h;
 }
 
+/// FNV-1a over a sequence of 64-bit words; the digest/MAC primitive.
+[[nodiscard]] constexpr u64 digest(std::initializer_list<u64> words) noexcept {
+  return digest_more(kFnvInit, {words.begin(), words.size()});
+}
+
 /// Keyed MAC: digest with the secret key mixed in first and last
 /// (sponge-ish sandwich; toy-strength like the rest).
-[[nodiscard]] constexpr u64 mac(u64 key, std::initializer_list<u64> words) noexcept {
+[[nodiscard]] constexpr u64 mac(u64 key, std::span<const u64> words) noexcept {
   u64 h = digest({key});
   for (u64 w : words) h = digest({h, w});
   return digest({h, key});
+}
+
+[[nodiscard]] constexpr u64 mac(u64 key, std::initializer_list<u64> words) noexcept {
+  return mac(key, std::span<const u64>{words.begin(), words.size()});
 }
 
 struct RsaPublicKey {

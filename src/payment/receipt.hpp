@@ -10,6 +10,7 @@
 // never mention the initiator.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "net/ids.hpp"
@@ -28,13 +29,39 @@ struct ForwardReceipt {
   friend bool operator==(const ForwardReceipt&, const ForwardReceipt&) = default;
 };
 
+/// The canonical field enumeration of a receipt — THE single serialization
+/// site. The MAC below, the sharded settlement plane's aggregate digest
+/// (sharded_settlement.cpp), and the transport wire codec
+/// (transport/wire_codec.cpp) all walk the receipt through this one list,
+/// so the wire format, the MAC input, and the in-memory struct cannot
+/// drift: adding a field here changes all three in lockstep.
+inline constexpr std::size_t kReceiptWordCount = 5;
+
+[[nodiscard]] constexpr std::array<crypto::u64, kReceiptWordCount> receipt_words(
+    const ForwardReceipt& r) noexcept {
+  return {static_cast<crypto::u64>(r.pair), static_cast<crypto::u64>(r.conn_index),
+          static_cast<crypto::u64>(r.forwarder), static_cast<crypto::u64>(r.predecessor),
+          static_cast<crypto::u64>(r.successor)};
+}
+
+/// Inverse of receipt_words(): rebuild the receipt from its canonical word
+/// list (plus the MAC, which rides alongside rather than inside the list).
+[[nodiscard]] constexpr ForwardReceipt receipt_from_words(
+    const std::array<crypto::u64, kReceiptWordCount>& w, crypto::u64 mac) noexcept {
+  ForwardReceipt r;
+  r.pair = static_cast<net::PairId>(w[0]);
+  r.conn_index = static_cast<std::uint32_t>(w[1]);
+  r.forwarder = static_cast<net::NodeId>(w[2]);
+  r.predecessor = static_cast<net::NodeId>(w[3]);
+  r.successor = static_cast<net::NodeId>(w[4]);
+  r.mac = mac;
+  return r;
+}
+
 /// MAC over all receipt fields under the forwarder's registered key.
 [[nodiscard]] inline crypto::u64 receipt_mac(crypto::u64 key, const ForwardReceipt& r) noexcept {
-  return crypto::mac(key, {static_cast<crypto::u64>(r.pair),
-                           static_cast<crypto::u64>(r.conn_index),
-                           static_cast<crypto::u64>(r.forwarder),
-                           static_cast<crypto::u64>(r.predecessor),
-                           static_cast<crypto::u64>(r.successor)});
+  const auto words = receipt_words(r);
+  return crypto::mac(key, std::span<const crypto::u64>{words});
 }
 
 [[nodiscard]] inline ForwardReceipt make_receipt(crypto::u64 key, net::PairId pair,

@@ -1,6 +1,7 @@
 #include "payment/sharded_settlement.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <map>
 
@@ -15,7 +16,12 @@ crypto::u64 aggregated_claim_mac(crypto::u64 key, SettlementKey settlement,
   crypto::u64 h = crypto::digest({key, settlement, claim.claimant, claim.epoch,
                                   static_cast<crypto::u64>(claim.receipts.size())});
   for (const ForwardReceipt& r : claim.receipts) {
-    h = crypto::digest({h, r.pair, r.conn_index, r.forwarder, r.predecessor, r.successor, r.mac});
+    // Byte-identical to one flat digest({h, fields..., mac}) call, but the
+    // field list comes from the canonical enumeration (receipt_words), so
+    // this digest cannot drift from the receipt MAC or the wire codec.
+    crypto::u64 x = crypto::digest_more(crypto::kFnvInit, std::array<crypto::u64, 1>{h});
+    x = crypto::digest_more(x, receipt_words(r));
+    h = crypto::digest_more(x, std::array<crypto::u64, 1>{r.mac});
   }
   return crypto::digest({h, key});
 }

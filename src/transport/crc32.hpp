@@ -1,0 +1,57 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for wire-frame
+// integrity. Constexpr table-driven so the checksum of a constant frame can
+// be computed at compile time (the codec tests pin known-answer vectors).
+//
+// This is an *integrity* check against truncation and bit rot on the wire,
+// not an authenticity check — receipts and claims carry their own MACs
+// (payment/receipt.hpp); the frame CRC only decides accept-vs-reject of the
+// raw bytes before any payload is parsed.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace p2panon::transport {
+
+namespace detail {
+
+[[nodiscard]] constexpr std::array<std::uint32_t, 256> make_crc32_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
+
+}  // namespace detail
+
+/// Running update: fold `data` into a CRC state previously returned by
+/// crc32_init()/crc32_update(); finish with crc32_final().
+[[nodiscard]] constexpr std::uint32_t crc32_init() noexcept { return 0xFFFFFFFFu; }
+
+[[nodiscard]] constexpr std::uint32_t crc32_update(std::uint32_t state,
+                                                   std::span<const std::byte> data) noexcept {
+  for (const std::byte b : data) {
+    state = detail::kCrc32Table[(state ^ static_cast<std::uint32_t>(b)) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+[[nodiscard]] constexpr std::uint32_t crc32_final(std::uint32_t state) noexcept {
+  return state ^ 0xFFFFFFFFu;
+}
+
+/// One-shot CRC-32 of a byte span.
+[[nodiscard]] constexpr std::uint32_t crc32(std::span<const std::byte> data) noexcept {
+  return crc32_final(crc32_update(crc32_init(), data));
+}
+
+}  // namespace p2panon::transport

@@ -1,0 +1,159 @@
+// TcpTransport: the multi-process backend of the transport plane.
+//
+// Each node is a real OS process listening on a loopback TCP port; a peer's
+// identity IS its port. Frames are the versioned length-prefixed format of
+// wire_codec.hpp, and a hostile or corrupted byte stream is classified per
+// the codec contract: skippable verdicts (bad CRC, future version, unknown
+// type, bad length) are counted and the stream continues; unresynchronisable
+// ones (bad magic, oversize) drop the connection. Nothing a peer sends can
+// crash the receiver or make it allocate on the reject path.
+//
+// The loop is single-threaded and poll-based. A blocking request() keeps
+// pumping the poll loop while it waits, so a process that is itself waiting
+// on a reply still serves inbound requests — the re-entrancy that breaks
+// the distributed deadlock of two peers requesting from each other.
+//
+// Failure handling mirrors the decision layer's announced/unannounced split:
+//   * clean shutdown sends ByeMsg (the NACK analog — "gone", not "crashed");
+//   * a crash is silence, detected by heartbeat timeout, which reports the
+//     peer through the dead-peer callback (the chaos driver feeds this to
+//     the same SuspicionTracker the sim uses);
+//   * lost connections are re-dialled with capped exponential backoff and
+//     multiplicative jitter — the exact ldexp shape of the in-sim setup
+//     retries, with the jitter drawn from a seeded sim::rng::Stream so even
+//     the real-process backoff schedule is reproducible given the seed.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "transport/transport.hpp"
+#include "transport/wire.hpp"
+#include "transport/wire_codec.hpp"
+
+namespace p2panon::transport {
+
+struct TcpConfig {
+  double connect_backoff_base = 0.05;  ///< seconds; attempt n waits ldexp(base, n-1)
+  double connect_backoff_cap = 2.0;
+  double connect_jitter = 0.5;  ///< multiplicative: delay *= U(1-j, 1+j)
+  int connect_max_attempts = 10;
+  double read_deadline = 5.0;      ///< seconds a request() may wait for its reply
+  double heartbeat_period = 0.5;   ///< seconds between heartbeats to a watched peer
+  double heartbeat_timeout = 2.0;  ///< silence that declares a watched peer dead
+  std::size_t max_frame = kDefaultMaxFrame;
+};
+
+class TcpTransport {
+ public:
+  /// Request handler: inbound message -> optional reply (sent on the same
+  /// connection, preserving FIFO request/reply correlation). May itself
+  /// call request() — the pump is re-entrant.
+  using Handler = std::function<std::optional<wire::WireMessage>(const wire::WireMessage&)>;
+
+  TcpTransport(TcpConfig cfg, sim::rng::Stream jitter_stream);
+  ~TcpTransport();
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  /// True when this environment permits AF_INET sockets (sandboxes may
+  /// refuse socket(2) with EPERM/EACCES); tests skip on false.
+  [[nodiscard]] static bool sockets_available() noexcept;
+
+  /// Bind + listen on loopback. port 0 asks the kernel for an ephemeral
+  /// port. Returns the bound port, or 0 on failure.
+  std::uint16_t listen(std::uint16_t port = 0);
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+  /// Called when a watched peer times out its heartbeats (crash detection).
+  void set_peer_dead(std::function<void(std::uint16_t)> fn) { peer_dead_ = std::move(fn); }
+  /// Called when a peer announces a clean departure (ByeMsg).
+  void set_peer_bye(std::function<void(std::uint16_t)> fn) { peer_bye_ = std::move(fn); }
+
+  /// Blocking request/reply. Dials (with backoff) if needed, sends the
+  /// frame, pumps until the reply arrives or the read deadline expires
+  /// (deadline_expiries++, nullopt). A connection that dies mid-wait also
+  /// returns nullopt — the caller owns retry policy, because a blind
+  /// retransmit could double-submit a non-idempotent operation.
+  std::optional<wire::WireMessage> request(std::uint16_t peer, const wire::WireMessage& msg);
+
+  /// Best-effort one-way send (no reply expected). False if no connection
+  /// could be established.
+  bool send_oneway(std::uint16_t peer, const wire::WireMessage& msg);
+
+  /// Start/stop heartbeating a peer. Watched peers that go silent past the
+  /// heartbeat timeout fire the dead-peer callback once and are unwatched.
+  void watch(std::uint16_t peer);
+  void unwatch(std::uint16_t peer);
+
+  /// Run the poll loop for up to `max_wait` seconds: accept, read, decode,
+  /// dispatch, flush, heartbeat. Returns after one poll round.
+  void pump(double max_wait);
+
+  /// Graceful shutdown: Bye to every live connection, flush, close all.
+  /// (A crash sends nothing — that is the point of the Bye/silence split.)
+  void shutdown();
+
+  [[nodiscard]] const TransportCounters& counters() const noexcept { return counters_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::uint16_t peer_port = 0;  ///< 0 for inbound connections (unknown)
+    bool outbound = false;
+    bool draining = false;   ///< drain_inbuf re-entrancy guard (nested pump)
+    bool in_flight = false;  ///< a request() awaits its reply on this conn
+    std::vector<std::byte> inbuf;
+    std::vector<std::byte> outbuf;
+    std::deque<wire::WireMessage> replies;  ///< inbound non-liveness frames (outbound conns)
+  };
+
+  struct Watch {
+    double next_send = 0.0;
+    double last_seen = 0.0;
+    std::uint64_t nonce = 0;
+  };
+
+  [[nodiscard]] static double now_seconds() noexcept;
+
+  Conn* connection(std::uint16_t peer);  ///< existing outbound conn or nullptr
+  Conn* dial(std::uint16_t peer);        ///< connect with capped jittered backoff
+  /// Single attempt, no backoff. With register_conn false, the connection is
+  /// kept out of outbound_fd_ — a private channel for a nested request()
+  /// while the cached connection already has a reply in flight.
+  Conn* dial_once(std::uint16_t peer, bool register_conn = true);
+  void enqueue_frame(Conn& c, const wire::WireMessage& msg);
+  void flush(Conn& c);
+  void close_conn(int fd);
+  void drain_inbuf(Conn& c);
+  void dispatch(Conn& c, const wire::WireMessage& msg);
+  void heartbeat_tick(double now);
+
+  TcpConfig cfg_;
+  sim::rng::Stream jitter_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  Handler handler_;
+  std::function<void(std::uint16_t)> peer_dead_;
+  std::function<void(std::uint16_t)> peer_bye_;
+  std::map<int, Conn> conns_;                  ///< by fd
+  std::map<std::uint16_t, int> outbound_fd_;   ///< peer port -> fd
+  std::map<std::uint16_t, bool> was_connected_;  ///< peer ever dialled (reconnect counting)
+  std::map<std::uint16_t, Watch> watched_;
+  /// Reply that arrived in the same read batch as the connection's death
+  /// (e.g. reply + Bye from a peer shutting down): parked here by
+  /// close_conn so the in-flight request() can still return it.
+  std::map<int, wire::WireMessage> orphaned_;
+  std::vector<std::byte> scratch_;
+  TransportCounters counters_;
+  bool shut_down_ = false;
+};
+
+}  // namespace p2panon::transport

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Regression tests for tools/lint/check_invariants.py (rules R1-R8).
+"""Regression tests for tools/lint/check_invariants.py (rules R1-R9).
 
 Each test materialises a minimal synthetic repo tree in a tempdir containing
 one violating site and one conforming site for a single rule, then runs the
@@ -303,11 +303,50 @@ class InvariantLinterRules(unittest.TestCase):
         }) as root:
             self.assert_findings(run_linter(root, "R8"), "bank-partition", 0)
 
+    # --- R9 -------------------------------------------------------------
+
+    def test_r9_flags_raw_sockets_outside_transport(self) -> None:
+        with make_tree({
+            "examples/side_channel.cpp": """\
+                #include <sys/socket.h>
+                int bad() {
+                  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+                  ::send(fd, "x", 1, 0);
+                  return fd;
+                }
+                void fine() {
+                  auto f = std::bind(&bad);       // std::bind is not ::bind
+                  transport::connect(1, 2);       // qualified name, not a syscall
+                }
+                int affirmed(int fd, char* buf) {
+                  // lint-exempt(transport): hostile-peer fixture reads the raw FIN
+                  return ::recv(fd, buf, 1, 0);
+                }
+            """,
+            "src/transport/tcp_impl.cpp": """\
+                #include <sys/socket.h>
+                int owner() { return ::socket(AF_INET, SOCK_STREAM, 0); }
+            """,
+        }) as root:
+            proc = run_linter(root, "R9")
+            self.assert_findings(proc, "raw-socket", 2)
+            self.assertIn("examples/side_channel.cpp:3:", proc.stdout)
+            self.assertIn("examples/side_channel.cpp:4:", proc.stdout)
+
+    def test_r9_waiver_requires_a_reason(self) -> None:
+        with make_tree({
+            "tests/net/test_probe.cpp": """\
+                // lint-exempt(transport):
+                int fd = ::socket(0, 0, 0);
+            """,
+        }) as root:
+            self.assert_findings(run_linter(root, "R9"), "raw-socket", 1)
+
     # --- CLI ------------------------------------------------------------
 
     def test_rules_flag_rejects_unknown_ids(self) -> None:
         with make_tree({}) as root:
-            proc = run_linter(root, "R9")
+            proc = run_linter(root, "R99")
             self.assertEqual(proc.returncode, 2)
             self.assertIn("unknown rule id", proc.stderr)
 

@@ -110,6 +110,17 @@ void expect_same_results(const ReplicatedResult& a, const ReplicatedResult& b) {
   EXPECT_EQ(a.total_settlement_paid_milli, b.total_settlement_paid_milli);
   EXPECT_EQ(a.total_settlement_refunded_milli, b.total_settlement_refunded_milli);
   EXPECT_EQ(a.all_settlements_reconciled, b.all_settlements_reconciled);
+  // Transport-plane counters: the Sim backend frames the same messages in
+  // the same order every run, so these are as deterministic as the engine
+  // counters above.
+  EXPECT_EQ(a.total_transport_frames_sent, b.total_transport_frames_sent);
+  EXPECT_EQ(a.total_transport_frames_delivered, b.total_transport_frames_delivered);
+  EXPECT_EQ(a.total_transport_frames_dropped, b.total_transport_frames_dropped);
+  EXPECT_EQ(a.total_transport_frames_rejected, b.total_transport_frames_rejected);
+  EXPECT_EQ(a.total_transport_reconnects, b.total_transport_reconnects);
+  EXPECT_EQ(a.total_transport_backoff_retries, b.total_transport_backoff_retries);
+  EXPECT_EQ(a.total_transport_heartbeat_timeouts, b.total_transport_heartbeat_timeouts);
+  EXPECT_EQ(a.total_transport_deadline_expiries, b.total_transport_deadline_expiries);
 }
 
 ScenarioConfig faulty_stress_config(std::uint64_t seed = 23) {

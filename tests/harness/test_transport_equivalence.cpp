@@ -1,0 +1,224 @@
+// Transport-backend equivalence: routing fault-mode legs/acks/keepalives and
+// bank-fault claim/close traffic through transport::SimTransport (kSim) must
+// be *bitwise* invisible next to the legacy direct scheduling (kDirect) in
+// every result field except the transport_* counters.
+//
+// This is the pin that lets kSim be the default: the transport plane adds a
+// wire-codec round-trip and frame accounting per message, but consumes the
+// same RNG draws in the same order and schedules the same continuations at
+// the same times. EXPECT_DOUBLE_EQ tolerance would mask a low-bit divergence
+// (an extra draw, a reordered schedule), hence the bit_cast comparisons.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+
+#include "harness/scenario.hpp"
+
+using namespace p2panon;
+using namespace p2panon::harness;
+
+namespace {
+
+ScenarioConfig small_config(std::uint64_t seed) {
+  ScenarioConfig cfg = paper_default_config(seed);
+  cfg.overlay.node_count = 15;
+  cfg.overlay.degree = 3;
+  cfg.overlay.malicious_fraction = 0.2;
+  cfg.pair_count = 6;
+  cfg.connections_per_pair = 4;
+  cfg.warmup = sim::minutes(20.0);
+  cfg.pair_start_window = sim::minutes(20.0);
+  return cfg;
+}
+
+ScenarioConfig faulty_config(std::uint64_t seed) {
+  ScenarioConfig cfg = small_config(seed);
+  cfg.fault.link_loss = 0.05;
+  cfg.fault.delay_jitter = 0.3;
+  cfg.fault.crash_rate_per_hour = 4.0;
+  cfg.fault.crash_recovery_mean = sim::minutes(10.0);
+  cfg.fault.probe_false_negative = 0.1;
+  cfg.async_setup.attempt_deadline = sim::minutes(3.0);
+  cfg.data_phase.duration = 60.0;
+  cfg.data_phase.keepalive_interval = 10.0;
+  return cfg;
+}
+
+ScenarioConfig bank_fault_config(std::uint64_t seed) {
+  ScenarioConfig cfg = faulty_config(seed);
+  cfg.fault.bank.claim_loss = 0.2;
+  cfg.fault.bank.claim_delay_mean = sim::minutes(4.0);
+  cfg.fault.bank.initiator_crash = 0.3;
+  cfg.fault.bank.forwarder_crash = 0.15;
+  cfg.fault.bank.claim_deadline = sim::minutes(20.0);
+  cfg.fault.bank.close_after = sim::minutes(8.0);
+  return cfg;
+}
+
+void expect_biteq(double a, double b, const char* what) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b))
+      << what << ": " << a << " vs " << b;
+}
+
+void expect_acc_biteq(const metrics::Accumulator& a, const metrics::Accumulator& b,
+                      const char* what) {
+  EXPECT_EQ(a.count(), b.count()) << what;
+  expect_biteq(a.mean(), b.mean(), what);
+  expect_biteq(a.variance(), b.variance(), what);
+}
+
+/// Every ScenarioResult field EXCEPT the transport_* counters, bitwise.
+void expect_same_modulo_transport(const ScenarioResult& a, const ScenarioResult& b) {
+  expect_acc_biteq(a.good_payoff, b.good_payoff, "good_payoff");
+  expect_acc_biteq(a.member_payoff, b.member_payoff, "member_payoff");
+  expect_acc_biteq(a.forwarder_set_size, b.forwarder_set_size, "forwarder_set_size");
+  expect_acc_biteq(a.avg_path_length, b.avg_path_length, "avg_path_length");
+  expect_acc_biteq(a.path_quality, b.path_quality, "path_quality");
+  expect_acc_biteq(a.connection_latency, b.connection_latency, "connection_latency");
+  expect_acc_biteq(a.initiator_utility, b.initiator_utility, "initiator_utility");
+  expect_acc_biteq(a.initiator_spend, b.initiator_spend, "initiator_spend");
+  ASSERT_EQ(a.good_payoff_samples.size(), b.good_payoff_samples.size());
+  for (std::size_t i = 0; i < a.good_payoff_samples.size(); ++i) {
+    expect_biteq(a.good_payoff_samples[i], b.good_payoff_samples[i], "good_payoff_samples");
+  }
+  ASSERT_EQ(a.member_payoff_samples.size(), b.member_payoff_samples.size());
+  for (std::size_t i = 0; i < a.member_payoff_samples.size(); ++i) {
+    expect_biteq(a.member_payoff_samples[i], b.member_payoff_samples[i],
+                 "member_payoff_samples");
+  }
+  ASSERT_EQ(a.new_edge_fraction_by_conn.size(), b.new_edge_fraction_by_conn.size());
+  for (std::size_t i = 0; i < a.new_edge_fraction_by_conn.size(); ++i) {
+    expect_acc_biteq(a.new_edge_fraction_by_conn[i], b.new_edge_fraction_by_conn[i],
+                     "new_edge_fraction_by_conn");
+  }
+  expect_biteq(a.routing_efficiency, b.routing_efficiency, "routing_efficiency");
+  EXPECT_EQ(a.churn_events, b.churn_events);
+  EXPECT_EQ(a.reformations, b.reformations);
+  EXPECT_EQ(a.probes, b.probes);
+  EXPECT_EQ(a.connections_completed, b.connections_completed);
+  EXPECT_EQ(a.payment_conserved, b.payment_conserved);
+  expect_biteq(a.total_paid_credits, b.total_paid_credits, "total_paid_credits");
+  expect_biteq(a.sim_end_time, b.sim_end_time, "sim_end_time");
+  EXPECT_EQ(a.connections_failed, b.connections_failed);
+  EXPECT_EQ(a.setup_attempts, b.setup_attempts);
+  EXPECT_EQ(a.setup_ack_timeouts, b.setup_ack_timeouts);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.messages_dropped, b.messages_dropped);
+  EXPECT_EQ(a.probe_false_negatives, b.probe_false_negatives);
+  EXPECT_EQ(a.keepalives_sent, b.keepalives_sent);
+  EXPECT_EQ(a.keepalives_delivered, b.keepalives_delivered);
+  EXPECT_EQ(a.failures_detected, b.failures_detected);
+  expect_acc_biteq(a.setup_time, b.setup_time, "setup_time");
+  expect_acc_biteq(a.time_to_detect, b.time_to_detect, "time_to_detect");
+  // The engine counters are the sharpest probe: one extra scheduled event —
+  // a wrapped continuation, a stray timer — shows up here first.
+  EXPECT_EQ(a.engine_events_scheduled, b.engine_events_scheduled);
+  EXPECT_EQ(a.engine_events_cancelled, b.engine_events_cancelled);
+  EXPECT_EQ(a.engine_events_fired, b.engine_events_fired);
+  EXPECT_EQ(a.engine_callback_heap_allocs, b.engine_callback_heap_allocs);
+  EXPECT_EQ(a.engine_cross_shard_messages, b.engine_cross_shard_messages);
+  EXPECT_EQ(a.engine_window_barriers, b.engine_window_barriers);
+  EXPECT_EQ(a.settlements_closed, b.settlements_closed);
+  EXPECT_EQ(a.settlements_abandoned, b.settlements_abandoned);
+  EXPECT_EQ(a.settlements_expired, b.settlements_expired);
+  EXPECT_EQ(a.settlements_prorata, b.settlements_prorata);
+  EXPECT_EQ(a.claims_submitted, b.claims_submitted);
+  EXPECT_EQ(a.claims_lost, b.claims_lost);
+  EXPECT_EQ(a.claims_rejected, b.claims_rejected);
+  EXPECT_EQ(a.claims_after_terminal, b.claims_after_terminal);
+  EXPECT_EQ(a.settlement_escrow_milli, b.settlement_escrow_milli);
+  EXPECT_EQ(a.settlement_paid_milli, b.settlement_paid_milli);
+  EXPECT_EQ(a.settlement_refunded_milli, b.settlement_refunded_milli);
+  EXPECT_EQ(a.settlement_reconciled, b.settlement_reconciled);
+  EXPECT_EQ(a.sharded_digest, b.sharded_digest);
+}
+
+ScenarioResult run_with_backend(ScenarioConfig cfg, TransportBackend backend) {
+  cfg.transport = backend;
+  return ScenarioRunner(cfg).run();
+}
+
+void expect_transport_counters_zero(const ScenarioResult& r) {
+  EXPECT_EQ(r.transport_frames_sent, 0u);
+  EXPECT_EQ(r.transport_frames_delivered, 0u);
+  EXPECT_EQ(r.transport_frames_dropped, 0u);
+  EXPECT_EQ(r.transport_frames_rejected, 0u);
+  EXPECT_EQ(r.transport_reconnects, 0u);
+  EXPECT_EQ(r.transport_backoff_retries, 0u);
+  EXPECT_EQ(r.transport_heartbeat_timeouts, 0u);
+  EXPECT_EQ(r.transport_deadline_expiries, 0u);
+}
+
+}  // namespace
+
+TEST(TransportEquivalence, FaultFreePathSendsNoFramesEitherWay) {
+  // The non-fault scenario runs connections synchronously — no messages, so
+  // kSim has nothing to frame and both backends are trivially identical with
+  // all transport counters zero.
+  for (std::uint64_t seed : {17ull, 18ull}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const ScenarioResult direct = run_with_backend(small_config(seed),
+                                                   TransportBackend::kDirect);
+    const ScenarioResult sim = run_with_backend(small_config(seed), TransportBackend::kSim);
+    expect_same_modulo_transport(direct, sim);
+    expect_transport_counters_zero(direct);
+    expect_transport_counters_zero(sim);
+  }
+}
+
+TEST(TransportEquivalence, FaultModeIsBitwiseEqualAcrossBackends) {
+  for (std::uint64_t seed : {23ull, 24ull}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const ScenarioResult direct = run_with_backend(faulty_config(seed),
+                                                   TransportBackend::kDirect);
+    const ScenarioResult sim = run_with_backend(faulty_config(seed), TransportBackend::kSim);
+    ASSERT_GT(sim.crashes, 0u) << "config must actually exercise fault mode";
+    expect_same_modulo_transport(direct, sim);
+
+    // kDirect frames nothing; kSim frames every leg/ack/keepalive and
+    // accounts for each one exactly once.
+    expect_transport_counters_zero(direct);
+    EXPECT_GT(sim.transport_frames_sent, 0u);
+    EXPECT_EQ(sim.transport_frames_sent,
+              sim.transport_frames_delivered + sim.transport_frames_dropped);
+    EXPECT_EQ(sim.transport_frames_rejected, 0u) << "self-encoded frames must round-trip";
+    // TCP-only rows stay zero in-sim.
+    EXPECT_EQ(sim.transport_reconnects, 0u);
+    EXPECT_EQ(sim.transport_backoff_retries, 0u);
+    EXPECT_EQ(sim.transport_heartbeat_timeouts, 0u);
+    EXPECT_EQ(sim.transport_deadline_expiries, 0u);
+  }
+}
+
+TEST(TransportEquivalence, BankFaultModeIsBitwiseEqualAcrossBackends) {
+  for (std::uint64_t seed : {29ull, 30ull}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const ScenarioResult direct = run_with_backend(bank_fault_config(seed),
+                                                   TransportBackend::kDirect);
+    const ScenarioResult sim = run_with_backend(bank_fault_config(seed),
+                                                TransportBackend::kSim);
+    ASSERT_GT(sim.claims_submitted, 0u) << "config must actually submit claims";
+    expect_same_modulo_transport(direct, sim);
+
+    expect_transport_counters_zero(direct);
+    // Claim/close traffic rides the transport too, on top of legs/acks.
+    EXPECT_GT(sim.transport_frames_sent,
+              sim.keepalives_sent)  // strictly more frame types than keepalives
+        << "claim/close frames should add to the data-plane traffic";
+    EXPECT_EQ(sim.transport_frames_sent,
+              sim.transport_frames_delivered + sim.transport_frames_dropped);
+    EXPECT_EQ(sim.transport_frames_rejected, 0u);
+  }
+}
+
+TEST(TransportEquivalence, FramesDroppedMatchesTheInjectorCount) {
+  // SimTransport's drop accounting and the injector's own counter observe
+  // the same coin flips for legs/acks/keepalives; claim/close frames are
+  // dispatched synchronously and never dropped, so the transport's dropped
+  // row can only exceed the injector's messages_dropped... never, and the
+  // leg/ack/keepalive drops are exactly the injector's. (Claim loss is a
+  // separate bank-fault stream counted in claims_lost, not frame drops.)
+  const ScenarioResult sim = run_with_backend(faulty_config(31), TransportBackend::kSim);
+  EXPECT_EQ(sim.transport_frames_dropped, sim.messages_dropped);
+}

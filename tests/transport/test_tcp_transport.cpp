@@ -1,0 +1,302 @@
+// Loopback tests for the multi-process TCP backend.
+//
+// Socket hygiene (the rules that keep these tests green on any CI host):
+// every port is kernel-assigned (listen(0)), every test skips cleanly when
+// the sandbox refuses socket(2), and the binary carries an explicit ctest
+// TIMEOUT well under the suite default so a wedged poll loop fails fast
+// instead of hanging the run (tests/CMakeLists.txt).
+//
+// The raw-socket calls below are the *attacker*: they inject bytes the
+// TcpTransport API could never produce, which is exactly the hostile-peer
+// surface the codec contract pins. They carry lint-exempt(transport)
+// waivers because production code must go through src/transport (rule R9).
+#include "transport/tcp_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace p2panon;
+using namespace p2panon::transport;
+
+TcpConfig fast_config() {
+  TcpConfig cfg;
+  cfg.connect_backoff_base = 0.01;
+  cfg.connect_backoff_cap = 0.05;
+  cfg.connect_max_attempts = 3;
+  cfg.read_deadline = 2.0;
+  cfg.heartbeat_period = 0.05;
+  cfg.heartbeat_timeout = 0.4;
+  return cfg;
+}
+
+#define SKIP_WITHOUT_SOCKETS()                                        \
+  if (!TcpTransport::sockets_available()) {                           \
+    GTEST_SKIP() << "sandbox refuses socket(2); skipping TCP tests";  \
+  }
+
+/// Minimal raw TCP client for injecting arbitrary bytes (the hostile peer).
+class RawClient {
+ public:
+  explicit RawClient(std::uint16_t port) {
+    // lint-exempt(transport): test attacker injects raw bytes on purpose
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    // lint-exempt(transport): test attacker dials the victim directly
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~RawClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  [[nodiscard]] bool ok() const { return fd_ >= 0; }
+
+  void send_bytes(const std::vector<std::byte>& bytes) {
+    // lint-exempt(transport): test attacker writes malformed frames
+    (void)::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+  }
+
+  /// True if the peer closed the connection within `wait_ms`.
+  bool peer_closed(int wait_ms) {
+    pollfd p{fd_, POLLIN, 0};
+    if (::poll(&p, 1, wait_ms) <= 0) return false;
+    std::byte buf[64];
+    // lint-exempt(transport): test attacker observes the victim's FIN
+    return ::recv(fd_, buf, sizeof(buf), 0) == 0;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Pump `t` until `done()` or ~`seconds` of wall time passed.
+template <typename Pred>
+bool pump_until(TcpTransport& t, Pred done, double seconds = 2.0) {
+  for (int i = 0; i < static_cast<int>(seconds / 0.01); ++i) {
+    if (done()) return true;
+    t.pump(0.01);
+  }
+  return done();
+}
+
+TEST(TcpTransport, ListenBindsAnEphemeralPort) {
+  SKIP_WITHOUT_SOCKETS();
+  TcpTransport t(fast_config(), sim::rng::Stream(1));
+  const std::uint16_t port = t.listen(0);
+  ASSERT_NE(port, 0);
+  EXPECT_EQ(t.port(), port);
+}
+
+TEST(TcpTransport, OnewayFrameIsDeliveredToTheHandler) {
+  SKIP_WITHOUT_SOCKETS();
+  TcpTransport a(fast_config(), sim::rng::Stream(1));
+  TcpTransport b(fast_config(), sim::rng::Stream(2));
+  ASSERT_NE(a.listen(0), 0);
+  ASSERT_NE(b.listen(0), 0);
+
+  std::vector<wire::WireMessage> received;
+  b.set_handler([&received](const wire::WireMessage& m) {
+    received.push_back(m);
+    return std::nullopt;
+  });
+
+  ASSERT_TRUE(a.send_oneway(b.port(), wire::CloseMsg{17}));
+  ASSERT_TRUE(pump_until(b, [&received] { return !received.empty(); }));
+  EXPECT_EQ(received.front(), wire::WireMessage{wire::CloseMsg{17}});
+  EXPECT_GE(a.counters().frames_sent, 1u);
+  EXPECT_GE(a.counters().frames_delivered, 1u);
+  EXPECT_EQ(b.counters().frames_rejected, 0u);
+}
+
+TEST(TcpTransport, RequestReplyRoundTripsWhilePeerPumps) {
+  SKIP_WITHOUT_SOCKETS();
+  TcpTransport a(fast_config(), sim::rng::Stream(1));
+  TcpTransport b(fast_config(), sim::rng::Stream(2));
+  ASSERT_NE(a.listen(0), 0);
+  ASSERT_NE(b.listen(0), 0);
+
+  b.set_handler([](const wire::WireMessage& m) -> std::optional<wire::WireMessage> {
+    if (const auto* c = std::get_if<wire::CloseMsg>(&m)) {
+      return wire::CloseReplyMsg{static_cast<std::uint8_t>(c->sid == 17 ? 1 : 0)};
+    }
+    return std::nullopt;
+  });
+
+  // b lives on its own thread, as a real peer process would; it is touched
+  // by exactly one thread at a time (handler/listen configured before the
+  // thread starts, counters read after join).
+  std::atomic<bool> done{false};
+  std::thread pumper([&b, &done] {
+    while (!done.load()) b.pump(0.01);
+  });
+
+  const std::optional<wire::WireMessage> reply = a.request(b.port(), wire::CloseMsg{17});
+  done.store(true);
+  pumper.join();
+
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(*reply, wire::WireMessage{wire::CloseReplyMsg{1}});
+  EXPECT_EQ(a.counters().deadline_expiries, 0u);
+}
+
+TEST(TcpTransport, RequestDeadlineExpiresAgainstASilentPeer) {
+  SKIP_WITHOUT_SOCKETS();
+  TcpConfig cfg = fast_config();
+  cfg.read_deadline = 0.2;
+  TcpTransport a(cfg, sim::rng::Stream(1));
+  TcpTransport b(fast_config(), sim::rng::Stream(2));
+  ASSERT_NE(b.listen(0), 0);
+  // b listens but never pumps: the kernel accepts the connection into the
+  // backlog, the frame lands in a buffer nobody reads, and no reply ever
+  // comes — request() must give up at the deadline, not hang.
+  const std::optional<wire::WireMessage> reply = a.request(b.port(), wire::CloseMsg{1});
+  EXPECT_FALSE(reply.has_value());
+  EXPECT_EQ(a.counters().deadline_expiries, 1u);
+}
+
+TEST(TcpTransport, DialFailureBacksOffThenGivesUp) {
+  SKIP_WITHOUT_SOCKETS();
+  TcpTransport a(fast_config(), sim::rng::Stream(1));
+  // A port with (almost certainly) no listener: bind one, learn the port,
+  // close it again so connect() gets RST.
+  TcpTransport probe(fast_config(), sim::rng::Stream(2));
+  const std::uint16_t dead_port = probe.listen(0);
+  ASSERT_NE(dead_port, 0);
+  probe.shutdown();
+
+  EXPECT_FALSE(a.send_oneway(dead_port, wire::CloseMsg{1}));
+  EXPECT_EQ(a.counters().backoff_retries,
+            static_cast<std::uint64_t>(fast_config().connect_max_attempts - 1));
+  EXPECT_GE(a.counters().frames_dropped, 1u);
+}
+
+TEST(TcpTransport, MalformedFramesAreCountedAndTheStreamContinues) {
+  SKIP_WITHOUT_SOCKETS();
+  TcpTransport b(fast_config(), sim::rng::Stream(2));
+  ASSERT_NE(b.listen(0), 0);
+  std::vector<wire::WireMessage> received;
+  b.set_handler([&received](const wire::WireMessage& m) {
+    received.push_back(m);
+    return std::nullopt;
+  });
+
+  // One frame with a flipped payload bit (bad CRC, skippable) followed by
+  // an intact frame on the same connection: the victim must count the first
+  // and deliver the second.
+  std::vector<std::byte> bytes;
+  encode(wire::WireMessage{wire::CloseMsg{1}}, bytes);
+  bytes[kHeaderSize] ^= static_cast<std::byte>(0x01);
+  encode(wire::WireMessage{wire::CloseMsg{42}}, bytes);
+
+  RawClient attacker(b.port());
+  ASSERT_TRUE(attacker.ok());
+  attacker.send_bytes(bytes);
+
+  ASSERT_TRUE(pump_until(b, [&received] { return !received.empty(); }));
+  EXPECT_EQ(received.front(), wire::WireMessage{wire::CloseMsg{42}});
+  EXPECT_EQ(b.counters().frames_rejected, 1u);
+}
+
+TEST(TcpTransport, BadMagicDropsTheConnection) {
+  SKIP_WITHOUT_SOCKETS();
+  TcpTransport b(fast_config(), sim::rng::Stream(2));
+  ASSERT_NE(b.listen(0), 0);
+  std::vector<wire::WireMessage> received;
+  b.set_handler([&received](const wire::WireMessage& m) {
+    received.push_back(m);
+    return std::nullopt;
+  });
+
+  // Garbage at the head of the stream is unresynchronisable: even a valid
+  // frame behind it must NOT be delivered — the connection is cut.
+  std::vector<std::byte> bytes(8, static_cast<std::byte>(0xFF));
+  encode(wire::WireMessage{wire::CloseMsg{42}}, bytes);
+
+  RawClient attacker(b.port());
+  ASSERT_TRUE(attacker.ok());
+  attacker.send_bytes(bytes);
+
+  pump_until(b, [&b] { return b.counters().frames_rejected > 0; });
+  EXPECT_EQ(b.counters().frames_rejected, 1u);
+  EXPECT_TRUE(received.empty());
+  EXPECT_TRUE(attacker.peer_closed(1000));
+}
+
+TEST(TcpTransport, ByeIsGracefulNotACrash) {
+  SKIP_WITHOUT_SOCKETS();
+  TcpTransport a(fast_config(), sim::rng::Stream(1));
+  TcpTransport b(fast_config(), sim::rng::Stream(2));
+  ASSERT_NE(a.listen(0), 0);
+  ASSERT_NE(b.listen(0), 0);
+
+  std::vector<std::uint16_t> byes;
+  std::vector<std::uint16_t> deaths;
+  b.set_peer_bye([&byes](std::uint16_t p) { byes.push_back(p); });
+  b.set_peer_dead([&deaths](std::uint16_t p) { deaths.push_back(p); });
+
+  ASSERT_TRUE(a.send_oneway(b.port(), wire::CloseMsg{1}));
+  a.shutdown();  // clean departure: Bye rides ahead of the FIN
+
+  ASSERT_TRUE(pump_until(b, [&byes] { return !byes.empty(); }));
+  EXPECT_EQ(byes.front(), a.port());
+  EXPECT_TRUE(deaths.empty());
+}
+
+TEST(TcpTransport, HeartbeatTimeoutDetectsASilentPeer) {
+  SKIP_WITHOUT_SOCKETS();
+  TcpTransport a(fast_config(), sim::rng::Stream(1));
+  TcpTransport b(fast_config(), sim::rng::Stream(2));
+  ASSERT_NE(a.listen(0), 0);
+  ASSERT_NE(b.listen(0), 0);
+
+  std::vector<std::uint16_t> deaths;
+  a.set_peer_dead([&deaths](std::uint16_t p) { deaths.push_back(p); });
+
+  // b never pumps: heartbeats land in its kernel buffer unanswered — the
+  // crash shape (silence), as opposed to the Bye shape above.
+  a.watch(b.port());
+  ASSERT_TRUE(pump_until(a, [&deaths] { return !deaths.empty(); }, 4.0));
+  EXPECT_EQ(deaths.front(), b.port());
+  EXPECT_EQ(a.counters().heartbeat_timeouts, 1u);
+}
+
+TEST(TcpTransport, HeartbeatKeepsALivePeerWatched) {
+  SKIP_WITHOUT_SOCKETS();
+  TcpTransport a(fast_config(), sim::rng::Stream(1));
+  TcpTransport b(fast_config(), sim::rng::Stream(2));
+  ASSERT_NE(a.listen(0), 0);
+  ASSERT_NE(b.listen(0), 0);
+
+  std::vector<std::uint16_t> deaths;
+  a.set_peer_dead([&deaths](std::uint16_t p) { deaths.push_back(p); });
+  a.watch(b.port());
+
+  // Pump both sides for > heartbeat_timeout: acks flow, nobody dies.
+  for (int i = 0; i < 80; ++i) {
+    a.pump(0.005);
+    b.pump(0.005);
+  }
+  EXPECT_TRUE(deaths.empty());
+  EXPECT_EQ(a.counters().heartbeat_timeouts, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,354 @@
+// Wire-codec round-trip and malformed-frame tests.
+//
+// Separate binary: like test_alloc_guard, it replaces the global allocation
+// functions with counting wrappers to pin the codec's reject path at zero
+// heap traffic — a hostile peer spraying garbage frames must not be able to
+// make the receiver allocate (let alone crash), so every verdict in the
+// malformed corpus is decoded once more inside a counted window.
+#include "transport/crc32.hpp"
+#include "transport/wire_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<std::uint64_t> g_allocations{0};
+
+void note_allocation() {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void* checked_malloc(std::size_t n) {
+  note_allocation();
+  void* p = std::malloc(n == 0 ? 1 : n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* checked_aligned(std::size_t n, std::size_t align) {
+  note_allocation();
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align, n == 0 ? 1 : n) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t n) { return checked_malloc(n); }
+void* operator new[](std::size_t n) { return checked_malloc(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  return checked_aligned(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return checked_aligned(n, static_cast<std::size_t>(a));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace p2panon;
+using namespace p2panon::transport;
+
+/// One representative instance per message type, every field non-default so
+/// a dropped or reordered field cannot round-trip by accident.
+std::vector<wire::WireMessage> sample_messages() {
+  payment::ForwardReceipt receipt;
+  receipt.pair = 11;
+  receipt.conn_index = 3;
+  receipt.forwarder = 42;
+  receipt.predecessor = 41;
+  receipt.successor = 43;
+  receipt.mac = 0xDEADBEEFCAFEF00Dull;
+
+  std::vector<wire::WireMessage> msgs;
+  msgs.push_back(wire::LegMsg{7, 2, 5, 0x123456789ABCDEF0ull, 1, 10, 11, 4, 2});
+  msgs.push_back(wire::AckMsg{7, 2, 0x123456789ABCDEF0ull});
+  msgs.push_back(wire::NackMsg{7, 2, 5});
+  msgs.push_back(wire::DataMsg{7, 2, 9, 0xFEDCBA9876543210ull, 3, 1});
+  msgs.push_back(wire::ClaimMsg{17, 42, receipt});
+  msgs.push_back(wire::ClaimReplyMsg{2});
+  msgs.push_back(wire::CloseMsg{17});
+  msgs.push_back(wire::CloseReplyMsg{1});
+  msgs.push_back(wire::OpenSettlementMsg{
+      11, 9, 5000, 40, 25, {wire::WirePathRecord{0, 1, 5, {2, 3, 4}},
+                            wire::WirePathRecord{1, 1, 5, {6}}}});
+  msgs.push_back(wire::OpenReplyMsg{1, 17});
+  msgs.push_back(wire::ContractMsg{17, 40001, receipt});
+  msgs.push_back(wire::ContractAckMsg{17});
+  msgs.push_back(wire::HelloMsg{42});
+  msgs.push_back(wire::HelloReplyMsg{9, 0xA5A5A5A5A5A5A5A5ull, 100000});
+  msgs.push_back(wire::SetupMsg{11, 3, 1, {1, 2, 3, 4, 5}});
+  msgs.push_back(wire::SetupAckMsg{11, 3});
+  msgs.push_back(wire::HeartbeatMsg{0x1111222233334444ull});
+  msgs.push_back(wire::HeartbeatAckMsg{0x1111222233334444ull});
+  msgs.push_back(wire::ByeMsg{40002});
+  msgs.push_back(wire::SweepMsg{1});
+  msgs.push_back(wire::SweepReplyMsg{13});
+  return msgs;
+}
+
+std::vector<std::byte> encode_one(const wire::WireMessage& m) {
+  std::vector<std::byte> buf;
+  const std::size_t n = encode(m, buf);
+  EXPECT_EQ(n, buf.size());
+  EXPECT_GE(n, kFrameOverhead);
+  return buf;
+}
+
+std::uint32_t read_le32(const std::vector<std::byte>& b, std::size_t at) {
+  return static_cast<std::uint32_t>(b[at]) | (static_cast<std::uint32_t>(b[at + 1]) << 8) |
+         (static_cast<std::uint32_t>(b[at + 2]) << 16) |
+         (static_cast<std::uint32_t>(b[at + 3]) << 24);
+}
+
+std::uint16_t read_le16(const std::vector<std::byte>& b, std::size_t at) {
+  return static_cast<std::uint16_t>(static_cast<std::uint16_t>(b[at]) |
+                                    (static_cast<std::uint16_t>(b[at + 1]) << 8));
+}
+
+void write_le16(std::vector<std::byte>& b, std::size_t at, std::uint16_t v) {
+  b[at] = static_cast<std::byte>(v & 0xFF);
+  b[at + 1] = static_cast<std::byte>(v >> 8);
+}
+
+void write_le32(std::vector<std::byte>& b, std::size_t at, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) b[at + i] = static_cast<std::byte>((v >> (8 * i)) & 0xFF);
+}
+
+/// Recompute the trailing CRC after the test patched header/payload bytes —
+/// isolates the verdict under test from a cascading kBadCrc.
+void fix_crc(std::vector<std::byte>& frame) {
+  const std::uint32_t crc =
+      crc32(std::span<const std::byte>{frame.data(), frame.size() - 4});
+  write_le32(frame, frame.size() - 4, crc);
+}
+
+// --- Round-trip bit-exactness ------------------------------------------------
+
+TEST(WireCodec, RoundTripsEveryMessageTypeBitExactly) {
+  for (const wire::WireMessage& m : sample_messages()) {
+    SCOPED_TRACE("type " + std::to_string(static_cast<int>(wire::type_of(m))));
+    const std::vector<std::byte> frame = encode_one(m);
+
+    wire::WireMessage decoded;
+    std::size_t consumed = 0;
+    ASSERT_EQ(decode(frame, decoded, consumed), DecodeResult::kOk);
+    EXPECT_EQ(consumed, frame.size());
+    EXPECT_EQ(decoded, m) << "decoded message differs from the encoded one";
+
+    // Re-encoding the decoded message must reproduce the frame byte for
+    // byte — the codec is a bijection on its value set.
+    const std::vector<std::byte> again = encode_one(decoded);
+    EXPECT_EQ(again, frame);
+  }
+}
+
+TEST(WireCodec, HeaderLayoutIsPinned) {
+  const std::vector<std::byte> frame = encode_one(wire::HeartbeatMsg{0xABCDull});
+  EXPECT_EQ(read_le32(frame, 0), kWireMagic);
+  EXPECT_EQ(read_le16(frame, 4), kWireVersion);
+  EXPECT_EQ(read_le16(frame, 6), static_cast<std::uint16_t>(wire::MsgType::kHeartbeat));
+  EXPECT_EQ(read_le32(frame, 8), frame.size() - kFrameOverhead);  // payload length
+  const std::uint32_t crc =
+      crc32(std::span<const std::byte>{frame.data(), frame.size() - 4});
+  EXPECT_EQ(read_le32(frame, frame.size() - 4), crc);
+}
+
+TEST(WireCodec, EncodeAppendsForStreaming) {
+  std::vector<std::byte> buf;
+  const std::size_t first = encode(wire::CloseMsg{17}, buf);
+  const std::size_t second = encode(wire::SweepMsg{1}, buf);
+  ASSERT_EQ(buf.size(), first + second);
+
+  wire::WireMessage m;
+  std::size_t consumed = 0;
+  ASSERT_EQ(decode(buf, m, consumed), DecodeResult::kOk);
+  EXPECT_EQ(consumed, first);
+  EXPECT_EQ(m, wire::WireMessage{wire::CloseMsg{17}});
+  ASSERT_EQ(decode(std::span<const std::byte>{buf}.subspan(consumed), m, consumed),
+            DecodeResult::kOk);
+  EXPECT_EQ(consumed, second);
+  EXPECT_EQ(m, wire::WireMessage{wire::SweepMsg{1}});
+}
+
+// --- Malformed-frame corpus --------------------------------------------------
+
+struct MalformedCase {
+  const char* name;
+  std::vector<std::byte> bytes;
+  DecodeResult want;
+  std::size_t want_consumed;  ///< 0 = unresynchronisable
+};
+
+std::vector<MalformedCase> malformed_corpus() {
+  const std::vector<std::byte> good = [] {
+    std::vector<std::byte> b;
+    encode(wire::AckMsg{7, 2, 99}, b);
+    return b;
+  }();
+
+  std::vector<MalformedCase> corpus;
+
+  // Truncated header: fewer bytes than the fixed header.
+  corpus.push_back({"truncated-header",
+                    {good.begin(), good.begin() + static_cast<long>(kHeaderSize) - 1},
+                    DecodeResult::kTruncated, 0});
+
+  // Truncated frame: full header, payload cut short.
+  corpus.push_back({"truncated-frame", {good.begin(), good.end() - 5},
+                    DecodeResult::kTruncated, 0});
+
+  // Bad magic: the stream is garbage; no resync is possible.
+  {
+    std::vector<std::byte> b = good;
+    b[0] = static_cast<std::byte>(0x00);
+    corpus.push_back({"bad-magic", std::move(b), DecodeResult::kBadMagic, 0});
+  }
+
+  // Oversize: declared length exceeds max_frame; header untrusted.
+  {
+    std::vector<std::byte> b = good;
+    write_le32(b, 8, static_cast<std::uint32_t>(kDefaultMaxFrame) + 1);
+    fix_crc(b);
+    corpus.push_back({"oversize", std::move(b), DecodeResult::kOversize, 0});
+  }
+
+  // Future version: version gate fires before the CRC check by contract (a
+  // future version may change the checksum algorithm, never the header), so
+  // the CRC is deliberately NOT fixed up here.
+  {
+    std::vector<std::byte> b = good;
+    write_le16(b, 4, kWireVersion + 1);
+    corpus.push_back({"future-version", std::move(b), DecodeResult::kFutureVersion,
+                      good.size()});
+  }
+
+  // Bad CRC: one payload bit flipped.
+  {
+    std::vector<std::byte> b = good;
+    b[kHeaderSize] ^= static_cast<std::byte>(0x01);
+    corpus.push_back({"bad-crc", std::move(b), DecodeResult::kBadCrc, good.size()});
+  }
+
+  // Unknown type at this version (frame otherwise intact).
+  {
+    std::vector<std::byte> b = good;
+    write_le16(b, 6, 999);
+    fix_crc(b);
+    corpus.push_back({"unknown-type", std::move(b), DecodeResult::kUnknownType, good.size()});
+  }
+
+  // Bad length: valid frame whose payload is one byte longer than AckMsg
+  // parses — decode must consume the whole declared frame and move on.
+  {
+    std::vector<std::byte> b = good;
+    b.insert(b.end() - 4, static_cast<std::byte>(0));
+    write_le32(b, 8, read_le32(b, 8) + 1);
+    fix_crc(b);
+    corpus.push_back({"bad-length", std::move(b), DecodeResult::kBadLength, good.size() + 1});
+  }
+
+  return corpus;
+}
+
+TEST(WireCodec, MalformedCorpusIsRejectedWithTheContractedVerdicts) {
+  for (const MalformedCase& c : malformed_corpus()) {
+    SCOPED_TRACE(c.name);
+    wire::WireMessage out;
+    std::size_t consumed = 0xFFFF;  // decode must overwrite, even on reject
+    EXPECT_EQ(decode(c.bytes, out, consumed), c.want) << to_string(c.want);
+    EXPECT_EQ(consumed, c.want_consumed);
+  }
+}
+
+TEST(WireCodec, RejectPathDoesNotAllocate) {
+  // Warm-up pass (also pre-faults any lazy allocator state), then the same
+  // corpus decoded inside a counted window. No gtest assertions inside the
+  // window — they allocate.
+  const std::vector<MalformedCase> corpus = malformed_corpus();
+  wire::WireMessage out;
+  std::size_t consumed = 0;
+  for (const MalformedCase& c : corpus) (void)decode(c.bytes, out, consumed);
+
+  g_allocations.store(0);
+  g_counting.store(true);
+  for (const MalformedCase& c : corpus) (void)decode(c.bytes, out, consumed);
+  g_counting.store(false);
+
+  EXPECT_EQ(g_allocations.load(), 0u) << "rejecting a malformed frame heap-allocated";
+}
+
+TEST(WireCodec, SkipsDamagedFrameAndDecodesTheNext) {
+  // A skippable verdict (kBadCrc) followed by an intact frame: advancing by
+  // `consumed` must land exactly on the next frame.
+  std::vector<std::byte> buf;
+  encode(wire::NackMsg{7, 2, 5}, buf);
+  buf[kHeaderSize] ^= static_cast<std::byte>(0x01);
+  const std::size_t first = buf.size();
+  encode(wire::HeartbeatAckMsg{77}, buf);
+
+  wire::WireMessage m;
+  std::size_t consumed = 0;
+  ASSERT_EQ(decode(buf, m, consumed), DecodeResult::kBadCrc);
+  ASSERT_EQ(consumed, first);
+  ASSERT_EQ(decode(std::span<const std::byte>{buf}.subspan(consumed), m, consumed),
+            DecodeResult::kOk);
+  EXPECT_EQ(m, wire::WireMessage{wire::HeartbeatAckMsg{77}});
+}
+
+TEST(WireCodec, EmptyBufferIsTruncatedNotAnError) {
+  wire::WireMessage m;
+  std::size_t consumed = 7;
+  EXPECT_EQ(decode(std::span<const std::byte>{}, m, consumed), DecodeResult::kTruncated);
+  EXPECT_EQ(consumed, 0u);
+}
+
+TEST(WireCodec, SetupPathBoundIsEnforced) {
+  // A SetupMsg whose path exceeds kMaxWirePath must not round-trip: the
+  // decoder rejects the frame (kBadLength) instead of reserving unbounded
+  // memory off a hostile count field.
+  wire::SetupMsg big;
+  big.pair = 1;
+  big.conn_index = 0;
+  big.hop = 0;
+  big.path.assign(wire::kMaxWirePath + 1, 3);
+  std::vector<std::byte> buf;
+  encode(wire::WireMessage{big}, buf);
+
+  wire::WireMessage m;
+  std::size_t consumed = 0;
+  EXPECT_EQ(decode(buf, m, consumed), DecodeResult::kBadLength);
+  EXPECT_EQ(consumed, buf.size());
+}
+
+TEST(WireCodec, CrcMatchesTheIeeeReference) {
+  // Pin the CRC polynomial/reflection against the canonical check value:
+  // CRC-32("123456789") = 0xCBF43926.
+  const char* s = "123456789";
+  std::vector<std::byte> bytes(9);
+  std::memcpy(bytes.data(), s, 9);
+  EXPECT_EQ(crc32(std::span<const std::byte>{bytes}), 0xCBF43926u);
+}
+
+}  // namespace

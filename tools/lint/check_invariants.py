@@ -5,14 +5,16 @@ Rule families that clang-tidy cannot express, keyed to contracts this
 codebase actually depends on:
 
 R1 determinism
-    ``src/core``, ``src/sim``, ``src/net``, ``src/harness``, ``src/fault``
-    and ``src/payment`` must be bitwise-deterministic
+    ``src/core``, ``src/sim``, ``src/net``, ``src/harness``, ``src/fault``,
+    ``src/payment`` and ``src/transport`` must be bitwise-deterministic
     in the scenario seed: every figure in EXPERIMENTS.md assumes that replaying
     a seed replays the run — including every bank-fault stream of the chaos
     sweep. Any ambient-entropy source — ``rand()``,
     ``std::random_device``, wall-clock reads — silently breaks that, usually
     without failing a test. Such calls are banned in those trees; randomness
     must come from ``sim::rng::Stream`` and time from ``Simulator::now()``.
+    (TcpTransport's poll loop genuinely runs on wall time — its one clock
+    read carries a ``lint-allow(determinism)`` waiver naming that fact.)
 
 R2 epoch contract
     PR 1 made the decision stack cache edge qualities and memoised lookahead
@@ -94,6 +96,22 @@ R8 bank-partition ownership
     line (read-only access belongs on ``partition_view(...)``, which the
     rule deliberately does not match).
 
+R9 raw-socket confinement
+    The transport plane (``src/transport``) owns every socket in the tree:
+    its codec is the single place frames are framed, checksummed and
+    length-checked, its reject path is the single place malformed bytes are
+    counted, and its Bye/heartbeat split is the single place liveness is
+    decided. A raw ``::socket`` / ``::send`` / ``::recv`` call anywhere else
+    is a second, unframed wire — invisible to the malformed-frame counters,
+    the suspicion feed and the chaos driver's conservation audit. The rule:
+    in ``src/``, ``bench/``, ``examples/`` and ``tests/``, any
+    global-namespace BSD socket call (``::socket``, ``::send``, ``::recv``,
+    ``::sendto``, ``::recvfrom``, ``::connect``, ``::accept``, ``::bind``,
+    ``::listen``) outside ``src/transport/`` must carry
+    ``// lint-exempt(transport): <reason>`` on or above the line — the only
+    legitimate holders are deliberate hostile-peer tests that inject raw
+    bytes past the codec on purpose.
+
 Exit status: 0 when clean, 1 with one ``file:line: [rule] message`` per finding.
 """
 
@@ -111,7 +129,7 @@ from typing import Iterator, List, Optional, Tuple
 # --------------------------------------------------------------------------
 
 DETERMINISM_DIRS = ("src/core", "src/sim", "src/net", "src/harness", "src/fault",
-                    "src/payment")
+                    "src/payment", "src/transport")
 
 # Patterns are matched against comment- and string-stripped source, so prose
 # like "initialised to rand(0, T)" in a doc comment never trips them.
@@ -606,6 +624,52 @@ def check_bank_partition_ownership(repo: pathlib.Path) -> List[str]:
 
 
 # --------------------------------------------------------------------------
+# R9 — raw BSD socket calls stay inside the transport plane
+# --------------------------------------------------------------------------
+
+RAW_SOCKET_DIRS = ("src", "bench", "examples", "tests")
+RAW_SOCKET_SKIP_PREFIX = "src/transport/"
+# Global-namespace-qualified calls only: `::send(` matches, `std::bind(` and
+# `transport::connect(` do not (the lookbehind rejects a preceding word char
+# or a further `:`), so qualified C++ names never trip the rule.
+RAW_SOCKET_RE = re.compile(
+    r"(?<![\w:])::\s*(socket|send|recv|sendto|recvfrom|connect|accept|bind|listen)\s*\(")
+# [ \t] (not \s) so a bare marker cannot borrow the next line as its reason.
+TRANSPORT_EXEMPT_RE = re.compile(r"lint-exempt\(transport\):[ \t]*\S")
+
+
+def check_raw_socket_confinement(repo: pathlib.Path) -> List[str]:
+    """Flag every global-namespace BSD socket call outside ``src/transport/``:
+    bytes moved past the wire codec skip its CRC/length/version checks, its
+    malformed-frame counters and the Bye/heartbeat liveness contract, so a
+    second wire silently undermines everything the transport tests pin.
+    Deliberate hostile-peer fixtures affirm themselves with
+    ``// lint-exempt(transport): <reason>`` on or above the call line."""
+    findings = []
+    for path in iter_source_files(repo, RAW_SOCKET_DIRS):
+        rel = path.relative_to(repo)
+        if rel.as_posix().startswith(RAW_SOCKET_SKIP_PREFIX):
+            continue  # the transport plane is the socket owner
+        raw = path.read_text(encoding="utf-8", errors="replace")
+        stripped = strip_comments_and_strings(raw)
+        raw_lines = raw.splitlines()
+        for m in RAW_SOCKET_RE.finditer(stripped):
+            lineno = stripped.count("\n", 0, m.start()) + 1
+            context = "\n".join(raw_lines[max(0, lineno - 2):lineno])
+            if TRANSPORT_EXEMPT_RE.search(context):
+                continue
+            findings.append(
+                f"{rel}:{lineno}: [raw-socket] direct ::{m.group(1)}() outside "
+                f"src/transport/; bytes moved past the wire codec bypass its "
+                f"CRC/length/version checks, the malformed-frame counters and "
+                f"the Bye/heartbeat liveness contract. Route traffic through "
+                f"transport::TcpTransport, or annotate a deliberate "
+                f"hostile-peer fixture with // lint-exempt(transport): <reason>"
+            )
+    return findings
+
+
+# --------------------------------------------------------------------------
 # R3 — no tracked build artifacts
 # --------------------------------------------------------------------------
 
@@ -649,6 +713,7 @@ RULES = {
     "R6": ("shard mailbox discipline", check_shard_mailbox_discipline),
     "R7": ("atomic artifact writes", check_atomic_artifact_writes),
     "R8": ("bank-partition ownership", check_bank_partition_ownership),
+    "R9": ("raw-socket confinement", check_raw_socket_confinement),
 }
 
 

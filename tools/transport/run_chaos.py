@@ -1,0 +1,338 @@
+#!/usr/bin/env python3
+"""Multi-process kill-chaos driver for the transport plane.
+
+Spawns one bank process and N node processes from examples/transport_chaos,
+lets them run the paper's session/settlement protocol over loopback TCP,
+then injects the only faults a simulator cannot: SIGKILL. Forwarder
+processes are killed mid-protocol and respawned on the same port (serve-only,
+re-Hello to the same account); the bank is killed mid-settlement and
+respawned with --resume, replaying its write-ahead frame journal. At the end
+a sweep terminalises every open settlement and the bank writes a JSON
+reconciliation report; this driver asserts the C1-C5 milli-credit
+conservation invariants from it.
+
+Acceptance floor (ISSUE 10): >= 50 sessions, >= 5 forwarder SIGKILLs,
+>= 1 bank SIGKILL mid-settlement, C1-C5 all true.
+
+Exit code 0 on success; non-zero with the journal/report paths printed (CI
+uploads them as artifacts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import select
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+
+ALL_PROCS: list["Proc"] = []
+
+
+def fail(msg: str, workdir: Path) -> None:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    print(f"artifacts: {workdir}/bank.journal {workdir}/report.json", file=sys.stderr)
+    for proc in ALL_PROCS:
+        if proc.popen.poll() is None:
+            proc.popen.kill()
+    sys.exit(1)
+
+
+class Proc:
+    """One chaos child: keeps the pipe ends and the accumulated stdout lines."""
+
+    def __init__(self, args: list[str], log: Path):
+        self.args = args
+        ALL_PROCS.append(self)
+        self.log = log.open("ab")
+        self.popen = subprocess.Popen(
+            args,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=self.log,
+        )
+        self.buffer = b""
+        self.lines: list[str] = []
+
+    def read_lines(self) -> list[str]:
+        """Drain whatever stdout has, without blocking; return new lines."""
+        new: list[str] = []
+        while True:
+            r, _, _ = select.select([self.popen.stdout], [], [], 0)
+            if not r:
+                break
+            chunk = os.read(self.popen.stdout.fileno(), 65536)
+            if not chunk:
+                break
+            self.buffer += chunk
+            while b"\n" in self.buffer:
+                line, self.buffer = self.buffer.split(b"\n", 1)
+                decoded = line.decode(errors="replace")
+                new.append(decoded)
+                self.lines.append(decoded)
+                self.log.write(line + b"\n")
+                self.log.flush()
+        return new
+
+    def wait_line(self, prefix: str, timeout: float) -> str | None:
+        deadline = time.monotonic() + timeout
+        for line in self.lines:
+            if line.startswith(prefix):
+                return line
+        while time.monotonic() < deadline:
+            for line in self.read_lines():
+                if line.startswith(prefix):
+                    return line
+            if self.popen.poll() is not None:
+                return None
+            time.sleep(0.02)
+        return None
+
+    def sigkill(self) -> None:
+        self.popen.kill()
+        self.popen.wait()
+
+    def close(self) -> None:
+        if self.popen.poll() is None:
+            try:
+                self.popen.stdin.close()
+            except OSError:
+                pass
+            try:
+                self.popen.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                self.popen.kill()
+                self.popen.wait()
+        self.log.close()
+
+
+def spawn_bank(binary: str, workdir: Path, seed: int, port: int, resume: bool) -> Proc:
+    args = [
+        binary, "--role", "bank",
+        "--journal", str(workdir / "bank.journal"),
+        "--report", str(workdir / "report.json"),
+        "--seed", str(seed),
+    ]
+    if port:
+        args += ["--port", str(port)]
+    if resume:
+        args += ["--resume"]
+    return Proc(args, workdir / "bank.log")
+
+
+def spawn_node(binary: str, workdir: Path, seed: int, node_id: int, bank_port: int,
+               sessions: int, port: int = 0, session_base: int = 0) -> Proc:
+    args = [
+        binary, "--role", "node",
+        "--id", str(node_id),
+        "--bank", str(bank_port),
+        "--seed", str(seed),
+        "--sessions", str(sessions),
+        "--session-base", str(session_base),
+    ]
+    if port:
+        args += ["--port", str(port)]
+    return Proc(args, workdir / f"node{node_id}.log")
+
+
+def port_of(proc: Proc, what: str, workdir: Path) -> int:
+    line = proc.wait_line("PORT ", timeout=10)
+    if line is None:
+        fail(f"{what} never printed its port", workdir)
+    return int(line.split()[1])
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--binary", required=True, help="path to transport_chaos")
+    ap.add_argument("--workdir", required=True)
+    ap.add_argument("--nodes", type=int, default=6)
+    ap.add_argument("--sessions-per-node", type=int, default=10)
+    ap.add_argument("--forwarder-kills", type=int, default=5)
+    ap.add_argument("--bank-kills", type=int, default=1)
+    ap.add_argument("--seed", type=int, default=42)
+    ap.add_argument("--min-sessions", type=int, default=50)
+    ap.add_argument("--timeout", type=float, default=240.0,
+                    help="overall wall-clock budget in seconds")
+    opt = ap.parse_args()
+
+    workdir = Path(opt.workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    for stale in ("bank.journal", "report.json"):
+        (workdir / stale).unlink(missing_ok=True)
+
+    # Probe: the sandbox may refuse socket(2); the payload exits 77 then.
+    probe = subprocess.run([opt.binary, "--role", "probe"], capture_output=True)
+    if probe.returncode == 77:
+        print("SKIP: sockets unavailable in this environment")
+        sys.exit(0)
+
+    deadline = time.monotonic() + opt.timeout
+    bank = spawn_bank(opt.binary, workdir, opt.seed, port=0, resume=False)
+    bank_port = port_of(bank, "bank", workdir)
+
+    nodes: dict[int, Proc] = {}
+    node_ports: dict[int, int] = {}
+    session_counts: dict[int, int] = {}
+    for nid in range(opt.nodes):
+        nodes[nid] = spawn_node(opt.binary, workdir, opt.seed, nid, bank_port,
+                                opt.sessions_per_node)
+        node_ports[nid] = port_of(nodes[nid], f"node {nid}", workdir)
+        session_counts[nid] = 0
+
+    peers_line = ("PEERS " + " ".join(f"{i}:{p}" for i, p in node_ports.items()) + "\n").encode()
+    for proc in nodes.values():
+        proc.popen.stdin.write(peers_line)
+        proc.popen.stdin.flush()
+
+    forwarder_kills = 0
+    bank_kills = 0
+    reforms = 0
+    ok_sessions = 0
+    failed_sessions = 0
+    done_nodes: set[int] = set()
+    remaining = {nid: opt.sessions_per_node for nid in nodes}  # sessions still owed
+    generation = {nid: 0 for nid in nodes}  # respawn count -> fresh pair-id base
+    # Kill forwarders/bank spread across the run: trigger every time the
+    # fleet's session total crosses the next threshold.
+    kill_every = max(1, (opt.nodes * opt.sessions_per_node)
+                     // (opt.forwarder_kills + opt.bank_kills + 1))
+    next_kill_at = kill_every
+    kill_victim = 0  # round-robin over nodes
+
+    while time.monotonic() < deadline:
+        for nid, proc in list(nodes.items()):
+            for line in proc.read_lines():
+                if line.startswith("SESSION "):
+                    remaining[nid] -= 1
+                    session_counts[nid] += 1
+                    if line.endswith(" ok"):
+                        ok_sessions += 1
+                    else:
+                        failed_sessions += 1
+                elif line.startswith("REFORM "):
+                    reforms += 1
+                elif line.startswith("DONE ") and remaining[nid] <= 0:
+                    done_nodes.add(nid)
+            if proc.popen.poll() is not None and nid not in done_nodes:
+                # SIGKILLed (by us) or crashed: respawn on the same port with
+                # its unfinished sessions, under a fresh pair-id range. It
+                # re-Hellos into the same bank account.
+                proc.log.close()
+                generation[nid] += 1
+                nodes[nid] = spawn_node(
+                    opt.binary, workdir, opt.seed, nid, bank_port,
+                    sessions=max(0, remaining[nid]), port=node_ports[nid],
+                    session_base=1000 * generation[nid])
+                if port_of(nodes[nid], f"respawned node {nid}", workdir) != node_ports[nid]:
+                    fail(f"respawned node {nid} lost its port", workdir)
+                nodes[nid].popen.stdin.write(peers_line)
+                nodes[nid].popen.stdin.flush()
+
+        bank.read_lines()
+        if bank.popen.poll() is not None:
+            # We killed it (or it crashed): resume from the frame journal on
+            # the same port. In-flight requests ride their retry loops.
+            bank.log.close()
+            bank = spawn_bank(opt.binary, workdir, opt.seed, port=bank_port, resume=True)
+            if port_of(bank, "respawned bank", workdir) != bank_port:
+                fail("respawned bank lost its port", workdir)
+
+        total = sum(session_counts.values())
+        while total >= next_kill_at and \
+                forwarder_kills + bank_kills < opt.forwarder_kills + opt.bank_kills:
+            next_kill_at += kill_every
+            if forwarder_kills < opt.forwarder_kills:
+                for _ in range(opt.nodes):
+                    victim = kill_victim % opt.nodes
+                    kill_victim += 1
+                    if nodes[victim].popen.poll() is None and victim not in done_nodes:
+                        print(f"KILL forwarder node {victim} at {total} sessions",
+                              flush=True)
+                        nodes[victim].sigkill()
+                        forwarder_kills += 1
+                        break
+                else:
+                    break  # nobody live mid-run to kill this round
+            elif bank_kills < opt.bank_kills:
+                print(f"KILL bank at {total} sessions (mid-settlement)", flush=True)
+                bank.sigkill()
+                bank_kills += 1
+
+        if len(done_nodes) == opt.nodes and forwarder_kills >= opt.forwarder_kills \
+                and bank_kills >= opt.bank_kills:
+            break
+        time.sleep(0.05)
+
+    total_sessions = sum(session_counts.values())
+    if len(done_nodes) < opt.nodes:
+        fail(f"only {len(done_nodes)}/{opt.nodes} nodes finished their sessions "
+             f"({total_sessions} sessions, {ok_sessions} ok) within {opt.timeout}s",
+             workdir)
+
+    # The loop can break in the same iteration that killed the bank (the
+    # respawn branch runs at the TOP of the next iteration): resurrect it.
+    if bank.popen.poll() is not None:
+        bank.log.close()
+        bank = spawn_bank(opt.binary, workdir, opt.seed, port=bank_port, resume=True)
+        if port_of(bank, "respawned bank", workdir) != bank_port:
+            fail("respawned bank lost its port", workdir)
+
+    # Any kills still owed (tiny runs): take them now, while settlements from
+    # the no-close sessions are still open, so the bank kill is mid-settlement.
+    while bank_kills < opt.bank_kills:
+        print("KILL bank (final, mid-settlement: unclosed settlements pending)")
+        bank.sigkill()
+        bank_kills += 1
+        bank = spawn_bank(opt.binary, workdir, opt.seed, port=bank_port, resume=True)
+        if port_of(bank, "respawned bank", workdir) != bank_port:
+            fail("respawned bank lost its port", workdir)
+
+    # Sweep: terminalise every open settlement, write the report.
+    sweep = subprocess.run(
+        [opt.binary, "--role", "sweep", "--bank", str(bank_port), "--seed", str(opt.seed)],
+        capture_output=True, timeout=60)
+    if sweep.returncode != 0:
+        fail(f"sweep failed: {sweep.stderr.decode(errors='replace')}", workdir)
+    bank.read_lines()
+
+    report_path = workdir / "report.json"
+    for _ in range(100):
+        if report_path.exists() and report_path.stat().st_size > 0:
+            break
+        time.sleep(0.05)
+    if not report_path.exists():
+        fail("bank never wrote the reconciliation report", workdir)
+    report = json.loads(report_path.read_text())
+
+    for proc in list(nodes.values()) + [bank]:
+        proc.close()
+
+    print(json.dumps(report, indent=2))
+    print(f"sessions={total_sessions} ok={ok_sessions} failed={failed_sessions} "
+          f"forwarder_kills={forwarder_kills} bank_kills={bank_kills} reforms={reforms}")
+
+    if ok_sessions < opt.min_sessions:
+        fail(f"only {ok_sessions} completed sessions (< {opt.min_sessions})", workdir)
+    if forwarder_kills < opt.forwarder_kills:
+        fail(f"only {forwarder_kills} forwarder kills (< {opt.forwarder_kills})", workdir)
+    if bank_kills < opt.bank_kills:
+        fail(f"only {bank_kills} bank kills (< {opt.bank_kills})", workdir)
+    for inv in ("c1_money_conserved", "c2_all_terminal", "c3_escrow_drained",
+                "c4_journal_reconciles", "c5_terminal_refused_and_expired_refunded"):
+        if not report.get(inv, False):
+            fail(f"invariant {inv} violated after reconciliation", workdir)
+    if report.get("settlements", 0) == 0:
+        fail("no settlements were opened at all", workdir)
+    if report.get("claims_accepted", 0) == 0:
+        fail("no claims were accepted at all", workdir)
+    print("PASS")
+
+
+if __name__ == "__main__":
+    main()
